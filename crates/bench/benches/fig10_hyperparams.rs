@@ -1,0 +1,58 @@
+//! **Figure 10**: sensitivity to the NN hyperparameters of `E` and `G` —
+//! hidden width and embedding size — on PRSA and Poker, drift c2.
+//!
+//! Paper takeaway: "hyperparameter tuning may improve the performance but
+//! concrete choices are unclear"; curves for different sizes bunch together.
+
+use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_core::runner::{DriftSetup, ModelKind, StrategyKind};
+use warper_storage::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let variants = [
+        ("hidden=32,  |z|=8", 32usize, 8usize),
+        ("hidden=64,  |z|=16", 64, 16),
+        ("hidden=128, |z|=16", 128, 16),
+        ("hidden=256, |z|=32", 256, 32),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for kind in [DatasetKind::Prsa, DatasetKind::Poker] {
+        let table = bench_table(kind, scale, 23);
+        for (label, hidden, embed) in variants {
+            let mut cfg = bench_runner_config(scale, 23);
+            cfg.warper.hidden = hidden;
+            cfg.warper.embed_dim = embed;
+            let cmp = compare_to_ft(
+                &table,
+                &setup,
+                ModelKind::LmMlp,
+                StrategyKind::Warper,
+                &cfg,
+                scale.runs().min(2),
+            );
+            rows.push(vec![
+                kind.name().to_string(),
+                label.to_string(),
+                format!("{:.1}", cmp.speedups.d05),
+                format!("{:.1}", cmp.speedups.d08),
+                format!("{:.1}", cmp.speedups.d10),
+            ]);
+            json.insert(
+                format!("{}-{hidden}-{embed}", kind.name()),
+                serde_json::json!({
+                    "d05": cmp.speedups.d05, "d08": cmp.speedups.d08, "d10": cmp.speedups.d10,
+                }),
+            );
+        }
+    }
+    print_table(
+        "Figure 10: varying E/G hyperparameters (c2, LM-mlp)",
+        &["Dataset", "E/G size", "Δ.5", "Δ.8", "Δ1"],
+        &rows,
+    );
+    save_results("fig10_hyperparams", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,57 @@
+//! **Figure 11**: trading compute for adaptation speedup — varying the
+//! number of generated queries `n_g` as a multiple of `n_t`.
+//!
+//! Paper takeaway: "using more generated queries does not necessarily
+//! accelerate the model adaptation but will increase the CPU utilization";
+//! the default 0.1× already captures most of the benefit.
+
+use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_core::runner::{DriftSetup, ModelKind, StrategyKind};
+use warper_storage::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let multipliers = [0.1, 0.3, 1.0, 3.0];
+
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for kind in [DatasetKind::Prsa, DatasetKind::Poker] {
+        let table = bench_table(kind, scale, 29);
+        for m in multipliers {
+            let mut cfg = bench_runner_config(scale, 29);
+            cfg.warper.n_g_frac = m;
+            let cmp = compare_to_ft(
+                &table,
+                &setup,
+                ModelKind::LmMlp,
+                StrategyKind::Warper,
+                &cfg,
+                scale.runs().min(2),
+            );
+            let generated: usize = cmp.method_runs.iter().map(|r| r.generated_total).sum::<usize>()
+                / cmp.method_runs.len();
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{m}x"),
+                format!("{generated}"),
+                format!("{:.1}", cmp.speedups.d05),
+                format!("{:.1}", cmp.speedups.d08),
+                format!("{:.1}", cmp.speedups.d10),
+            ]);
+            json.insert(
+                format!("{}-{m}", kind.name()),
+                serde_json::json!({
+                    "generated": generated,
+                    "d05": cmp.speedups.d05, "d08": cmp.speedups.d08, "d10": cmp.speedups.d10,
+                }),
+            );
+        }
+    }
+    print_table(
+        "Figure 11: speedup vs n_g multiplier (c2, LM-mlp)",
+        &["Dataset", "n_g", "generated", "Δ.5", "Δ.8", "Δ1"],
+        &rows,
+    );
+    save_results("fig11_ng_tradeoff", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,123 @@
+//! **Figure 1**: the motivating example — a TPC-H select-project-join whose
+//! L-side predicate workload drifts from the training distribution (X) to a
+//! new one (X'). As the CE model adapts with Warper, cardinality estimates
+//! improve (GMQ ↓) and so does simulated query latency via the optimizer's
+//! plan choices.
+//!
+//! Paper headline: adaptation cuts GMQ by up to 3× (19 → ~7) and improves
+//! query latency by ~31% on the spill-prone plan.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_bench::{print_table, save_results, Scale};
+use warper_ce::lm::{LmMlp, LmMlpParams};
+use warper_ce::{CardinalityEstimator, LabeledExample};
+use warper_core::baselines::ArrivedQuery;
+use warper_core::detect::DataTelemetry;
+use warper_core::{WarperConfig, WarperController};
+use warper_metrics::{gmq, PAPER_THETA};
+use warper_qo::{Executor, QueryCards, Scenario, SpjTemplate};
+use warper_query::{Annotator, Featurizer};
+use warper_storage::tpch::{generate_tpch, TpchScale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let tpch_scale = match scale {
+        Scale::Small => TpchScale { orders: 15_000 },
+        Scale::Full => TpchScale { orders: 80_000 },
+    };
+    let tables = generate_tpch(tpch_scale, 11);
+    let lf = Featurizer::from_table(&tables.lineitem);
+    let annotator = Annotator::new();
+    let mut rng = StdRng::seed_from_u64(17);
+
+    // Train the L-side CE model on workload X = w1.
+    let mut gen = warper_workload::QueryGenerator::from_notation(&tables.lineitem, "w1");
+    let preds = gen.generate_many(800, &mut rng);
+    let cards = annotator.count_batch(&tables.lineitem, &preds);
+    let train: Vec<(Vec<f64>, f64)> = preds
+        .iter()
+        .zip(&cards)
+        .map(|(p, &c)| (lf.featurize(p), c as f64))
+        .collect();
+    let mut model = LmMlp::new(lf.dim(), LmMlpParams::default(), 9);
+    let ex: Vec<LabeledExample> =
+        train.iter().map(|(q, c)| LabeledExample::new(q.clone(), *c)).collect();
+    model.fit(&ex);
+    let baseline = {
+        let ests: Vec<f64> = train.iter().map(|(q, _)| model.estimate(q)).collect();
+        let actuals: Vec<f64> = train.iter().map(|(_, c)| *c).collect();
+        gmq(&ests, &actuals, PAPER_THETA)
+    };
+
+    // The new workload X' = w2; the executor runs the S1 (spill) plan.
+    let lf2 = lf.clone();
+    let mut ctl = WarperController::new(lf.dim(), &train, baseline, WarperConfig::default(), 5)
+        .with_canonicalizer(Box::new(move |q: &[f64]| {
+            lf2.featurize(&lf2.defeaturize(q).keep_most_selective(lf2.domains(), 2))
+        }));
+    let executor = Executor::new(Scenario::S1BufferSpill);
+    let mut template = SpjTemplate::new(&tables, Scenario::S1BufferSpill, "w2");
+    let eval_queries = template.draw_many(60, &mut rng);
+
+    let evaluate = |model: &LmMlp| {
+        let mut ests = Vec::new();
+        let mut actuals = Vec::new();
+        let mut lat = 0.0;
+        let mut oracle = 0.0;
+        for q in &eval_queries {
+            let est = QueryCards {
+                left: model.estimate(&lf.featurize(&q.join.left_pred)),
+                ..q.actual
+            };
+            ests.push(est.left);
+            actuals.push(q.actual.left);
+            lat += executor.latency(&est, &q.actual);
+            oracle += executor.oracle_latency(&q.actual);
+        }
+        let n = eval_queries.len() as f64;
+        (gmq(&ests, &actuals, PAPER_THETA), lat / n, oracle / n)
+    };
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let (g0, l0, oracle) = evaluate(&model);
+    rows.push(vec!["0".into(), format!("{g0:.1}"), format!("{l0:.3}s"), format!("{:.0}%", 100.0 * (l0 / oracle - 1.0))]);
+    json.push(serde_json::json!({ "queries": 0, "gmq": g0, "latency": l0 }));
+
+    let mut total = 0usize;
+    for _step in 0..8 {
+        let batch = 25;
+        total += batch;
+        let arrived: Vec<ArrivedQuery> = template
+            .draw_many(batch, &mut rng)
+            .iter()
+            .map(|q| ArrivedQuery {
+                features: lf.featurize(&q.join.left_pred),
+                gt: Some(q.actual.left),
+            })
+            .collect();
+        let lineitem = &tables.lineitem;
+        let mut annotate = |qs: &[Vec<f64>]| -> Vec<f64> {
+            qs.iter()
+                .map(|q| annotator.count(lineitem, &lf.defeaturize(q)) as f64)
+                .collect()
+        };
+        ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut annotate);
+        let (g, l, _) = evaluate(&model);
+        rows.push(vec![
+            total.to_string(),
+            format!("{g:.1}"),
+            format!("{l:.3}s"),
+            format!("{:.0}%", 100.0 * (l / oracle - 1.0)),
+        ]);
+        json.push(serde_json::json!({ "queries": total, "gmq": g, "latency": l }));
+    }
+    print_table(
+        "Figure 1: workload drift X→X' on TPC-H L⋈O (S1 plan): Warper adaptation",
+        &["new queries", "GMQ", "avg latency", "regression vs oracle"],
+        &rows,
+    );
+    println!("(paper: GMQ 19 → ~7 after adaptation; latency improves ~31%)");
+    save_results("fig1_motivation", &serde_json::json!({ "curve": json, "oracle": oracle }));
+}

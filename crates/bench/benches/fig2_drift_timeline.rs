@@ -1,0 +1,149 @@
+//! **Figure 2**: drift timelines and when Warper chooses to adapt.
+//!
+//! The paper's figure is a schematic: different drift shapes on top
+//! (short-lived, persistent, combined) and, below, boxes marking the
+//! periods in which Warper actually adapts — illustrating that `det_drft`
+//! runs every period but acts only while a drift degrades accuracy (with
+//! early stop once gains vanish).
+//!
+//! This harness replays the three timelines on PRSA with LM-mlp and prints
+//! one line per period: the active workload, the detected mode flags, and
+//! whether Warper adapted (`█`) or stayed idle (`·`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_bench::{bench_table, save_results, Scale};
+use warper_ce::lm::{LmMlp, LmMlpParams};
+use warper_ce::{CardinalityEstimator, LabeledExample};
+use warper_core::baselines::ArrivedQuery;
+use warper_core::detect::{CanarySet, DataTelemetry};
+use warper_core::{WarperConfig, WarperController};
+use warper_metrics::{gmq, PAPER_THETA};
+use warper_query::{Annotator, Featurizer};
+use warper_storage::drift::{sort_and_truncate_half, ChangeLog};
+use warper_storage::DatasetKind;
+use warper_workload::{DriftEvent, QueryGenerator, Scenario};
+
+fn main() {
+    let scale = Scale::from_env();
+    let scenarios = [
+        Scenario::named("(a) short-lived drift")
+            .then(vec![DriftEvent::WorkloadShift("w4".into())], 3)
+            .then(vec![DriftEvent::WorkloadShift("w1".into())], 5),
+        Scenario::named("(b) persistent drift")
+            .then(vec![DriftEvent::WorkloadShift("w3".into())], 8),
+        Scenario::named("(c) combined drifts")
+            .then(vec![DriftEvent::WorkloadShift("w2".into())], 4)
+            .then(
+                vec![
+                    DriftEvent::WorkloadShift("w1".into()),
+                    DriftEvent::DataSortTruncate { col: 1 },
+                ],
+                4,
+            ),
+    ];
+
+    let mut json = serde_json::Map::new();
+    for scenario in scenarios {
+        println!("\n== Figure 2 {} ==", scenario.name);
+        let mut table = bench_table(DatasetKind::Prsa, scale, 7);
+        let featurizer = Featurizer::from_table(&table);
+        let annotator = Annotator::new();
+        let mut rng = StdRng::seed_from_u64(43);
+
+        // Train on w1.
+        let mut gen = QueryGenerator::from_notation(&table, "w1");
+        let preds = gen.generate_many(800, &mut rng);
+        let cards = annotator.count_batch(&table, &preds);
+        let train: Vec<(Vec<f64>, f64)> = preds
+            .iter()
+            .zip(&cards)
+            .map(|(p, &c)| (featurizer.featurize(p), c as f64))
+            .collect();
+        let mut model = LmMlp::new(featurizer.dim(), LmMlpParams::default(), 3);
+        let ex: Vec<LabeledExample> =
+            train.iter().map(|(q, c)| LabeledExample::new(q.clone(), *c)).collect();
+        model.fit(&ex);
+        let baseline = {
+            let ests: Vec<f64> = train.iter().map(|(q, _)| model.estimate(q)).collect();
+            let actuals: Vec<f64> = train.iter().map(|(_, c)| *c).collect();
+            gmq(&ests, &actuals, PAPER_THETA)
+        };
+        let f2 = featurizer.clone();
+        let mut ctl =
+            WarperController::new(featurizer.dim(), &train, baseline, WarperConfig::default(), 5)
+                .with_canonicalizer(Box::new(move |q: &[f64]| {
+                    f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
+                }));
+        let changelog = ChangeLog::mark(&table);
+        let mut canaries = CanarySet::new(&table, 8, &mut rng);
+
+        let mut workload = "w1".to_string();
+        let mut trace = Vec::new();
+        println!("step workload mode   adapt  δ_m");
+        let mut step_no = 0;
+        for period in &scenario.periods {
+            for event in &period.events {
+                match event {
+                    DriftEvent::WorkloadShift(w) => workload = w.clone(),
+                    DriftEvent::DataSortTruncate { col } => {
+                        sort_and_truncate_half(&mut table, *col)
+                    }
+                    DriftEvent::DataAppend { frac } => {
+                        let extra = (table.num_rows() as f64 * frac) as usize;
+                        warper_storage::drift::append_rows(&mut table, extra, 0.05, &mut rng);
+                    }
+                    DriftEvent::DataUpdate { frac } => {
+                        warper_storage::drift::update_rows(&mut table, *frac, 0.3, &mut rng)
+                    }
+                }
+            }
+            for _ in 0..period.steps {
+                step_no += 1;
+                let mut wgen = QueryGenerator::from_notation(&table, &workload);
+                let arrived: Vec<ArrivedQuery> = wgen
+                    .generate_many(30, &mut rng)
+                    .iter()
+                    .map(|p| ArrivedQuery {
+                        features: featurizer.featurize(p),
+                        gt: Some(annotator.count(&table, p) as f64),
+                    })
+                    .collect();
+                let telemetry = DataTelemetry {
+                    changed_fraction: changelog.changed_fraction(&table),
+                    canary_max_change: canaries.max_relative_change(&table),
+                };
+                let report = {
+                    let table_ref = &table;
+                    let f = &featurizer;
+                    let a = &annotator;
+                    let mut annotate = |qs: &[Vec<f64>]| -> Vec<f64> {
+                        qs.iter()
+                            .map(|q| a.count(table_ref, &f.defeaturize(q)) as f64)
+                            .collect()
+                    };
+                    ctl.invoke(&mut model, &arrived, &telemetry, &mut annotate)
+                };
+                let adapted = report.mode.any();
+                println!(
+                    "{:>4} {:>8} {:<6} {:>5}  {:.2}",
+                    step_no,
+                    workload,
+                    report.mode.to_string(),
+                    if adapted { "█" } else { "·" },
+                    report.delta_m,
+                );
+                trace.push(serde_json::json!({
+                    "step": step_no,
+                    "workload": workload,
+                    "mode": report.mode.to_string(),
+                    "adapted": adapted,
+                    "delta_m": report.delta_m,
+                }));
+            }
+        }
+        json.insert(scenario.name.clone(), serde_json::json!(trace));
+        canaries.rebaseline(&table);
+    }
+    save_results("fig2_drift_timeline", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,133 @@
+//! **Figure 5**: PCA visualization of the w1–w5 workloads on PRSA.
+//!
+//! The paper plots 2-d PCA projections of featurized predicates to compare
+//! workload distributions qualitatively. A terminal can't scatter-plot, so
+//! this harness prints each workload's projected centroid, spread, and the
+//! pairwise centroid distances — the quantitative content of the figure —
+//! plus a coarse ASCII density map per workload.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_bench::{bench_table, print_table, save_results, Scale};
+use warper_linalg::{Matrix, Pca};
+use warper_query::Featurizer;
+use warper_storage::DatasetKind;
+use warper_workload::QueryGenerator;
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = bench_table(DatasetKind::Prsa, scale, 7);
+    let featurizer = Featurizer::from_table(&table);
+    let mut rng = StdRng::seed_from_u64(55);
+    let n = 600;
+
+    // Featurize every workload, fit one shared PCA (as in §2's method).
+    let notations = ["w1", "w2", "w3", "w4", "w5"];
+    let mut all_rows: Vec<Vec<f64>> = Vec::new();
+    let mut per_workload: Vec<Vec<Vec<f64>>> = Vec::new();
+    for w in notations {
+        let mut gen = QueryGenerator::from_notation(&table, w);
+        let feats: Vec<Vec<f64>> = gen
+            .generate_many(n, &mut rng)
+            .iter()
+            .map(|p| featurizer.featurize(p))
+            .collect();
+        all_rows.extend(feats.iter().cloned());
+        per_workload.push(feats);
+    }
+    let pca = Pca::fit(&Matrix::from_rows(&all_rows), 2).expect("PCA fit");
+
+    let projected: Vec<Vec<(f64, f64)>> = per_workload
+        .iter()
+        .map(|feats| {
+            feats
+                .iter()
+                .map(|f| {
+                    let z = pca.transform_one(f);
+                    (z[0], z[1])
+                })
+                .collect()
+        })
+        .collect();
+
+    let centroid = |pts: &[(f64, f64)]| {
+        let n = pts.len() as f64;
+        let cx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+        let cy = pts.iter().map(|p| p.1).sum::<f64>() / n;
+        let spread = (pts
+            .iter()
+            .map(|p| (p.0 - cx).powi(2) + (p.1 - cy).powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt();
+        (cx, cy, spread)
+    };
+
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for (w, pts) in notations.iter().zip(&projected) {
+        let (cx, cy, spread) = centroid(pts);
+        rows.push(vec![
+            w.to_string(),
+            format!("({cx:.2}, {cy:.2})"),
+            format!("{spread:.2}"),
+        ]);
+        json.insert(w.to_string(), serde_json::json!({ "cx": cx, "cy": cy, "spread": spread }));
+    }
+    print_table(
+        "Figure 5: PCA projections of workloads on PRSA (shared 2-d basis)",
+        &["workload", "centroid", "spread"],
+        &rows,
+    );
+
+    // Pairwise centroid distances: distinct workloads should separate.
+    let mut dist_rows = Vec::new();
+    for (i, wi) in notations.iter().enumerate() {
+        let mut cells = vec![wi.to_string()];
+        let (cxi, cyi, _) = centroid(&projected[i]);
+        for (j, _) in notations.iter().enumerate() {
+            let (cxj, cyj, _) = centroid(&projected[j]);
+            let d = ((cxi - cxj).powi(2) + (cyi - cyj).powi(2)).sqrt();
+            cells.push(if i == j { "-".into() } else { format!("{d:.2}") });
+        }
+        dist_rows.push(cells);
+    }
+    print_table(
+        "pairwise centroid distances",
+        &["", "w1", "w2", "w3", "w4", "w5"],
+        &dist_rows,
+    );
+
+    // ASCII density maps over a shared grid.
+    let all_pts: Vec<(f64, f64)> = projected.iter().flatten().copied().collect();
+    let (xmin, xmax) = all_pts
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| (a.min(p.0), b.max(p.0)));
+    let (ymin, ymax) = all_pts
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| (a.min(p.1), b.max(p.1)));
+    const W: usize = 48;
+    const H: usize = 12;
+    for (w, pts) in notations.iter().zip(&projected) {
+        let mut grid = vec![[0usize; W]; H];
+        for &(x, y) in pts {
+            let gx = (((x - xmin) / (xmax - xmin).max(1e-12)) * (W - 1) as f64) as usize;
+            let gy = (((y - ymin) / (ymax - ymin).max(1e-12)) * (H - 1) as f64) as usize;
+            grid[gy.min(H - 1)][gx.min(W - 1)] += 1;
+        }
+        println!("\n{w} density:");
+        for row in grid.iter().rev() {
+            let line: String = row
+                .iter()
+                .map(|&c| match c {
+                    0 => ' ',
+                    1..=2 => '.',
+                    3..=7 => 'o',
+                    _ => '#',
+                })
+                .collect();
+            println!("  |{line}|");
+        }
+    }
+    save_results("fig5_workload_pca", &serde_json::Value::Object(json));
+}

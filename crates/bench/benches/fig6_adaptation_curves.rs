@@ -1,0 +1,46 @@
+//! **Figure 6**: adaptation under workload drift c2 (train w12 → new w345)
+//! on PRSA, Poker and Higgs with LM-mlp — GMQ at each adaptation step for
+//! FT, MIX, AUG, HEM and Warper.
+//!
+//! Expected shape (paper §4.1.1): all methods improve as queries arrive;
+//! Warper reaches low GMQ with fewer queries than the baselines; MIX is the
+//! weakest augmented method.
+
+use warper_bench::{bench_runner_config, bench_table, fmt_curve, print_table, save_results, Scale};
+use warper_core::runner::{run_single_table, DriftSetup, ModelKind, StrategyKind};
+use warper_storage::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let strategies = [
+        StrategyKind::Ft,
+        StrategyKind::Mix,
+        StrategyKind::Aug,
+        StrategyKind::Hem,
+        StrategyKind::Warper,
+    ];
+
+    let mut json = serde_json::Map::new();
+    for kind in DatasetKind::all() {
+        let table = bench_table(kind, scale, 7);
+        let cfg = bench_runner_config(scale, 7);
+        let mut rows = Vec::new();
+        let mut per_dataset = serde_json::Map::new();
+        for strategy in strategies {
+            let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
+            per_dataset.insert(
+                res.strategy.clone(),
+                serde_json::json!(res.curve.points().to_vec()),
+            );
+            rows.push(vec![res.strategy.clone(), fmt_curve(res.curve.points())]);
+        }
+        print_table(
+            &format!("Figure 6 ({}, c2, w12→w345, LM-mlp): GMQ vs queries consumed", kind.name()),
+            &["method", "curve (queries→GMQ)"],
+            &rows,
+        );
+        json.insert(kind.name().to_string(), serde_json::Value::Object(per_dataset));
+    }
+    save_results("fig6_adaptation_curves", &serde_json::Value::Object(json));
+}

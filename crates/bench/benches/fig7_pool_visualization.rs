@@ -1,0 +1,135 @@
+//! **Figure 7**: visualizing the query pool during adaptation.
+//!
+//! The paper projects the pool's queries to 2-d with PCA and shows that, as
+//! adaptation proceeds, the generated (green) and picked (red) queries
+//! follow the incoming distribution (orange) rather than the training one
+//! (blue). This harness runs a c2 adaptation on PRSA and, after each step,
+//! prints the PCA centroids of each class and the distance of the
+//! generated/picked centroids to the train vs new centroids.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_bench::{bench_table, print_table, save_results, Scale};
+use warper_ce::lm::{LmMlp, LmMlpParams};
+use warper_ce::{CardinalityEstimator, LabeledExample};
+use warper_core::baselines::ArrivedQuery;
+use warper_core::detect::DataTelemetry;
+use warper_core::pool::Source;
+use warper_core::{WarperConfig, WarperController};
+use warper_linalg::{Matrix, Pca};
+use warper_metrics::{gmq, PAPER_THETA};
+use warper_query::{Annotator, Featurizer};
+use warper_storage::DatasetKind;
+use warper_workload::QueryGenerator;
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = bench_table(DatasetKind::Prsa, scale, 7);
+    let featurizer = Featurizer::from_table(&table);
+    let annotator = Annotator::new();
+    let mut rng = StdRng::seed_from_u64(61);
+
+    let mut train_gen = QueryGenerator::from_notation(&table, "w12");
+    let preds = train_gen.generate_many(800, &mut rng);
+    let cards = annotator.count_batch(&table, &preds);
+    let train: Vec<(Vec<f64>, f64)> = preds
+        .iter()
+        .zip(&cards)
+        .map(|(p, &c)| (featurizer.featurize(p), c as f64))
+        .collect();
+    let mut model = LmMlp::new(featurizer.dim(), LmMlpParams::default(), 3);
+    let ex: Vec<LabeledExample> =
+        train.iter().map(|(q, c)| LabeledExample::new(q.clone(), *c)).collect();
+    model.fit(&ex);
+    let baseline = {
+        let ests: Vec<f64> = train.iter().map(|(q, _)| model.estimate(q)).collect();
+        let actuals: Vec<f64> = train.iter().map(|(_, c)| *c).collect();
+        gmq(&ests, &actuals, PAPER_THETA)
+    };
+    let f2 = featurizer.clone();
+    let mut ctl =
+        WarperController::new(featurizer.dim(), &train, baseline, WarperConfig::default(), 5)
+            .with_canonicalizer(Box::new(move |q: &[f64]| {
+                f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
+            }));
+
+    let mut new_gen = QueryGenerator::from_notation(&table, "w345");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for step in 1..=5 {
+        let arrived: Vec<ArrivedQuery> = new_gen
+            .generate_many(60, &mut rng)
+            .iter()
+            .map(|p| ArrivedQuery {
+                features: featurizer.featurize(p),
+                gt: Some(annotator.count(&table, p) as f64),
+            })
+            .collect();
+        {
+            let t = &table;
+            let f = &featurizer;
+            let a = &annotator;
+            let mut annotate = |qs: &[Vec<f64>]| -> Vec<f64> {
+                qs.iter().map(|q| a.count(t, &f.defeaturize(q)) as f64).collect()
+            };
+            ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut annotate);
+        }
+
+        // PCA over the whole pool; centroids per class. "Picked" are the
+        // generated records that got annotated.
+        let pool = ctl.pool();
+        let feats: Vec<Vec<f64>> = pool.records().iter().map(|r| r.features.clone()).collect();
+        let Some(pca) = Pca::fit(&Matrix::from_rows(&feats), 2) else {
+            continue;
+        };
+        let centroid = |pred: &dyn Fn(&warper_core::pool::PoolRecord) -> bool| {
+            let pts: Vec<Vec<f64>> = pool
+                .records()
+                .iter()
+                .filter(|r| pred(r))
+                .map(|r| pca.transform_one(&r.features))
+                .collect();
+            if pts.is_empty() {
+                return None;
+            }
+            let n = pts.len() as f64;
+            Some((
+                pts.iter().map(|p| p[0]).sum::<f64>() / n,
+                pts.iter().map(|p| p[1]).sum::<f64>() / n,
+                pts.len(),
+            ))
+        };
+        let train_c = centroid(&|r| r.source == Source::Train).unwrap();
+        let new_c = centroid(&|r| r.source == Source::New).unwrap();
+        let gen_c = centroid(&|r| r.source == Source::Gen);
+        let picked_c = centroid(&|r| r.source == Source::Gen && r.gt.is_some());
+        let dist = |a: (f64, f64, usize), b: (f64, f64, usize)| {
+            ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+        };
+        let (gen_to_new, gen_to_train) = match gen_c {
+            Some(g) => (dist(g, new_c), dist(g, train_c)),
+            None => (f64::NAN, f64::NAN),
+        };
+        rows.push(vec![
+            step.to_string(),
+            format!("{}", gen_c.map_or(0, |g| g.2)),
+            format!("{}", picked_c.map_or(0, |g| g.2)),
+            format!("{gen_to_new:.2}"),
+            format!("{gen_to_train:.2}"),
+            format!("{:.2}", dist(train_c, new_c)),
+        ]);
+        json.push(serde_json::json!({
+            "step": step,
+            "gen_to_new": gen_to_new,
+            "gen_to_train": gen_to_train,
+            "train_to_new": dist(train_c, new_c),
+        }));
+    }
+    print_table(
+        "Figure 7: pool composition during c2 adaptation (PRSA, PCA space)",
+        &["step", "#gen", "#picked", "‖gen−new‖", "‖gen−train‖", "‖train−new‖"],
+        &rows,
+    );
+    println!("(expected: generated/picked centroids track the new workload — ‖gen−new‖ < ‖gen−train‖)");
+    save_results("fig7_pool_visualization", &serde_json::json!(json));
+}

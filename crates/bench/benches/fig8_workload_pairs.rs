@@ -1,0 +1,43 @@
+//! **Figure 8**: adaptation curves for individual workload transitions
+//! (w1→w3, w2→w4, w5→w3, …) with LM-mlp under drift c2 — the curve view of
+//! Table 8's speedup numbers, on multiple datasets.
+
+use warper_bench::{bench_runner_config, bench_table, fmt_curve, print_table, save_results, Scale};
+use warper_core::runner::{run_single_table, DriftSetup, ModelKind, StrategyKind};
+use warper_storage::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let transitions = [
+        (DatasetKind::Prsa, "w1", "w3"),
+        (DatasetKind::Prsa, "w2", "w4"),
+        (DatasetKind::Prsa, "w5", "w3"),
+        (DatasetKind::Poker, "w1", "w3"),
+        (DatasetKind::Poker, "w2", "w4"),
+        (DatasetKind::Higgs, "w1", "w3"),
+    ];
+
+    let mut json = serde_json::Map::new();
+    for (kind, train, new) in transitions {
+        let table = bench_table(kind, scale, 19);
+        let cfg = bench_runner_config(scale, 19);
+        let setup = DriftSetup::Workload { train: train.into(), new: new.into() };
+        let mut rows = Vec::new();
+        let mut per = serde_json::Map::new();
+        for strategy in [StrategyKind::Ft, StrategyKind::Warper] {
+            let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
+            per.insert(res.strategy.clone(), serde_json::json!(res.curve.points().to_vec()));
+            rows.push(vec![res.strategy.clone(), fmt_curve(res.curve.points())]);
+        }
+        print_table(
+            &format!("Figure 8 ({} {train}→{new}): GMQ vs queries", kind.name()),
+            &["method", "curve"],
+            &rows,
+        );
+        json.insert(
+            format!("{}-{train}-{new}", kind.name()),
+            serde_json::Value::Object(per),
+        );
+    }
+    save_results("fig8_workload_pairs", &serde_json::Value::Object(json));
+}

@@ -1,0 +1,133 @@
+//! Criterion microbenchmarks of the component costs behind the paper's
+//! cost model (§4.3: `c_gen + c_pick + c_gt + c_AE + c_GAN + c_Model ≤ B`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use warper_ce::lm::{LmMlp, LmMlpParams};
+use warper_ce::{CardinalityEstimator, LabeledExample};
+use warper_core::encoder::Encoder;
+use warper_core::gan::Gan;
+use warper_core::pool::QueryPool;
+use warper_core::WarperConfig;
+use warper_linalg::{Matrix, Pca};
+use warper_metrics::delta_js;
+use warper_query::{Annotator, Featurizer};
+use warper_storage::{generate, DatasetKind};
+use warper_workload::QueryGenerator;
+
+fn annotator_benches(c: &mut Criterion) {
+    let table = generate(DatasetKind::Prsa, 20_000, 7);
+    let featurizer = Featurizer::from_table(&table);
+    let annotator = Annotator::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut gen = QueryGenerator::from_notation(&table, "w1");
+    let preds = gen.generate_many(64, &mut rng);
+
+    c.bench_function("annotator/count_single (c_gt)", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % preds.len();
+            black_box(annotator.count(&table, &preds[i]))
+        })
+    });
+    c.bench_function("annotator/count_batch_64", |b| {
+        b.iter(|| black_box(annotator.count_batch(&table, &preds)))
+    });
+    c.bench_function("featurize+defeaturize", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % preds.len();
+            let f = featurizer.featurize(&preds[i]);
+            black_box(featurizer.defeaturize(&f))
+        })
+    });
+}
+
+fn warper_module_benches(c: &mut Criterion) {
+    let cfg = WarperConfig::default();
+    let mut rng = StdRng::seed_from_u64(5);
+    let dim = 18;
+    let encoder = Encoder::new(dim, cfg.hidden, cfg.embed_dim, &mut rng);
+    let gan = Gan::new(dim, &cfg, &mut rng);
+    let train: Vec<(Vec<f64>, f64)> = (0..400)
+        .map(|i| (vec![(i % 17) as f64 / 17.0; 18], 100.0 + i as f64))
+        .collect();
+    let pool = QueryPool::from_training_set(&train);
+
+    c.bench_function("encoder/embed_one", |b| {
+        b.iter(|| black_box(encoder.embed(&train[0].0, Some(100.0))))
+    });
+    c.bench_function("gan/generate_36 (c_gen)", |b| {
+        let zs: Vec<Vec<f64>> = (0..64).map(|_| vec![0.1; cfg.embed_dim]).collect();
+        let sigma = vec![0.05; cfg.embed_dim];
+        b.iter_batched(
+            || StdRng::seed_from_u64(9),
+            |mut r| black_box(gan.generate(&zs, &sigma, 36, &mut r)),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("gan/auto_encoder_epoch (c_AE)", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Encoder::new(dim, cfg.hidden, cfg.embed_dim, &mut StdRng::seed_from_u64(1)),
+                    Gan::new(dim, &cfg, &mut StdRng::seed_from_u64(2)),
+                    StdRng::seed_from_u64(3),
+                )
+            },
+            |(mut e, mut g, mut r)| black_box(g.update_auto_encoder(&mut e, &pool, &cfg, 1, &mut r)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn model_and_metric_benches(c: &mut Criterion) {
+    let train: Vec<LabeledExample> = (0..400)
+        .map(|i| LabeledExample::new(vec![(i % 13) as f64 / 13.0; 18], 50.0 + i as f64))
+        .collect();
+    c.bench_function("lm_mlp/update_4_epochs (c_Model)", |b| {
+        b.iter_batched(
+            || {
+                let mut m = LmMlp::new(18, LmMlpParams::default(), 7);
+                m.fit(&train[..64]);
+                m
+            },
+            |mut m| {
+                m.update(&train);
+                black_box(m.estimate(&train[0].features))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let a: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..18).map(|_| rand::Rng::random_range(&mut rng, 0.0..1.0)).collect())
+        .collect();
+    let b_: Vec<Vec<f64>> = (0..500)
+        .map(|_| (0..18).map(|_| rand::Rng::random_range(&mut rng, 0.2..1.0)).collect())
+        .collect();
+    c.bench_function("metrics/delta_js_k10_m3", |b| {
+        b.iter(|| black_box(delta_js(&a, &b_, 10, 3)))
+    });
+    c.bench_function("linalg/pca_fit_2_of_18d", |b| {
+        let m = Matrix::from_rows(&a);
+        b.iter(|| black_box(Pca::fit(&m, 2)))
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = annotator_benches, warper_module_benches, model_and_metric_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! **Table 11**: the cost side of the n_g trade-off — annotation seconds,
+//! constant module-update cost, and CPU utilization as `n_g` varies over
+//! {0.1×, 0.3×, 1×, 3×} of `n_t` (30-minute period, one query per 5 s).
+
+use warper_bench::{bench_runner_config, bench_table, print_table, save_results, Scale};
+use warper_core::runner::{run_single_table, DriftSetup, ModelKind, StrategyKind};
+use warper_storage::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let multipliers = [0.1, 0.3, 1.0, 3.0];
+
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for kind in [DatasetKind::Prsa, DatasetKind::Poker] {
+        let table = bench_table(kind, scale, 7);
+        for m in multipliers {
+            let mut cfg = bench_runner_config(scale, 7);
+            cfg.warper.n_g_frac = m;
+            cfg.checkpoints = 5;
+            let res = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
+            let period = cfg.arrival.period_secs;
+            let cpu = 100.0 * (res.annotate_secs + res.adapt_secs) / period;
+            rows.push(vec![
+                kind.name().to_string(),
+                format!("{m}x"),
+                format!("{}", res.generated_total),
+                format!("{:.3}s", res.annotate_secs),
+                format!("{:.2}s", res.adapt_secs),
+                format!("{cpu:.3}%"),
+            ]);
+            json.insert(
+                format!("{}-{m}", kind.name()),
+                serde_json::json!({
+                    "generated": res.generated_total,
+                    "annotate_s": res.annotate_secs,
+                    "adapt_s": res.adapt_secs,
+                    "cpu_pct": cpu,
+                }),
+            );
+        }
+    }
+    print_table(
+        "Table 11: CPU utilization as n_g varies (c2, 30 min period, 0.2 q/s)",
+        &["Dataset", "n_g", "generated", "Annotation", "Module update", "Avg CPU"],
+        &rows,
+    );
+    println!("(paper: PRSA annotation 1.2s→36.3s for 0.1x→3x; CPU 0.25%→0.41%)");
+    save_results("table11_ng_costs", &serde_json::Value::Object(json));
+}

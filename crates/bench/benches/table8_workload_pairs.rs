@@ -1,0 +1,65 @@
+//! **Table 8**: Warper's speedups across ten different training → new
+//! workload pairs on PRSA (drift c2, LM-mlp).
+//!
+//! The paper's observation: speedups vary with the pair; they shrink when
+//! the accuracy gap δ_m is already small (≤ 0.2), and δ_m can be
+//! uncorrelated with the intrinsic distribution distance δ_js.
+
+use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_core::runner::{DriftSetup, ModelKind, StrategyKind};
+use warper_storage::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let table = bench_table(DatasetKind::Prsa, scale, 7);
+    let pairs = [
+        ("w1", "w2"),
+        ("w1", "w3"),
+        ("w1", "w4"),
+        ("w2", "w3"),
+        ("w2", "w4"),
+        ("w5", "w3"),
+        ("w5", "w4"),
+        ("w34", "w125"),
+        ("w35", "w124"),
+        ("w125", "w34"),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json = serde_json::Map::new();
+    for (train, new) in pairs {
+        let setup = DriftSetup::Workload { train: train.into(), new: new.into() };
+        let cfg = bench_runner_config(scale, 13);
+        let cmp = compare_to_ft(
+            &table,
+            &setup,
+            ModelKind::LmMlp,
+            StrategyKind::Warper,
+            &cfg,
+            scale.runs(),
+        );
+        let label = format!("{}/{}", train.trim_start_matches('w'), new.trim_start_matches('w'));
+        rows.push(vec![
+            format!("w{label}"),
+            format!("{:.1}", cmp.delta_m),
+            format!("{:.2}", cmp.delta_js),
+            format!("{:.1}", cmp.speedups.d05),
+            format!("{:.1}", cmp.speedups.d08),
+            format!("{:.1}", cmp.speedups.d10),
+        ]);
+        json.insert(
+            format!("w{label}"),
+            serde_json::json!({
+                "delta_m": cmp.delta_m, "delta_js": cmp.delta_js,
+                "d05": cmp.speedups.d05, "d08": cmp.speedups.d08, "d10": cmp.speedups.d10,
+            }),
+        );
+    }
+    print_table(
+        "Table 8: different workload pairs on PRSA (c2, LM-mlp)",
+        &["Wkld", "δ_m", "δ_js", "Δ.5", "Δ.8", "Δ1"],
+        &rows,
+    );
+    println!("(paper medians: Δ.5 4.7, Δ.8 4.6, Δ1 3.7; small-δ_m pairs give ≈1)");
+    save_results("table8_workload_pairs", &serde_json::Value::Object(json));
+}

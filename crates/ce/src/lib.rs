@@ -1,0 +1,101 @@
+//! Learned cardinality-estimation models.
+//!
+//! Warper treats the CE model as a black box (paper §3.2): "any function
+//! that emits a cardinality for a given query predicate ... which can
+//! update() itself using additional labeled predicates". That contract is
+//! [`CardinalityEstimator`]; everything Warper sees is a feature vector and
+//! a cardinality, so the same adaptation machinery drives every model here:
+//!
+//! * [`lm::LmMlp`] — LM [10] with a small MLP regressor (fine-tunes);
+//! * [`lm::LmGbt`] — LM with gradient-boosted trees (re-trains, §4.1.2);
+//! * [`lm::LmKrr`] — LM with polynomial/RBF kernel regressors, the paper's
+//!   LM-ply and LM-rbf SVM variants (re-train);
+//! * [`mscn::Mscn`] — the set-pooled MSCN model [25] for single-table and
+//!   join expressions (fine-tunes);
+//! * [`histogram::HistogramCe`] — a classical equi-depth-histogram/AVI
+//!   estimator as the non-learned reference point;
+//! * [`lm::LmLinear`] — the paper's negative result: a linear model "did
+//!   not work as a CE model (has a high error)" (§4.1.2).
+//!
+//! All models regress `ln(1 + card)` and clamp predictions to be
+//! non-negative cardinalities.
+
+pub mod histogram;
+pub mod lm;
+pub mod mscn;
+pub mod persist;
+
+/// A labeled training example: the model-specific feature vector of a query
+/// and its ground-truth cardinality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledExample {
+    /// Model input features (LM: `{low.., high..}`; MSCN: block layout, see
+    /// [`mscn::MscnFeaturizer`]).
+    pub features: Vec<f64>,
+    /// Ground-truth cardinality (row count).
+    pub card: f64,
+}
+
+impl LabeledExample {
+    /// Convenience constructor.
+    pub fn new(features: Vec<f64>, card: f64) -> Self {
+        Self { features, card }
+    }
+}
+
+/// How a model incorporates new labeled examples (paper §3.2: "neural
+/// networks are iteratively trained and can be fine-tuned but tree-based
+/// models usually need to be re-trained from scratch").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// A few more epochs on the new examples.
+    FineTune,
+    /// Re-fit from scratch on the provided examples.
+    Retrain,
+}
+
+/// The black-box CE model contract Warper adapts.
+pub trait CardinalityEstimator: Send {
+    /// Expected feature-vector length `m`.
+    fn feature_dim(&self) -> usize;
+
+    /// Estimated cardinality for a featurized query.
+    fn estimate(&self, features: &[f64]) -> f64;
+
+    /// Initial training from scratch.
+    fn fit(&mut self, examples: &[LabeledExample]);
+
+    /// Incorporates new labeled examples (fine-tune or retrain, per
+    /// [`CardinalityEstimator::update_kind`]).
+    fn update(&mut self, examples: &[LabeledExample]);
+
+    /// Which update strategy [`CardinalityEstimator::update`] uses.
+    fn update_kind(&self) -> UpdateKind;
+
+    /// Model name as used in the paper's tables (e.g. `"LM-mlp"`).
+    fn name(&self) -> &'static str;
+}
+
+/// Shared target transform: models regress `ln(1 + card)`.
+pub(crate) fn to_target(card: f64) -> f64 {
+    (1.0 + card.max(0.0)).ln()
+}
+
+/// Inverse of [`to_target`], clamped to non-negative cardinalities.
+pub(crate) fn from_target(t: f64) -> f64 {
+    (t.exp() - 1.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_transform_roundtrips() {
+        for c in [0.0, 1.0, 10.0, 12345.0] {
+            assert!((from_target(to_target(c)) - c).abs() < 1e-6);
+        }
+        // Negative estimates clamp to zero cardinality.
+        assert_eq!(from_target(-3.0), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Symmetric eigendecomposition via the classical Jacobi rotation method.
+//!
+//! PCA (see [`crate::pca`]) needs the eigenvectors of a covariance matrix,
+//! which is symmetric positive semi-definite and small (one row/column per
+//! predicate feature — tens of dimensions). Cyclic Jacobi is simple, robust,
+//! and more than fast enough at that size; it converges quadratically once
+//! the off-diagonal mass is small.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition, `A = V · diag(λ) · Vᵀ`.
+///
+/// Eigenpairs are sorted by descending eigenvalue. Columns of
+/// [`EigenDecomposition::vectors`] are the (orthonormal) eigenvectors.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Matrix whose column `i` is the eigenvector for `values[i]`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Eigenvector `i` as an owned vector.
+    pub fn vector(&self, i: usize) -> Vec<f64> {
+        self.vectors.col(i)
+    }
+}
+
+/// Computes the eigendecomposition of a symmetric matrix using cyclic Jacobi
+/// rotations.
+///
+/// `a` must be symmetric; only the upper triangle is trusted. Iterates full
+/// sweeps until the off-diagonal Frobenius norm drops below `1e-12` relative
+/// to the matrix norm, or 100 sweeps, whichever comes first (covariance
+/// matrices in this codebase converge in < 15 sweeps).
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn symmetric_eigen(a: &Matrix) -> EigenDecomposition {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigendecomposition requires a square matrix");
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let norm = m.frobenius_norm().max(1e-300);
+    let tol = 1e-12 * norm;
+
+    for _sweep in 0..100 {
+        let off = off_diagonal_norm(&m);
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Stable computation of the rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                apply_rotation(&mut m, p, q, c, s);
+                rotate_vectors(&mut v, p, q, c, s);
+            }
+        }
+    }
+
+    // Collect and sort eigenpairs by descending eigenvalue.
+    let mut pairs: Vec<(f64, Vec<f64>)> =
+        (0..n).map(|i| (m.get(i, i), v.col(i))).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (i, (_, vec)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, i, vec[r]);
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut acc = 0.0;
+    for p in 0..n {
+        for q in (p + 1)..n {
+            let v = m.get(p, q);
+            acc += 2.0 * v * v;
+        }
+    }
+    acc.sqrt()
+}
+
+/// Applies the Jacobi rotation `J(p, q, θ)ᵀ · M · J(p, q, θ)` in place.
+fn apply_rotation(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    let app = m.get(p, p);
+    let aqq = m.get(q, q);
+    let apq = m.get(p, q);
+
+    m.set(p, p, c * c * app - 2.0 * s * c * apq + s * s * aqq);
+    m.set(q, q, s * s * app + 2.0 * s * c * apq + c * c * aqq);
+    m.set(p, q, 0.0);
+    m.set(q, p, 0.0);
+
+    for i in 0..n {
+        if i != p && i != q {
+            let aip = m.get(i, p);
+            let aiq = m.get(i, q);
+            let new_ip = c * aip - s * aiq;
+            let new_iq = s * aip + c * aiq;
+            m.set(i, p, new_ip);
+            m.set(p, i, new_ip);
+            m.set(i, q, new_iq);
+            m.set(q, i, new_iq);
+        }
+    }
+}
+
+/// Accumulates the rotation into the eigenvector matrix.
+fn rotate_vectors(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for i in 0..n {
+        let vip = v.get(i, p);
+        let viq = v.get(i, q);
+        v.set(i, p, c * vip - s * viq);
+        v.set(i, q, s * vip + c * viq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::dot;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let m = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = symmetric_eigen(&m);
+        assert_close(e.values[0], 3.0, 1e-10);
+        assert_close(e.values[1], 2.0, 1e-10);
+        assert_close(e.values[2], 1.0, 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = symmetric_eigen(&m);
+        assert_close(e.values[0], 3.0, 1e-10);
+        assert_close(e.values[1], 1.0, 1e-10);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vector(0);
+        assert_close(v0[0].abs(), 1.0 / 2f64.sqrt(), 1e-8);
+        assert_close(v0[1].abs(), 1.0 / 2f64.sqrt(), 1e-8);
+    }
+
+    #[test]
+    fn reconstruction() {
+        // A random-ish symmetric matrix: verify V diag(λ) Vᵀ == A.
+        let m = Matrix::from_vec(
+            4,
+            4,
+            vec![
+                4.0, 1.0, -2.0, 0.5, //
+                1.0, 3.0, 0.0, 1.5, //
+                -2.0, 0.0, 5.0, -1.0, //
+                0.5, 1.5, -1.0, 2.0,
+            ],
+        );
+        let e = symmetric_eigen(&m);
+        let n = 4;
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += e.vectors.get(r, k) * e.values[k] * e.vectors.get(c, k);
+                }
+                assert_close(acc, m.get(r, c), 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_vec(
+            3,
+            3,
+            vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0],
+        );
+        let e = symmetric_eigen(&m);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = dot(&e.vector(i), &e.vector(j));
+                assert_close(d, if i == j { 1.0 } else { 0.0 }, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let m = Matrix::from_vec(
+            3,
+            3,
+            vec![1.0, 0.2, 0.1, 0.2, 5.0, 0.3, 0.1, 0.3, 3.0],
+        );
+        let e = symmetric_eigen(&m);
+        assert!(e.values[0] >= e.values[1]);
+        assert!(e.values[1] >= e.values[2]);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, -3.0]);
+        let e = symmetric_eigen(&m);
+        assert_close(e.values.iter().sum::<f64>(), -2.0, 1e-10);
+    }
+}

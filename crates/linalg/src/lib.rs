@@ -1,0 +1,27 @@
+//! Dense linear algebra kernels for the Warper reproduction.
+//!
+//! This crate provides the small set of numerical primitives the rest of the
+//! workspace is built on: a row-major dense [`Matrix`], a symmetric-matrix
+//! Jacobi eigensolver, [`Pca`] (principal component analysis, used by the
+//! paper's workload-drift visualization in §2 and by the Jensen-Shannon drift
+//! metric in §3.1), and scalar statistics helpers.
+//!
+//! Everything is implemented from scratch on `f64` — no BLAS, no external
+//! numeric crates — because the matrices involved are small (predicates have
+//! tens of columns, neural layers have at most a few hundred units) and the
+//! priority is portability and determinism.
+
+// Index-based loops are the clearer idiom for the numerical kernels here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod eigen;
+pub mod matrix;
+pub mod pca;
+pub mod sampling;
+pub mod solve;
+pub mod stats;
+
+pub use eigen::{symmetric_eigen, EigenDecomposition};
+pub use matrix::Matrix;
+pub use pca::Pca;
+pub use solve::{cholesky, cholesky_solve, SolveError};

@@ -1,0 +1,119 @@
+//! Random sampling helpers shared across the workspace.
+//!
+//! `rand` (without `rand_distr`) only provides uniform sampling; the dataset
+//! generators and neural-network initializers need Gaussians, log-normals
+//! and Zipf-distributed categoricals, so the classical transforms live here.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples a standard normal via the Box–Muller transform.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, std²)`.
+pub fn normal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    mean + std * standard_normal(rng)
+}
+
+/// Samples a log-normal with the given log-space parameters; heavy-tailed,
+/// used to mimic price- and measurement-like columns.
+pub fn log_normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws a category id in `0..n` with Zipf(`s`) probabilities
+/// (`P(k) ∝ 1/(k+1)^s`). Uses inverse-CDF over precomputed weights when `n`
+/// is small, which is the case for all categorical columns here.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` categories with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one category");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Samples a category id.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random_range(0.0..1.0);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of categories.
+    pub fn categories(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_positive() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!((0..1000).all(|_| log_normal(&mut rng, 0.0, 1.0) > 0.0));
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let z = Zipf::new(10, 1.2);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!(k < 10);
+            counts[k] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[9]);
+        // Every category appears at this sample size.
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let z = Zipf::new(4, 0.0);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "{counts:?}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Linear system solvers for symmetric positive-definite matrices.
+//!
+//! Kernel ridge regression (the LM-ply / LM-rbf estimators in `warper-ce`)
+//! needs to solve `(K + λI) α = y` where `K` is a kernel Gram matrix —
+//! symmetric positive semi-definite, made strictly positive-definite by the
+//! ridge term. Cholesky factorization is the textbook tool.
+
+use crate::matrix::Matrix;
+
+/// Error cases for [`cholesky_solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix was not square or dimensions did not match the RHS.
+    DimensionMismatch,
+    /// A non-positive pivot was encountered; the matrix is not positive
+    /// definite (or is numerically singular).
+    NotPositiveDefinite,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::DimensionMismatch => write!(f, "dimension mismatch"),
+            SolveError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// Returns [`SolveError::NotPositiveDefinite`] if a pivot is ≤ 0 (within a
+/// tiny tolerance), which for our callers means the ridge term was too small.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l.get(i, k) * l.get(j, k);
+            }
+            if i == j {
+                if sum <= 1e-300 {
+                    return Err(SolveError::NotPositiveDefinite);
+                }
+                l.set(i, j, sum.sqrt());
+            } else {
+                l.set(i, j, sum / l.get(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for symmetric positive-definite `A` via Cholesky.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+    let n = a.rows();
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch);
+    }
+    let l = cholesky(a)?;
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l.get(i, k) * y[k];
+        }
+        y[i] = sum / l.get(i, i);
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in (i + 1)..n {
+            sum -= l.get(k, i) * x[k];
+        }
+        x[i] = sum / l.get(i, i);
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = Matrix::identity(3);
+        let x = cholesky_solve(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_known_spd_system() {
+        // A = [[4,2],[2,3]], b = [2,1] → x = [0.5, 0].
+        let a = Matrix::from_vec(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let x = cholesky_solve(&a, &[2.0, 1.0]).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!(x[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = Matrix::from_vec(3, 3, vec![6.0, 2.0, 1.0, 2.0, 5.0, 2.0, 1.0, 2.0, 4.0]);
+        let l = cholesky(&a).unwrap();
+        let rec = l.matmul(&l.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((rec.get(i, j) - a.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert_eq!(cholesky(&a), Err(SolveError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch() {
+        let a = Matrix::identity(2);
+        assert_eq!(cholesky_solve(&a, &[1.0]), Err(SolveError::DimensionMismatch));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the linear-algebra kernels.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use warper_linalg::{cholesky_solve, symmetric_eigen, Matrix, Pca};
+
+/// Builds a random symmetric matrix from a lower-triangle value list.
+fn symmetric_from(vals: &[f64], n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    let mut it = vals.iter();
+    for i in 0..n {
+        for j in 0..=i {
+            let v = *it.next().unwrap();
+            m.set(i, j, v);
+            m.set(j, i, v);
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn eigen_preserves_trace_and_orthonormality(
+        vals in prop::collection::vec(-5.0f64..5.0, 10),
+    ) {
+        let m = symmetric_from(&vals, 4);
+        let e = symmetric_eigen(&m);
+        let trace: f64 = (0..4).map(|i| m.get(i, i)).sum();
+        let eigsum: f64 = e.values.iter().sum();
+        prop_assert!((trace - eigsum).abs() < 1e-8, "trace {trace} vs Σλ {eigsum}");
+        for i in 0..4 {
+            for j in 0..4 {
+                let d: f64 = (0..4).map(|k| e.vectors.get(k, i) * e.vectors.get(k, j)).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((d - expect).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_associativity(
+        a in prop::collection::vec(-3.0f64..3.0, 6),
+        b in prop::collection::vec(-3.0f64..3.0, 6),
+        c in prop::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 2, b);
+        let mc = Matrix::from_vec(2, 2, c);
+        let left = ma.matmul(&mb).matmul(&mc);
+        let right = ma.matmul(&mb.matmul(&mc));
+        prop_assert!((&left - &right).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(
+        a in prop::collection::vec(-3.0f64..3.0, 6),
+        b in prop::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        let ma = Matrix::from_vec(2, 3, a);
+        let mb = Matrix::from_vec(3, 2, b);
+        let lhs = ma.matmul(&mb).transpose();
+        let rhs = mb.transpose().matmul(&ma.transpose());
+        prop_assert!((&lhs - &rhs).frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(
+        diag in prop::collection::vec(0.5f64..5.0, 3),
+        off in prop::collection::vec(-0.3f64..0.3, 3),
+        rhs in prop::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        // Diagonally dominant symmetric → SPD.
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            a.set(i, i, diag[i] + 1.0);
+        }
+        a.set(0, 1, off[0]); a.set(1, 0, off[0]);
+        a.set(0, 2, off[1]); a.set(2, 0, off[1]);
+        a.set(1, 2, off[2]); a.set(2, 1, off[2]);
+        let x = cholesky_solve(&a, &rhs).unwrap();
+        let back = a.matvec(&x);
+        for i in 0..3 {
+            prop_assert!((back[i] - rhs[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn pca_explained_variance_descending_and_nonnegative(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 4), 5..40),
+    ) {
+        let pca = Pca::fit(&Matrix::from_rows(&rows), 4).unwrap();
+        let ev = pca.explained_variance();
+        for w in ev.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        prop_assert!(ev.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,169 @@
+//! The intrinsic workload-drift metric δ_js (paper §3.1).
+//!
+//! "We apply PCA to reduce predicates to k-dims. Next, we quantize each
+//! dimension into m bins ... we compute histograms H_A, H_B ... Finally, we
+//! compute a symmetric discrete KL-divergence measure" with
+//! `δ_js(A,B) = 0.5·(KL(A,M) + KL(B,M))`, `M = ½(A+B)` (footnote 8).
+//!
+//! Logarithms are base 2 so δ_js ∈ [0, 1] as the paper states; the paper's
+//! "small constant added to each H(x)" is `SMOOTHING` below. Histograms are
+//! sparse (`HashMap`) because `m^k` buckets (3¹⁰ = 59049 with the paper's
+//! k = 10, m = 3) are mostly empty.
+
+use std::collections::HashMap;
+
+use warper_linalg::{Matrix, Pca};
+
+/// The smoothing constant added to every occupied-bucket comparison.
+const SMOOTHING: f64 = 1e-9;
+
+/// Symmetric discrete Jensen–Shannon divergence between two sparse,
+/// normalized histograms, in bits; bounded by [0, 1].
+pub fn js_divergence(a: &HashMap<u64, f64>, b: &HashMap<u64, f64>) -> f64 {
+    let mut keys: Vec<u64> = a.keys().chain(b.keys()).copied().collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut kl_am = 0.0;
+    let mut kl_bm = 0.0;
+    for k in keys {
+        let pa = a.get(&k).copied().unwrap_or(0.0) + SMOOTHING;
+        let pb = b.get(&k).copied().unwrap_or(0.0) + SMOOTHING;
+        let m = 0.5 * (pa + pb);
+        kl_am += pa * (pa / m).log2();
+        kl_bm += pb * (pb / m).log2();
+    }
+    (0.5 * (kl_am + kl_bm)).clamp(0.0, 1.0)
+}
+
+/// Quantizes PCA-projected rows into a sparse normalized histogram.
+///
+/// Each of the `k` projected dimensions is quantized into `m` equal-width
+/// bins over `ranges` (the per-dimension min/max of the union of both
+/// workloads, so the two histograms share a grid); the bucket id packs the
+/// per-dimension bins in base `m`.
+fn quantize(proj: &Matrix, ranges: &[(f64, f64)], m: usize) -> HashMap<u64, f64> {
+    let mut hist: HashMap<u64, f64> = HashMap::new();
+    let n = proj.rows();
+    if n == 0 {
+        return hist;
+    }
+    for r in 0..n {
+        let mut id: u64 = 0;
+        for (d, &(lo, hi)) in ranges.iter().enumerate() {
+            let v = proj.get(r, d);
+            let width = (hi - lo).max(1e-300);
+            let bin = (((v - lo) / width) * m as f64).floor().clamp(0.0, (m - 1) as f64) as u64;
+            id = id * m as u64 + bin;
+        }
+        *hist.entry(id).or_insert(0.0) += 1.0;
+    }
+    let total = n as f64;
+    for v in hist.values_mut() {
+        *v /= total;
+    }
+    hist
+}
+
+/// The δ_js drift metric between two predicate workloads given as feature
+/// matrices (rows are featurized predicates).
+///
+/// `k` and `m` follow §4.1's "we use k = 10 and m = 3". Returns 0 when
+/// either workload is empty (no evidence of drift).
+pub fn delta_js(a: &[Vec<f64>], b: &[Vec<f64>], k: usize, m: usize) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut all: Vec<Vec<f64>> = Vec::with_capacity(a.len() + b.len());
+    all.extend_from_slice(a);
+    all.extend_from_slice(b);
+    let union = Matrix::from_rows(&all);
+    let Some(pca) = Pca::fit(&union, k) else {
+        return 0.0;
+    };
+    let proj_union = pca.transform(&union);
+    let kk = pca.k();
+    let mut ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); kk];
+    for r in 0..proj_union.rows() {
+        for d in 0..kk {
+            let v = proj_union.get(r, d);
+            ranges[d].0 = ranges[d].0.min(v);
+            ranges[d].1 = ranges[d].1.max(v);
+        }
+    }
+    let proj_a = pca.transform(&Matrix::from_rows(a));
+    let proj_b = pca.transform(&Matrix::from_rows(b));
+    let ha = quantize(&proj_a, &ranges, m.max(1));
+    let hb = quantize(&proj_b, &ranges, m.max(1));
+    js_divergence(&ha, &hb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn hist(pairs: &[(u64, f64)]) -> HashMap<u64, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn identical_distributions_are_zero() {
+        let a = hist(&[(0, 0.5), (1, 0.5)]);
+        assert!(js_divergence(&a, &a) < 1e-6);
+    }
+
+    #[test]
+    fn disjoint_distributions_are_one() {
+        let a = hist(&[(0, 1.0)]);
+        let b = hist(&[(1, 1.0)]);
+        let d = js_divergence(&a, &b);
+        assert!((d - 1.0).abs() < 1e-6, "d {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = hist(&[(0, 0.7), (1, 0.3)]);
+        let b = hist(&[(0, 0.2), (1, 0.5), (2, 0.3)]);
+        assert!((js_divergence(&a, &b) - js_divergence(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded() {
+        let a = hist(&[(0, 0.9), (5, 0.1)]);
+        let b = hist(&[(3, 1.0)]);
+        let d = js_divergence(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    fn cloud(rng: &mut StdRng, n: usize, center: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| {
+                (0..6)
+                    .map(|_| center + rng.random_range(-0.1..0.1))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delta_js_detects_shift() {
+        // The plug-in JS estimator needs enough samples per occupied bucket
+        // (up to 3⁶ here) for the same-distribution baseline to be small.
+        let mut rng = StdRng::seed_from_u64(17);
+        let a = cloud(&mut rng, 4000, 0.2);
+        let same = cloud(&mut rng, 4000, 0.2);
+        let shifted = cloud(&mut rng, 4000, 0.8);
+        let d_same = delta_js(&a, &same, 10, 3);
+        let d_shift = delta_js(&a, &shifted, 10, 3);
+        assert!(d_same < 0.1, "same-distribution δ_js {d_same}");
+        assert!(d_shift > 0.5, "shifted δ_js {d_shift}");
+        assert!(d_shift > 5.0 * d_same);
+    }
+
+    #[test]
+    fn delta_js_empty_inputs() {
+        assert_eq!(delta_js(&[], &[vec![1.0]], 10, 3), 0.0);
+        assert_eq!(delta_js(&[vec![1.0]], &[], 10, 3), 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! q-error and GMQ.
+
+use warper_linalg::stats::geometric_mean;
+
+/// The paper's θ floor: "To prevent numeric error, we use θ = 10 to follow
+/// [10]" (§4.1).
+pub const PAPER_THETA: f64 = 10.0;
+
+/// The q-error of an estimate `est` against the actual cardinality `actual`:
+///
+/// `q_θ(g, ĝ) = max( max(g,θ)/max(ĝ,θ), max(ĝ,θ)/max(g,θ) )`
+///
+/// Always ≥ 1; 1 is a perfect estimate (up to the θ floor).
+pub fn q_error(est: f64, actual: f64, theta: f64) -> f64 {
+    let g = est.max(theta);
+    let gt = actual.max(theta);
+    (g / gt).max(gt / g)
+}
+
+/// Geometric mean of q-errors over paired estimates/actuals (GMQ, §4.1).
+///
+/// Returns 1.0 for empty input (an empty workload has no error).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn gmq(ests: &[f64], actuals: &[f64], theta: f64) -> f64 {
+    assert_eq!(ests.len(), actuals.len(), "GMQ input length mismatch");
+    if ests.is_empty() {
+        return 1.0;
+    }
+    let qs: Vec<f64> = ests
+        .iter()
+        .zip(actuals)
+        .map(|(&e, &a)| q_error(e, a, theta))
+        .collect();
+    geometric_mean(&qs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimate_is_one() {
+        assert_eq!(q_error(100.0, 100.0, PAPER_THETA), 1.0);
+    }
+
+    #[test]
+    fn symmetric_over_and_under() {
+        let over = q_error(200.0, 100.0, PAPER_THETA);
+        let under = q_error(50.0, 100.0, PAPER_THETA);
+        assert_eq!(over, 2.0);
+        assert_eq!(under, 2.0);
+    }
+
+    #[test]
+    fn theta_floors_small_cardinalities() {
+        // Both below θ=10: indistinguishable.
+        assert_eq!(q_error(1.0, 5.0, PAPER_THETA), 1.0);
+        // One above: floor applies to the small one.
+        assert_eq!(q_error(0.0, 100.0, PAPER_THETA), 10.0);
+    }
+
+    #[test]
+    fn q_error_at_least_one() {
+        for (e, a) in [(0.0, 0.0), (1e9, 3.0), (17.0, 17.0), (10.0, 1e6)] {
+            assert!(q_error(e, a, PAPER_THETA) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn gmq_known_value() {
+        // q-errors 2 and 8 → GMQ 4.
+        let g = gmq(&[200.0, 800.0], &[100.0, 100.0], PAPER_THETA);
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmq_empty_is_one() {
+        assert_eq!(gmq(&[], &[], PAPER_THETA), 1.0);
+    }
+
+    #[test]
+    fn paper_example_interpretation() {
+        // §2: "a GMQ of 1.8 indicates that cardinality is under-estimated by
+        // 44% or over-estimated by 80% on average": 1/1.8 ≈ 0.56.
+        let g = gmq(&[56.0], &[100.0], PAPER_THETA);
+        assert!((g - 100.0 / 56.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+use warper_metrics::{gmq, q_error, relative_speedups, AdaptationCurve, PAPER_THETA};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn q_error_scale_invariant(
+        est in 1.0f64..1e6,
+        actual in 1.0f64..1e6,
+        scale in 1.0f64..100.0,
+    ) {
+        // Above the θ floor, q-error is invariant to common scaling.
+        let q1 = q_error(est * 100.0, actual * 100.0, PAPER_THETA);
+        let q2 = q_error(est * 100.0 * scale, actual * 100.0 * scale, PAPER_THETA);
+        prop_assert!((q1 - q2).abs() < 1e-9 * q1.max(1.0));
+    }
+
+    #[test]
+    fn gmq_of_perfect_estimates_is_one(
+        actuals in prop::collection::vec(0.0f64..1e6, 1..50),
+    ) {
+        let g = gmq(&actuals, &actuals, PAPER_THETA);
+        prop_assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queries_to_reach_monotone_in_target(
+        gmqs in prop::collection::vec(1.0f64..20.0, 2..15),
+        t1 in 1.0f64..20.0,
+        t2 in 1.0f64..20.0,
+    ) {
+        let points: Vec<(f64, f64)> = gmqs
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (10.0 * i as f64, g))
+            .collect();
+        let c = AdaptationCurve::from_points(points);
+        let (easy, hard) = if t1 >= t2 { (t1, t2) } else { (t2, t1) };
+        match (c.queries_to_reach(easy), c.queries_to_reach(hard)) {
+            (Some(qe), Some(qh)) => prop_assert!(qe <= qh + 1e-9),
+            (None, Some(_)) => prop_assert!(false, "easier target unreachable but harder reached"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn identical_curves_give_unit_speedups(
+        gmqs in prop::collection::vec(1.0f64..20.0, 3..12),
+    ) {
+        let points: Vec<(f64, f64)> = gmqs
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (5.0 * i as f64, g))
+            .collect();
+        let c = AdaptationCurve::from_points(points);
+        let alpha = c.initial_gmq().unwrap();
+        let beta = c.best_gmq().unwrap();
+        let s = relative_speedups(&c, &c, alpha, beta);
+        for v in [s.d05, s.d08, s.d10] {
+            prop_assert!((v - 1.0).abs() < 1e-6, "self-speedup {v}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Gradient-boosted regression trees, the model behind the LM-gbt estimator
+//! (paper §4.1: "a Gradient Boosting Tree regressor which re-trains", with a
+//! learning rate of 1e-2).
+//!
+//! Squared-error boosting: each stage fits a [`RegressionTree`] to the
+//! current residuals and is added with shrinkage `learning_rate`.
+
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Hyperparameters for [`GradientBoostedTrees`].
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct GbtParams {
+    /// Number of boosting stages.
+    pub n_trees: usize,
+    /// Shrinkage applied to each stage. The paper uses 1e-2 for LM-gbt.
+    pub learning_rate: f64,
+    /// Per-tree growth limits.
+    pub tree: TreeParams,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        Self { n_trees: 100, learning_rate: 0.01, tree: TreeParams::default() }
+    }
+}
+
+/// A fitted gradient-boosted tree ensemble.
+///
+/// Tree models cannot be fine-tuned the way neural networks can (paper §3.2),
+/// so `warper-ce` re-trains this model from scratch on every update.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GradientBoostedTrees {
+    base: f64,
+    trees: Vec<RegressionTree>,
+    learning_rate: f64,
+}
+
+impl GradientBoostedTrees {
+    /// Fits the ensemble on `x` (rows are examples) against targets `y`.
+    ///
+    /// # Panics
+    /// Panics on empty input or length mismatch.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &GbtParams) -> Self {
+        assert!(!x.is_empty(), "cannot fit GBT on zero examples");
+        assert_eq!(x.len(), y.len());
+        let base = y.iter().sum::<f64>() / y.len() as f64;
+        let mut residuals: Vec<f64> = y.iter().map(|v| v - base).collect();
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            let tree = RegressionTree::fit(x, &residuals, &params.tree);
+            for (r, xi) in residuals.iter_mut().zip(x) {
+                *r -= params.learning_rate * tree.predict_one(xi);
+            }
+            trees.push(tree);
+        }
+        Self { base, trees, learning_rate: params.learning_rate }
+    }
+
+    /// Predicted value for one example.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        self.base
+            + self.learning_rate
+                * self.trees.iter().map(|t| t.predict_one(x)).sum::<f64>()
+    }
+
+    /// Predictions for a batch.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict_one(x)).collect()
+    }
+
+    /// Number of boosting stages.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mse(pred: &[f64], y: &[f64]) -> f64 {
+        pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64
+    }
+
+    #[test]
+    fn fits_linear_function() {
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 100.0]).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v[0] + 1.0).collect();
+        let params = GbtParams { n_trees: 200, learning_rate: 0.1, tree: TreeParams::default() };
+        let model = GradientBoostedTrees::fit(&x, &y, &params);
+        let err = mse(&model.predict(&x), &y);
+        assert!(err < 0.01, "mse {err}");
+    }
+
+    #[test]
+    fn fits_nonlinear_interaction() {
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|i| vec![(i % 17) as f64 / 17.0, (i % 23) as f64 / 23.0])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] * v[1] * 10.0).sin() + v[0]).collect();
+        let params = GbtParams {
+            n_trees: 300,
+            learning_rate: 0.1,
+            tree: TreeParams { max_depth: 4, min_leaf: 3, min_gain: 1e-10 },
+        };
+        let model = GradientBoostedTrees::fit(&x, &y, &params);
+        let err = mse(&model.predict(&x), &y);
+        assert!(err < 0.02, "mse {err}");
+    }
+
+    #[test]
+    fn more_trees_fit_better() {
+        let x: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|v| (v[0] / 20.0).sin() * 5.0).collect();
+        let small = GradientBoostedTrees::fit(
+            &x,
+            &y,
+            &GbtParams { n_trees: 5, learning_rate: 0.1, tree: TreeParams::default() },
+        );
+        let large = GradientBoostedTrees::fit(
+            &x,
+            &y,
+            &GbtParams { n_trees: 200, learning_rate: 0.1, tree: TreeParams::default() },
+        );
+        assert!(mse(&large.predict(&x), &y) < mse(&small.predict(&x), &y));
+    }
+
+    #[test]
+    fn base_prediction_is_mean() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![4.0; 10];
+        let model = GradientBoostedTrees::fit(
+            &x,
+            &y,
+            &GbtParams { n_trees: 0, learning_rate: 0.1, tree: TreeParams::default() },
+        );
+        assert_eq!(model.predict_one(&[100.0]), 4.0);
+        assert_eq!(model.n_trees(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use warper_linalg::Matrix;
+
+/// Standard normal sampler, re-exported from `warper_linalg::sampling` for
+/// convenience (it is used here for weight init and by `warper-core` for the
+/// generator's input noise `ε ~ N(0, σ²)`, paper §3.2).
+pub use warper_linalg::sampling::standard_normal;
+
+/// He (Kaiming) initialization: `N(0, 2 / fan_in)`, appropriate for ReLU-family
+/// activations, which is what every network in the paper uses (Table 3).
+pub fn he_init(rows: usize, cols: usize, fan_in: usize, rng: &mut StdRng) -> Matrix {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = standard_normal(rng) * std;
+    }
+    m
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Used for linear output heads.
+pub fn xavier_init(rows: usize, cols: usize, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = rng.random_range(-a..a);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn he_init_scale() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = he_init(64, 100, 100, &mut rng);
+        let var = m.data().iter().map(|v| v * v).sum::<f64>() / m.data().len() as f64;
+        assert!((var - 0.02).abs() < 0.004, "var {var}");
+    }
+
+    #[test]
+    fn xavier_init_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let m = xavier_init(10, 20, 20, 10, &mut rng);
+        let a = (6.0 / 30.0_f64).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() <= a));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_init(4, 4, 4, &mut StdRng::seed_from_u64(1));
+        let b = he_init(4, 4, 4, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+}

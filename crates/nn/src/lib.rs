@@ -1,0 +1,34 @@
+//! Neural-network and classical-ML substrate for the Warper reproduction.
+//!
+//! The paper's prototype (§3.5) uses PyTorch and sklearn. This crate
+//! re-implements the parts Warper actually needs, from scratch:
+//!
+//! * dense multi-layer perceptrons with backpropagation ([`mlp::Mlp`]),
+//!   the exact architectures of paper Table 3;
+//! * losses: MSE, L1, and 3-class softmax cross-entropy ([`loss`]);
+//! * optimizers: SGD and Adam, plus the paper's learning-rate schedule
+//!   (1e-3, halved every 10 epochs) ([`optim`]);
+//! * gradient-boosted regression trees for the LM-gbt estimator ([`gbt`]);
+//! * kernel ridge regression (polynomial / RBF kernels) standing in for the
+//!   paper's SVM regressors LM-ply and LM-rbf ([`kernel`]).
+//!
+//! All randomness flows through caller-supplied seeded [`rand::rngs::StdRng`]
+//! instances so every experiment in the workspace is reproducible.
+
+// Index-based loops are the clearer idiom for the numerical kernels here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod gbt;
+pub mod init;
+pub mod kernel;
+pub mod layer;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+pub mod tree;
+
+pub use gbt::{GbtParams, GradientBoostedTrees};
+pub use kernel::{Kernel, KernelRidge, KernelRidgeParams};
+pub use layer::{Activation, Linear};
+pub use mlp::{Mlp, MlpGrads};
+pub use optim::{Adam, LrSchedule, Optimizer, Sgd};

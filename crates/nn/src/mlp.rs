@@ -1,0 +1,274 @@
+//! Multi-layer perceptrons with backpropagation.
+
+use rand::rngs::StdRng;
+use warper_linalg::Matrix;
+
+use crate::layer::{Activation, Linear, LinearGrads};
+
+/// A feed-forward network: alternating [`Linear`] layers and activations.
+///
+/// Hidden layers share one activation; the output layer has its own (usually
+/// [`Activation::Identity`] for regression/logits). The paper's modules
+/// (Table 3) are all instances of this type:
+///
+/// * Encoder `E`: `m → 128 → 128 → |z|`, Leaky ReLU;
+/// * Generator `G`: `|z| → 128 → 128 → m`, Leaky ReLU;
+/// * Discriminator `D`: a single `|z| → 3` layer;
+/// * LM-mlp and the MSCN head are also built from `Mlp`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_act: Activation,
+    out_act: Activation,
+}
+
+/// Per-layer parameter gradients for an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct MlpGrads {
+    /// One entry per linear layer, in forward order.
+    pub layers: Vec<LinearGrads>,
+}
+
+impl MlpGrads {
+    /// Elementwise sum of two gradient sets (used when a model contributes to
+    /// more than one loss term, e.g. the generator in `L_GAN`).
+    pub fn add(&mut self, other: &MlpGrads) {
+        assert_eq!(self.layers.len(), other.layers.len());
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.dw.axpy(1.0, &b.dw);
+            for (x, y) in a.db.iter_mut().zip(&b.db) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Scales all gradients by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for g in &mut self.layers {
+            g.dw.scale_inplace(s);
+            for v in &mut g.db {
+                *v *= s;
+            }
+        }
+    }
+}
+
+/// Intermediate activations retained by [`Mlp::forward_cached`] for use in
+/// [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Input to each linear layer (`inputs[0]` is the network input).
+    inputs: Vec<Matrix>,
+    /// Pre-activation output of each linear layer.
+    pre: Vec<Matrix>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[20, 128, 128, 8]`
+    /// for a 20-input, 8-output network with two hidden layers of 128.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are given.
+    pub fn new(dims: &[usize], hidden_act: Activation, out_act: Activation, rng: &mut StdRng) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Self { layers, hidden_act, out_act }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().unwrap().out_dim()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Linear::param_count).sum()
+    }
+
+    /// Immutable access to the layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by optimizers).
+    pub fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    fn act_for(&self, layer_idx: usize) -> Activation {
+        if layer_idx + 1 == self.layers.len() {
+            self.out_act
+        } else {
+            self.hidden_act
+        }
+    }
+
+    /// Forward pass for a `batch × in_dim` input.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward(&h);
+            h = self.act_for(i).forward(&pre);
+        }
+        h
+    }
+
+    /// Forward pass for a single example.
+    pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
+        let m = Matrix::from_vec(1, x.len(), x.to_vec());
+        self.forward(&m).row(0).to_vec()
+    }
+
+    /// Forward pass that retains intermediate activations for backprop.
+    pub fn forward_cached(&self, x: &Matrix) -> (Matrix, ForwardCache) {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pres = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(h.clone());
+            let pre = layer.forward(&h);
+            h = self.act_for(i).forward(&pre);
+            pres.push(pre);
+        }
+        (h, ForwardCache { inputs, pre: pres })
+    }
+
+    /// Backward pass. `dout` is `∂L/∂output`; returns parameter gradients.
+    pub fn backward(&self, cache: &ForwardCache, dout: &Matrix) -> MlpGrads {
+        self.backward_with_input_grad(cache, dout).0
+    }
+
+    /// Backward pass that also returns `∂L/∂input`, needed when gradients
+    /// must flow through this network into an upstream one (the GAN's
+    /// generator update flows through `E` and `D`; paper §3.3).
+    pub fn backward_with_input_grad(
+        &self,
+        cache: &ForwardCache,
+        dout: &Matrix,
+    ) -> (MlpGrads, Matrix) {
+        let mut grads: Vec<Option<LinearGrads>> = (0..self.layers.len()).map(|_| None).collect();
+        let mut dy = dout.clone();
+        for i in (0..self.layers.len()).rev() {
+            let dpre = self.act_for(i).backward(&cache.pre[i], &dy);
+            let (g, dx) = self.layers[i].backward(&cache.inputs[i], &dpre);
+            grads[i] = Some(g);
+            dy = dx;
+        }
+        let layers = grads.into_iter().map(Option::unwrap).collect();
+        (MlpGrads { layers }, dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{mse, softmax_cross_entropy};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let mlp = Mlp::new(&[4, 128, 128, 2], Activation::LeakyRelu(0.01), Activation::Identity, &mut rng(1));
+        assert_eq!(mlp.in_dim(), 4);
+        assert_eq!(mlp.out_dim(), 2);
+        // (4*128+128) + (128*128+128) + (128*2+2)
+        assert_eq!(mlp.param_count(), 640 + 16512 + 258);
+        let x = Matrix::zeros(5, 4);
+        let y = mlp.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 2));
+    }
+
+    #[test]
+    fn forward_one_matches_forward() {
+        let mlp = Mlp::new(&[3, 8, 2], Activation::Relu, Activation::Identity, &mut rng(2));
+        let x = vec![0.1, -0.5, 0.9];
+        let single = mlp.forward_one(&x);
+        let batch = mlp.forward(&Matrix::from_vec(1, 3, x));
+        assert_eq!(single, batch.row(0).to_vec());
+    }
+
+    #[test]
+    fn full_gradient_check_mse() {
+        let mlp = Mlp::new(&[2, 5, 1], Activation::Tanh, Activation::Identity, &mut rng(7));
+        let x = Matrix::from_rows(&[vec![0.3, -0.6], vec![0.9, 0.1]]);
+        let y = Matrix::from_rows(&[vec![1.0], vec![-1.0]]);
+        let (out, cache) = mlp.forward_cached(&x);
+        let (_, dout) = mse(&out, &y);
+        let grads = mlp.backward(&cache, &dout);
+
+        let eps = 1e-6;
+        for li in 0..mlp.layers().len() {
+            for wi in 0..mlp.layers()[li].w.data().len() {
+                let mut mp = mlp.clone();
+                mp.layers_mut()[li].w.data_mut()[wi] += eps;
+                let mut mm = mlp.clone();
+                mm.layers_mut()[li].w.data_mut()[wi] -= eps;
+                let fp = mse(&mp.forward(&x), &y).0;
+                let fm = mse(&mm.forward(&x), &y).0;
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = grads.layers[li].dw.data()[wi];
+                assert!((num - ana).abs() < 1e-5, "layer {li} w[{wi}]: {num} vs {ana}");
+            }
+            for bi in 0..mlp.layers()[li].b.len() {
+                let mut mp = mlp.clone();
+                mp.layers_mut()[li].b[bi] += eps;
+                let mut mm = mlp.clone();
+                mm.layers_mut()[li].b[bi] -= eps;
+                let fp = mse(&mp.forward(&x), &y).0;
+                let fm = mse(&mm.forward(&x), &y).0;
+                let num = (fp - fm) / (2.0 * eps);
+                let ana = grads.layers[li].db[bi];
+                assert!((num - ana).abs() < 1e-5, "layer {li} b[{bi}]: {num} vs {ana}");
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_check_cross_entropy() {
+        let mlp = Mlp::new(&[3, 6, 3], Activation::LeakyRelu(0.01), Activation::Identity, &mut rng(9));
+        let x = Matrix::from_rows(&[vec![0.2, 0.4, -0.3]]);
+        let labels = vec![1usize];
+        let (out, cache) = mlp.forward_cached(&x);
+        let (_, dout) = softmax_cross_entropy(&out, &labels);
+        let (_, dx) = mlp.backward_with_input_grad(&cache, &dout);
+
+        let eps = 1e-6;
+        for c in 0..3 {
+            let mut xp = x.clone();
+            xp.set(0, c, xp.get(0, c) + eps);
+            let mut xm = x.clone();
+            xm.set(0, c, xm.get(0, c) - eps);
+            let fp = softmax_cross_entropy(&mlp.forward(&xp), &labels).0;
+            let fm = softmax_cross_entropy(&mlp.forward(&xm), &labels).0;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - dx.get(0, c)).abs() < 1e-6, "dx[{c}]: {num} vs {}", dx.get(0, c));
+        }
+    }
+
+    #[test]
+    fn grads_add_and_scale() {
+        let mlp = Mlp::new(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut rng(4));
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let y = Matrix::from_rows(&[vec![0.5]]);
+        let (out, cache) = mlp.forward_cached(&x);
+        let (_, dout) = mse(&out, &y);
+        let g1 = mlp.backward(&cache, &dout);
+        let mut g2 = g1.clone();
+        g2.add(&g1);
+        g2.scale(0.5);
+        for (a, b) in g1.layers.iter().zip(&g2.layers) {
+            assert!((&a.dw - &b.dw).frobenius_norm() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Optimizers and the paper's learning-rate schedule.
+
+use warper_linalg::Matrix;
+
+use crate::mlp::{Mlp, MlpGrads};
+
+/// The paper's schedule (§3.5): a base learning rate of `1e-3` with
+/// "half-decay after every 10 epochs".
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct LrSchedule {
+    /// Learning rate at epoch 0.
+    pub base: f64,
+    /// Halve the rate every this many epochs. Zero disables decay.
+    pub half_every: usize,
+}
+
+impl LrSchedule {
+    /// The paper's default: 1e-3 halved every 10 epochs.
+    pub fn paper_default() -> Self {
+        Self { base: 1e-3, half_every: 10 }
+    }
+
+    /// A constant learning rate.
+    pub fn constant(base: f64) -> Self {
+        Self { base, half_every: 0 }
+    }
+
+    /// Learning rate at `epoch`.
+    pub fn lr(&self, epoch: usize) -> f64 {
+        if self.half_every == 0 {
+            return self.base;
+        }
+        self.base * 0.5_f64.powi((epoch / self.half_every) as i32)
+    }
+}
+
+/// A first-order optimizer stepping an [`Mlp`]'s parameters.
+pub trait Optimizer {
+    /// Applies one update with the given learning rate.
+    fn step(&mut self, model: &mut Mlp, grads: &MlpGrads, lr: f64);
+
+    /// Resets internal state (moment estimates); used when a model is
+    /// re-trained from scratch.
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent, optionally with momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    momentum: f64,
+    velocity: Option<Vec<(Matrix, Vec<f64>)>>,
+}
+
+impl Sgd {
+    /// SGD without momentum.
+    pub fn new() -> Self {
+        Self { momentum: 0.0, velocity: None }
+    }
+
+    /// SGD with classical momentum.
+    pub fn with_momentum(momentum: f64) -> Self {
+        Self { momentum, velocity: None }
+    }
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut Mlp, grads: &MlpGrads, lr: f64) {
+        if self.momentum == 0.0 {
+            for (layer, g) in model.layers_mut().iter_mut().zip(&grads.layers) {
+                layer.w.axpy(-lr, &g.dw);
+                for (b, db) in layer.b.iter_mut().zip(&g.db) {
+                    *b -= lr * db;
+                }
+            }
+            return;
+        }
+        let velocity = self.velocity.get_or_insert_with(|| {
+            model
+                .layers()
+                .iter()
+                .map(|l| (Matrix::zeros(l.w.rows(), l.w.cols()), vec![0.0; l.b.len()]))
+                .collect()
+        });
+        for ((layer, g), (vw, vb)) in model
+            .layers_mut()
+            .iter_mut()
+            .zip(&grads.layers)
+            .zip(velocity.iter_mut())
+        {
+            vw.scale_inplace(self.momentum);
+            vw.axpy(1.0, &g.dw);
+            layer.w.axpy(-lr, vw);
+            for ((b, db), v) in layer.b.iter_mut().zip(&g.db).zip(vb.iter_mut()) {
+                *v = self.momentum * *v + db;
+                *b -= lr * *v;
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity = None;
+    }
+}
+
+/// Adam (Kingma & Ba) with the standard defaults β₁=0.9, β₂=0.999, ε=1e-8.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    moments: Option<Vec<AdamLayerState>>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamLayerState {
+    mw: Matrix,
+    vw: Matrix,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters.
+    pub fn new() -> Self {
+        Self { beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: None }
+    }
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut Mlp, grads: &MlpGrads, lr: f64) {
+        let moments = self.moments.get_or_insert_with(|| {
+            model
+                .layers()
+                .iter()
+                .map(|l| AdamLayerState {
+                    mw: Matrix::zeros(l.w.rows(), l.w.cols()),
+                    vw: Matrix::zeros(l.w.rows(), l.w.cols()),
+                    mb: vec![0.0; l.b.len()],
+                    vb: vec![0.0; l.b.len()],
+                })
+                .collect()
+        });
+        self.t += 1;
+        let t = self.t as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+
+        for ((layer, g), st) in model
+            .layers_mut()
+            .iter_mut()
+            .zip(&grads.layers)
+            .zip(moments.iter_mut())
+        {
+            // Weights.
+            for i in 0..layer.w.data().len() {
+                let grad = g.dw.data()[i];
+                let m = &mut st.mw.data_mut()[i];
+                *m = self.beta1 * *m + (1.0 - self.beta1) * grad;
+                let v = &mut st.vw.data_mut()[i];
+                *v = self.beta2 * *v + (1.0 - self.beta2) * grad * grad;
+                let mhat = st.mw.data()[i] / bc1;
+                let vhat = st.vw.data()[i] / bc2;
+                layer.w.data_mut()[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            // Biases.
+            for i in 0..layer.b.len() {
+                let grad = g.db[i];
+                st.mb[i] = self.beta1 * st.mb[i] + (1.0 - self.beta1) * grad;
+                st.vb[i] = self.beta2 * st.vb[i] + (1.0 - self.beta2) * grad * grad;
+                let mhat = st.mb[i] / bc1;
+                let vhat = st.vb[i] / bc2;
+                layer.b[i] -= lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.t = 0;
+        self.moments = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use crate::loss::mse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn schedule_halves() {
+        let s = LrSchedule::paper_default();
+        assert_eq!(s.lr(0), 1e-3);
+        assert_eq!(s.lr(9), 1e-3);
+        assert_eq!(s.lr(10), 5e-4);
+        assert_eq!(s.lr(20), 2.5e-4);
+        let c = LrSchedule::constant(0.01);
+        assert_eq!(c.lr(1000), 0.01);
+    }
+
+    fn tiny_problem() -> (Mlp, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        // Learn y = x0 + x1 on a few points.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+            vec![1.0, 1.0],
+        ]);
+        let y = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![1.0], vec![2.0]]);
+        (mlp, x, y)
+    }
+
+    fn train_loss(opt: &mut dyn Optimizer, iters: usize, lr: f64) -> f64 {
+        let (mut mlp, x, y) = tiny_problem();
+        let mut last = f64::INFINITY;
+        for _ in 0..iters {
+            let (out, cache) = mlp.forward_cached(&x);
+            let (loss, dout) = mse(&out, &y);
+            let grads = mlp.backward(&cache, &dout);
+            opt.step(&mut mlp, &grads, lr);
+            last = loss;
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let before = {
+            let (mlp, x, y) = tiny_problem();
+            mse(&mlp.forward(&x), &y).0
+        };
+        let after = train_loss(&mut Sgd::new(), 500, 0.05);
+        assert!(after < before * 0.2, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn momentum_and_adam_converge() {
+        let a = train_loss(&mut Sgd::with_momentum(0.9), 300, 0.02);
+        let b = train_loss(&mut Adam::new(), 300, 0.01);
+        assert!(a < 0.05, "momentum loss {a}");
+        assert!(b < 0.05, "adam loss {b}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut adam = Adam::new();
+        let _ = train_loss(&mut adam, 5, 0.01);
+        adam.reset();
+        assert!(adam.moments.is_none());
+        assert_eq!(adam.t, 0);
+    }
+}

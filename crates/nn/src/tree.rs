@@ -1,0 +1,216 @@
+//! Regression trees (CART-style), the weak learner inside
+//! [`crate::gbt::GradientBoostedTrees`].
+
+/// Split-finding and growth limits for a [`RegressionTree`].
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples in a leaf.
+    pub min_leaf: usize,
+    /// Minimum SSE reduction for a split to be kept.
+    pub min_gain: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 4, min_leaf: 5, min_gain: 1e-9 }
+    }
+}
+
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child in the node arena.
+        left: usize,
+        /// Index of the right child in the node arena.
+        right: usize,
+    },
+}
+
+/// A binary regression tree fit by greedy variance-reduction splitting.
+///
+/// Nodes live in a flat arena (`Vec<Node>`); prediction walks from index 0.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fits a tree on `x` (rows are examples) against targets `y`.
+    ///
+    /// # Panics
+    /// Panics if `x` is empty or `x.len() != y.len()`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &TreeParams) -> Self {
+        assert!(!x.is_empty(), "cannot fit a tree on zero examples");
+        assert_eq!(x.len(), y.len());
+        let mut tree = Self { nodes: Vec::new() };
+        let idx: Vec<u32> = (0..x.len() as u32).collect();
+        tree.grow(x, y, &idx, 0, params);
+        tree
+    }
+
+    /// Predicted value for a single example.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Grows the subtree for `idx` and returns its arena index.
+    fn grow(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[u32],
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i as usize]).sum::<f64>() / idx.len() as f64;
+        if depth >= params.max_depth || idx.len() < 2 * params.min_leaf {
+            return self.push_leaf(mean);
+        }
+        match best_split(x, y, idx, params) {
+            None => self.push_leaf(mean),
+            Some((feature, threshold)) => {
+                let (li, ri): (Vec<u32>, Vec<u32>) =
+                    idx.iter().partition(|&&i| x[i as usize][feature] <= threshold);
+                if li.len() < params.min_leaf || ri.len() < params.min_leaf {
+                    return self.push_leaf(mean);
+                }
+                // Reserve this node's slot before recursing so the root ends
+                // up at index 0.
+                let me = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean });
+                let left = self.grow(x, y, &li, depth + 1, params);
+                let right = self.grow(x, y, &ri, depth + 1, params);
+                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                me
+            }
+        }
+    }
+
+    fn push_leaf(&mut self, value: f64) -> usize {
+        self.nodes.push(Node::Leaf { value });
+        self.nodes.len() - 1
+    }
+}
+
+/// Finds the (feature, threshold) split maximizing SSE reduction, or `None`
+/// if no split clears `min_gain`.
+fn best_split(x: &[Vec<f64>], y: &[f64], idx: &[u32], params: &TreeParams) -> Option<(usize, f64)> {
+    let n = idx.len() as f64;
+    let total_sum: f64 = idx.iter().map(|&i| y[i as usize]).sum();
+    let total_sq: f64 = idx.iter().map(|&i| y[i as usize] * y[i as usize]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n;
+
+    let d = x[0].len();
+    let mut best: Option<(f64, usize, f64)> = None;
+    let mut order: Vec<u32> = idx.to_vec();
+
+    for f in 0..d {
+        order.sort_by(|&a, &b| {
+            x[a as usize][f]
+                .partial_cmp(&x[b as usize][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+            let yi = y[i as usize];
+            left_sum += yi;
+            left_sq += yi * yi;
+            let xv = x[i as usize][f];
+            let xnext = x[order[k + 1] as usize][f];
+            if xv == xnext {
+                continue; // cannot split between equal values
+            }
+            let nl = (k + 1) as f64;
+            let nr = n - nl;
+            if (nl as usize) < params.min_leaf || (nr as usize) < params.min_leaf {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl)
+                + (right_sq - right_sum * right_sum / nr);
+            let gain = parent_sse - sse;
+            if gain > params.min_gain && best.is_none_or(|(g, _, _)| gain > g) {
+                best = Some((gain, f, 0.5 * (xv + xnext)));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 20];
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_one(&[3.0]), 5.0);
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 9.0 }).collect();
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default());
+        assert!((tree.predict_one(&[10.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[90.0]) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let params = TreeParams { max_depth: 1, min_leaf: 1, min_gain: 1e-12 };
+        let tree = RegressionTree::fit(&x, &y, &params);
+        // Depth-1 tree: one split + two leaves.
+        assert_eq!(tree.node_count(), 3);
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // Feature 1 is noise; feature 0 determines y.
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 2) as f64, (i * 7 % 13) as f64])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default());
+        assert!((tree.predict_one(&[0.0, 5.0]) - 0.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[1.0, 5.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_leaf_prevents_tiny_splits() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let mut y = vec![0.0; 10];
+        y[9] = 100.0; // an outlier a small leaf would isolate
+        let params = TreeParams { max_depth: 8, min_leaf: 5, min_gain: 1e-12 };
+        let tree = RegressionTree::fit(&x, &y, &params);
+        // Only the 5/5 split is allowed.
+        assert!(tree.node_count() <= 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the NN substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_linalg::Matrix;
+use warper_nn::tree::{RegressionTree, TreeParams};
+use warper_nn::{Activation, GbtParams, GradientBoostedTrees, Mlp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mlp_forward_is_finite_on_bounded_inputs(
+        seed in 0u64..1000,
+        rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 5), 1..20),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[5, 16, 8, 2], Activation::LeakyRelu(0.01), Activation::Identity, &mut rng);
+        let out = mlp.forward(&Matrix::from_rows(&rows));
+        prop_assert!(out.is_finite());
+        prop_assert_eq!(out.rows(), rows.len());
+        prop_assert_eq!(out.cols(), 2);
+    }
+
+    #[test]
+    fn tree_predictions_bounded_by_target_range(
+        data in prop::collection::vec((0.0f64..100.0, -50.0f64..50.0), 10..100),
+    ) {
+        let x: Vec<Vec<f64>> = data.iter().map(|d| vec![d.0]).collect();
+        let y: Vec<f64> = data.iter().map(|d| d.1).collect();
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default());
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for xi in &x {
+            let p = tree.predict_one(xi);
+            // Leaf values are means of subsets → inside the target range.
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn gbt_never_worse_than_constant_on_train(
+        data in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 20..80),
+    ) {
+        let x: Vec<Vec<f64>> = data.iter().map(|d| vec![d.0]).collect();
+        let y: Vec<f64> = data.iter().map(|d| d.1).collect();
+        let model = GradientBoostedTrees::fit(
+            &x,
+            &y,
+            &GbtParams { n_trees: 30, learning_rate: 0.2, ..Default::default() },
+        );
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        let sse_const: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+        let sse_model: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (model.predict_one(xi) - yi).powi(2))
+            .sum();
+        // Squared-loss boosting from the mean can only reduce train SSE.
+        prop_assert!(sse_model <= sse_const + 1e-6);
+    }
+
+    #[test]
+    fn activations_preserve_shape_and_finiteness(
+        values in prop::collection::vec(-50.0f64..50.0, 1..30),
+    ) {
+        let m = Matrix::from_vec(1, values.len(), values);
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu(0.01),
+            Activation::Tanh,
+            Activation::Sigmoid,
+        ] {
+            let out = act.forward(&m);
+            prop_assert_eq!(out.cols(), m.cols());
+            prop_assert!(out.is_finite());
+        }
+    }
+
+    #[test]
+    fn softmax_cross_entropy_nonnegative(
+        logits in prop::collection::vec(prop::collection::vec(-20.0f64..20.0, 3), 1..10),
+        label in 0usize..3,
+    ) {
+        let m = Matrix::from_rows(&logits);
+        let labels = vec![label; logits.len()];
+        let (loss, grad) = warper_nn::loss::softmax_cross_entropy(&m, &labels);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.is_finite());
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        for r in 0..grad.rows() {
+            let s: f64 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-9);
+        }
+    }
+}

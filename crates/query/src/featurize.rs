@@ -1,0 +1,159 @@
+//! Predicate ⇄ feature-vector mapping.
+//!
+//! LM featurizes a predicate as `{low₁..low_d, high₁..high_d}` (paper §3.2),
+//! normalized per column. The featurizer captures the column domains at
+//! model-training time so that features stay consistent even after data
+//! drift shifts the live table's min/max.
+//!
+//! The inverse mapping ([`Featurizer::defeaturize`]) is what turns the GAN
+//! generator's raw output vectors back into well-formed predicates: values
+//! are clamped to the domain and swapped if `low > high`.
+
+use crate::predicate::RangePredicate;
+use warper_storage::Table;
+
+/// Maps predicates over one table to normalized `2d` feature vectors.
+#[derive(Debug, Clone)]
+pub struct Featurizer {
+    domains: Vec<(f64, f64)>,
+}
+
+impl Featurizer {
+    /// Captures the domains of `table`'s columns.
+    pub fn from_table(table: &Table) -> Self {
+        Self { domains: table.domains() }
+    }
+
+    /// Builds from explicit domains.
+    pub fn from_domains(domains: Vec<(f64, f64)>) -> Self {
+        Self { domains }
+    }
+
+    /// Number of table columns `d`.
+    pub fn num_columns(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Feature dimension `2d`.
+    pub fn dim(&self) -> usize {
+        2 * self.domains.len()
+    }
+
+    /// The captured per-column domains.
+    pub fn domains(&self) -> &[(f64, f64)] {
+        &self.domains
+    }
+
+    #[inline]
+    fn norm(&self, col: usize, v: f64) -> f64 {
+        let (lo, hi) = self.domains[col];
+        if hi > lo {
+            ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        }
+    }
+
+    #[inline]
+    fn denorm(&self, col: usize, v: f64) -> f64 {
+        let (lo, hi) = self.domains[col];
+        lo + v.clamp(0.0, 1.0) * (hi - lo)
+    }
+
+    /// Encodes a predicate as `[low₁..low_d, high₁..high_d]`, each in [0,1].
+    ///
+    /// # Panics
+    /// Panics if the predicate's dimension differs from the table's.
+    pub fn featurize(&self, p: &RangePredicate) -> Vec<f64> {
+        assert_eq!(p.dim(), self.num_columns(), "predicate dimension mismatch");
+        let d = self.num_columns();
+        let mut out = Vec::with_capacity(2 * d);
+        for c in 0..d {
+            out.push(self.norm(c, p.lows[c]));
+        }
+        for c in 0..d {
+            out.push(self.norm(c, p.highs[c]));
+        }
+        out
+    }
+
+    /// Decodes a raw feature vector into a well-formed predicate: values are
+    /// clamped to [0,1], mapped back to the column domain, and each column's
+    /// bounds are swapped if inverted.
+    ///
+    /// # Panics
+    /// Panics if `feat.len() != 2d`.
+    pub fn defeaturize(&self, feat: &[f64]) -> RangePredicate {
+        let d = self.num_columns();
+        assert_eq!(feat.len(), 2 * d, "feature length mismatch");
+        let mut lows = Vec::with_capacity(d);
+        let mut highs = Vec::with_capacity(d);
+        for c in 0..d {
+            let mut lo = self.denorm(c, feat[c]);
+            let mut hi = self.denorm(c, feat[d + c]);
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            lows.push(lo);
+            highs.push(hi);
+        }
+        RangePredicate::new(lows, highs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn featurizer() -> Featurizer {
+        Featurizer::from_domains(vec![(0.0, 10.0), (100.0, 200.0)])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = featurizer();
+        let p = RangePredicate::new(vec![2.0, 150.0], vec![8.0, 180.0]);
+        let feat = f.featurize(&p);
+        assert_eq!(feat, vec![0.2, 0.5, 0.8, 0.8]);
+        let back = f.defeaturize(&feat);
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn unconstrained_maps_to_unit_box() {
+        let f = featurizer();
+        let p = RangePredicate::unconstrained(f.domains());
+        assert_eq!(f.featurize(&p), vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn defeaturize_clamps_and_swaps() {
+        let f = featurizer();
+        // Out-of-range features and inverted bounds.
+        let p = f.defeaturize(&[-0.5, 0.9, 2.0, 0.1]);
+        assert_eq!(p.lows[0], 0.0);
+        assert_eq!(p.highs[0], 10.0);
+        // Column 1 had low=0.9, high=0.1 → swapped.
+        assert_eq!(p.lows[1], 110.0);
+        assert_eq!(p.highs[1], 190.0);
+        assert!(!p.is_empty_range());
+    }
+
+    #[test]
+    fn degenerate_domain_is_stable() {
+        let f = Featurizer::from_domains(vec![(5.0, 5.0)]);
+        let p = RangePredicate::new(vec![5.0], vec![5.0]);
+        let feat = f.featurize(&p);
+        assert_eq!(feat, vec![0.5, 0.5]);
+        let back = f.defeaturize(&feat);
+        assert_eq!(back.lows[0], 5.0);
+        assert_eq!(back.highs[0], 5.0);
+    }
+
+    #[test]
+    fn dim_accessors() {
+        let f = featurizer();
+        assert_eq!(f.num_columns(), 2);
+        assert_eq!(f.dim(), 4);
+    }
+}

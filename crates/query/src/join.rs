@@ -1,0 +1,159 @@
+//! Key–foreign-key join queries and their exact cardinalities.
+//!
+//! MSCN (paper §2, §4.1.2) estimates cardinalities of join expressions; the
+//! end-to-end study (§4.2) runs `σ(L) ⋈ σ(O)` templates. This module
+//! provides the query type and an exact hash-join counter used both as the
+//! annotator for join CE training labels and as the truth oracle for the
+//! query-optimizer simulator.
+
+use std::collections::HashMap;
+
+use crate::annotator::Annotator;
+use crate::predicate::RangePredicate;
+use warper_storage::Table;
+
+/// An equi-join between two filtered tables:
+/// `SELECT count(*) FROM L, R WHERE L.key = R.key AND σ_L AND σ_R`.
+#[derive(Debug, Clone)]
+pub struct JoinQuery {
+    /// Predicate over the left table.
+    pub left_pred: RangePredicate,
+    /// Predicate over the right table.
+    pub right_pred: RangePredicate,
+    /// Join column index in the left table.
+    pub left_key: usize,
+    /// Join column index in the right table.
+    pub right_key: usize,
+}
+
+/// Exact join cardinality via hash join.
+///
+/// Builds a key → multiplicity map over the filtered right side, then probes
+/// with the filtered left side. Join keys are compared by their `f64` bit
+/// pattern (all keys in this codebase are integral ids stored exactly).
+pub fn join_count(left: &Table, right: &Table, q: &JoinQuery) -> u64 {
+    let mut build: HashMap<u64, u64> = HashMap::new();
+    let rkeys = right.column(q.right_key).values();
+    for row in 0..right.num_rows() {
+        if q.right_pred.matches_row(right, row) {
+            *build.entry(rkeys[row].to_bits()).or_insert(0) += 1;
+        }
+    }
+    if build.is_empty() {
+        return 0;
+    }
+    let lkeys = left.column(q.left_key).values();
+    let mut total = 0u64;
+    for row in 0..left.num_rows() {
+        if q.left_pred.matches_row(left, row) {
+            if let Some(&m) = build.get(&lkeys[row].to_bits()) {
+                total += m;
+            }
+        }
+    }
+    total
+}
+
+/// Cardinalities of the two filtered inputs and the join output, the triple
+/// the query-optimizer simulator needs for its plan decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinCardinalities {
+    /// `|σ(L)|`
+    pub left: u64,
+    /// `|σ(R)|`
+    pub right: u64,
+    /// `|σ(L) ⋈ σ(R)|`
+    pub join: u64,
+}
+
+/// Computes all three cardinalities for a join query.
+pub fn join_cardinalities(left: &Table, right: &Table, q: &JoinQuery) -> JoinCardinalities {
+    let a = Annotator::new();
+    JoinCardinalities {
+        left: a.count(left, &q.left_pred),
+        right: a.count(right, &q.right_pred),
+        join: join_count(left, right, q),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warper_storage::tpch::{generate_tpch, TpchScale};
+    use warper_storage::{Column, ColumnType, Table};
+
+    fn tiny_pair() -> (Table, Table) {
+        // left keys: [0,0,1,2], right keys: [0,1,1,3]
+        let left = Table::new(
+            "l",
+            vec![
+                Column::new("k", ColumnType::Real, vec![0.0, 0.0, 1.0, 2.0]),
+                Column::new("v", ColumnType::Real, vec![10.0, 20.0, 30.0, 40.0]),
+            ],
+        );
+        let right = Table::new(
+            "r",
+            vec![
+                Column::new("k", ColumnType::Real, vec![0.0, 1.0, 1.0, 3.0]),
+                Column::new("w", ColumnType::Real, vec![1.0, 2.0, 3.0, 4.0]),
+            ],
+        );
+        (left, right)
+    }
+
+    #[test]
+    fn unfiltered_join_count() {
+        let (l, r) = tiny_pair();
+        let q = JoinQuery {
+            left_pred: RangePredicate::unconstrained(&l.domains()),
+            right_pred: RangePredicate::unconstrained(&r.domains()),
+            left_key: 0,
+            right_key: 0,
+        };
+        // key 0: 2×1, key 1: 1×2, key 2: 0, key 3: 0 → 4.
+        assert_eq!(join_count(&l, &r, &q), 4);
+    }
+
+    #[test]
+    fn filters_reduce_join() {
+        let (l, r) = tiny_pair();
+        let q = JoinQuery {
+            left_pred: RangePredicate::unconstrained(&l.domains()).with_range(1, 15.0, 35.0),
+            right_pred: RangePredicate::unconstrained(&r.domains()).with_range(1, 2.0, 3.0),
+            left_key: 0,
+            right_key: 0,
+        };
+        // Left survivors: rows 1 (k=0), 2 (k=1). Right survivors: rows 1,2 (k=1,1).
+        // k=0 matches none, k=1 matches 2 → 2.
+        assert_eq!(join_count(&l, &r, &q), 2);
+        let cards = join_cardinalities(&l, &r, &q);
+        assert_eq!(cards, JoinCardinalities { left: 2, right: 2, join: 2 });
+    }
+
+    #[test]
+    fn pk_fk_join_equals_filtered_fk_side() {
+        // With an unfiltered PK side, |σ(L) ⋈ O| == |σ(L)| for FK joins.
+        let t = generate_tpch(TpchScale::tiny(), 8);
+        let q = JoinQuery {
+            left_pred: RangePredicate::unconstrained(&t.lineitem.domains())
+                .with_range(1, 10.0, 20.0), // quantity
+            right_pred: RangePredicate::unconstrained(&t.orders.domains()),
+            left_key: 0,
+            right_key: 0,
+        };
+        let cards = join_cardinalities(&t.lineitem, &t.orders, &q);
+        assert_eq!(cards.join, cards.left);
+    }
+
+    #[test]
+    fn empty_side_yields_zero() {
+        let (l, r) = tiny_pair();
+        let q = JoinQuery {
+            left_pred: RangePredicate::unconstrained(&l.domains()),
+            right_pred: RangePredicate::unconstrained(&r.domains()).with_range(1, 100.0, 200.0),
+            left_key: 0,
+            right_key: 0,
+        };
+        assert_eq!(join_count(&l, &r, &q), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Query predicates, featurization and the ground-truth annotator.
+//!
+//! The paper's CE models handle predicates of the form
+//! `SELECT count(*) FROM T WHERE ∧ᵢ lᵢ ≤ Colᵢ ≤ uᵢ` (§2) — conjunctions of
+//! two-sided ranges, with equality and one-sided ranges as special cases and
+//! unconstrained columns set to the full domain. [`RangePredicate`] is that
+//! class; [`Featurizer`] maps predicates to/from the
+//! `{low₁..low_d, high₁..high_d}` vectors the LM model consumes (§3.2) and
+//! the GAN generator emits.
+//!
+//! [`Annotator`] plays the role of the paper's C++ annotator `A` (§3.5): it
+//! computes exact ground-truth cardinalities with a multithreaded columnar
+//! scan, and exact PK–FK join cardinalities via hash join for the MSCN join
+//! experiments.
+
+// Index-based loops are the clearer idiom for the numerical kernels here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod annotator;
+pub mod featurize;
+pub mod join;
+pub mod predicate;
+pub mod sampling_annotator;
+
+pub use annotator::{count_naive, Annotator};
+pub use featurize::Featurizer;
+pub use join::{join_cardinalities, join_count, JoinCardinalities, JoinQuery};
+pub use predicate::RangePredicate;
+pub use sampling_annotator::{SampledCount, SamplingAnnotator};

@@ -1,0 +1,181 @@
+//! Conjunctive range predicates.
+
+use warper_storage::Table;
+
+/// A conjunction of per-column range checks `lᵢ ≤ Colᵢ ≤ uᵢ` (paper §2).
+///
+/// One entry per table column. Unconstrained columns carry the full column
+/// domain, equality predicates have `low == high`, and one-sided ranges pin
+/// the other bound to the domain edge — exactly the paper's encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangePredicate {
+    /// Lower bounds, one per column.
+    pub lows: Vec<f64>,
+    /// Upper bounds, one per column.
+    pub highs: Vec<f64>,
+}
+
+impl RangePredicate {
+    /// A predicate that matches every row: each column spans its domain.
+    pub fn unconstrained(domains: &[(f64, f64)]) -> Self {
+        Self {
+            lows: domains.iter().map(|d| d.0).collect(),
+            highs: domains.iter().map(|d| d.1).collect(),
+        }
+    }
+
+    /// Builds a predicate from explicit bounds.
+    ///
+    /// # Panics
+    /// Panics if the two vectors differ in length.
+    pub fn new(lows: Vec<f64>, highs: Vec<f64>) -> Self {
+        assert_eq!(lows.len(), highs.len(), "bound length mismatch");
+        Self { lows, highs }
+    }
+
+    /// Number of columns covered.
+    pub fn dim(&self) -> usize {
+        self.lows.len()
+    }
+
+    /// Constrains column `col` to `[low, high]` (builder style).
+    pub fn with_range(mut self, col: usize, low: f64, high: f64) -> Self {
+        self.lows[col] = low;
+        self.highs[col] = high;
+        self
+    }
+
+    /// Constrains column `col` to equality with `v`.
+    pub fn with_eq(self, col: usize, v: f64) -> Self {
+        self.with_range(col, v, v)
+    }
+
+    /// Indices of columns whose range is narrower than `domains` — i.e. the
+    /// columns actually mentioned in the WHERE clause.
+    pub fn constrained_columns(&self, domains: &[(f64, f64)]) -> Vec<usize> {
+        (0..self.dim())
+            .filter(|&i| self.lows[i] > domains[i].0 || self.highs[i] < domains[i].1)
+            .collect()
+    }
+
+    /// True if row `row` of `table` satisfies every range.
+    pub fn matches_row(&self, table: &Table, row: usize) -> bool {
+        debug_assert_eq!(self.dim(), table.num_cols());
+        (0..self.dim()).all(|c| {
+            let v = table.value(row, c);
+            v >= self.lows[c] && v <= self.highs[c]
+        })
+    }
+
+    /// True if every range of `self` contains the corresponding range of
+    /// `other` — so `self` matches a superset of `other`'s rows.
+    pub fn contains(&self, other: &RangePredicate) -> bool {
+        self.dim() == other.dim()
+            && (0..self.dim())
+                .all(|i| self.lows[i] <= other.lows[i] && self.highs[i] >= other.highs[i])
+    }
+
+    /// True if some column's range is empty (`low > high`): matches nothing.
+    pub fn is_empty_range(&self) -> bool {
+        (0..self.dim()).any(|i| self.lows[i] > self.highs[i])
+    }
+
+    /// Projects the predicate onto the sparse form real workloads use: keep
+    /// the `max_cols` most selective (narrowest, relative to `domains`)
+    /// column ranges and reset every other column to its full domain.
+    ///
+    /// Generative models emit dense vectors that softly constrain *every*
+    /// column; a conjunction over all columns has near-zero cardinality, so
+    /// synthetic queries must be canonicalized back to the 1–3-column form
+    /// the live workload actually contains before annotation and training.
+    pub fn keep_most_selective(&self, domains: &[(f64, f64)], max_cols: usize) -> RangePredicate {
+        assert_eq!(domains.len(), self.dim());
+        let mut widths: Vec<(usize, f64)> = (0..self.dim())
+            .map(|c| {
+                let (lo, hi) = domains[c];
+                let dw = (hi - lo).max(1e-300);
+                (c, ((self.highs[c] - self.lows[c]) / dw).clamp(0.0, 1.0))
+            })
+            .collect();
+        widths.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut out = RangePredicate::unconstrained(domains);
+        for &(c, width) in widths.iter().take(max_cols) {
+            // A near-full-domain range carries no signal; leave it reset.
+            if width < 0.95 {
+                out.lows[c] = self.lows[c].max(domains[c].0);
+                out.highs[c] = self.highs[c].min(domains[c].1);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warper_storage::{Column, ColumnType, Table};
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("a", ColumnType::Real, vec![1.0, 2.0, 3.0, 4.0]),
+                Column::new("b", ColumnType::Real, vec![10.0, 20.0, 30.0, 40.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn unconstrained_matches_all() {
+        let t = table();
+        let p = RangePredicate::unconstrained(&t.domains());
+        assert!((0..4).all(|r| p.matches_row(&t, r)));
+        assert!(p.constrained_columns(&t.domains()).is_empty());
+    }
+
+    #[test]
+    fn range_and_equality() {
+        let t = table();
+        let p = RangePredicate::unconstrained(&t.domains()).with_range(0, 2.0, 3.0);
+        let matches: Vec<bool> = (0..4).map(|r| p.matches_row(&t, r)).collect();
+        assert_eq!(matches, vec![false, true, true, false]);
+        assert_eq!(p.constrained_columns(&t.domains()), vec![0]);
+
+        let q = RangePredicate::unconstrained(&t.domains()).with_eq(1, 30.0);
+        let matches: Vec<bool> = (0..4).map(|r| q.matches_row(&t, r)).collect();
+        assert_eq!(matches, vec![false, false, true, false]);
+    }
+
+    #[test]
+    fn containment() {
+        let t = table();
+        let wide = RangePredicate::unconstrained(&t.domains()).with_range(0, 1.0, 4.0);
+        let narrow = RangePredicate::unconstrained(&t.domains()).with_range(0, 2.0, 3.0);
+        assert!(wide.contains(&narrow));
+        assert!(!narrow.contains(&wide));
+        assert!(wide.contains(&wide));
+    }
+
+    #[test]
+    fn keep_most_selective_sparsifies() {
+        let domains = vec![(0.0, 10.0), (0.0, 10.0), (0.0, 10.0)];
+        // Dense predicate softly constraining everything.
+        let p = RangePredicate::new(vec![1.0, 4.0, 0.3], vec![9.5, 6.0, 9.9]);
+        let sparse = p.keep_most_selective(&domains, 1);
+        // Column 1 (width 0.2) survives; others reset to full domain.
+        assert_eq!(sparse.lows, vec![0.0, 4.0, 0.0]);
+        assert_eq!(sparse.highs, vec![10.0, 6.0, 10.0]);
+        // Near-full ranges are dropped even within the budget.
+        let wide = RangePredicate::new(vec![0.1, 0.0, 0.0], vec![9.9, 10.0, 10.0]);
+        let s2 = wide.keep_most_selective(&domains, 3);
+        assert_eq!(s2, RangePredicate::unconstrained(&domains));
+    }
+
+    #[test]
+    fn empty_range_detected() {
+        let t = table();
+        let p = RangePredicate::unconstrained(&t.domains()).with_range(0, 5.0, 2.0);
+        assert!(p.is_empty_range());
+        assert!((0..4).all(|r| !p.matches_row(&t, r)));
+    }
+}

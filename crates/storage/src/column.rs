@@ -1,0 +1,118 @@
+//! Typed columns.
+//!
+//! All values are stored as `f64` regardless of logical type: the CE models
+//! in the paper featurize every column — date, numeric or categorical — as a
+//! numeric range after dictionary-encoding categoricals into integer ids
+//! (paper §2, §4.1 "predicates are integer dictionary identities"). Keeping
+//! one physical representation makes predicate evaluation a single tight
+//! loop over a contiguous buffer.
+
+/// Logical type of a column (paper Table 4 distinguishes date, real and
+/// categorical columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// Continuous numeric values.
+    Real,
+    /// Date-like values (stored as days since an epoch).
+    Date,
+    /// Categorical values, dictionary-encoded to integer ids.
+    Categorical,
+}
+
+/// A named, typed column of `f64` values.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    ty: ColumnType,
+    values: Vec<f64>,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<String>, ty: ColumnType, values: Vec<f64>) -> Self {
+        Self { name: name.into(), ty, values }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Logical type.
+    pub fn ty(&self) -> ColumnType {
+        self.ty
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw value buffer.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the raw value buffer (drift mutators use this).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.values
+    }
+
+    /// `(min, max)` of the column, or `None` if empty.
+    pub fn domain(&self) -> Option<(f64, f64)> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Some((lo, hi))
+    }
+
+    /// Number of distinct values (exact; used to report the Table-4-style
+    /// distinct-count profile of the synthetic datasets).
+    pub fn distinct_count(&self) -> usize {
+        let mut sorted: Vec<u64> = self.values.iter().map(|v| v.to_bits()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_and_len() {
+        let c = Column::new("a", ColumnType::Real, vec![3.0, -1.0, 2.0]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.domain(), Some((-1.0, 3.0)));
+        assert_eq!(c.name(), "a");
+        assert_eq!(c.ty(), ColumnType::Real);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::new("e", ColumnType::Categorical, vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.domain(), None);
+        assert_eq!(c.distinct_count(), 0);
+    }
+
+    #[test]
+    fn distinct_count() {
+        let c = Column::new("d", ColumnType::Categorical, vec![1.0, 2.0, 1.0, 3.0, 2.0]);
+        assert_eq!(c.distinct_count(), 3);
+    }
+}

@@ -1,0 +1,243 @@
+//! Minimal CSV ingestion, so the synthetic datasets can be swapped for the
+//! real Higgs/PRSA/Poker files when available.
+//!
+//! Hand-rolled (this workspace takes no parsing dependencies): comma
+//! separation, optional header row, `"`-quoting with `""` escapes. Column
+//! types are inferred — a column where every non-empty field parses as a
+//! number becomes [`ColumnType::Real`]; anything else is dictionary-encoded
+//! to integer ids as [`ColumnType::Categorical`] (exactly how the paper's
+//! LM handles categorical columns, §4.1). Empty numeric fields become NaN
+//! and rows containing any NaN are dropped (range predicates never match
+//! NaN, which would silently skew cardinalities).
+
+use std::collections::HashMap;
+
+use crate::column::{Column, ColumnType};
+use crate::table::Table;
+
+/// Errors from [`read_csv_str`] / [`read_csv_file`].
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A row had a different field count than the header/first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// The input had no rows at all.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::RaggedRow { line, got, expected } => {
+                write!(f, "line {line}: {got} fields, expected {expected}")
+            }
+            CsvError::Empty => write!(f, "empty csv input"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Splits one CSV line, honoring `"`-quoting and `""` escapes.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            _ => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// Parses CSV text into a [`Table`]. `has_header` controls whether the first
+/// row names the columns (otherwise they are `c0, c1, …`).
+pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (first_no, first) = lines.next().ok_or(CsvError::Empty)?;
+    let first_fields = split_line(first);
+    let width = first_fields.len();
+
+    let mut names: Vec<String>;
+    let mut raw: Vec<Vec<String>> = Vec::new();
+    if has_header {
+        names = first_fields;
+    } else {
+        names = (0..width).map(|i| format!("c{i}")).collect();
+        raw.push(first_fields);
+        let _ = first_no;
+    }
+    for (no, line) in lines {
+        let fields = split_line(line);
+        if fields.len() != width {
+            return Err(CsvError::RaggedRow { line: no + 1, got: fields.len(), expected: width });
+        }
+        raw.push(fields);
+    }
+    if raw.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    // Deduplicate header names defensively.
+    let mut seen = HashMap::new();
+    for n in &mut names {
+        let count = seen.entry(n.clone()).or_insert(0usize);
+        *count += 1;
+        if *count > 1 {
+            *n = format!("{n}_{count}");
+        }
+    }
+
+    // Infer types: numeric iff every non-empty field parses.
+    let numeric: Vec<bool> = (0..width)
+        .map(|c| {
+            raw.iter().all(|row| {
+                let f = row[c].trim();
+                f.is_empty() || f.parse::<f64>().is_ok()
+            })
+        })
+        .collect();
+
+    // Build columns; drop rows with missing numeric fields.
+    let keep: Vec<bool> = raw
+        .iter()
+        .map(|row| {
+            (0..width).all(|c| !(numeric[c] && row[c].trim().is_empty()))
+        })
+        .collect();
+    let mut columns = Vec::with_capacity(width);
+    for c in 0..width {
+        if numeric[c] {
+            let values: Vec<f64> = raw
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(row, _)| row[c].trim().parse::<f64>().unwrap())
+                .collect();
+            columns.push(Column::new(names[c].clone(), ColumnType::Real, values));
+        } else {
+            let mut dict: HashMap<String, f64> = HashMap::new();
+            let values: Vec<f64> = raw
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(row, _)| {
+                    let next = dict.len() as f64;
+                    *dict.entry(row[c].trim().to_string()).or_insert(next)
+                })
+                .collect();
+            columns.push(Column::new(names[c].clone(), ColumnType::Categorical, values));
+        }
+    }
+    Ok(Table::new(name, columns))
+}
+
+/// Reads a CSV file into a [`Table`].
+pub fn read_csv_file(
+    name: &str,
+    path: impl AsRef<std::path::Path>,
+    has_header: bool,
+) -> Result<Table, CsvError> {
+    let text = std::fs::read_to_string(path)?;
+    read_csv_str(name, &text, has_header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_csv_with_header() {
+        let text = "a,b,c\n1,2.5,x\n3,4.5,y\n5,6.5,x\n";
+        let t = read_csv_str("t", text, true).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 3);
+        assert_eq!(t.column_by_name("a").values(), &[1.0, 3.0, 5.0]);
+        assert_eq!(t.column_by_name("a").ty(), ColumnType::Real);
+        // 'c' is categorical: x=0, y=1, x=0.
+        assert_eq!(t.column_by_name("c").ty(), ColumnType::Categorical);
+        assert_eq!(t.column_by_name("c").values(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn headerless_names_columns() {
+        let t = read_csv_str("t", "1,2\n3,4\n", false).unwrap();
+        assert_eq!(t.column_index("c0"), Some(0));
+        assert_eq!(t.column_index("c1"), Some(1));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_escapes() {
+        let text = "name,v\n\"a,b\",1\n\"say \"\"hi\"\"\",2\n";
+        let t = read_csv_str("t", text, true).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        // Both quoted strings are distinct categories.
+        assert_eq!(t.column_by_name("name").distinct_count(), 2);
+    }
+
+    #[test]
+    fn rows_with_missing_numerics_dropped() {
+        let text = "a,b\n1,2\n,3\n4,5\n";
+        let t = read_csv_str("t", text, true).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column_by_name("a").values(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let err = read_csv_str("t", "a,b\n1,2\n3\n", true).unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { line: 3, got: 1, expected: 2 }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(read_csv_str("t", "", true), Err(CsvError::Empty)));
+        assert!(matches!(read_csv_str("t", "a,b\n", true), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn duplicate_headers_deduplicated() {
+        let t = read_csv_str("t", "x,x\n1,2\n", true).unwrap();
+        assert!(t.column_index("x").is_some());
+        assert!(t.column_index("x_2").is_some());
+    }
+
+    #[test]
+    fn loaded_table_supports_annotation() {
+        let text = "v,w\n1,10\n2,20\n3,30\n4,40\n";
+        let t = read_csv_str("t", text, true).unwrap();
+        // Round-trip through the pipeline: domains + profile behave.
+        assert_eq!(t.domains(), vec![(1.0, 4.0), (10.0, 40.0)]);
+        assert_eq!(t.profile().rows, 4);
+    }
+}

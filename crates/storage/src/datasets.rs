@@ -1,0 +1,308 @@
+//! Synthetic stand-ins for the paper's evaluation datasets (Table 4).
+//!
+//! Each generator matches the real dataset's schema (column counts and
+//! types) and distinct-count character, and builds in cross-column
+//! correlation so that cardinality estimation is non-trivial — independent
+//! columns would make even a histogram product a perfect estimator and hide
+//! the drift effects the paper studies.
+//!
+//! | Dataset | Columns (date/real/cat) | Paper rows | Distinct min/med/max |
+//! |---------|------------------------|-----------|----------------------|
+//! | Higgs   | 2 / 8 / 0              | 11M       | 3 / 6.7K / 290K      |
+//! | PRSA    | 1 / 6 / 2              | 430K      | 5 / 645 / 35K        |
+//! | Poker   | 0 / 0 / 11             | 1M        | 4 / 10 / 13          |
+//!
+//! Row counts are scaled down by default (see [`DatasetKind::default_rows`])
+//! so the full experiment suite runs on one machine; every generator takes
+//! an explicit row count for full-scale runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warper_linalg::sampling::{log_normal, normal, standard_normal, Zipf};
+
+use crate::column::{Column, ColumnType};
+use crate::table::Table;
+
+/// The single-table evaluation datasets of paper Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Particle-physics measurements: wide, all-numeric, multi-modal.
+    Higgs,
+    /// Beijing air quality: one date column, periodic structure, two
+    /// categorical columns (wind direction, station).
+    Prsa,
+    /// Poker hands: 11 low-cardinality categorical columns.
+    Poker,
+}
+
+impl DatasetKind {
+    /// Scaled-down default row count used by tests and quick benches.
+    pub fn default_rows(&self) -> usize {
+        match self {
+            DatasetKind::Higgs => 40_000,
+            DatasetKind::Prsa => 20_000,
+            DatasetKind::Poker => 30_000,
+        }
+    }
+
+    /// Dataset name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Higgs => "Higgs",
+            DatasetKind::Prsa => "PRSA",
+            DatasetKind::Poker => "Poker",
+        }
+    }
+
+    /// All three datasets, in the order the paper lists them.
+    pub fn all() -> [DatasetKind; 3] {
+        [DatasetKind::Prsa, DatasetKind::Poker, DatasetKind::Higgs]
+    }
+}
+
+/// Generates a dataset with the given row count and seed.
+pub fn generate(kind: DatasetKind, rows: usize, seed: u64) -> Table {
+    match kind {
+        DatasetKind::Higgs => higgs(rows, seed),
+        DatasetKind::Prsa => prsa(rows, seed),
+        DatasetKind::Poker => poker(rows, seed),
+    }
+}
+
+/// Higgs-like table: 10 numeric columns.
+///
+/// Rows come from a 3-component Gaussian mixture in a latent space; each
+/// observed column is a different linear + nonlinear read-out of the latent
+/// variables plus noise, giving strong cross-column correlation. Two columns
+/// are coarsely quantized (the real dataset's min distinct count is 3).
+pub fn higgs(rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4849_4747);
+    let comps = [(-2.0, 0.6), (0.0, 1.0), (2.5, 0.8)];
+    let mix = Zipf::new(3, 0.5);
+
+    let mut cols: Vec<Vec<f64>> =
+        (0..10).map(|_| Vec::with_capacity(rows)).collect();
+    for _ in 0..rows {
+        let c = mix.sample(&mut rng);
+        let (mu, sd) = comps[c];
+        let z0 = normal(&mut rng, mu, sd);
+        let z1 = normal(&mut rng, 0.5 * mu, 1.0);
+        // Two coarse "label-like" columns (tiny distinct counts).
+        cols[0].push(c as f64);
+        cols[1].push(if z0 > 0.0 { 1.0 } else { 0.0 });
+        // Continuous read-outs of the latent variables.
+        cols[2].push(z0 + 0.1 * standard_normal(&mut rng));
+        cols[3].push(z1 + 0.1 * standard_normal(&mut rng));
+        cols[4].push(z0 * z1 + 0.2 * standard_normal(&mut rng));
+        cols[5].push((z0 * 1.3).tanh() * 3.0 + 0.05 * standard_normal(&mut rng));
+        cols[6].push(log_normal(&mut rng, 0.3 * z0, 0.4));
+        cols[7].push(z0.powi(2) + z1.powi(2) + 0.3 * standard_normal(&mut rng));
+        cols[8].push(normal(&mut rng, z1 * 2.0, 0.5));
+        cols[9].push((z0 - z1).abs() + 0.1 * standard_normal(&mut rng));
+    }
+    let names = ["jet_cat", "lepton_sign", "m0", "m1", "m_joint", "tau", "pt", "energy", "eta", "dphi"];
+    let columns = cols
+        .into_iter()
+        .zip(names)
+        .enumerate()
+        .map(|(i, (v, n))| {
+            let ty = if i < 2 { ColumnType::Date } else { ColumnType::Real };
+            Column::new(n, ty, v)
+        })
+        .collect();
+    Table::new("higgs", columns)
+}
+
+/// PRSA-like (Beijing air quality) table: 1 date + 6 real + 2 categorical.
+///
+/// A day counter drives seasonal structure in temperature/pressure; PM2.5 is
+/// correlated with dew point and wind; wind direction and station are
+/// Zipf-skewed categoricals that modulate the numerics.
+pub fn prsa(rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5052_5341);
+    let wind = Zipf::new(5, 0.8); // min distinct in the real data is 5
+    let station = Zipf::new(12, 0.6);
+
+    let mut day = Vec::with_capacity(rows);
+    let mut pm25 = Vec::with_capacity(rows);
+    let mut dewp = Vec::with_capacity(rows);
+    let mut temp = Vec::with_capacity(rows);
+    let mut pres = Vec::with_capacity(rows);
+    let mut iws = Vec::with_capacity(rows);
+    let mut precip = Vec::with_capacity(rows);
+    let mut cbwd = Vec::with_capacity(rows);
+    let mut stat = Vec::with_capacity(rows);
+
+    for i in 0..rows {
+        let d = (i % 1461) as f64; // four years of days
+        let season = (2.0 * std::f64::consts::PI * d / 365.25).sin();
+        let w = wind.sample(&mut rng);
+        let s = station.sample(&mut rng);
+        let t = 12.0 + 14.0 * season + normal(&mut rng, 0.0, 3.0) + s as f64 * 0.3;
+        let dp = t - 5.0 - 4.0 * (w as f64) * 0.3 + normal(&mut rng, 0.0, 2.0);
+        let wind_speed = log_normal(&mut rng, 0.5 + 0.4 * w as f64, 0.6);
+        // Pollution is high when wind is calm and dew point is high.
+        let pm = (120.0 - 15.0 * wind_speed.min(6.0) + 3.0 * dp - 20.0 * season
+            + normal(&mut rng, 0.0, 25.0))
+        .max(1.0);
+        day.push(d);
+        pm25.push(pm.round());
+        dewp.push(dp.round());
+        temp.push(t.round());
+        pres.push(1015.0 - 0.8 * t + normal(&mut rng, 0.0, 3.0));
+        iws.push(wind_speed);
+        precip.push(if rng.random_range(0.0..1.0) < 0.1 {
+            log_normal(&mut rng, 0.0, 1.0)
+        } else {
+            0.0
+        });
+        cbwd.push(w as f64);
+        stat.push(s as f64);
+    }
+    Table::new(
+        "prsa",
+        vec![
+            Column::new("day", ColumnType::Date, day),
+            Column::new("pm25", ColumnType::Real, pm25),
+            Column::new("dewp", ColumnType::Real, dewp),
+            Column::new("temp", ColumnType::Real, temp),
+            Column::new("pres", ColumnType::Real, pres),
+            Column::new("iws", ColumnType::Real, iws),
+            Column::new("precip", ColumnType::Real, precip),
+            Column::new("cbwd", ColumnType::Categorical, cbwd),
+            Column::new("station", ColumnType::Categorical, stat),
+        ],
+    )
+}
+
+/// Poker-like table: 11 categorical columns.
+///
+/// Five (suit, rank) card pairs plus a hand-class column computed from the
+/// cards, mirroring the real dataset where the class column is a
+/// deterministic function of the others (distinct counts 4/13/10).
+pub fn poker(rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x504f_4b52);
+    let mut cols: Vec<Vec<f64>> =
+        (0..11).map(|_| Vec::with_capacity(rows)).collect();
+    for _ in 0..rows {
+        let mut ranks = [0u8; 5];
+        let mut suits = [0u8; 5];
+        for k in 0..5 {
+            suits[k] = rng.random_range(0..4u8);
+            ranks[k] = rng.random_range(0..13u8);
+            cols[2 * k].push(suits[k] as f64);
+            cols[2 * k + 1].push(ranks[k] as f64);
+        }
+        cols[10].push(hand_class(&suits, &ranks) as f64);
+    }
+    let columns = cols
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let name = if i == 10 {
+                "class".to_string()
+            } else if i % 2 == 0 {
+                format!("s{}", i / 2 + 1)
+            } else {
+                format!("c{}", i / 2 + 1)
+            };
+            Column::new(name, ColumnType::Categorical, v)
+        })
+        .collect();
+    Table::new("poker", columns)
+}
+
+/// A simplified poker hand classifier (0 = high card … 8 = straight flush);
+/// exact poker rules are irrelevant, only that `class` is a deterministic,
+/// skewed function of the other columns.
+fn hand_class(suits: &[u8; 5], ranks: &[u8; 5]) -> u8 {
+    let mut counts = [0u8; 13];
+    for &r in ranks {
+        counts[r as usize] += 1;
+    }
+    let max_same = *counts.iter().max().unwrap();
+    let pairs = counts.iter().filter(|&&c| c == 2).count();
+    let flush = suits.iter().all(|&s| s == suits[0]);
+    let mut sorted = *ranks;
+    sorted.sort_unstable();
+    let straight = sorted.windows(2).all(|w| w[1] == w[0] + 1);
+    match (max_same, pairs, flush, straight) {
+        (_, _, true, true) => 8,
+        (4, _, _, _) => 7,
+        (3, 1, _, _) => 6,
+        (_, _, true, _) => 5,
+        (_, _, _, true) => 4,
+        (3, _, _, _) => 3,
+        (_, 2, _, _) => 2,
+        (_, 1, _, _) => 1,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_match_table4() {
+        let h = higgs(500, 1).profile();
+        assert_eq!((h.date_cols, h.real_cols, h.cat_cols), (2, 8, 0));
+        let p = prsa(500, 1).profile();
+        assert_eq!((p.date_cols, p.real_cols, p.cat_cols), (1, 6, 2));
+        let k = poker(500, 1).profile();
+        assert_eq!((k.date_cols, k.real_cols, k.cat_cols), (0, 0, 11));
+    }
+
+    #[test]
+    fn row_counts_respected() {
+        for kind in DatasetKind::all() {
+            let t = generate(kind, 1234, 7);
+            assert_eq!(t.num_rows(), 1234);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = higgs(200, 42);
+        let b = higgs(200, 42);
+        for c in 0..a.num_cols() {
+            assert_eq!(a.column(c).values(), b.column(c).values());
+        }
+        let c = higgs(200, 43);
+        assert_ne!(a.column(2).values(), c.column(2).values());
+    }
+
+    #[test]
+    fn poker_distinct_counts_are_small() {
+        let t = poker(5000, 3);
+        let p = t.profile();
+        assert!(p.distinct_min >= 4 && p.distinct_min <= 5, "{p:?}");
+        assert!(p.distinct_max <= 13, "{p:?}");
+    }
+
+    #[test]
+    fn higgs_columns_are_correlated() {
+        // tau = tanh(1.3·z0)·3 and m0 = z0 + noise share the latent z0.
+        let t = higgs(5000, 9);
+        let a = t.column_by_name("m0").values();
+        let b = t.column_by_name("tau").values();
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let sa = (a.iter().map(|x| (x - ma).powi(2)).sum::<f64>() / n).sqrt();
+        let sb = (b.iter().map(|x| (x - mb).powi(2)).sum::<f64>() / n).sqrt();
+        let corr = cov / (sa * sb);
+        assert!(corr.abs() > 0.5, "corr {corr}");
+    }
+
+    #[test]
+    fn prsa_has_seasonality() {
+        let t = prsa(1461 * 2, 5);
+        let temp = t.column_by_name("temp").values();
+        // The sine peaks near day 91 and troughs near day 274.
+        let summer: f64 = (0..40).map(|k| temp[71 + k]).sum::<f64>() / 40.0;
+        let winter: f64 = (0..40).map(|k| temp[254 + k]).sum::<f64>() / 40.0;
+        assert!(summer > winter + 5.0, "summer {summer} winter {winter}");
+    }
+}

@@ -1,0 +1,163 @@
+//! IMDB-like multi-table schema for the join-CE experiment (paper §4.1.2,
+//! Table 7d).
+//!
+//! The paper pre-trains MSCN on 16K join queries over IMDB [31] (the
+//! JOB/"How Good Are Query Optimizers" dataset). We generate a three-table
+//! star schema with the properties that make IMDB joins hard for estimators:
+//! heavily skewed foreign-key fanouts (a few blockbuster titles have very
+//! many cast/info rows), correlated attributes across tables, and
+//! low-cardinality type columns.
+//!
+//! Schema:
+//! * `title(t_id PK, t_year, t_kind, t_rating)`
+//! * `cast_info(ci_title FK, ci_role, ci_order)`
+//! * `movie_info(mi_title FK, mi_type, mi_value)`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warper_linalg::sampling::{normal, Zipf};
+
+use crate::column::{Column, ColumnType};
+use crate::table::Table;
+
+/// The generated IMDB-like star schema.
+#[derive(Debug, Clone)]
+pub struct ImdbTables {
+    /// Fact table of titles.
+    pub title: Table,
+    /// Cast rows, FK to `title` with Zipf-skewed fanout.
+    pub cast_info: Table,
+    /// Info rows, FK to `title` with (differently) skewed fanout.
+    pub movie_info: Table,
+}
+
+/// Generates the three tables with ~`titles` title rows.
+pub fn generate_imdb(titles: usize, seed: u64) -> ImdbTables {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x494d_4442);
+    let kind = Zipf::new(7, 0.9);
+    let role = Zipf::new(12, 1.1);
+    let info_type = Zipf::new(20, 1.0);
+    // Popularity governs both rating and fanout → cross-table correlation.
+    let popularity: Vec<f64> = (0..titles)
+        .map(|_| normal(&mut rng, 0.0, 1.0))
+        .collect();
+
+    let mut t_id = Vec::with_capacity(titles);
+    let mut t_year = Vec::with_capacity(titles);
+    let mut t_kind = Vec::with_capacity(titles);
+    let mut t_rating = Vec::with_capacity(titles);
+
+    let mut ci_title = Vec::new();
+    let mut ci_role = Vec::new();
+    let mut ci_order = Vec::new();
+
+    let mut mi_title = Vec::new();
+    let mut mi_type = Vec::new();
+    let mut mi_value = Vec::new();
+
+    for id in 0..titles {
+        let pop = popularity[id];
+        let year = (1900.0 + 125.0 * rng.random_range(0.0f64..1.0).powf(0.4)).floor();
+        t_id.push(id as f64);
+        t_year.push(year);
+        t_kind.push(kind.sample(&mut rng) as f64);
+        t_rating.push((6.0 + 1.5 * pop + normal(&mut rng, 0.0, 0.5)).clamp(1.0, 10.0));
+
+        // Skewed fanouts: popular titles get many more cast/info rows.
+        let cast_n = (2.0 * (1.5 * pop).exp()).ceil().clamp(0.0, 60.0) as usize;
+        for ord in 0..cast_n {
+            ci_title.push(id as f64);
+            ci_role.push(role.sample(&mut rng) as f64);
+            ci_order.push(ord as f64);
+        }
+        let info_n = (1.0 * (1.2 * pop).exp()).ceil().clamp(0.0, 40.0) as usize;
+        for _ in 0..info_n {
+            mi_title.push(id as f64);
+            mi_type.push(info_type.sample(&mut rng) as f64);
+            mi_value.push(normal(&mut rng, pop * 10.0, 5.0));
+        }
+    }
+
+    ImdbTables {
+        title: Table::new(
+            "title",
+            vec![
+                Column::new("t_id", ColumnType::Real, t_id),
+                Column::new("t_year", ColumnType::Date, t_year),
+                Column::new("t_kind", ColumnType::Categorical, t_kind),
+                Column::new("t_rating", ColumnType::Real, t_rating),
+            ],
+        ),
+        cast_info: Table::new(
+            "cast_info",
+            vec![
+                Column::new("ci_title", ColumnType::Real, ci_title),
+                Column::new("ci_role", ColumnType::Categorical, ci_role),
+                Column::new("ci_order", ColumnType::Real, ci_order),
+            ],
+        ),
+        movie_info: Table::new(
+            "movie_info",
+            vec![
+                Column::new("mi_title", ColumnType::Real, mi_title),
+                Column::new("mi_type", ColumnType::Categorical, mi_type),
+                Column::new("mi_value", ColumnType::Real, mi_value),
+            ],
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fks_are_valid() {
+        let t = generate_imdb(400, 1);
+        let n = t.title.num_rows() as f64;
+        for &k in t.cast_info.column_by_name("ci_title").values() {
+            assert!(k >= 0.0 && k < n);
+        }
+        for &k in t.movie_info.column_by_name("mi_title").values() {
+            assert!(k >= 0.0 && k < n);
+        }
+    }
+
+    #[test]
+    fn fanout_is_skewed() {
+        let t = generate_imdb(2000, 2);
+        let mut fanout = vec![0usize; 2000];
+        for &k in t.cast_info.column_by_name("ci_title").values() {
+            fanout[k as usize] += 1;
+        }
+        let max = *fanout.iter().max().unwrap();
+        let mean = fanout.iter().sum::<usize>() as f64 / 2000.0;
+        assert!(max as f64 > 5.0 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn rating_correlates_with_fanout() {
+        let t = generate_imdb(3000, 3);
+        let mut fanout = vec![0.0; 3000];
+        for &k in t.cast_info.column_by_name("ci_title").values() {
+            fanout[k as usize] += 1.0;
+        }
+        let rating = t.title.column_by_name("t_rating").values();
+        let n = 3000.0;
+        let mf = fanout.iter().sum::<f64>() / n;
+        let mr = rating.iter().sum::<f64>() / n;
+        let cov: f64 = fanout.iter().zip(rating).map(|(f, r)| (f - mf) * (r - mr)).sum::<f64>() / n;
+        assert!(cov > 0.0, "cov {cov}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_imdb(100, 9);
+        let b = generate_imdb(100, 9);
+        assert_eq!(a.cast_info.num_rows(), b.cast_info.num_rows());
+        assert_eq!(
+            a.title.column_by_name("t_rating").values(),
+            b.title.column_by_name("t_rating").values()
+        );
+    }
+}

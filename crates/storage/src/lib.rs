@@ -1,0 +1,31 @@
+//! In-memory columnar storage and synthetic datasets for the Warper
+//! reproduction.
+//!
+//! The paper evaluates on Higgs, PRSA, Poker (Table 4), TPC-H Lineitem ⋈
+//! Orders (§4.2) and IMDB (join CE, §4.1.2). Those exact files are not
+//! redistributable here, so this crate generates synthetic tables that match
+//! each dataset's published schema (column counts and types), its
+//! distinct-count profile, and — most importantly for cardinality estimation
+//! — non-trivial correlation structure between columns. See DESIGN.md §2 for
+//! the substitution rationale.
+//!
+//! The crate also implements the *data drift* mutators of §4.1.2: appends,
+//! updates, deletes, and the paper's sort-and-truncate drift, together with
+//! the change telemetry (`ChangeLog`) Warper's drift detector consumes.
+
+// Index-based loops are the clearer idiom for the numerical kernels here.
+#![allow(clippy::needless_range_loop)]
+
+pub mod column;
+pub mod csv;
+pub mod datasets;
+pub mod drift;
+pub mod imdb;
+pub mod table;
+pub mod tpch;
+
+pub use column::{Column, ColumnType};
+pub use csv::{read_csv_file, read_csv_str, CsvError};
+pub use datasets::{generate, DatasetKind};
+pub use drift::ChangeLog;
+pub use table::Table;

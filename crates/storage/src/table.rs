@@ -1,0 +1,199 @@
+//! Row-count-consistent collections of columns.
+
+use crate::column::{Column, ColumnType};
+
+/// An in-memory columnar table.
+///
+/// Invariant: all columns have the same length. Mutation goes through the
+/// drift mutators in [`crate::drift`], which maintain the change counters
+/// that Warper's data-drift telemetry reads.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    /// Monotone counter of rows appended/updated/deleted since creation;
+    /// read by [`crate::drift::ChangeLog`].
+    pub(crate) rows_changed: u64,
+}
+
+impl Table {
+    /// Creates a table from columns.
+    ///
+    /// # Panics
+    /// Panics if column lengths differ.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            for c in &columns {
+                assert_eq!(c.len(), first.len(), "column length mismatch in table");
+            }
+        }
+        Self { name: name.into(), columns, rows_changed: 0 }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+
+    /// Column index by name, or `None`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// Column by name.
+    ///
+    /// # Panics
+    /// Panics if absent (table construction is static in this codebase).
+    pub fn column_by_name(&self, name: &str) -> &Column {
+        self.column_index(name)
+            .map(|i| &self.columns[i])
+            .unwrap_or_else(|| panic!("no column named {name:?} in table {:?}", self.name))
+    }
+
+    /// Per-column `(min, max)` domains; empty columns yield `(0, 0)`.
+    pub fn domains(&self) -> Vec<(f64, f64)> {
+        self.columns
+            .iter()
+            .map(|c| c.domain().unwrap_or((0.0, 0.0)))
+            .collect()
+    }
+
+    /// Value at `(row, col)`.
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.columns[col].values()[row]
+    }
+
+    /// One row as an owned vector (slow path; used in tests/debugging).
+    pub fn row(&self, row: usize) -> Vec<f64> {
+        self.columns.iter().map(|c| c.values()[row]).collect()
+    }
+
+    /// Mutable access to the columns for the drift mutators.
+    ///
+    /// Callers must preserve the equal-length invariant and bump
+    /// `rows_changed`; this is `pub(crate)` so only [`crate::drift`] can.
+    pub(crate) fn columns_mut(&mut self) -> &mut Vec<Column> {
+        &mut self.columns
+    }
+
+    /// Summary line in the spirit of paper Table 4 (name, type counts,
+    /// rows, min/median/max distinct counts).
+    pub fn profile(&self) -> TableProfile {
+        let count = |t: ColumnType| self.columns.iter().filter(|c| c.ty() == t).count();
+        let mut distinct: Vec<usize> = self.columns.iter().map(Column::distinct_count).collect();
+        distinct.sort_unstable();
+        let (dmin, dmed, dmax) = if distinct.is_empty() {
+            (0, 0, 0)
+        } else {
+            (distinct[0], distinct[distinct.len() / 2], distinct[distinct.len() - 1])
+        };
+        TableProfile {
+            name: self.name.clone(),
+            date_cols: count(ColumnType::Date),
+            real_cols: count(ColumnType::Real),
+            cat_cols: count(ColumnType::Categorical),
+            rows: self.num_rows(),
+            distinct_min: dmin,
+            distinct_median: dmed,
+            distinct_max: dmax,
+        }
+    }
+}
+
+/// The Table-4-style dataset summary produced by [`Table::profile`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableProfile {
+    /// Table name.
+    pub name: String,
+    /// Number of date columns.
+    pub date_cols: usize,
+    /// Number of real-valued columns.
+    pub real_cols: usize,
+    /// Number of categorical columns.
+    pub cat_cols: usize,
+    /// Row count.
+    pub rows: usize,
+    /// Smallest per-column distinct count.
+    pub distinct_min: usize,
+    /// Median per-column distinct count.
+    pub distinct_median: usize,
+    /// Largest per-column distinct count.
+    pub distinct_max: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("a", ColumnType::Real, vec![1.0, 2.0, 3.0]),
+                Column::new("b", ColumnType::Categorical, vec![0.0, 1.0, 0.0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_cols(), 2);
+        assert_eq!(t.value(1, 0), 2.0);
+        assert_eq!(t.row(2), vec![3.0, 0.0]);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("zzz"), None);
+        assert_eq!(t.column_by_name("a").len(), 3);
+    }
+
+    #[test]
+    fn domains() {
+        let t = table();
+        assert_eq!(t.domains(), vec![(1.0, 3.0), (0.0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn mismatched_columns_panic() {
+        Table::new(
+            "bad",
+            vec![
+                Column::new("a", ColumnType::Real, vec![1.0]),
+                Column::new("b", ColumnType::Real, vec![1.0, 2.0]),
+            ],
+        );
+    }
+
+    #[test]
+    fn profile_counts() {
+        let t = table();
+        let p = t.profile();
+        assert_eq!(p.real_cols, 1);
+        assert_eq!(p.cat_cols, 1);
+        assert_eq!(p.rows, 3);
+        assert_eq!(p.distinct_min, 2);
+        assert_eq!(p.distinct_max, 3);
+    }
+}

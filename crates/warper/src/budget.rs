@@ -1,0 +1,132 @@
+//! Cost budgeting (paper §4.3).
+//!
+//! "Costs in a Warper adaptation step can be summarized as
+//! `c_gen + c_pick + c_gt + c_AE + c_GAN + c_Model ≤ B`. … We use
+//! `c_gt + C ≤ B` as a proxy to the cost, while `C` can be measured by
+//! runtime profiling, and `c_gt` is nearly linear to the number of queries
+//! that need to be labeled `n_a`. … when the budget `B` is less than `C` …
+//! we recommend using FT/MIX that minimizes overhead."
+//!
+//! [`CostBudget::recommend`] turns a measured [`CostProfile`] and the
+//! deployment's arrival rate into that decision, including the largest
+//! affordable `n_g` fraction.
+
+/// Measured per-deployment costs (CPU-seconds on one core).
+#[derive(Debug, Clone, Copy)]
+pub struct CostProfile {
+    /// `c_gt`: seconds to annotate one query (Table 6's "annotation cost").
+    pub annotate_per_query: f64,
+    /// `C`: constant per-period overhead — module updates (`c_AE`/`c_GAN`),
+    /// generation, picking, and the CE-model update.
+    pub constant_per_period: f64,
+}
+
+/// An operator-set budget for one adaptation period.
+#[derive(Debug, Clone, Copy)]
+pub struct CostBudget {
+    /// `B`: CPU-seconds available per adaptation period.
+    pub per_period: f64,
+}
+
+/// The §4.3 recommendation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Recommendation {
+    /// Run full Warper; generate and annotate at most this fraction of
+    /// arrived queries per period (capped at the requested fraction).
+    Warper {
+        /// Largest affordable `n_g / n_t`.
+        max_n_g_frac: f64,
+    },
+    /// `B < C`: even the constant overhead doesn't fit — fall back to
+    /// FT/MIX, which add no extra cost over the model update itself.
+    FtOrMix,
+}
+
+impl CostBudget {
+    /// Decides between full Warper and the FT/MIX fallback for a period in
+    /// which `arrivals` queries are expected, and the caller would like to
+    /// generate `requested_n_g_frac · arrivals` synthetic queries.
+    pub fn recommend(
+        &self,
+        profile: &CostProfile,
+        arrivals: usize,
+        requested_n_g_frac: f64,
+    ) -> Recommendation {
+        if self.per_period < profile.constant_per_period {
+            return Recommendation::FtOrMix;
+        }
+        let for_annotation = self.per_period - profile.constant_per_period;
+        let affordable_queries = if profile.annotate_per_query > 0.0 {
+            for_annotation / profile.annotate_per_query
+        } else {
+            f64::INFINITY
+        };
+        let max_frac = if arrivals == 0 {
+            requested_n_g_frac
+        } else {
+            (affordable_queries / arrivals as f64).min(requested_n_g_frac)
+        };
+        Recommendation::Warper { max_n_g_frac: max_frac.max(0.0) }
+    }
+
+    /// Predicted CPU utilization (fraction of one core) of a Warper period
+    /// under this profile — the quantity Tables 6 and 11 report.
+    pub fn predicted_cpu_fraction(
+        profile: &CostProfile,
+        arrivals: usize,
+        n_g_frac: f64,
+        period_secs: f64,
+    ) -> f64 {
+        let annotated = n_g_frac * arrivals as f64;
+        (profile.constant_per_period + annotated * profile.annotate_per_query)
+            / period_secs.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROFILE: CostProfile = CostProfile {
+        annotate_per_query: 0.01, // PRSA-like (Table 6)
+        constant_per_period: 52.0,
+    };
+
+    #[test]
+    fn below_constant_cost_falls_back() {
+        let b = CostBudget { per_period: 30.0 };
+        assert_eq!(b.recommend(&PROFILE, 360, 0.1), Recommendation::FtOrMix);
+    }
+
+    #[test]
+    fn ample_budget_grants_requested_fraction() {
+        let b = CostBudget { per_period: 120.0 };
+        match b.recommend(&PROFILE, 360, 0.1) {
+            Recommendation::Warper { max_n_g_frac } => {
+                assert!((max_n_g_frac - 0.1).abs() < 1e-12)
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_budget_caps_generation() {
+        // 53s budget leaves 1s for annotation → 100 queries → frac 100/360.
+        let b = CostBudget { per_period: 53.0 };
+        match b.recommend(&PROFILE, 360, 3.0) {
+            Recommendation::Warper { max_n_g_frac } => {
+                assert!((max_n_g_frac - 100.0 / 360.0).abs() < 1e-9, "{max_n_g_frac}")
+            }
+            r => panic!("unexpected {r:?}"),
+        }
+    }
+
+    #[test]
+    fn predicted_cpu_matches_paper_formula() {
+        // 30-minute period, 360 arrivals, n_g = 0.1 → 36 annotations.
+        let cpu = CostBudget::predicted_cpu_fraction(&PROFILE, 360, 0.1, 1800.0);
+        let expect = (52.0 + 36.0 * 0.01) / 1800.0;
+        assert!((cpu - expect).abs() < 1e-12);
+        assert!(cpu < 0.05); // well under the paper's "<1% extra CPU" regime
+    }
+}

@@ -1,0 +1,105 @@
+//! Warper hyperparameters (paper Table 1, Table 3, §3.5, §4.1).
+
+/// All tunables in one place. Defaults follow the paper where it gives
+/// values and are scaled for this reproduction's smaller datasets elsewhere.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct WarperConfig {
+    /// Embedding size `|z|` of the encoder output (Table 3 leaves it free).
+    pub embed_dim: usize,
+    /// Hidden width of `E` and `G` (Table 3 uses 128).
+    pub hidden: usize,
+    /// Iterations of the GAN update loop per invocation (`n_i`; §3.5 uses
+    /// 100 with early stop — the default here is smaller because our
+    /// datasets are smaller).
+    pub n_i: usize,
+    /// Mini-batch size for the internal modules.
+    pub batch: usize,
+    /// Learning rate for `E`, `G`, `D` (§3.5: 1e-3).
+    pub lr: f64,
+    /// Queries generated per step as a fraction of `n_t` (§4.1: Warper
+    /// synthesizes `n_g = 10% n_t`).
+    pub n_g_frac: f64,
+    /// Maximum queries picked for annotation per step (`n_p`; §4.1 uses 1K).
+    pub n_p: usize,
+    /// Annotated queries needed for a robust model (`γ`); estimated offline,
+    /// tuned online (§3.1).
+    pub gamma: usize,
+    /// Initial drift-detection threshold π on δ_m (§3.1).
+    pub pi: f64,
+    /// Multiplier applied to π after an early stop (§3.4).
+    pub pi_backoff: f64,
+    /// Early-stop threshold: stop adapting when the GMQ gain of a step falls
+    /// below this fraction of the current GMQ (§3.4).
+    pub early_stop_gain: f64,
+    /// Fraction of changed rows that flags a data drift (c1).
+    pub data_drift_threshold: f64,
+    /// Number of canary predicates used to confirm data drift (§3.1).
+    pub canaries: usize,
+    /// Relative ground-truth change on a canary that confirms data drift.
+    pub canary_threshold: f64,
+    /// δ_js threshold above which the intrinsic workload-distribution shift
+    /// alone triggers workload-drift handling (§3.1).
+    pub js_threshold: f64,
+    /// Error-quantile buckets for the stratified picker (§3.2's `k`).
+    pub picker_buckets: usize,
+    /// Neighbours for the picker's kNN bucket assignment.
+    pub picker_knn: usize,
+    /// Epochs of auto-encoder pre-training when `I_train` is available
+    /// (§3.5).
+    pub pretrain_epochs: usize,
+}
+
+impl Default for WarperConfig {
+    fn default() -> Self {
+        Self {
+            embed_dim: 16,
+            hidden: 128,
+            n_i: 40,
+            batch: 64,
+            lr: 1e-3,
+            n_g_frac: 0.1,
+            n_p: 1000,
+            gamma: 400,
+            pi: 0.15,
+            pi_backoff: 1.5,
+            early_stop_gain: 0.01,
+            data_drift_threshold: 0.05,
+            canaries: 8,
+            canary_threshold: 0.2,
+            js_threshold: 0.35,
+            picker_buckets: 5,
+            picker_knn: 5,
+            pretrain_epochs: 20,
+        }
+    }
+}
+
+impl WarperConfig {
+    /// `n_g` for a given number of arrived queries; the paper "disables the
+    /// generator when `n_g < 1`" (§4.3 footnote).
+    pub fn n_g(&self, n_t: usize) -> usize {
+        (self.n_g_frac * n_t as f64).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_paper_constants() {
+        let c = WarperConfig::default();
+        assert_eq!(c.hidden, 128);
+        assert_eq!(c.lr, 1e-3);
+        assert_eq!(c.n_g_frac, 0.1);
+        assert_eq!(c.n_p, 1000);
+    }
+
+    #[test]
+    fn n_g_disables_below_one() {
+        let c = WarperConfig::default();
+        assert_eq!(c.n_g(5), 0); // 0.5 → disabled
+        assert_eq!(c.n_g(10), 1);
+        assert_eq!(c.n_g(360), 36);
+    }
+}

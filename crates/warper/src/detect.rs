@@ -1,0 +1,502 @@
+//! Drift detection and mode identification (`det_drft`, paper §3.1).
+//!
+//! The blind trigger is δ_m — the gap between the model's error on newly
+//! arriving queries and its error at training time; Warper adapts only when
+//! δ_m exceeds the threshold π, which itself adapts over time (§3.1, §3.4).
+//! Data drifts (c1) are identified from database telemetry — the fraction
+//! of changed rows — confirmed by canary predicates whose ground truth is
+//! re-checked each period. Workload drifts are split into c2 (too few new
+//! queries), c3 (too few *labeled* new queries) and c4 (adequate both) by
+//! comparing against γ.
+
+use rand::rngs::StdRng;
+use warper_ce::CardinalityEstimator;
+use warper_metrics::{gmq, PAPER_THETA};
+use warper_query::{Annotator, RangePredicate};
+use warper_storage::Table;
+use warper_workload::{QueryGenerator, WorkloadSpec};
+
+use crate::config::WarperConfig;
+
+/// The c1–c4 mode flags of Table 2. More than one can be set at once
+/// (complex drifts, §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriftMode {
+    /// Data drift: labels (including `I_train`'s) are outdated.
+    pub c1: bool,
+    /// Workload drift with inadequate incoming queries (`n_t < γ`).
+    pub c2: bool,
+    /// Workload drift with inadequate labels (`n_a < γ`).
+    pub c3: bool,
+    /// Workload drift with adequate labeled queries.
+    pub c4: bool,
+}
+
+impl DriftMode {
+    /// No drift detected.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True if any flag is set.
+    pub fn any(&self) -> bool {
+        self.c1 || self.c2 || self.c3 || self.c4
+    }
+
+    /// True if generation/picking mitigations are needed (Alg. 1 line 2).
+    pub fn needs_mitigation(&self) -> bool {
+        self.c1 || self.c2 || self.c3
+    }
+}
+
+impl std::fmt::Display for DriftMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.any() {
+            return write!(f, "∅");
+        }
+        let mut parts = Vec::new();
+        if self.c1 {
+            parts.push("c1");
+        }
+        if self.c2 {
+            parts.push("c2");
+        }
+        if self.c3 {
+            parts.push("c3");
+        }
+        if self.c4 {
+            parts.push("c4");
+        }
+        write!(f, "{}", parts.join("|"))
+    }
+}
+
+/// Database telemetry snapshot handed to [`DriftDetector::detect`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataTelemetry {
+    /// Fraction of rows changed since the model was last trained.
+    pub changed_fraction: f64,
+    /// Largest relative ground-truth change observed on a canary predicate.
+    pub canary_max_change: f64,
+}
+
+/// A fixed set of canary predicates whose ground truth is cheap to re-check
+/// and signals data drift (§3.1: "measuring the change in ground truth
+/// cardinality for a few canary predicates").
+#[derive(Debug, Clone)]
+pub struct CanarySet {
+    preds: Vec<RangePredicate>,
+    baseline: Vec<u64>,
+}
+
+impl CanarySet {
+    /// Draws `n` canaries from a w1-style workload over `table` and records
+    /// their current ground truth as the baseline.
+    pub fn new(table: &Table, n: usize, rng: &mut StdRng) -> Self {
+        let spec = WorkloadSpec { min_cols: 1, max_cols: 2, ..Default::default() };
+        let mut gen = QueryGenerator::new(
+            table,
+            warper_workload::Mix::parse("w1").unwrap(),
+            spec,
+        );
+        let preds = gen.generate_many(n, rng);
+        let annotator = Annotator::new();
+        let baseline = preds.iter().map(|p| annotator.count(table, p)).collect();
+        Self { preds, baseline }
+    }
+
+    /// Largest relative change `|new − old| / max(old, 1)` across canaries.
+    pub fn max_relative_change(&self, table: &Table) -> f64 {
+        let annotator = Annotator::new();
+        self.preds
+            .iter()
+            .zip(&self.baseline)
+            .map(|(p, &old)| {
+                let new = annotator.count(table, p);
+                (new as f64 - old as f64).abs() / (old as f64).max(1.0)
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Re-records the current ground truth as the baseline (after the model
+    /// has been adapted to the new data).
+    pub fn rebaseline(&mut self, table: &Table) {
+        let annotator = Annotator::new();
+        self.baseline = self.preds.iter().map(|p| annotator.count(table, p)).collect();
+    }
+
+    /// Number of canaries.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+/// Tracks the intrinsic workload distance δ_js between a reference workload
+/// (the training predicates) and a sliding window of recent arrivals
+/// (§3.1's second drift signal — it needs no cardinality labels, so it keeps
+/// `det_drft` alive even when execution feedback is label-free).
+#[derive(Debug, Clone)]
+pub struct WorkloadDriftTracker {
+    reference: Vec<Vec<f64>>,
+    window: Vec<Vec<f64>>,
+    window_cap: usize,
+    /// PCA dimensions `k` (paper: 10).
+    k: usize,
+    /// Quantization bins per dimension `m` (paper: 3).
+    m: usize,
+}
+
+impl WorkloadDriftTracker {
+    /// Builds a tracker over the training workload's feature vectors.
+    pub fn new(reference: Vec<Vec<f64>>) -> Self {
+        Self { reference, window: Vec::new(), window_cap: 300, k: 10, m: 3 }
+    }
+
+    /// Records newly arrived featurized queries.
+    pub fn observe(&mut self, features: &[Vec<f64>]) {
+        self.window.extend_from_slice(features);
+        let overflow = self.window.len().saturating_sub(self.window_cap);
+        if overflow > 0 {
+            self.window.drain(..overflow);
+        }
+    }
+
+    /// Current δ_js *excess* between the reference and the recent window.
+    ///
+    /// The plug-in JS estimator is biased upward on small samples (two
+    /// same-distribution samples of size n spread over up to mᵏ buckets look
+    /// different), so the raw value is calibrated against a null: δ_js
+    /// between one half of the reference and a window-sized sample of the
+    /// other half. The returned excess is ≈0 for in-distribution arrivals at
+    /// any window size and grows toward the true δ_js under real drift.
+    /// Returns 0 when either side is too small to histogram.
+    pub fn delta_js(&self) -> f64 {
+        if self.reference.len() < 40 || self.window.len() < 20 {
+            return 0.0;
+        }
+        let half = self.reference.len() / 2;
+        let (ref_a, ref_b) = self.reference.split_at(half);
+        // Deterministic stride subsample of ref_b at the window's size, so
+        // the null carries the same sampling noise as the signal.
+        let n = self.window.len().min(ref_b.len());
+        let stride = ref_b.len() / n;
+        let null_sample: Vec<Vec<f64>> =
+            (0..n).map(|i| ref_b[i * stride].clone()).collect();
+        let raw = warper_metrics::delta_js(ref_a, &self.window, self.k, self.m);
+        let null = warper_metrics::delta_js(ref_a, &null_sample, self.k, self.m);
+        (raw - null).max(0.0)
+    }
+
+    /// Number of recent queries currently windowed.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Re-baselines on the current window (after an adaptation converges,
+    /// the new workload becomes the reference).
+    pub fn rebaseline(&mut self) {
+        if !self.window.is_empty() {
+            self.reference = self.window.clone();
+        }
+    }
+}
+
+/// The `det_drft` trigger.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    baseline_gmq: f64,
+    pi: f64,
+    pi_initial: f64,
+    cfg: DetectorConfig,
+}
+
+/// The detector's slice of [`WarperConfig`].
+#[derive(Debug, Clone, Copy)]
+struct DetectorConfig {
+    pi_backoff: f64,
+    data_drift_threshold: f64,
+    canary_threshold: f64,
+    js_threshold: f64,
+}
+
+/// Result of one `det_drft` call.
+#[derive(Debug, Clone, Copy)]
+pub struct Detection {
+    /// The identified mode flags.
+    pub mode: DriftMode,
+    /// The measured accuracy gap δ_m = GMQ(new) − GMQ(baseline).
+    pub delta_m: f64,
+    /// The intrinsic workload distance δ_js (0 when no tracker supplied).
+    pub delta_js: f64,
+}
+
+impl DriftDetector {
+    /// Builds a detector. `baseline_gmq` is the model's error observed
+    /// during training (the reference for δ_m).
+    pub fn new(baseline_gmq: f64, cfg: &WarperConfig) -> Self {
+        Self {
+            baseline_gmq,
+            pi: cfg.pi,
+            pi_initial: cfg.pi,
+            cfg: DetectorConfig {
+                pi_backoff: cfg.pi_backoff,
+                data_drift_threshold: cfg.data_drift_threshold,
+                canary_threshold: cfg.canary_threshold,
+                js_threshold: cfg.js_threshold,
+            },
+        }
+    }
+
+    /// The current threshold π.
+    pub fn pi(&self) -> f64 {
+        self.pi
+    }
+
+    /// The reference GMQ.
+    pub fn baseline_gmq(&self) -> f64 {
+        self.baseline_gmq
+    }
+
+    /// Runs `det_drft`. `recent` are recently arrived queries with labels
+    /// (used to evaluate the model), `telemetry` the data-drift signals,
+    /// `n_t`/`n_a` the arrived/annotated counts since the drift began, and
+    /// `gamma` the robust-model threshold γ.
+    pub fn detect(
+        &self,
+        model: &dyn CardinalityEstimator,
+        recent: &[(Vec<f64>, f64)],
+        telemetry: &DataTelemetry,
+        n_t: usize,
+        n_a: usize,
+        gamma: usize,
+    ) -> Detection {
+        self.detect_with_tracker(model, recent, telemetry, None, n_t, n_a, gamma)
+    }
+
+    /// `det_drft` with the intrinsic δ_js signal: when a workload tracker is
+    /// supplied, a large distribution shift triggers workload-drift handling
+    /// even while δ_m is still starved of labeled evaluations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn detect_with_tracker(
+        &self,
+        model: &dyn CardinalityEstimator,
+        recent: &[(Vec<f64>, f64)],
+        telemetry: &DataTelemetry,
+        tracker: Option<&WorkloadDriftTracker>,
+        n_t: usize,
+        n_a: usize,
+        gamma: usize,
+    ) -> Detection {
+        let delta_m = if recent.is_empty() {
+            0.0
+        } else {
+            let ests: Vec<f64> = recent.iter().map(|(f, _)| model.estimate(f)).collect();
+            let actuals: Vec<f64> = recent.iter().map(|(_, a)| *a).collect();
+            (gmq(&ests, &actuals, PAPER_THETA) - self.baseline_gmq).max(0.0)
+        };
+        let delta_js = tracker.map_or(0.0, WorkloadDriftTracker::delta_js);
+
+        let mut mode = DriftMode::none();
+        // Data drift from telemetry, independent of the accuracy gap (the
+        // bottom line is to re-obtain labels; §3.4).
+        if telemetry.changed_fraction > self.cfg.data_drift_threshold
+            || telemetry.canary_max_change > self.cfg.canary_threshold
+        {
+            mode.c1 = true;
+        }
+        // Workload drift from the blind δ_m trigger, or — when labels are
+        // scarce — from the intrinsic distribution shift.
+        if delta_m > self.pi || delta_js > self.cfg.js_threshold {
+            if n_t < gamma {
+                mode.c2 = true;
+            }
+            if n_a < gamma {
+                mode.c3 = true;
+            }
+            if !mode.c2 && !mode.c3 {
+                mode.c4 = true;
+            }
+        }
+        Detection { mode, delta_m, delta_js }
+    }
+
+    /// After an early stop, raise π so the next invocation "directly uses
+    /// the previous CE model unless a larger drift is observed" (§3.4).
+    pub fn register_early_stop(&mut self) {
+        self.pi *= self.cfg.pi_backoff;
+    }
+
+    /// Resets π (a clearly new drift was confirmed and handled).
+    pub fn reset_pi(&mut self) {
+        self.pi = self.pi_initial;
+    }
+
+    /// Updates the reference GMQ (after the model converged on the new
+    /// workload, its new training error becomes the baseline).
+    pub fn set_baseline_gmq(&mut self, gmq: f64) {
+        self.baseline_gmq = gmq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use warper_ce::{LabeledExample, UpdateKind};
+    use warper_storage::{drift, generate, DatasetKind};
+
+    struct ConstModel(f64);
+    impl CardinalityEstimator for ConstModel {
+        fn feature_dim(&self) -> usize {
+            2
+        }
+        fn estimate(&self, _f: &[f64]) -> f64 {
+            self.0
+        }
+        fn fit(&mut self, _e: &[LabeledExample]) {}
+        fn update(&mut self, _e: &[LabeledExample]) {}
+        fn update_kind(&self) -> UpdateKind {
+            UpdateKind::FineTune
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    fn detector() -> DriftDetector {
+        DriftDetector::new(2.0, &WarperConfig::default())
+    }
+
+    #[test]
+    fn no_drift_when_model_accurate() {
+        let d = detector();
+        let model = ConstModel(100.0);
+        let recent = vec![(vec![0.0, 0.0], 100.0); 10];
+        let det = d.detect(&model, &recent, &DataTelemetry::default(), 1000, 1000, 400);
+        assert!(!det.mode.any(), "{}", det.mode);
+        assert_eq!(det.delta_m, 0.0);
+    }
+
+    #[test]
+    fn workload_drift_modes() {
+        let d = detector();
+        let model = ConstModel(100.0);
+        // Actual cardinality 10000 → q-error 100, δ_m = 98 > π.
+        let recent = vec![(vec![0.0, 0.0], 10_000.0); 10];
+        // Few queries, few labels → c2|c3.
+        let det = d.detect(&model, &recent, &DataTelemetry::default(), 50, 10, 400);
+        assert!(det.mode.c2 && det.mode.c3 && !det.mode.c4);
+        // Many queries, few labels → c3 only.
+        let det = d.detect(&model, &recent, &DataTelemetry::default(), 1000, 10, 400);
+        assert!(!det.mode.c2 && det.mode.c3);
+        // Adequate both → c4.
+        let det = d.detect(&model, &recent, &DataTelemetry::default(), 1000, 1000, 400);
+        assert!(det.mode.c4 && !det.mode.c2 && !det.mode.c3);
+        assert!(det.delta_m > 90.0);
+    }
+
+    #[test]
+    fn data_drift_from_telemetry() {
+        let d = detector();
+        let model = ConstModel(100.0);
+        let telemetry = DataTelemetry { changed_fraction: 0.3, canary_max_change: 0.0 };
+        let det = d.detect(&model, &[], &telemetry, 0, 0, 400);
+        assert!(det.mode.c1);
+        assert!(!det.mode.c2 && !det.mode.c3 && !det.mode.c4);
+    }
+
+    #[test]
+    fn pi_backoff_suppresses_retrigger() {
+        // Pin π explicitly so the test is independent of the default.
+        let cfg = WarperConfig { pi: 0.5, pi_backoff: 1.5, ..Default::default() };
+        let mut d = DriftDetector::new(2.0, &cfg);
+        let model = ConstModel(100.0);
+        let recent = vec![(vec![0.0, 0.0], 280.0); 10]; // q-error 2.8, δ_m = 0.8
+        assert!(d.detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400).mode.any());
+        d.register_early_stop(); // π → 0.75
+        assert!(d.detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400).mode.any());
+        d.register_early_stop(); // π → 1.125 > 0.8
+        assert!(!d.detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400).mode.any());
+        d.reset_pi();
+        assert!(d.detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400).mode.any());
+    }
+
+    #[test]
+    fn canaries_detect_sort_truncate_drift() {
+        let mut table = generate(DatasetKind::Prsa, 3_000, 31);
+        let mut rng = StdRng::seed_from_u64(32);
+        let canaries = CanarySet::new(&table, 8, &mut rng);
+        assert_eq!(canaries.len(), 8);
+        assert!(canaries.max_relative_change(&table) < 1e-9);
+        drift::sort_and_truncate_half(&mut table, 1);
+        assert!(canaries.max_relative_change(&table) > 0.2);
+        let mut canaries = canaries;
+        canaries.rebaseline(&table);
+        assert!(canaries.max_relative_change(&table) < 1e-9);
+    }
+
+    #[test]
+    fn workload_tracker_detects_distribution_shift() {
+        let reference: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![0.2 + 0.001 * (i % 10) as f64; 6])
+            .collect();
+        let mut tracker = WorkloadDriftTracker::new(reference);
+        assert_eq!(tracker.delta_js(), 0.0, "empty window");
+        // Same-distribution arrivals: small δ_js.
+        let same: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![0.2 + 0.001 * (i % 7) as f64; 6])
+            .collect();
+        tracker.observe(&same);
+        let d_same = tracker.delta_js();
+        // Shifted arrivals displace the window: δ_js rises.
+        let shifted: Vec<Vec<f64>> = (0..300).map(|_| vec![0.9; 6]).collect();
+        tracker.observe(&shifted);
+        let d_shift = tracker.delta_js();
+        assert!(d_shift > 0.5, "shifted δ_js {d_shift}");
+        assert!(d_shift > d_same + 0.2, "same {d_same} vs shifted {d_shift}");
+        // Rebaselining on the new workload zeroes the signal again.
+        tracker.rebaseline();
+        assert!(tracker.delta_js() < 0.1);
+    }
+
+    #[test]
+    fn tracker_triggers_detection_without_labels() {
+        let d = detector();
+        let model = ConstModel(100.0);
+        let reference: Vec<Vec<f64>> = (0..100).map(|_| vec![0.1; 4]).collect();
+        let mut tracker = WorkloadDriftTracker::new(reference);
+        tracker.observe(&(0..100).map(|_| vec![0.9; 4]).collect::<Vec<_>>());
+        // No labeled evaluations at all — δ_m is 0 — yet the intrinsic
+        // distribution shift triggers workload-drift handling.
+        let det = d.detect_with_tracker(
+            &model,
+            &[],
+            &DataTelemetry::default(),
+            Some(&tracker),
+            50,
+            0,
+            400,
+        );
+        assert!(det.mode.c2 && det.mode.c3, "{}", det.mode);
+        assert!(det.delta_js > 0.5);
+        assert_eq!(det.delta_m, 0.0);
+    }
+
+    #[test]
+    fn mode_display() {
+        let mut m = DriftMode::none();
+        assert_eq!(m.to_string(), "∅");
+        m.c1 = true;
+        m.c2 = true;
+        assert_eq!(m.to_string(), "c1|c2");
+        assert!(m.needs_mitigation());
+        let c4 = DriftMode { c4: true, ..DriftMode::none() };
+        assert!(!c4.needs_mitigation());
+        assert!(c4.any());
+    }
+}

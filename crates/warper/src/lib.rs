@@ -1,0 +1,49 @@
+//! Warper — the paper's core system (§3).
+//!
+//! Warper sits next to a black-box learned cardinality-estimation model and
+//! accelerates its adaptation to data and workload drifts. Its pieces map
+//! one-to-one onto the paper's Figure 4 architecture:
+//!
+//! * [`pool::QueryPool`] — the in-memory store of `(q, gt, z, l, l', s')`
+//!   records;
+//! * [`encoder::Encoder`] — `E`, embedding predicates (plus their labels,
+//!   when available) into a compact space `z`;
+//! * [`gan`] — the generator `G` and discriminator `D`, trained either as an
+//!   auto-encoder (`update_AutoEncoder`, drifts c1/c3) or as a three-class
+//!   GAN (`update_MultiTask`, drift c2);
+//! * [`picker::Picker`] — `P`, choosing which queries to annotate: weighted
+//!   sampling over synthetic queries by discriminator confidence (c2) or
+//!   error-stratified sampling (c1/c3), plus the random/entropy ablations of
+//!   §4.3;
+//! * [`detect::DriftDetector`] — `det_drft`, the δ_m trigger with adaptive
+//!   threshold π, data-drift telemetry + canary checks, and the c1–c4 mode
+//!   flags;
+//! * [`controller::WarperController`] — Algorithm 1, wiring the above
+//!   together with early stopping and online γ tuning;
+//! * [`baselines`] — FT, RT, MIX, AUG and HEM under the same
+//!   [`baselines::AdaptStrategy`] interface, so every experiment compares
+//!   strategies on identical inputs;
+//! * [`runner`] — the shared experiment driver: test periods, arrival
+//!   simulation, checkpoint evaluation, adaptation curves.
+
+pub mod baselines;
+pub mod budget;
+pub mod config;
+pub mod controller;
+pub mod detect;
+pub mod encoder;
+pub mod gamma;
+pub mod gan;
+pub mod parallel;
+pub mod persist;
+pub mod picker;
+pub mod pool;
+pub mod runner;
+
+pub use baselines::{AdaptStrategy, ArrivedQuery, StepReport};
+pub use budget::{CostBudget, CostProfile, Recommendation};
+pub use config::WarperConfig;
+pub use controller::WarperController;
+pub use detect::{DriftDetector, DriftMode, WorkloadDriftTracker};
+pub use gamma::{estimate_gamma, GammaEstimate};
+pub use pool::{QueryPool, Source};

@@ -1,0 +1,120 @@
+//! Parallel experiment execution.
+//!
+//! Every (strategy × seed) run in an experiment is independent — same table,
+//! same drift, byte-identical workload replays — so the comparison benches
+//! can fan runs out across cores. Results are collected under a
+//! `parking_lot` mutex and returned in submission order.
+
+use parking_lot::Mutex;
+
+use crate::runner::{run_single_table, DriftSetup, ModelKind, RunResult, RunnerConfig, StrategyKind};
+use warper_storage::Table;
+
+/// One unit of parallel work.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSpec {
+    /// CE model to adapt.
+    pub model: ModelKind,
+    /// Adaptation strategy.
+    pub strategy: StrategyKind,
+    /// Seed override (replay identity).
+    pub seed: u64,
+}
+
+/// Runs all `specs` against the same table and drift, in parallel across up
+/// to `threads` workers. Results come back in `specs` order.
+pub fn run_parallel(
+    table: &Table,
+    setup: &DriftSetup,
+    specs: &[RunSpec],
+    base_cfg: &RunnerConfig,
+    threads: usize,
+) -> Vec<RunResult> {
+    if specs.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(specs.len());
+    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; specs.len()]);
+    let next: Mutex<usize> = Mutex::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = {
+                    let mut guard = next.lock();
+                    if *guard >= specs.len() {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let spec = specs[i];
+                let cfg = RunnerConfig { seed: spec.seed, ..*base_cfg };
+                let result = run_single_table(table, setup, spec.model, spec.strategy, &cfg);
+                results.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("parallel runner worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all runs completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WarperConfig;
+    use warper_storage::{generate, DatasetKind};
+    use warper_workload::ArrivalProcess;
+
+    fn tiny_cfg() -> RunnerConfig {
+        RunnerConfig {
+            n_train: 200,
+            n_test: 50,
+            checkpoints: 2,
+            arrival: ArrivalProcess { rate_per_sec: 0.1, period_secs: 400.0 },
+            arrivals_labeled: true,
+            seed: 0,
+            warper: WarperConfig {
+                embed_dim: 6,
+                hidden: 24,
+                n_i: 5,
+                pretrain_epochs: 2,
+                gamma: 80,
+                n_p: 40,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let table = generate(DatasetKind::Poker, 1_500, 9);
+        let setup = DriftSetup::Workload { train: "w1".into(), new: "w5".into() };
+        let specs = [
+            RunSpec { model: ModelKind::LmMlp, strategy: StrategyKind::Ft, seed: 3 },
+            RunSpec { model: ModelKind::LmMlp, strategy: StrategyKind::Warper, seed: 3 },
+            RunSpec { model: ModelKind::LmMlp, strategy: StrategyKind::Ft, seed: 4 },
+        ];
+        let parallel = run_parallel(&table, &setup, &specs, &tiny_cfg(), 3);
+        assert_eq!(parallel.len(), 3);
+        for (spec, res) in specs.iter().zip(&parallel) {
+            let cfg = RunnerConfig { seed: spec.seed, ..tiny_cfg() };
+            let seq = run_single_table(&table, &setup, spec.model, spec.strategy, &cfg);
+            assert_eq!(seq.curve.points(), res.curve.points(), "{}", res.strategy);
+            assert_eq!(seq.strategy, res.strategy);
+        }
+    }
+
+    #[test]
+    fn empty_specs_is_noop() {
+        let table = generate(DatasetKind::Poker, 500, 9);
+        let setup = DriftSetup::Workload { train: "w1".into(), new: "w5".into() };
+        assert!(run_parallel(&table, &setup, &[], &tiny_cfg(), 4).is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Warper state persistence.
+//!
+//! A deployed Warper outlives process restarts: the query pool, the
+//! pre-trained/adapted `E`/`G`/`D` networks, the tuned γ, and the adaptive
+//! threshold π are all state worth carrying over (re-pre-training `E`/`G`
+//! costs the one-time build of §3.5). [`WarperState`] is a
+//! serde-serializable snapshot of everything except transients (optimizer
+//! moments, RNG position, the rolling evaluation window).
+
+use serde::{Deserialize, Serialize};
+use warper_nn::Mlp;
+
+use crate::config::WarperConfig;
+use crate::controller::WarperController;
+use crate::encoder::Encoder;
+use crate::pool::QueryPool;
+
+/// A snapshot of a [`WarperController`].
+#[derive(Serialize, Deserialize, Clone)]
+pub struct WarperState {
+    /// Configuration.
+    pub cfg: WarperConfig,
+    /// The query pool, including labels and source tags.
+    pub pool: QueryPool,
+    /// The encoder `E`.
+    pub encoder: Encoder,
+    /// The generator `G`.
+    pub generator: Mlp,
+    /// The discriminator `D`.
+    pub discriminator: Mlp,
+    /// Reference GMQ for the δ_m trigger.
+    pub baseline_gmq: f64,
+    /// The (possibly tuned) γ.
+    pub gamma: usize,
+    /// RNG seed for the restored controller.
+    pub seed: u64,
+}
+
+impl WarperController {
+    /// Snapshots the controller for persistence. Canonicalization hooks are
+    /// not serializable; reinstall one with
+    /// [`WarperController::with_canonicalizer`] after restoring.
+    pub fn to_state(&self) -> WarperState {
+        let (generator, discriminator) = self.gan_parts();
+        WarperState {
+            cfg: *self.config(),
+            pool: self.pool().clone(),
+            encoder: self.encoder_snapshot(),
+            generator,
+            discriminator,
+            baseline_gmq: self.detector().baseline_gmq(),
+            gamma: self.gamma(),
+            seed: self.seed(),
+        }
+    }
+
+    /// Restores a controller from a snapshot (fresh optimizer state and
+    /// drift counters; the detector restarts at the configured π).
+    pub fn from_state(state: WarperState) -> Self {
+        WarperController::restore(
+            state.cfg,
+            state.pool,
+            state.encoder,
+            state.generator,
+            state.discriminator,
+            state.baseline_gmq,
+            state.gamma,
+            state.seed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::ArrivedQuery;
+    use crate::detect::DataTelemetry;
+    use warper_ce::{CardinalityEstimator, LabeledExample, UpdateKind};
+
+    struct ToyModel;
+    impl CardinalityEstimator for ToyModel {
+        fn feature_dim(&self) -> usize {
+            4
+        }
+        fn estimate(&self, f: &[f64]) -> f64 {
+            1000.0 * (0.1 + f[0])
+        }
+        fn fit(&mut self, _e: &[LabeledExample]) {}
+        fn update(&mut self, _e: &[LabeledExample]) {}
+        fn update_kind(&self) -> UpdateKind {
+            UpdateKind::FineTune
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+
+    fn training_set() -> Vec<(Vec<f64>, f64)> {
+        (0..50).map(|i| (vec![0.2 + 0.001 * (i % 7) as f64; 4], 300.0)).collect()
+    }
+
+    #[test]
+    fn state_roundtrips_through_json() {
+        let cfg = WarperConfig {
+            embed_dim: 6,
+            hidden: 24,
+            n_i: 8,
+            pretrain_epochs: 3,
+            ..Default::default()
+        };
+        let mut ctl = WarperController::new(4, &training_set(), 1.5, cfg, 42);
+        // Drive one invocation so the pool has new + generated records.
+        let arrived: Vec<ArrivedQuery> = (0..40)
+            .map(|i| ArrivedQuery {
+                features: vec![0.8 + 0.001 * (i % 5) as f64; 4],
+                gt: Some(90_000.0),
+            })
+            .collect();
+        let mut model = ToyModel;
+        ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
+            vec![90_000.0; qs.len()]
+        });
+
+        let json = serde_json::to_string(&ctl.to_state()).unwrap();
+        let restored = WarperController::from_state(serde_json::from_str(&json).unwrap());
+        assert_eq!(restored.pool().len(), ctl.pool().len());
+        assert_eq!(restored.gamma(), ctl.gamma());
+        assert_eq!(
+            restored.detector().baseline_gmq(),
+            ctl.detector().baseline_gmq()
+        );
+        // The restored encoder produces identical embeddings.
+        let q = vec![0.5; 4];
+        assert_eq!(
+            restored.encoder_snapshot().embed(&q, Some(10.0)),
+            ctl.encoder_snapshot().embed(&q, Some(10.0))
+        );
+    }
+
+    #[test]
+    fn restored_controller_keeps_adapting() {
+        let cfg = WarperConfig {
+            embed_dim: 6,
+            hidden: 24,
+            n_i: 8,
+            pretrain_epochs: 3,
+            gamma: 100,
+            ..Default::default()
+        };
+        let ctl = WarperController::new(4, &training_set(), 1.5, cfg, 7);
+        let mut restored = WarperController::from_state(ctl.to_state());
+        let arrived: Vec<ArrivedQuery> = (0..40)
+            .map(|_| ArrivedQuery { features: vec![0.9; 4], gt: Some(50_000.0) })
+            .collect();
+        let mut model = ToyModel;
+        let report = restored.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
+            vec![50_000.0; qs.len()]
+        });
+        assert!(report.mode.any(), "restored controller must still detect drift");
+    }
+}

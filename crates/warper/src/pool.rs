@@ -1,0 +1,273 @@
+//! The query pool (paper §3.2).
+//!
+//! "The query pool maintains tuples of `(q, gt, z, l, l', s')` wherein `q`
+//! is a predicate with ground truth cardinality `gt` and `l` denotes the
+//! source of the predicate — a prior training workload (`l = train`), the
+//! new workload (`l = new`) or synthesized (`l = gen`)." The other fields
+//! are filled in by the Warper components: the encoder writes `z`, the
+//! discriminator writes the predicted source `l'` and its confidence `s'`,
+//! and the annotator writes `gt`.
+
+/// The source label `l` of a pool record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Source {
+    /// From the original training workload `I_train`.
+    Train,
+    /// Newly arrived from the live workload.
+    New,
+    /// Synthesized by the generator.
+    Gen,
+}
+
+impl Source {
+    /// Class index used by the three-class discriminator (§3.3).
+    pub fn class_index(&self) -> usize {
+        match self {
+            Source::Gen => 0,
+            Source::New => 1,
+            Source::Train => 2,
+        }
+    }
+
+    /// Inverse of [`Source::class_index`].
+    pub fn from_class_index(i: usize) -> Source {
+        match i {
+            0 => Source::Gen,
+            1 => Source::New,
+            _ => Source::Train,
+        }
+    }
+}
+
+/// One pool record.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PoolRecord {
+    /// The featurized predicate `q` (model-input features).
+    pub features: Vec<f64>,
+    /// Ground-truth cardinality; `None` when not (yet) annotated — the
+    /// paper writes this as `gt = -1`.
+    pub gt: Option<f64>,
+    /// Encoder embedding `z`, refreshed each invocation.
+    pub z: Option<Vec<f64>>,
+    /// Source label `l`.
+    pub source: Source,
+    /// Discriminator's predicted source `l'`.
+    pub predicted: Option<Source>,
+    /// Discriminator confidence `s'` — here, the softmax probability that
+    /// the record belongs to the *new* workload, which is what the c2
+    /// picker weights by.
+    pub score: Option<f64>,
+    /// Entropy of the discriminator's class distribution; used only by the
+    /// entropy-picker ablation of §4.3.
+    pub entropy: Option<f64>,
+    /// True when `gt` was computed before the latest data drift and is
+    /// therefore stale (drift c1 marks all labels outdated).
+    pub gt_stale: bool,
+}
+
+impl PoolRecord {
+    /// A fresh record with only `q`, `gt` and `l` set.
+    pub fn new(features: Vec<f64>, gt: Option<f64>, source: Source) -> Self {
+        Self {
+            features,
+            gt,
+            z: None,
+            source,
+            predicted: None,
+            score: None,
+            entropy: None,
+            gt_stale: false,
+        }
+    }
+
+    /// True if the record has a usable (present and not stale) label.
+    pub fn labeled(&self) -> bool {
+        self.gt.is_some() && !self.gt_stale
+    }
+}
+
+/// The in-memory query pool.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct QueryPool {
+    records: Vec<PoolRecord>,
+}
+
+impl QueryPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Initializes the pool from the original training workload: "for each
+    /// `(q, gt)` tuple in `I_train`, Warper creates a record ... with
+    /// `l = train` and empty values for `z, l', s'`" (§3.2).
+    pub fn from_training_set(examples: &[(Vec<f64>, f64)]) -> Self {
+        let records = examples
+            .iter()
+            .map(|(f, gt)| PoolRecord::new(f.clone(), Some(*gt), Source::Train))
+            .collect();
+        Self { records }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: PoolRecord) {
+        self.records.push(record);
+    }
+
+    /// Appends newly arrived queries (with labels when available).
+    pub fn append_new(&mut self, arrived: &[(Vec<f64>, Option<f64>)]) {
+        for (f, gt) in arrived {
+            self.push(PoolRecord::new(f.clone(), *gt, Source::New));
+        }
+    }
+
+    /// Appends generated queries (always unlabeled, `gt = -1` in the paper).
+    pub fn append_gen(&mut self, features: Vec<Vec<f64>>) {
+        for f in features {
+            self.push(PoolRecord::new(f, None, Source::Gen));
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the pool holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[PoolRecord] {
+        &self.records
+    }
+
+    /// Mutable records (the components update `z`, `l'`, `s'`, `gt`).
+    pub fn records_mut(&mut self) -> &mut [PoolRecord] {
+        &mut self.records
+    }
+
+    /// Record indices with the given source.
+    pub fn indices_of(&self, source: Source) -> Vec<usize> {
+        (0..self.records.len())
+            .filter(|&i| self.records[i].source == source)
+            .collect()
+    }
+
+    /// Count of records with the given source.
+    pub fn count_of(&self, source: Source) -> usize {
+        self.records.iter().filter(|r| r.source == source).count()
+    }
+
+    /// Count of records with usable labels, optionally restricted to one
+    /// source.
+    pub fn labeled_count(&self, source: Option<Source>) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.labeled() && source.is_none_or(|s| r.source == s))
+            .count()
+    }
+
+    /// Marks every label stale — a data drift invalidates all ground truth
+    /// including `I_train`'s (§3.1: "the cardinality labels for all queries
+    /// ... may be outdated").
+    pub fn mark_all_stale(&mut self) {
+        for r in &mut self.records {
+            if r.gt.is_some() {
+                r.gt_stale = true;
+            }
+        }
+    }
+
+    /// Labeled `(features, card)` pairs for model updates, optionally
+    /// restricted to the given sources.
+    pub fn labeled_examples(&self, sources: &[Source]) -> Vec<(Vec<f64>, f64)> {
+        self.records
+            .iter()
+            .filter(|r| r.labeled() && sources.contains(&r.source))
+            .map(|r| (r.features.clone(), r.gt.unwrap()))
+            .collect()
+    }
+
+    /// Drops generated records (used between periods so synthetic queries
+    /// from an old drift do not pollute the next one).
+    pub fn clear_generated(&mut self) {
+        self.records.retain(|r| r.source != Source::Gen);
+    }
+
+    /// Re-labels all `New` records as `Train` — after a drift has been fully
+    /// adapted to, the "new" workload becomes the status quo.
+    pub fn promote_new_to_train(&mut self) {
+        for r in &mut self.records {
+            if r.source == Source::New {
+                r.source = Source::Train;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_pool() -> QueryPool {
+        let mut p = QueryPool::from_training_set(&[
+            (vec![0.1, 0.2], 100.0),
+            (vec![0.3, 0.4], 200.0),
+        ]);
+        p.append_new(&[(vec![0.5, 0.6], Some(50.0)), (vec![0.7, 0.8], None)]);
+        p.append_gen(vec![vec![0.9, 1.0]]);
+        p
+    }
+
+    #[test]
+    fn sources_and_counts() {
+        let p = example_pool();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.count_of(Source::Train), 2);
+        assert_eq!(p.count_of(Source::New), 2);
+        assert_eq!(p.count_of(Source::Gen), 1);
+        assert_eq!(p.labeled_count(None), 3);
+        assert_eq!(p.labeled_count(Some(Source::New)), 1);
+    }
+
+    #[test]
+    fn class_index_roundtrip() {
+        for s in [Source::Train, Source::New, Source::Gen] {
+            assert_eq!(Source::from_class_index(s.class_index()), s);
+        }
+    }
+
+    #[test]
+    fn stale_labels_excluded() {
+        let mut p = example_pool();
+        p.mark_all_stale();
+        assert_eq!(p.labeled_count(None), 0);
+        assert!(p.labeled_examples(&[Source::Train, Source::New]).is_empty());
+        // Re-annotation clears staleness.
+        let r = &mut p.records_mut()[0];
+        r.gt = Some(120.0);
+        r.gt_stale = false;
+        assert_eq!(p.labeled_count(None), 1);
+    }
+
+    #[test]
+    fn labeled_examples_filters_sources() {
+        let p = example_pool();
+        let train_only = p.labeled_examples(&[Source::Train]);
+        assert_eq!(train_only.len(), 2);
+        let new_only = p.labeled_examples(&[Source::New]);
+        assert_eq!(new_only, vec![(vec![0.5, 0.6], 50.0)]);
+    }
+
+    #[test]
+    fn clear_and_promote() {
+        let mut p = example_pool();
+        p.clear_generated();
+        assert_eq!(p.count_of(Source::Gen), 0);
+        p.promote_new_to_train();
+        assert_eq!(p.count_of(Source::New), 0);
+        assert_eq!(p.count_of(Source::Train), 4);
+    }
+}

@@ -1,0 +1,606 @@
+//! The shared experiment driver (§4.1's evaluation method).
+//!
+//! One run: train a CE model on `I_train` drawn from the *training*
+//! workload, apply a drift (workload change, data change, or both), then
+//! replay a fixed test period during which queries arrive at a constant
+//! rate; at each checkpoint (0%, 20%, …, 100% of the period) the adaptation
+//! strategy consumes the newly arrived queries and the model's GMQ is
+//! measured on a held-out test set from the *new* workload. The output is
+//! an [`AdaptationCurve`] plus the cost counters behind Tables 6 and 11.
+//!
+//! All strategies replay byte-identical workloads (same seeds), so curves
+//! are directly comparable.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_ce::lm::{KrrVariant, LmGbt, LmKrr, LmMlp, LmMlpParams};
+use warper_ce::mscn::{Mscn, MscnFeaturizer};
+use warper_ce::{CardinalityEstimator, LabeledExample};
+use warper_metrics::{delta_js, gmq, AdaptationCurve, PAPER_THETA};
+use warper_nn::GbtParams;
+use warper_query::{Annotator, Featurizer, RangePredicate};
+use warper_storage::drift as data_drift;
+use warper_storage::{ChangeLog, Table};
+use warper_workload::{ArrivalProcess, QueryGenerator};
+
+use crate::baselines::{
+    AdaptStrategy, ArrivedQuery, AugStrategy, FineTuneStrategy, HemStrategy, MixStrategy,
+};
+use crate::config::WarperConfig;
+use crate::controller::{CanonicalizeFn, GenKind, WarperController, WarperStrategy};
+use crate::detect::{CanarySet, DataTelemetry};
+use crate::picker::PickerKind;
+
+/// Which CE model a run adapts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// LM with an MLP (fine-tunes).
+    LmMlp,
+    /// LM with gradient-boosted trees (re-trains).
+    LmGbt,
+    /// LM with a degree-5 polynomial kernel (re-trains).
+    LmPly,
+    /// LM with an RBF kernel (re-trains).
+    LmRbf,
+    /// MSCN, single-table configuration (fine-tunes).
+    Mscn,
+}
+
+impl ModelKind {
+    /// Name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::LmMlp => "LM-mlp",
+            ModelKind::LmGbt => "LM-gbt",
+            ModelKind::LmPly => "LM-ply",
+            ModelKind::LmRbf => "LM-rbf",
+            ModelKind::Mscn => "MSCN",
+        }
+    }
+}
+
+/// Which adaptation strategy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Fine-tuning / re-training (the reference).
+    Ft,
+    /// FT + original-workload mixing.
+    Mix,
+    /// Gaussian-noise augmentation.
+    Aug,
+    /// Hard example mining.
+    Hem,
+    /// Full Warper.
+    Warper,
+    /// Warper with an ablated picker or generator (§4.3).
+    WarperAblated {
+        /// Picker policy.
+        picker: PickerKind,
+        /// Generator kind.
+        gen: GenKind,
+    },
+}
+
+impl StrategyKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StrategyKind::Ft => "FT",
+            StrategyKind::Mix => "MIX",
+            StrategyKind::Aug => "AUG",
+            StrategyKind::Hem => "HEM",
+            StrategyKind::Warper => "Warper",
+            StrategyKind::WarperAblated { picker: PickerKind::Random, .. } => "Warper(P→rnd)",
+            StrategyKind::WarperAblated { picker: PickerKind::Entropy, .. } => "Warper(P→ent)",
+            StrategyKind::WarperAblated { gen: GenKind::Noise, .. } => "Warper(G→AUG)",
+            StrategyKind::WarperAblated { .. } => "Warper(abl)",
+        }
+    }
+}
+
+/// The drift a run applies between training and the test period.
+#[derive(Debug, Clone)]
+pub enum DriftSetup {
+    /// Workload drift (c2/c3/c4): train on `train` mix, drift to `new` mix.
+    Workload {
+        /// Training-workload notation, e.g. `"w12"`.
+        train: String,
+        /// New-workload notation, e.g. `"w345"`.
+        new: String,
+    },
+    /// Data drift (c1): workload stays `workload`; the table is mutated.
+    Data {
+        /// The (unchanged) workload notation.
+        workload: String,
+        /// The mutation applied to the table.
+        kind: DataDriftKind,
+    },
+    /// Combined drift: both of the above (Figure 2c, §4.2 Drift C).
+    Combined {
+        /// Training-workload notation.
+        train: String,
+        /// New-workload notation.
+        new: String,
+        /// The data mutation.
+        kind: DataDriftKind,
+    },
+}
+
+/// Concrete data mutations (paper §2's inserts/updates/deletes and §4.1.2's
+/// sort-and-truncate).
+#[derive(Debug, Clone, Copy)]
+pub enum DataDriftKind {
+    /// Sort by `col`, truncate to half (§4.1.2).
+    SortTruncate {
+        /// Column to sort by.
+        col: usize,
+    },
+    /// Append `frac`×rows near existing rows.
+    Append {
+        /// Fraction of current rows to append.
+        frac: f64,
+    },
+    /// Update `frac` of rows.
+    Update {
+        /// Fraction of rows to update in place.
+        frac: f64,
+    },
+}
+
+impl DataDriftKind {
+    /// Applies the mutation.
+    pub fn apply(&self, table: &mut Table, rng: &mut StdRng) {
+        match *self {
+            DataDriftKind::SortTruncate { col } => data_drift::sort_and_truncate_half(table, col),
+            DataDriftKind::Append { frac } => {
+                let extra = (table.num_rows() as f64 * frac) as usize;
+                data_drift::append_rows(table, extra, 0.05, rng);
+            }
+            DataDriftKind::Update { frac } => data_drift::update_rows(table, frac, 0.3, rng),
+        }
+    }
+}
+
+/// Run-shape parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// |I_train|.
+    pub n_train: usize,
+    /// Held-out test queries from the new workload.
+    pub n_test: usize,
+    /// Number of adaptation checkpoints (the paper evaluates at 0–100% in
+    /// 20% steps → 5).
+    pub checkpoints: usize,
+    /// Arrival process for the test period.
+    pub arrival: ArrivalProcess,
+    /// Whether arrived queries carry labels (true for c2/c4; false for c3
+    /// and data-drift runs, where annotation is the bottleneck).
+    pub arrivals_labeled: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Warper configuration.
+    pub warper: WarperConfig,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            n_train: 1200,
+            n_test: 200,
+            checkpoints: 10,
+            arrival: ArrivalProcess::paper_default(),
+            arrivals_labeled: true,
+            seed: 7,
+            warper: WarperConfig::default(),
+        }
+    }
+}
+
+/// Everything one run produced.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Strategy name.
+    pub strategy: String,
+    /// Model name.
+    pub model: String,
+    /// GMQ as a function of queries consumed from the new workload.
+    pub curve: AdaptationCurve,
+    /// δ_m: drift-time GMQ minus baseline GMQ.
+    pub delta_m: f64,
+    /// δ_js between the training and new workloads.
+    pub delta_js: f64,
+    /// Model GMQ before the drift (α's floor; baseline on train workload).
+    pub baseline_gmq: f64,
+    /// Queries annotated during adaptation (excludes execution feedback).
+    pub annotated_total: usize,
+    /// Synthetic queries generated.
+    pub generated_total: usize,
+    /// Wall-clock seconds in the annotator.
+    pub annotate_secs: f64,
+    /// Wall-clock seconds in the strategy (model + module updates),
+    /// excluding annotation.
+    pub adapt_secs: f64,
+    /// Seconds to build/pre-train the strategy (Warper's one-time cost).
+    pub build_secs: f64,
+}
+
+/// Builds a CE model for a feature dimension.
+pub fn build_model(kind: ModelKind, feature_dim: usize, seed: u64) -> Box<dyn CardinalityEstimator> {
+    match kind {
+        ModelKind::LmMlp => Box::new(LmMlp::new(feature_dim, LmMlpParams::default(), seed)),
+        ModelKind::LmGbt => Box::new(LmGbt::new(
+            feature_dim,
+            GbtParams { n_trees: 120, learning_rate: 0.1, ..Default::default() },
+        )),
+        ModelKind::LmPly => Box::new(LmKrr::new(feature_dim, KrrVariant::Poly, seed)),
+        ModelKind::LmRbf => Box::new(LmKrr::new(feature_dim, KrrVariant::Rbf, seed)),
+        ModelKind::Mscn => {
+            // Single-table MSCN; the feature map below uses featurize_single.
+            unreachable!("MSCN models are built by the runner with their featurizer")
+        }
+    }
+}
+
+/// Builds an adaptation strategy. `make_canon` produces the
+/// feature-canonicalization hook installed on every strategy that
+/// synthesizes queries (Warper, AUG, HEM); pass a factory because each
+/// strategy owns its hook.
+pub fn build_strategy(
+    kind: StrategyKind,
+    training_set: &[(Vec<f64>, f64)],
+    feature_dim: usize,
+    baseline_gmq: f64,
+    cfg: &RunnerConfig,
+    make_canon: &dyn Fn() -> CanonicalizeFn,
+) -> Box<dyn AdaptStrategy> {
+    let seed = cfg.seed ^ 0xABCD;
+    match kind {
+        StrategyKind::Ft => Box::new(FineTuneStrategy::new(
+            training_set,
+            Some(cfg.warper.n_p),
+            seed,
+        )),
+        StrategyKind::Mix => Box::new(MixStrategy::new(training_set, seed)),
+        StrategyKind::Aug => {
+            Box::new(AugStrategy::new(training_set, seed).with_canonicalizer(make_canon()))
+        }
+        StrategyKind::Hem => {
+            Box::new(HemStrategy::new(training_set, seed).with_canonicalizer(make_canon()))
+        }
+        StrategyKind::Warper => {
+            let ctl =
+                WarperController::new(feature_dim, training_set, baseline_gmq, cfg.warper, seed)
+                    .with_canonicalizer(make_canon());
+            Box::new(WarperStrategy::new(ctl))
+        }
+        StrategyKind::WarperAblated { picker, gen } => {
+            let ctl =
+                WarperController::new(feature_dim, training_set, baseline_gmq, cfg.warper, seed)
+                    .with_picker(picker)
+                    .with_generator(gen)
+                    .with_canonicalizer(make_canon());
+            Box::new(WarperStrategy::named(ctl, kind.name()))
+        }
+    }
+}
+
+
+/// The feature mapping used by a run: predicate → model features, and the
+/// inverse needed to annotate generated feature vectors.
+struct FeatureMap {
+    featurizer: Featurizer,
+    mscn: Option<MscnFeaturizer>,
+}
+
+impl FeatureMap {
+    fn new(table: &Table, model: ModelKind) -> Self {
+        let featurizer = Featurizer::from_table(table);
+        let mscn = (model == ModelKind::Mscn)
+            .then(|| MscnFeaturizer::new(vec![featurizer.clone()], 0));
+        Self { featurizer, mscn }
+    }
+
+    fn dim(&self) -> usize {
+        match &self.mscn {
+            Some(m) => m.config().feature_dim(),
+            None => self.featurizer.dim(),
+        }
+    }
+
+    fn featurize(&self, p: &RangePredicate) -> Vec<f64> {
+        match &self.mscn {
+            Some(m) => m.featurize_single(p),
+            None => self.featurizer.featurize(p),
+        }
+    }
+
+    /// Canonicalizer factory: maps a raw generated/perturbed feature vector
+    /// to the featurization of the sparse predicate nearest to it (keep the
+    /// ≤3 most selective columns — the structure of the live workloads).
+    fn make_canonicalizer(&self) -> CanonicalizeFn {
+        let featurizer = self.featurizer.clone();
+        let mscn = self.mscn.clone();
+        Box::new(move |feat: &[f64]| {
+            let pred = match &mscn {
+                Some(m) => {
+                    let cfg = m.config();
+                    let start = 1 + cfg.n_tables;
+                    let d = featurizer.dim();
+                    featurizer.defeaturize(&feat[start..start + d])
+                }
+                None => featurizer.defeaturize(feat),
+            };
+            let sparse = pred.keep_most_selective(featurizer.domains(), 3);
+            match &mscn {
+                Some(m) => m.featurize_single(&sparse),
+                None => featurizer.featurize(&sparse),
+            }
+        })
+    }
+
+    /// Inverse: recover the predicate from a (possibly generated) feature
+    /// vector so the annotator can count it.
+    fn defeaturize(&self, features: &[f64]) -> RangePredicate {
+        match &self.mscn {
+            Some(m) => {
+                // Single-table layout: [presence, onehot(1), feats..].
+                let cfg = m.config();
+                let start = 1 + cfg.n_tables;
+                let d = self.featurizer.dim();
+                self.featurizer.defeaturize(&features[start..start + d])
+            }
+            None => self.featurizer.defeaturize(features),
+        }
+    }
+}
+
+/// Runs one (strategy × model × drift) experiment.
+pub fn run_single_table(
+    base_table: &Table,
+    setup: &DriftSetup,
+    model_kind: ModelKind,
+    strategy_kind: StrategyKind,
+    cfg: &RunnerConfig,
+) -> RunResult {
+    let mut table = base_table.clone();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let fmap = FeatureMap::new(&table, model_kind);
+    let annotator = Annotator::new();
+
+    let (train_mix, new_mix, data_kind): (&str, &str, Option<DataDriftKind>) = match setup {
+        DriftSetup::Workload { train, new } => (train, new, None),
+        DriftSetup::Data { workload, kind } => (workload, workload, Some(*kind)),
+        DriftSetup::Combined { train, new, kind } => (train, new, Some(*kind)),
+    };
+
+    // 1. I_train and the pre-drift baseline.
+    let mut train_gen = QueryGenerator::from_notation(&table, train_mix);
+    let train_preds = train_gen.generate_many(cfg.n_train, &mut rng);
+    let train_cards = annotator.count_batch(&table, &train_preds);
+    let training_set: Vec<(Vec<f64>, f64)> = train_preds
+        .iter()
+        .zip(&train_cards)
+        .map(|(p, &c)| (fmap.featurize(p), c as f64))
+        .collect();
+
+    let mut model: Box<dyn CardinalityEstimator> = match model_kind {
+        ModelKind::Mscn => Box::new(Mscn::new(
+            fmap.mscn.as_ref().unwrap().config(),
+            cfg.seed ^ 0x5150,
+        )),
+        other => build_model(other, fmap.dim(), cfg.seed ^ 0x5150),
+    };
+    let examples: Vec<LabeledExample> = training_set
+        .iter()
+        .map(|(f, c)| LabeledExample::new(f.clone(), *c))
+        .collect();
+    model.fit(&examples);
+
+    // Baseline GMQ on held-out train-workload queries.
+    let base_preds = train_gen.generate_many(cfg.n_test.min(150), &mut rng);
+    let base_cards = annotator.count_batch(&table, &base_preds);
+    let baseline_gmq = {
+        let ests: Vec<f64> = base_preds
+            .iter()
+            .map(|p| model.estimate(&fmap.featurize(p)))
+            .collect();
+        let actuals: Vec<f64> = base_cards.iter().map(|&c| c as f64).collect();
+        gmq(&ests, &actuals, PAPER_THETA)
+    };
+
+    // 2. Telemetry baselines, then apply the drift.
+    let changelog = ChangeLog::mark(&table);
+    let mut canaries = CanarySet::new(&table, cfg.warper.canaries, &mut rng);
+    if let Some(kind) = data_kind {
+        kind.apply(&mut table, &mut rng);
+    }
+    let mut new_gen = QueryGenerator::from_notation(&table, new_mix);
+
+    // 3. Held-out test set from the new workload on the (post-drift) table.
+    let test_preds = new_gen.generate_many(cfg.n_test, &mut rng);
+    let test_cards = annotator.count_batch(&table, &test_preds);
+    let test_feats: Vec<Vec<f64>> = test_preds.iter().map(|p| fmap.featurize(p)).collect();
+    let eval = |model: &dyn CardinalityEstimator| {
+        let ests: Vec<f64> = test_feats.iter().map(|f| model.estimate(f)).collect();
+        let actuals: Vec<f64> = test_cards.iter().map(|&c| c as f64).collect();
+        gmq(&ests, &actuals, PAPER_THETA)
+    };
+
+    // δ_js between the two workloads (LM featurization, paper k=10, m=3).
+    let lm_train: Vec<Vec<f64>> = train_preds
+        .iter()
+        .map(|p| fmap.featurizer.featurize(p))
+        .collect();
+    let lm_new: Vec<Vec<f64>> = test_preds
+        .iter()
+        .map(|p| fmap.featurizer.featurize(p))
+        .collect();
+    let djs = delta_js(&lm_train, &lm_new, 10, 3);
+
+    // 4. Build the strategy (timed: Warper's one-time pre-training).
+    let build_start = Instant::now();
+    let make_canon = || fmap.make_canonicalizer();
+    let mut strategy = build_strategy(
+        strategy_kind,
+        &training_set,
+        fmap.dim(),
+        baseline_gmq,
+        cfg,
+        &make_canon,
+    );
+    let build_secs = build_start.elapsed().as_secs_f64();
+
+    // 5. The test period.
+    let mut curve = AdaptationCurve::new();
+    let drift_gmq = eval(model.as_ref());
+    curve.push(0.0, drift_gmq);
+
+    let mut annotate_secs = 0.0;
+    let mut annotated_total = 0usize;
+    let mut generated_total = 0usize;
+    let mut adapt_secs = 0.0;
+    let mut prev_arrived = 0usize;
+
+    let checkpoints = cfg.arrival.checkpoints(cfg.checkpoints);
+    for &t in checkpoints.iter().skip(1) {
+        let total_arrived = cfg.arrival.arrived_by(t);
+        let batch = total_arrived - prev_arrived;
+        prev_arrived = total_arrived;
+
+        let preds = new_gen.generate_many(batch, &mut rng);
+        let arrived: Vec<ArrivedQuery> = preds
+            .iter()
+            .map(|p| {
+                let gt = cfg
+                    .arrivals_labeled
+                    .then(|| annotator.count(&table, p) as f64);
+                ArrivedQuery { features: fmap.featurize(p), gt }
+            })
+            .collect();
+
+        let telemetry = DataTelemetry {
+            changed_fraction: changelog.changed_fraction(&table),
+            canary_max_change: canaries.max_relative_change(&table),
+        };
+
+        let step_start = Instant::now();
+        let mut step_annotate_secs = 0.0;
+        let report = {
+            let table_ref = &table;
+            let fmap_ref = &fmap;
+            let annotator_ref = &annotator;
+            let mut annotate = |qs: &[Vec<f64>]| -> Vec<f64> {
+                let a0 = Instant::now();
+                let preds: Vec<RangePredicate> =
+                    qs.iter().map(|f| fmap_ref.defeaturize(f)).collect();
+                let counts = annotator_ref.count_batch(table_ref, &preds);
+                step_annotate_secs += a0.elapsed().as_secs_f64();
+                counts.into_iter().map(|c| c as f64).collect()
+            };
+            strategy.step(model.as_mut(), &arrived, &telemetry, &mut annotate)
+        };
+        adapt_secs += step_start.elapsed().as_secs_f64() - step_annotate_secs;
+        annotate_secs += step_annotate_secs;
+        annotated_total += report.annotated;
+        generated_total += report.generated;
+
+        curve.push(total_arrived as f64, eval(model.as_ref()));
+    }
+    // Data drift fully handled → canaries could rebaseline; informative only.
+    canaries.rebaseline(&table);
+
+    RunResult {
+        strategy: strategy.name().to_string(),
+        model: model_kind.name().to_string(),
+        curve,
+        delta_m: (drift_gmq - baseline_gmq).max(0.0),
+        delta_js: djs,
+        baseline_gmq,
+        annotated_total,
+        generated_total,
+        annotate_secs,
+        adapt_secs,
+        build_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warper_storage::{generate, DatasetKind};
+
+    fn quick_cfg() -> RunnerConfig {
+        RunnerConfig {
+            n_train: 300,
+            n_test: 60,
+            checkpoints: 3,
+            arrival: ArrivalProcess { rate_per_sec: 0.2, period_secs: 600.0 },
+            arrivals_labeled: true,
+            seed: 11,
+            warper: WarperConfig {
+                embed_dim: 8,
+                hidden: 32,
+                n_i: 8,
+                pretrain_epochs: 3,
+                gamma: 200,
+                n_p: 60,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn ft_run_produces_monotoneish_curve() {
+        let table = generate(DatasetKind::Prsa, 3_000, 5);
+        let setup = DriftSetup::Workload { train: "w1".into(), new: "w3".into() };
+        let res = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &quick_cfg());
+        assert_eq!(res.strategy, "FT");
+        assert_eq!(res.curve.points().len(), 4); // 0 + 3 checkpoints
+        assert!(res.delta_js > 0.0);
+        assert!(res.baseline_gmq >= 1.0);
+        // Adaptation should not make things drastically worse.
+        let first = res.curve.initial_gmq().unwrap();
+        let best = res.curve.best_gmq().unwrap();
+        assert!(best <= first * 1.2, "first {first}, best {best}");
+    }
+
+    #[test]
+    fn warper_run_generates_and_annotates() {
+        let table = generate(DatasetKind::Prsa, 3_000, 6);
+        let setup = DriftSetup::Workload { train: "w1".into(), new: "w4".into() };
+        let res =
+            run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &quick_cfg());
+        assert_eq!(res.strategy, "Warper");
+        // If the drift registered, Warper should have synthesized queries.
+        if res.delta_m > quick_cfg().warper.pi {
+            assert!(res.generated_total > 0, "delta_m {} but nothing generated", res.delta_m);
+            assert!(res.annotated_total > 0);
+        }
+        assert!(res.build_secs >= 0.0);
+    }
+
+    #[test]
+    fn data_drift_run_works() {
+        let table = generate(DatasetKind::Prsa, 3_000, 7);
+        let setup = DriftSetup::Data {
+            workload: "w1".into(),
+            kind: DataDriftKind::SortTruncate { col: 1 },
+        };
+        let mut cfg = quick_cfg();
+        cfg.arrivals_labeled = false; // c1: labels must be re-obtained
+        let res = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
+        assert!(res.annotated_total > 0, "c1 must re-annotate");
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_curves() {
+        let table = generate(DatasetKind::Poker, 2_000, 8);
+        let setup = DriftSetup::Workload { train: "w1".into(), new: "w5".into() };
+        let cfg = quick_cfg();
+        let a = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg);
+        let b = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg);
+        assert_eq!(a.curve.points(), b.curve.points());
+    }
+}

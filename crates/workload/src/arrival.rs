@@ -1,0 +1,74 @@
+//! Deterministic query-arrival process.
+//!
+//! The paper's experiments fix a 30-minute test period and a query arrival
+//! rate ("one test query arrival per five seconds", §4.1); adaptation is
+//! evaluated at 0%, 20%, …, 100% of the period, and `n_t` is "computed
+//! relative to time spent and query arrival rate". This module is that
+//! arithmetic, kept in one place so every experiment harness agrees on it.
+
+/// A constant-rate arrival process over a fixed test period.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalProcess {
+    /// Queries per second.
+    pub rate_per_sec: f64,
+    /// Test period length in seconds.
+    pub period_secs: f64,
+}
+
+impl ArrivalProcess {
+    /// The paper's default: one query per 5 s over a 30-minute period.
+    pub fn paper_default() -> Self {
+        Self { rate_per_sec: 0.2, period_secs: 30.0 * 60.0 }
+    }
+
+    /// Number of queries arrived by time `t` seconds (clamped to the
+    /// period).
+    pub fn arrived_by(&self, t_secs: f64) -> usize {
+        let t = t_secs.clamp(0.0, self.period_secs);
+        (self.rate_per_sec * t).floor() as usize
+    }
+
+    /// Total queries over the whole period.
+    pub fn total(&self) -> usize {
+        self.arrived_by(self.period_secs)
+    }
+
+    /// The evaluation checkpoints of §4.1: `steps + 1` times at 0%, …, 100%
+    /// of the period.
+    pub fn checkpoints(&self, steps: usize) -> Vec<f64> {
+        (0..=steps)
+            .map(|i| self.period_secs * i as f64 / steps.max(1) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let a = ArrivalProcess::paper_default();
+        assert_eq!(a.total(), 360); // 1800 s / 5 s
+        assert_eq!(a.arrived_by(0.0), 0);
+        assert_eq!(a.arrived_by(60.0), 12);
+        assert_eq!(a.arrived_by(1e9), 360); // clamped
+    }
+
+    #[test]
+    fn checkpoints_cover_period() {
+        let a = ArrivalProcess::paper_default();
+        let cps = a.checkpoints(5);
+        assert_eq!(cps.len(), 6);
+        assert_eq!(cps[0], 0.0);
+        assert_eq!(cps[5], 1800.0);
+        assert_eq!(a.arrived_by(cps[1]), 72); // 20% of 360
+    }
+
+    #[test]
+    fn slow_rate() {
+        // Join-CE experiment: one query per minute (§4.1.2).
+        let a = ArrivalProcess { rate_per_sec: 1.0 / 60.0, period_secs: 1800.0 };
+        assert_eq!(a.total(), 30);
+    }
+}

@@ -1,0 +1,336 @@
+//! The five predicate-generation methods of paper Table 5.
+//!
+//! | Method | `{low, high}` for column C                                        |
+//! |--------|-------------------------------------------------------------------|
+//! | w1     | drawn from r(C) uniformly at random                               |
+//! | w2     | drawn from a logarithmic transform of r(C)                        |
+//! | w3     | a sampled row's value ± a random width in r(C)                    |
+//! | w4     | min(Ĉ), max(Ĉ) over a sample of k rows                            |
+//! | w5     | a stratified (by value frequency) sample row ± a random width     |
+//!
+//! where r(C) is the column's value range. LM [10] evaluated on a w1+w3
+//! mixture; the others are the paper's "simple modifications to existing
+//! methods".
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use warper_query::RangePredicate;
+use warper_storage::Table;
+
+/// A single Table-5 generation method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Uniform bounds over the column range.
+    W1,
+    /// Log-transformed bounds (biased toward the low end of the range).
+    W2,
+    /// Data-centered: a sampled row's value ± random width.
+    W3,
+    /// Sample-extent: min/max over a small row sample.
+    W4,
+    /// Stratified data-centered: a frequency-stratified row ± random width.
+    W5,
+}
+
+impl Method {
+    /// Parses `'1'..='5'` into a method.
+    pub fn from_digit(d: char) -> Option<Method> {
+        match d {
+            '1' => Some(Method::W1),
+            '2' => Some(Method::W2),
+            '3' => Some(Method::W3),
+            '4' => Some(Method::W4),
+            '5' => Some(Method::W5),
+            _ => None,
+        }
+    }
+}
+
+/// A mixture of methods, e.g. `w12` = {w1, w2}; queries draw a method
+/// uniformly per query, matching the paper's "mixture" workloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    methods: Vec<Method>,
+}
+
+impl Mix {
+    /// Builds a mixture from methods.
+    ///
+    /// # Panics
+    /// Panics if empty.
+    pub fn new(methods: Vec<Method>) -> Self {
+        assert!(!methods.is_empty(), "a workload mixture needs ≥ 1 method");
+        Self { methods }
+    }
+
+    /// Parses the paper's notation: `"w12"` → {w1, w2}, `"w345"` → {w3, w4,
+    /// w5}. The leading `w` is optional.
+    pub fn parse(s: &str) -> Option<Mix> {
+        let digits = s.strip_prefix('w').unwrap_or(s);
+        let methods: Option<Vec<Method>> = digits.chars().map(Method::from_digit).collect();
+        let methods = methods?;
+        if methods.is_empty() {
+            None
+        } else {
+            Some(Mix { methods })
+        }
+    }
+
+    /// The mixture's methods.
+    pub fn methods(&self) -> &[Method] {
+        &self.methods
+    }
+
+    /// Draws one method uniformly.
+    pub fn sample(&self, rng: &mut StdRng) -> Method {
+        self.methods[rng.random_range(0..self.methods.len())]
+    }
+}
+
+/// How many columns each generated predicate constrains.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Minimum constrained columns per predicate.
+    pub min_cols: usize,
+    /// Maximum constrained columns per predicate.
+    pub max_cols: usize,
+    /// Sample size k for w4 and the width fraction cap for w3/w5.
+    pub sample_k: usize,
+    /// Maximum predicate width for w3/w5 as a fraction of the column range.
+    pub max_width_frac: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self { min_cols: 1, max_cols: 3, sample_k: 10, max_width_frac: 0.3 }
+    }
+}
+
+/// Generates predicates over one table from a method mixture.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator<'t> {
+    table: &'t Table,
+    domains: Vec<(f64, f64)>,
+    mix: Mix,
+    spec: WorkloadSpec,
+    /// Per-column distinct values, built lazily for w5's stratified sampling.
+    strata: Vec<Option<Vec<f64>>>,
+}
+
+impl<'t> QueryGenerator<'t> {
+    /// Creates a generator for `table` with the given mixture and spec.
+    pub fn new(table: &'t Table, mix: Mix, spec: WorkloadSpec) -> Self {
+        let domains = table.domains();
+        let strata = vec![None; table.num_cols()];
+        Self { table, domains, mix, spec, strata }
+    }
+
+    /// Convenience constructor parsing the paper's `"w12"` notation.
+    pub fn from_notation(table: &'t Table, notation: &str) -> Self {
+        let mix = Mix::parse(notation)
+            .unwrap_or_else(|| panic!("bad workload notation {notation:?}"));
+        Self::new(table, mix, WorkloadSpec::default())
+    }
+
+    /// The mixture in use.
+    pub fn mix(&self) -> &Mix {
+        &self.mix
+    }
+
+    /// Generates one predicate.
+    pub fn generate(&mut self, rng: &mut StdRng) -> RangePredicate {
+        let d = self.domains.len();
+        let mut pred = RangePredicate::unconstrained(&self.domains);
+        let ncols = rng
+            .random_range(self.spec.min_cols..=self.spec.max_cols.min(d))
+            .max(1);
+        // Choose distinct columns.
+        let mut cols: Vec<usize> = (0..d).collect();
+        for i in 0..ncols {
+            let j = rng.random_range(i..d);
+            cols.swap(i, j);
+        }
+        let method = self.mix.sample(rng);
+        for &c in &cols[..ncols] {
+            let (lo, hi) = self.bounds_for(method, c, rng);
+            pred = pred.with_range(c, lo, hi);
+        }
+        pred
+    }
+
+    /// Generates `n` predicates.
+    pub fn generate_many(&mut self, n: usize, rng: &mut StdRng) -> Vec<RangePredicate> {
+        (0..n).map(|_| self.generate(rng)).collect()
+    }
+
+    fn bounds_for(&mut self, method: Method, c: usize, rng: &mut StdRng) -> (f64, f64) {
+        let (lo, hi) = self.domains[c];
+        if hi <= lo {
+            return (lo, hi);
+        }
+        let range = hi - lo;
+        match method {
+            Method::W1 => {
+                let a = rng.random_range(lo..=hi);
+                let b = rng.random_range(lo..=hi);
+                (a.min(b), a.max(b))
+            }
+            Method::W2 => {
+                // Log transform: u ∈ [0,1] → (10^u − 1)/9 concentrates draws
+                // near the low end of r(C).
+                let draw = |rng: &mut StdRng| {
+                    let u: f64 = rng.random_range(0.0..=1.0);
+                    lo + range * (10f64.powf(u) - 1.0) / 9.0
+                };
+                let a = draw(rng);
+                let b = draw(rng);
+                (a.min(b), a.max(b))
+            }
+            Method::W3 => {
+                let row = rng.random_range(0..self.table.num_rows().max(1));
+                let center = self.table.value(row.min(self.table.num_rows() - 1), c);
+                let width = rng.random_range(0.0..=self.spec.max_width_frac) * range;
+                ((center - 0.5 * width).max(lo), (center + 0.5 * width).min(hi))
+            }
+            Method::W4 => {
+                let n = self.table.num_rows();
+                let mut mn = f64::INFINITY;
+                let mut mx = f64::NEG_INFINITY;
+                for _ in 0..self.spec.sample_k.max(1) {
+                    let v = self.table.value(rng.random_range(0..n), c);
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                }
+                (mn, mx)
+            }
+            Method::W5 => {
+                let center = self.stratified_value(c, rng);
+                let width = rng.random_range(0.0..=self.spec.max_width_frac) * range;
+                ((center - 0.5 * width).max(lo), (center + 0.5 * width).min(hi))
+            }
+        }
+    }
+
+    /// Samples a column value uniformly over its *distinct* values —
+    /// "stratified sample row by frequency" (Table 5): every stratum
+    /// (distinct value) has equal probability regardless of its frequency.
+    fn stratified_value(&mut self, c: usize, rng: &mut StdRng) -> f64 {
+        if self.strata[c].is_none() {
+            let mut freq: HashMap<u64, f64> = HashMap::new();
+            for &v in self.table.column(c).values() {
+                freq.entry(v.to_bits()).or_insert(v);
+            }
+            let mut distinct: Vec<f64> = freq.into_values().collect();
+            distinct.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.strata[c] = Some(distinct);
+        }
+        let distinct = self.strata[c].as_ref().unwrap();
+        distinct[rng.random_range(0..distinct.len())]
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use warper_storage::{generate, DatasetKind};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn parse_notation() {
+        assert_eq!(Mix::parse("w12").unwrap().methods(), &[Method::W1, Method::W2]);
+        assert_eq!(Mix::parse("345").unwrap().methods(), &[Method::W3, Method::W4, Method::W5]);
+        assert!(Mix::parse("w9").is_none());
+        assert!(Mix::parse("w").is_none());
+    }
+
+    #[test]
+    fn predicates_are_well_formed() {
+        let table = generate(DatasetKind::Prsa, 2000, 1);
+        let domains = table.domains();
+        let mut rng = rng();
+        for notation in ["w1", "w2", "w3", "w4", "w5", "w12", "w345"] {
+            let mut g = QueryGenerator::from_notation(&table, notation);
+            for p in g.generate_many(50, &mut rng) {
+                assert_eq!(p.dim(), table.num_cols());
+                assert!(!p.is_empty_range(), "{notation}: {p:?}");
+                for c in 0..p.dim() {
+                    assert!(p.lows[c] >= domains[c].0 - 1e-9);
+                    assert!(p.highs[c] <= domains[c].1 + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_column_counts_respected() {
+        let table = generate(DatasetKind::Higgs, 1000, 2);
+        let domains = table.domains();
+        let spec = WorkloadSpec { min_cols: 2, max_cols: 2, ..Default::default() };
+        let mut g = QueryGenerator::new(&table, Mix::parse("w1").unwrap(), spec);
+        let mut rng = rng();
+        for p in g.generate_many(30, &mut rng) {
+            // w1 may coincidentally span the full domain but that's measure
+            // zero for continuous columns; allow ≤ 2.
+            let n = p.constrained_columns(&domains).len();
+            assert!((1..=2).contains(&n), "constrained {n}");
+        }
+    }
+
+    #[test]
+    fn w2_is_biased_low() {
+        let table = generate(DatasetKind::Higgs, 1000, 3);
+        let domains = table.domains();
+        let spec = WorkloadSpec { min_cols: 1, max_cols: 1, ..Default::default() };
+        let mut rng = rng();
+        let mut mids_w1 = Vec::new();
+        let mut mids_w2 = Vec::new();
+        let mut g1 = QueryGenerator::new(&table, Mix::parse("w1").unwrap(), spec);
+        let mut g2 = QueryGenerator::new(&table, Mix::parse("w2").unwrap(), spec);
+        for _ in 0..300 {
+            for (g, mids) in [(&mut g1, &mut mids_w1), (&mut g2, &mut mids_w2)] {
+                let p = g.generate(&mut rng);
+                let cols = p.constrained_columns(&domains);
+                if let Some(&c) = cols.first() {
+                    let (lo, hi) = domains[c];
+                    mids.push((0.5 * (p.lows[c] + p.highs[c]) - lo) / (hi - lo));
+                }
+            }
+        }
+        let m1: f64 = mids_w1.iter().sum::<f64>() / mids_w1.len() as f64;
+        let m2: f64 = mids_w2.iter().sum::<f64>() / mids_w2.len() as f64;
+        assert!(m2 < m1 - 0.05, "w1 mid {m1}, w2 mid {m2}");
+    }
+
+    #[test]
+    fn w3_centers_on_data() {
+        // On Poker all values are dense categoricals; w3 predicates should
+        // be narrow and hit at least one row most of the time.
+        let table = generate(DatasetKind::Poker, 2000, 4);
+        let mut g = QueryGenerator::from_notation(&table, "w3");
+        let a = warper_query::Annotator::new();
+        let mut rng = rng();
+        let nonzero = g
+            .generate_many(50, &mut rng)
+            .iter()
+            .filter(|p| a.count(&table, p) > 0)
+            .count();
+        assert!(nonzero > 40, "nonzero {nonzero}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let table = generate(DatasetKind::Prsa, 500, 5);
+        let mut g1 = QueryGenerator::from_notation(&table, "w345");
+        let mut g2 = QueryGenerator::from_notation(&table, "w345");
+        let a = g1.generate_many(10, &mut StdRng::seed_from_u64(9));
+        let b = g2.generate_many(10, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,17 @@
+//! Workload generation and drift scenarios.
+//!
+//! Paper Table 5 defines five methods (w1–w5) to generate the `{low, high}`
+//! bounds of range predicates; experiments train a CE model on one mixture
+//! (e.g. `w12` = w1 ∪ w2) and drift to another (e.g. `w345`). This crate
+//! implements the five methods ([`generator`]), mixture parsing
+//! ([`Mix`]), the deterministic arrival process used by the test
+//! periods of §4.1 ([`arrival`]), and the scripted continuous-drift
+//! timelines of Figure 2 / §4.2 ([`scenario`]).
+
+pub mod arrival;
+pub mod generator;
+pub mod scenario;
+
+pub use arrival::ArrivalProcess;
+pub use generator::{Method, Mix, QueryGenerator, WorkloadSpec};
+pub use scenario::{DriftEvent, Period, Scenario};

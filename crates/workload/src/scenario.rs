@@ -1,0 +1,118 @@
+//! Scripted continuous-drift timelines (paper Figure 2 and §4.2).
+//!
+//! Figure 2 sketches three shapes of complex drift: (a) short-lived drifts,
+//! (b) persistent/continuous drifts, and (c) combinations of drift types.
+//! §4.2 then runs three concrete continuous scenarios (Drift A/B/C). A
+//! [`Scenario`] is a sequence of [`Period`]s; each period names the active
+//! workload mixture and any data-drift events fired at its start. The bench
+//! harness replays the timeline, invoking Warper once per period.
+
+/// A data- or workload-level event fired at the start of a period.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DriftEvent {
+    /// Switch the incoming-query workload to this Table-5 mixture notation
+    /// (e.g. `"w2"`).
+    WorkloadShift(String),
+    /// Append `frac`×current rows drawn near existing rows.
+    DataAppend {
+        /// Fraction of current rows to append.
+        frac: f64,
+    },
+    /// Update `frac` of rows in place.
+    DataUpdate {
+        /// Fraction of rows to update.
+        frac: f64,
+    },
+    /// The paper's §4.1.2 drift: sort by a column, truncate to half.
+    DataSortTruncate {
+        /// Column index to sort by.
+        col: usize,
+    },
+}
+
+/// One segment of a timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Period {
+    /// Events applied when the period begins.
+    pub events: Vec<DriftEvent>,
+    /// How many adaptation steps the period spans.
+    pub steps: usize,
+}
+
+/// A full drift timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    /// Human-readable name (e.g. "Drift A").
+    pub name: String,
+    /// Periods in order.
+    pub periods: Vec<Period>,
+}
+
+impl Scenario {
+    /// Builder entry point.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self { name: name.into(), periods: Vec::new() }
+    }
+
+    /// Appends a period (builder style).
+    pub fn then(mut self, events: Vec<DriftEvent>, steps: usize) -> Self {
+        self.periods.push(Period { events, steps });
+        self
+    }
+
+    /// Total adaptation steps across all periods.
+    pub fn total_steps(&self) -> usize {
+        self.periods.iter().map(|p| p.steps).sum()
+    }
+
+    /// §4.2 Drift A: a persistent workload shift w1 → w2.
+    pub fn drift_a(steps: usize) -> Self {
+        Scenario::named("Drift A")
+            .then(vec![DriftEvent::WorkloadShift("w2".into())], steps)
+    }
+
+    /// §4.2 Drift B: a short-lived shift — the first half of each period
+    /// moves to w4, then returns to w1.
+    pub fn drift_b(steps: usize) -> Self {
+        let half = (steps / 2).max(1);
+        Scenario::named("Drift B")
+            .then(vec![DriftEvent::WorkloadShift("w4".into())], half)
+            .then(vec![DriftEvent::WorkloadShift("w1".into())], steps - half)
+    }
+
+    /// §4.2 Drift C: a workload shift back to w1 combined with a data drift.
+    pub fn drift_c(steps: usize, sort_col: usize) -> Self {
+        Scenario::named("Drift C").then(
+            vec![
+                DriftEvent::WorkloadShift("w1".into()),
+                DriftEvent::DataSortTruncate { col: sort_col },
+            ],
+            steps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_periods() {
+        let s = Scenario::named("x")
+            .then(vec![DriftEvent::WorkloadShift("w2".into())], 3)
+            .then(vec![DriftEvent::DataUpdate { frac: 0.5 }], 2);
+        assert_eq!(s.periods.len(), 2);
+        assert_eq!(s.total_steps(), 5);
+    }
+
+    #[test]
+    fn canned_scenarios() {
+        assert_eq!(Scenario::drift_a(5).total_steps(), 5);
+        let b = Scenario::drift_b(6);
+        assert_eq!(b.periods.len(), 2);
+        assert_eq!(b.total_steps(), 6);
+        let c = Scenario::drift_c(4, 1);
+        assert_eq!(c.periods[0].events.len(), 2);
+        assert!(matches!(c.periods[0].events[1], DriftEvent::DataSortTruncate { col: 1 }));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the workload generators.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_storage::{Column, ColumnType, Table};
+use warper_workload::{ArrivalProcess, Method, Mix, QueryGenerator, WorkloadSpec};
+
+fn random_table(cols: Vec<Vec<f64>>) -> Table {
+    let columns = cols
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| Column::new(format!("c{i}"), ColumnType::Real, v))
+        .collect();
+    Table::new("t", columns)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_methods_produce_valid_predicates(
+        col_a in prop::collection::vec(-100.0f64..100.0, 5..80),
+        method_idx in 0usize..5,
+        seed in 0u64..1000,
+    ) {
+        let n = col_a.len();
+        let col_b: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let table = random_table(vec![col_a, col_b]);
+        let domains = table.domains();
+        let method = [Method::W1, Method::W2, Method::W3, Method::W4, Method::W5][method_idx];
+        let mut gen = QueryGenerator::new(
+            &table,
+            Mix::new(vec![method]),
+            WorkloadSpec { min_cols: 1, max_cols: 2, ..Default::default() },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        for p in gen.generate_many(10, &mut rng) {
+            prop_assert_eq!(p.dim(), 2);
+            prop_assert!(!p.is_empty_range());
+            for c in 0..2 {
+                prop_assert!(p.lows[c] >= domains[c].0 - 1e-9);
+                prop_assert!(p.highs[c] <= domains[c].1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_notation_roundtrip(digits in prop::collection::vec(1u8..=5, 1..5)) {
+        let s: String = digits.iter().map(|d| d.to_string()).collect();
+        let mix = Mix::parse(&format!("w{s}")).unwrap();
+        prop_assert_eq!(mix.methods().len(), digits.len());
+        // The same notation without the leading 'w' also parses.
+        let bare = Mix::parse(&s).unwrap();
+        prop_assert_eq!(bare.methods(), mix.methods());
+    }
+
+    #[test]
+    fn arrivals_monotone_and_bounded(
+        rate in 0.01f64..20.0,
+        period in 10.0f64..5000.0,
+        t1 in 0.0f64..5000.0,
+        t2 in 0.0f64..5000.0,
+    ) {
+        let a = ArrivalProcess { rate_per_sec: rate, period_secs: period };
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(a.arrived_by(lo) <= a.arrived_by(hi));
+        prop_assert!(a.arrived_by(hi) <= a.total());
+        prop_assert_eq!(a.arrived_by(period + 100.0), a.total());
+    }
+
+    #[test]
+    fn checkpoints_are_sorted_and_span_period(
+        period in 10.0f64..5000.0,
+        steps in 1usize..20,
+    ) {
+        let a = ArrivalProcess { rate_per_sec: 1.0, period_secs: period };
+        let cps = a.checkpoints(steps);
+        prop_assert_eq!(cps.len(), steps + 1);
+        prop_assert_eq!(cps[0], 0.0);
+        prop_assert!((cps[steps] - period).abs() < 1e-9);
+        for w in cps.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

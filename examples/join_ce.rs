@@ -1,0 +1,186 @@
+//! Join cardinality estimation (paper §4.1.2, Table 7d): adapt an MSCN
+//! model that estimates PK–FK join cardinalities over an IMDB-like star
+//! schema, under a w4 → w1 workload drift with a slow arrival rate (the
+//! paper uses one query per minute).
+//!
+//! This example drives the [`WarperController`] directly — featurization,
+//! annotation and canonicalization all go through [`MscnFeaturizer`], which
+//! demonstrates how Warper stays agnostic to the CE model's input format.
+//!
+//! Run with: `cargo run --release --example join_ce`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warper_repro::ce::mscn::{Mscn, MscnFeaturizer};
+use warper_repro::prelude::*;
+use warper_repro::storage::imdb::{generate_imdb, ImdbTables};
+use warper_repro::warper::detect::DataTelemetry;
+use warper_repro::warper::baselines::FineTuneStrategy;
+
+/// Join id 0: cast_info ⋈ title; join id 1: movie_info ⋈ title.
+fn join_tables(db: &ImdbTables, join_id: usize) -> (&Table, &Table) {
+    match join_id {
+        0 => (&db.cast_info, &db.title),
+        _ => (&db.movie_info, &db.title),
+    }
+}
+
+/// Draws one join query using the given workload mixture on both sides.
+fn draw_query(
+    db: &ImdbTables,
+    workload: &str,
+    rng: &mut StdRng,
+) -> (usize, JoinQuery) {
+    let join_id = rng.random_range(0..2usize);
+    let (fact, dim) = join_tables(db, join_id);
+    let mut fact_gen = QueryGenerator::from_notation(fact, workload);
+    let mut dim_gen = QueryGenerator::from_notation(dim, workload);
+    let mut left_pred = fact_gen.generate(rng);
+    let mut right_pred = dim_gen.generate(rng);
+    // Never constrain the join keys (column 0 in every table here).
+    let fd = fact.domains();
+    let dd = dim.domains();
+    left_pred.lows[0] = fd[0].0;
+    left_pred.highs[0] = fd[0].1;
+    right_pred.lows[0] = dd[0].0;
+    right_pred.highs[0] = dd[0].1;
+    (join_id, JoinQuery { left_pred, right_pred, left_key: 0, right_key: 0 })
+}
+
+fn featurize(mf: &MscnFeaturizer, db: &ImdbTables, join_id: usize, q: &JoinQuery) -> Vec<f64> {
+    // Table indices in the featurizer: 0 = title, 1 = cast_info, 2 = movie_info.
+    let fact_table = if join_id == 0 { 1 } else { 2 };
+    let _ = db;
+    mf.featurize(&[(fact_table, &q.left_pred), (0, &q.right_pred)], &[join_id])
+}
+
+/// Exact join cardinality for a (possibly generated) feature vector.
+fn annotate_features(mf: &MscnFeaturizer, db: &ImdbTables, feat: &[f64]) -> f64 {
+    let (preds, joins) = mf.defeaturize(feat);
+    let join_id = joins.first().copied().unwrap_or(0);
+    let (fact, dim) = join_tables(db, join_id);
+    let fact_idx = if join_id == 0 { 1 } else { 2 };
+    let left_pred = preds[fact_idx]
+        .clone()
+        .unwrap_or_else(|| RangePredicate::unconstrained(&fact.domains()));
+    let right_pred = preds[0]
+        .clone()
+        .unwrap_or_else(|| RangePredicate::unconstrained(&dim.domains()));
+    let q = JoinQuery { left_pred, right_pred, left_key: 0, right_key: 0 };
+    warper_repro::query::join_count(fact, dim, &q) as f64
+}
+
+fn main() {
+    let db = generate_imdb(8_000, 3);
+    let mf = MscnFeaturizer::new(
+        vec![
+            Featurizer::from_table(&db.title),
+            Featurizer::from_table(&db.cast_info),
+            Featurizer::from_table(&db.movie_info),
+        ],
+        2,
+    );
+    let mut rng = StdRng::seed_from_u64(41);
+
+    // Pre-train MSCN on w4-style join queries.
+    println!("pre-training MSCN on w4 join queries ...");
+    let train: Vec<(Vec<f64>, f64)> = (0..800)
+        .map(|_| {
+            let (jid, q) = draw_query(&db, "w4", &mut rng);
+            let f = featurize(&mf, &db, jid, &q);
+            let card = annotate_features(&mf, &db, &f);
+            (f, card)
+        })
+        .collect();
+    let examples: Vec<LabeledExample> = train
+        .iter()
+        .map(|(f, c)| LabeledExample::new(f.clone(), *c))
+        .collect();
+
+    // Held-out set from the *training* (w4) workload — the detector's
+    // reference error.
+    let base_set: Vec<(Vec<f64>, f64)> = (0..100)
+        .map(|_| {
+            let (jid, q) = draw_query(&db, "w4", &mut rng);
+            let f = featurize(&mf, &db, jid, &q);
+            let card = annotate_features(&mf, &db, &f);
+            (f, card)
+        })
+        .collect();
+
+    // Held-out test set from the *new* (w1) workload.
+    let test: Vec<(Vec<f64>, f64)> = (0..120)
+        .map(|_| {
+            let (jid, q) = draw_query(&db, "w1", &mut rng);
+            let f = featurize(&mf, &db, jid, &q);
+            let card = annotate_features(&mf, &db, &f);
+            (f, card)
+        })
+        .collect();
+    let eval = |m: &Mscn| {
+        let ests: Vec<f64> = test.iter().map(|(f, _)| m.estimate(f)).collect();
+        let actuals: Vec<f64> = test.iter().map(|(_, c)| *c).collect();
+        gmq(&ests, &actuals, PAPER_THETA)
+    };
+
+    // The paper's join experiment: one query per minute, 30-minute period.
+    let arrival = ArrivalProcess { rate_per_sec: 1.0 / 60.0, period_secs: 1800.0 };
+    let steps = 6;
+
+    for strategy_name in ["FT", "Warper"] {
+        let mut model = Mscn::new(mf.config(), 17);
+        model.fit(&examples);
+        // Training-time error on the w4 workload (δ_m reference).
+        let baseline = {
+            let ests: Vec<f64> = base_set.iter().map(|(f, _)| model.estimate(f)).collect();
+            let actuals: Vec<f64> = base_set.iter().map(|(_, c)| *c).collect();
+            gmq(&ests, &actuals, PAPER_THETA)
+        };
+
+        let mf2 = mf.clone();
+        let canon = move |f: &[f64]| mf2.canonicalize(f, 2);
+        let mut warper_ctl = (strategy_name == "Warper").then(|| {
+            WarperController::new(mf.config().feature_dim(), &train, baseline, WarperConfig {
+                gamma: 100,
+                n_p: 200,
+                ..Default::default()
+            }, 5)
+            .with_canonicalizer(Box::new(canon))
+        });
+        let mut ft = FineTuneStrategy::new(&train, None, 5);
+
+        let mut run_rng = StdRng::seed_from_u64(77);
+        let mut curve = vec![(0usize, eval(&model))];
+        let mut prev = 0;
+        for s in 1..=steps {
+            let t = arrival.period_secs * s as f64 / steps as f64;
+            let total = arrival.arrived_by(t);
+            let batch = total - prev;
+            prev = total;
+            let arrived: Vec<ArrivedQuery> = (0..batch)
+                .map(|_| {
+                    let (jid, q) = draw_query(&db, "w1", &mut run_rng);
+                    let f = featurize(&mf, &db, jid, &q);
+                    let gt = annotate_features(&mf, &db, &f);
+                    ArrivedQuery { features: f, gt: Some(gt) }
+                })
+                .collect();
+            let mut annotate =
+                |qs: &[Vec<f64>]| qs.iter().map(|f| annotate_features(&mf, &db, f)).collect();
+            match &mut warper_ctl {
+                Some(ctl) => {
+                    ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut annotate);
+                }
+                None => {
+                    ft.step(&mut model, &arrived, &DataTelemetry::default(), &mut annotate);
+                }
+            }
+            curve.push((total, eval(&model)));
+        }
+        let pts: Vec<String> = curve
+            .iter()
+            .map(|(q, g)| format!("({q} → {g:.1})"))
+            .collect();
+        println!("{strategy_name:<8} train-workload GMQ {baseline:.1}  adaptation on w1: {}", pts.join(" "));
+    }
+}

@@ -1,0 +1,97 @@
+//! Model and Warper-state persistence: train offline, save to JSON, restore
+//! in a "new process", and keep adapting.
+//!
+//! The paper trains CE models offline and pre-trains Warper's encoder/
+//! generator offline too (§3.5); in a real deployment both must survive
+//! restarts. This example round-trips an LM-mlp estimator and a
+//! `WarperController` through serialized state and shows the restored pair
+//! picking up adaptation where it left off.
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_repro::ce::lm::{LmMlp, LmMlpParams};
+use warper_repro::ce::persist::Persistable;
+use warper_repro::prelude::*;
+use warper_repro::warper::detect::DataTelemetry;
+use warper_repro::warper::persist::WarperState;
+
+fn main() {
+    let table = generate(DatasetKind::Prsa, 15_000, 3);
+    let f = Featurizer::from_table(&table);
+    let a = Annotator::new();
+    let mut rng = StdRng::seed_from_u64(9);
+
+    // --- "first process": train the model, pre-train Warper, adapt once.
+    let mut gen = QueryGenerator::from_notation(&table, "w1");
+    let preds = gen.generate_many(800, &mut rng);
+    let cards = a.count_batch(&table, &preds);
+    let train: Vec<(Vec<f64>, f64)> = preds
+        .iter()
+        .zip(&cards)
+        .map(|(p, &c)| (f.featurize(p), c as f64))
+        .collect();
+    let mut model = LmMlp::new(f.dim(), LmMlpParams::default(), 5);
+    let examples: Vec<LabeledExample> =
+        train.iter().map(|(q, c)| LabeledExample::new(q.clone(), *c)).collect();
+    model.fit(&examples);
+    let baseline = {
+        let ests: Vec<f64> = train.iter().map(|(q, _)| model.estimate(q)).collect();
+        let actuals: Vec<f64> = train.iter().map(|(_, c)| *c).collect();
+        gmq(&ests, &actuals, PAPER_THETA)
+    };
+    let mut ctl = WarperController::new(f.dim(), &train, baseline, WarperConfig::default(), 7);
+
+    let mut new_gen = QueryGenerator::from_notation(&table, "w4");
+    let arrive = |n: usize, rng: &mut StdRng, new_gen: &mut QueryGenerator| {
+        new_gen
+            .generate_many(n, rng)
+            .iter()
+            .map(|p| ArrivedQuery {
+                features: f.featurize(p),
+                gt: Some(a.count(&table, p) as f64),
+            })
+            .collect::<Vec<_>>()
+    };
+    let arrived = arrive(50, &mut rng, &mut new_gen);
+    let rep = ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
+        qs.iter().map(|q| a.count(&table, &f.defeaturize(q)) as f64).collect()
+    });
+    println!("process 1: adapted once (mode={}, generated={})", rep.mode, rep.generated);
+
+    // --- persist everything as JSON (any serde format works).
+    let model_json = serde_json::to_string(&model.to_state()).expect("serialize model");
+    let warper_json = serde_json::to_string(&ctl.to_state()).expect("serialize warper");
+    println!(
+        "serialized: model {} KiB, warper state {} KiB",
+        model_json.len() / 1024,
+        warper_json.len() / 1024
+    );
+
+    // --- "second process": restore and continue adapting.
+    let mut model2 = LmMlp::from_state(serde_json::from_str(&model_json).unwrap());
+    let f2 = f.clone();
+    let mut ctl2 = WarperController::from_state(
+        serde_json::from_str::<WarperState>(&warper_json).unwrap(),
+    )
+    .with_canonicalizer(Box::new(move |q: &[f64]| {
+        f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
+    }));
+
+    // Estimates agree exactly across the restart.
+    let probe = f.featurize(&preds[0]);
+    assert_eq!(model.estimate(&probe), model2.estimate(&probe));
+    println!("restored model agrees exactly on estimates");
+
+    let arrived = arrive(50, &mut rng, &mut new_gen);
+    let rep = ctl2.invoke(&mut model2, &arrived, &DataTelemetry::default(), &mut |qs| {
+        qs.iter().map(|q| a.count(&table, &f.defeaturize(q)) as f64).collect()
+    });
+    println!(
+        "process 2: resumed adaptation (mode={}, pool={} records, eval GMQ={:?})",
+        rep.mode,
+        ctl2.pool().len(),
+        rep.eval_gmq.map(|g| (g * 100.0).round() / 100.0)
+    );
+}

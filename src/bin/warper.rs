@@ -1,0 +1,255 @@
+//! `warper` — command-line driver for the reproduction.
+//!
+//! ```text
+//! warper adapt   --dataset prsa --train w12 --new w345 --model lm-mlp \
+//!                --strategy warper [--rows N] [--seed S] [--compare-ft]
+//! warper gamma   --dataset prsa [--rows N] [--seed S]
+//! warper gaps    [--orders N] [--seed S]
+//! warper datasets
+//! ```
+//!
+//! Argument parsing is hand-rolled (this workspace takes no CLI
+//! dependencies); every flag has a sane default, so `warper adapt` alone
+//! runs the headline PRSA experiment.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_repro::prelude::*;
+use warper_repro::qo::{Executor, Scenario, SpjTemplate};
+use warper_repro::storage::tpch::{generate_tpch, TpchScale};
+use warper_repro::warper::gamma::estimate_gamma;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "adapt" => cmd_adapt(&flags),
+        "gamma" => cmd_gamma(&flags),
+        "gaps" => cmd_gaps(&flags),
+        "datasets" => cmd_datasets(),
+        _ => {
+            eprintln!("unknown command {cmd:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  warper adapt   [--dataset prsa|poker|higgs] [--train w12] [--new w345]
+                 [--model lm-mlp|lm-gbt|lm-ply|lm-rbf|mscn]
+                 [--strategy ft|mix|aug|hem|warper] [--rows N] [--seed S]
+                 [--compare-ft]
+  warper gamma   [--dataset prsa|poker|higgs] [--rows N] [--seed S]
+  warper gaps    [--orders N] [--seed S]
+  warper datasets";
+
+/// Splits `[cmd, --k, v, --flag, ...]` into the command and a flag map
+/// (valueless flags map to "true").
+fn parse(args: &[String]) -> Option<(String, HashMap<String, String>)> {
+    let mut it = args.iter();
+    let cmd = it.next()?.clone();
+    let mut flags = HashMap::new();
+    let mut pending: Option<String> = None;
+    for a in it {
+        if let Some(key) = a.strip_prefix("--") {
+            if let Some(prev) = pending.take() {
+                flags.insert(prev, "true".to_string());
+            }
+            pending = Some(key.to_string());
+        } else if let Some(key) = pending.take() {
+            flags.insert(key, a.clone());
+        } else {
+            eprintln!("unexpected positional argument {a:?}");
+            return None;
+        }
+    }
+    if let Some(prev) = pending {
+        flags.insert(prev, "true".to_string());
+    }
+    Some((cmd, flags))
+}
+
+fn dataset_of(flags: &HashMap<String, String>) -> Option<DatasetKind> {
+    match flags.get("dataset").map(String::as_str).unwrap_or("prsa") {
+        "prsa" => Some(DatasetKind::Prsa),
+        "poker" => Some(DatasetKind::Poker),
+        "higgs" => Some(DatasetKind::Higgs),
+        other => {
+            eprintln!("unknown dataset {other:?} (prsa|poker|higgs)");
+            None
+        }
+    }
+}
+
+fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Option<T> {
+    match flags.get(key) {
+        None => Some(default),
+        Some(v) => match v.parse() {
+            Ok(x) => Some(x),
+            Err(_) => {
+                eprintln!("--{key} expects a number, got {v:?}");
+                None
+            }
+        },
+    }
+}
+
+fn cmd_adapt(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(kind) = dataset_of(flags) else { return ExitCode::FAILURE };
+    let Some(rows) = num(flags, "rows", kind.default_rows()) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(seed) = num(flags, "seed", 7u64) else { return ExitCode::FAILURE };
+    let model = match flags.get("model").map(String::as_str).unwrap_or("lm-mlp") {
+        "lm-mlp" => ModelKind::LmMlp,
+        "lm-gbt" => ModelKind::LmGbt,
+        "lm-ply" => ModelKind::LmPly,
+        "lm-rbf" => ModelKind::LmRbf,
+        "mscn" => ModelKind::Mscn,
+        other => {
+            eprintln!("unknown model {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let strategy = match flags.get("strategy").map(String::as_str).unwrap_or("warper") {
+        "ft" => StrategyKind::Ft,
+        "mix" => StrategyKind::Mix,
+        "aug" => StrategyKind::Aug,
+        "hem" => StrategyKind::Hem,
+        "warper" => StrategyKind::Warper,
+        other => {
+            eprintln!("unknown strategy {other:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let train = flags.get("train").cloned().unwrap_or_else(|| "w12".into());
+    let new = flags.get("new").cloned().unwrap_or_else(|| "w345".into());
+    if Mix::parse(&train).is_none() || Mix::parse(&new).is_none() {
+        eprintln!("workloads must be w-notation mixtures like w12 or w345");
+        return ExitCode::FAILURE;
+    }
+
+    let table = generate(kind, rows, seed);
+    let setup = DriftSetup::Workload { train: train.clone(), new: new.clone() };
+    let cfg = RunnerConfig { seed, ..Default::default() };
+    println!(
+        "{} ({} rows), {train} → {new}, model {}, strategy {}",
+        kind.name(),
+        rows,
+        model.name(),
+        strategy.name()
+    );
+
+    let res = run_single_table(&table, &setup, model, strategy, &cfg);
+    print_run(&res);
+    if flags.contains_key("compare-ft") && strategy != StrategyKind::Ft {
+        let ft = run_single_table(&table, &setup, model, StrategyKind::Ft, &cfg);
+        print_run(&ft);
+        let alpha = ft.curve.initial_gmq().unwrap_or(1.0);
+        let beta = ft
+            .curve
+            .best_gmq()
+            .unwrap_or(1.0)
+            .min(res.curve.best_gmq().unwrap_or(1.0));
+        let s = relative_speedups(&ft.curve, &res.curve, alpha, beta);
+        println!("speedup vs FT: Δ.5={:.1}x Δ.8={:.1}x Δ1={:.1}x", s.d05, s.d08, s.d10);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_run(res: &RunResult) {
+    let pts: Vec<String> = res
+        .curve
+        .points()
+        .iter()
+        .map(|(q, g)| format!("{q:.0}→{g:.2}"))
+        .collect();
+    println!(
+        "{:<8} δ_m={:.2} δ_js={:.2} gen={} anno={}  GMQ: {}",
+        res.strategy,
+        res.delta_m,
+        res.delta_js,
+        res.generated_total,
+        res.annotated_total,
+        pts.join(" ")
+    );
+}
+
+fn cmd_gamma(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(kind) = dataset_of(flags) else { return ExitCode::FAILURE };
+    let Some(rows) = num(flags, "rows", kind.default_rows()) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(seed) = num(flags, "seed", 7u64) else { return ExitCode::FAILURE };
+
+    let table = generate(kind, rows, seed);
+    let f = Featurizer::from_table(&table);
+    let a = Annotator::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = QueryGenerator::from_notation(&table, "w12");
+    let corpus: Vec<LabeledExample> = gen
+        .generate_many(1600, &mut rng)
+        .iter()
+        .map(|p| LabeledExample::new(f.featurize(p), a.count(&table, p) as f64))
+        .collect();
+    let holdout: Vec<LabeledExample> = gen
+        .generate_many(200, &mut rng)
+        .iter()
+        .map(|p| LabeledExample::new(f.featurize(p), a.count(&table, p) as f64))
+        .collect();
+    let dim = f.dim();
+    let est = estimate_gamma(
+        &move || {
+            Box::new(warper_repro::ce::lm::LmMlp::new(
+                dim,
+                warper_repro::ce::lm::LmMlpParams::default(),
+                9,
+            ))
+        },
+        &corpus,
+        &holdout,
+        &[100, 200, 400, 800, 1600],
+        0.05,
+    );
+    println!("learning curve on {} ({} rows, w12 workload):", kind.name(), rows);
+    for p in &est.curve {
+        println!("  {:>5} training queries → GMQ {:.2}", p.train_size, p.gmq);
+    }
+    println!("estimated γ = {}", est.gamma);
+    ExitCode::SUCCESS
+}
+
+fn cmd_gaps(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(orders) = num(flags, "orders", 20_000usize) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(seed) = num(flags, "seed", 9u64) else { return ExitCode::FAILURE };
+    let tables = generate_tpch(TpchScale { orders }, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    println!("plan-choice latency gaps on TPC-H-like tables ({orders} orders):");
+    for scenario in Scenario::all() {
+        let mut template = SpjTemplate::new(&tables, scenario, "w1");
+        let executor = Executor::new(scenario);
+        let gap = template
+            .draw_many(100, &mut rng)
+            .iter()
+            .map(|q| executor.latency_gap(&q.actual))
+            .fold(0.0, f64::max);
+        println!("  {:<22} {gap:.1}x", scenario.name());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_datasets() -> ExitCode {
+    for kind in DatasetKind::all() {
+        let t = generate(kind, kind.default_rows(), 7);
+        println!("{:?}", t.profile());
+    }
+    ExitCode::SUCCESS
+}

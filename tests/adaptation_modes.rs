@@ -1,0 +1,174 @@
+//! Integration tests: full Algorithm-1 invocations for each drift mode
+//! (c1–c4) through the real pipeline — synthetic dataset, workload
+//! generators, annotator, CE model, Warper controller.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_repro::ce::lm::{LmMlp, LmMlpParams};
+use warper_repro::prelude::*;
+use warper_repro::storage::drift;
+use warper_repro::warper::detect::DataTelemetry;
+
+/// Shared tiny setup: PRSA-like table with a w1-trained corpus.
+struct Env {
+    table: Table,
+    featurizer: Featurizer,
+    annotator: Annotator,
+    train: Vec<(Vec<f64>, f64)>,
+    baseline: f64,
+}
+
+impl Env {
+    fn new(seed: u64) -> (Env, LmMlp) {
+        let table = generate(DatasetKind::Prsa, 4_000, seed);
+        let featurizer = Featurizer::from_table(&table);
+        let annotator = Annotator::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = QueryGenerator::from_notation(&table, "w1");
+        let preds = gen.generate_many(400, &mut rng);
+        let cards = annotator.count_batch(&table, &preds);
+        let train: Vec<(Vec<f64>, f64)> = preds
+            .iter()
+            .zip(&cards)
+            .map(|(p, &c)| (featurizer.featurize(p), c as f64))
+            .collect();
+        let mut model = LmMlp::new(featurizer.dim(), LmMlpParams::default(), seed);
+        let examples: Vec<LabeledExample> = train
+            .iter()
+            .map(|(f, c)| LabeledExample::new(f.clone(), *c))
+            .collect();
+        model.fit(&examples);
+        let baseline = {
+            let ests: Vec<f64> = train.iter().map(|(f, _)| model.estimate(f)).collect();
+            let actuals: Vec<f64> = train.iter().map(|(_, c)| *c).collect();
+            gmq(&ests, &actuals, PAPER_THETA)
+        };
+        (Env { table, featurizer, annotator, train, baseline }, model)
+    }
+
+    fn controller(&self, seed: u64, gamma: usize) -> WarperController {
+        let f = self.featurizer.clone();
+        WarperController::new(
+            self.featurizer.dim(),
+            &self.train,
+            self.baseline,
+            WarperConfig { gamma, n_p: 200, n_i: 15, pretrain_epochs: 5, ..Default::default() },
+            seed,
+        )
+        .with_canonicalizer(Box::new(move |q: &[f64]| {
+            f.featurize(&f.defeaturize(q).keep_most_selective(f.domains(), 3))
+        }))
+    }
+
+    fn arrivals(&self, workload: &str, n: usize, labeled: bool, seed: u64) -> Vec<ArrivedQuery> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut gen = QueryGenerator::from_notation(&self.table, workload);
+        gen.generate_many(n, &mut rng)
+            .iter()
+            .map(|p| ArrivedQuery {
+                features: self.featurizer.featurize(p),
+                gt: labeled.then(|| self.annotator.count(&self.table, p) as f64),
+            })
+            .collect()
+    }
+
+    fn invoke(
+        &self,
+        ctl: &mut WarperController,
+        model: &mut LmMlp,
+        arrived: &[ArrivedQuery],
+        telemetry: &DataTelemetry,
+    ) -> warper_repro::warper::controller::InvocationReport {
+        let table = &self.table;
+        let f = &self.featurizer;
+        let a = &self.annotator;
+        ctl.invoke(model, arrived, telemetry, &mut |qs| {
+            qs.iter().map(|q| a.count(table, &f.defeaturize(q)) as f64).collect()
+        })
+    }
+}
+
+#[test]
+fn c2_workload_drift_generates_and_improves() {
+    let (env, mut model) = Env::new(1);
+    let mut ctl = env.controller(5, 150);
+    let mut generated = 0;
+    let mut first_gap = 0.0;
+    let mut last_eval = f64::INFINITY;
+    for step in 0..4 {
+        let arrived = env.arrivals("w4", 60, true, 100 + step);
+        let report = env.invoke(&mut ctl, &mut model, &arrived, &DataTelemetry::default());
+        generated += report.generated;
+        if step == 0 {
+            first_gap = report.delta_m;
+        }
+        if let Some(g) = report.eval_gmq {
+            last_eval = g;
+        }
+    }
+    assert!(generated > 0, "c2 must synthesize queries");
+    assert!(
+        last_eval < env.baseline + first_gap,
+        "no improvement: gap {first_gap}, final GMQ {last_eval}, baseline {}",
+        env.baseline
+    );
+}
+
+#[test]
+fn c1_data_drift_reannotates_stale_labels() {
+    let (mut env, mut model) = Env::new(2);
+    let changelog = drift::ChangeLog::mark(&env.table);
+    drift::sort_and_truncate_half(&mut env.table, 1);
+    let telemetry = DataTelemetry {
+        changed_fraction: changelog.changed_fraction(&env.table),
+        canary_max_change: 1.0,
+    };
+    assert!(telemetry.changed_fraction > 0.05);
+
+    let mut ctl = env.controller(7, 150);
+    let arrived = env.arrivals("w1", 20, false, 9);
+    let report = env.invoke(&mut ctl, &mut model, &arrived, &telemetry);
+    assert!(report.mode.c1, "telemetry should flag c1, got {}", report.mode);
+    assert!(report.annotated > 0, "c1 must re-annotate");
+    assert!(report.trained_on > 0, "the model must be updated from re-annotations");
+}
+
+#[test]
+fn c4_adequate_queries_fall_back_to_plain_update() {
+    let (env, mut model) = Env::new(3);
+    // γ tiny → adequate queries/labels on the very first invocation.
+    let mut ctl = env.controller(11, 10);
+    let arrived = env.arrivals("w4", 60, true, 200);
+    let report = env.invoke(&mut ctl, &mut model, &arrived, &DataTelemetry::default());
+    if report.mode.any() {
+        assert!(report.mode.c4, "with n_t ≥ γ and labels, mode must be c4: {}", report.mode);
+        assert_eq!(report.generated, 0, "c4 needs no synthesis");
+        assert_eq!(report.annotated, 0, "c4 needs no annotation");
+        assert!(report.trained_on > 0);
+    }
+}
+
+#[test]
+fn no_drift_keeps_machinery_idle() {
+    let (env, mut model) = Env::new(4);
+    let mut ctl = env.controller(13, 150);
+    // Same workload as training: no drift.
+    let arrived = env.arrivals("w1", 40, true, 17);
+    let report = env.invoke(&mut ctl, &mut model, &arrived, &DataTelemetry::default());
+    assert!(!report.mode.any(), "in-distribution workload should not trigger: {}", report.mode);
+    assert_eq!(report.generated, 0);
+    assert_eq!(report.annotated, 0);
+}
+
+#[test]
+fn c3_unlabeled_arrivals_annotated_stratified() {
+    let (env, mut model) = Env::new(6);
+    let mut ctl = env.controller(19, 150);
+    // Seed the eval window with a few labeled drifted queries so δ_m fires;
+    // the bulk arrives unlabeled (annotation can't keep up → c3).
+    let mut arrived = env.arrivals("w4", 8, true, 23);
+    arrived.extend(env.arrivals("w4", 60, false, 24));
+    let report = env.invoke(&mut ctl, &mut model, &arrived, &DataTelemetry::default());
+    assert!(report.mode.c3, "should detect c3, got {}", report.mode);
+    assert!(report.annotated > 0, "c3 must annotate picked queries");
+}

@@ -1,0 +1,130 @@
+//! Cross-crate property-based tests (proptest) on the invariants the system
+//! relies on.
+
+use proptest::prelude::*;
+use warper_repro::metrics::{delta_js, gmq, q_error, PAPER_THETA};
+use warper_repro::query::{Annotator, Featurizer, RangePredicate};
+use warper_repro::storage::{Column, ColumnType, Table};
+
+/// Strategy: a small table plus a pair of nested predicates over it.
+fn table_of(values: Vec<Vec<f64>>) -> Table {
+    let cols = values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| Column::new(format!("c{i}"), ColumnType::Real, v))
+        .collect();
+    Table::new("t", cols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn q_error_is_symmetric_and_at_least_one(
+        a in 0.0f64..1e9,
+        b in 0.0f64..1e9,
+    ) {
+        let q1 = q_error(a, b, PAPER_THETA);
+        let q2 = q_error(b, a, PAPER_THETA);
+        prop_assert!((q1 - q2).abs() < 1e-9);
+        prop_assert!(q1 >= 1.0);
+    }
+
+    #[test]
+    fn gmq_bounded_by_min_max_qerror(
+        pairs in prop::collection::vec((0.0f64..1e6, 0.0f64..1e6), 1..40),
+    ) {
+        let ests: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let actuals: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let qs: Vec<f64> = pairs.iter().map(|p| q_error(p.0, p.1, PAPER_THETA)).collect();
+        let g = gmq(&ests, &actuals, PAPER_THETA);
+        let lo = qs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = qs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9);
+    }
+
+    #[test]
+    fn featurize_defeaturize_roundtrips(
+        bounds in prop::collection::vec((0.0f64..0.45, 0.55f64..1.0), 1..8),
+    ) {
+        // Domains [0,10] per column; predicates inside them.
+        let d = bounds.len();
+        let domains = vec![(0.0, 10.0); d];
+        let f = Featurizer::from_domains(domains);
+        let p = RangePredicate::new(
+            bounds.iter().map(|b| b.0 * 10.0).collect(),
+            bounds.iter().map(|b| b.1 * 10.0).collect(),
+        );
+        let back = f.defeaturize(&f.featurize(&p));
+        for c in 0..d {
+            prop_assert!((back.lows[c] - p.lows[c]).abs() < 1e-9);
+            prop_assert!((back.highs[c] - p.highs[c]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn containment_implies_cardinality_monotonicity(
+        rows in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 10..120),
+        (l1, w1) in (0.0f64..50.0, 5.0f64..50.0),
+        shrink in 0.0f64..0.4,
+    ) {
+        let table = table_of(vec![
+            rows.iter().map(|r| r.0).collect(),
+            rows.iter().map(|r| r.1).collect(),
+        ]);
+        let domains = table.domains();
+        let wide = RangePredicate::unconstrained(&domains).with_range(0, l1, l1 + w1);
+        let narrow = RangePredicate::unconstrained(&domains)
+            .with_range(0, l1 + shrink * w1, l1 + w1 - shrink * w1);
+        prop_assert!(wide.contains(&narrow));
+        let a = Annotator::new();
+        prop_assert!(a.count(&table, &wide) >= a.count(&table, &narrow));
+    }
+
+    #[test]
+    fn annotator_counts_bounded_by_rows(
+        rows in prop::collection::vec(0.0f64..100.0, 1..200),
+        lo in 0.0f64..100.0,
+        width in 0.0f64..100.0,
+    ) {
+        let n = rows.len() as u64;
+        let table = table_of(vec![rows]);
+        let p = RangePredicate::new(vec![lo], vec![lo + width]);
+        let count = Annotator::new().count(&table, &p);
+        prop_assert!(count <= n);
+        // Selectivity consistency.
+        let sel = Annotator::new().selectivity(&table, &p);
+        prop_assert!((sel - count as f64 / n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_js_symmetric_and_bounded(
+        a in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 4), 10..60),
+        b in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 4), 10..60),
+    ) {
+        let d_ab = delta_js(&a, &b, 4, 3);
+        let d_ba = delta_js(&b, &a, 4, 3);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!((d_ab - d_ba).abs() < 1e-9);
+    }
+
+    #[test]
+    fn keep_most_selective_is_idempotent_and_contains_nothing_extra(
+        lows in prop::collection::vec(0.0f64..0.5, 5),
+        widths in prop::collection::vec(0.05f64..0.5, 5),
+        keep in 1usize..4,
+    ) {
+        let domains = vec![(0.0, 1.0); 5];
+        let p = RangePredicate::new(
+            lows.clone(),
+            lows.iter().zip(&widths).map(|(l, w)| (l + w).min(1.0)).collect(),
+        );
+        let s1 = p.keep_most_selective(&domains, keep);
+        let s2 = s1.keep_most_selective(&domains, keep);
+        prop_assert_eq!(&s1, &s2, "canonicalization must be idempotent");
+        // The sparse form is a relaxation: it contains the original.
+        prop_assert!(s1.contains(&p));
+        // And constrains at most `keep` columns.
+        prop_assert!(s1.constrained_columns(&domains).len() <= keep);
+    }
+}
