@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+# All cargo invocations are offline — every dependency is vendored.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q --offline --workspace
+
+echo "CI OK"

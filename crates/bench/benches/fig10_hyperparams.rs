@@ -4,13 +4,18 @@
 //! Paper takeaway: "hyperparameter tuning may improve the performance but
 //! concrete choices are unclear"; curves for different sizes bunch together.
 
-use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_bench::{
+    bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale,
+};
 use warper_core::runner::{DriftSetup, ModelKind, StrategyKind};
 use warper_storage::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
     let variants = [
         ("hidden=32,  |z|=8", 32usize, 8usize),
         ("hidden=64,  |z|=16", 64, 16),

@@ -5,13 +5,18 @@
 //! accelerate the model adaptation but will increase the CPU utilization";
 //! the default 0.1× already captures most of the benefit.
 
-use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_bench::{
+    bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale,
+};
 use warper_core::runner::{DriftSetup, ModelKind, StrategyKind};
 use warper_storage::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
     let multipliers = [0.1, 0.3, 1.0, 3.0];
 
     let mut rows = Vec::new();
@@ -29,7 +34,11 @@ fn main() {
                 &cfg,
                 scale.runs().min(2),
             );
-            let generated: usize = cmp.method_runs.iter().map(|r| r.generated_total).sum::<usize>()
+            let generated: usize = cmp
+                .method_runs
+                .iter()
+                .map(|r| r.generated_total)
+                .sum::<usize>()
                 / cmp.method_runs.len();
             rows.push(vec![
                 kind.name().to_string(),

@@ -41,8 +41,10 @@ fn main() {
         .map(|(p, &c)| (lf.featurize(p), c as f64))
         .collect();
     let mut model = LmMlp::new(lf.dim(), LmMlpParams::default(), 9);
-    let ex: Vec<LabeledExample> =
-        train.iter().map(|(q, c)| LabeledExample::new(q.clone(), *c)).collect();
+    let ex: Vec<LabeledExample> = train
+        .iter()
+        .map(|(q, c)| LabeledExample::new(q.clone(), *c))
+        .collect();
     model.fit(&ex);
     let baseline = {
         let ests: Vec<f64> = train.iter().map(|(q, _)| model.estimate(q)).collect();
@@ -82,7 +84,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = Vec::new();
     let (g0, l0, oracle) = evaluate(&model);
-    rows.push(vec!["0".into(), format!("{g0:.1}"), format!("{l0:.3}s"), format!("{:.0}%", 100.0 * (l0 / oracle - 1.0))]);
+    rows.push(vec![
+        "0".into(),
+        format!("{g0:.1}"),
+        format!("{l0:.3}s"),
+        format!("{:.0}%", 100.0 * (l0 / oracle - 1.0)),
+    ]);
     json.push(serde_json::json!({ "queries": 0, "gmq": g0, "latency": l0 }));
 
     let mut total = 0usize;
@@ -103,7 +110,12 @@ fn main() {
                 .map(|q| annotator.count(lineitem, &lf.defeaturize(q)) as f64)
                 .collect()
         };
-        ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut annotate);
+        ctl.invoke(
+            &mut model,
+            &arrived,
+            &DataTelemetry::default(),
+            &mut annotate,
+        );
         let (g, l, _) = evaluate(&model);
         rows.push(vec![
             total.to_string(),
@@ -119,5 +131,8 @@ fn main() {
         &rows,
     );
     println!("(paper: GMQ 19 → ~7 after adaptation; latency improves ~31%)");
-    save_results("fig1_motivation", &serde_json::json!({ "curve": json, "oracle": oracle }));
+    save_results(
+        "fig1_motivation",
+        &serde_json::json!({ "curve": json, "oracle": oracle }),
+    );
 }

@@ -61,8 +61,10 @@ fn main() {
             .map(|(p, &c)| (featurizer.featurize(p), c as f64))
             .collect();
         let mut model = LmMlp::new(featurizer.dim(), LmMlpParams::default(), 3);
-        let ex: Vec<LabeledExample> =
-            train.iter().map(|(q, c)| LabeledExample::new(q.clone(), *c)).collect();
+        let ex: Vec<LabeledExample> = train
+            .iter()
+            .map(|(q, c)| LabeledExample::new(q.clone(), *c))
+            .collect();
         model.fit(&ex);
         let baseline = {
             let ests: Vec<f64> = train.iter().map(|(q, _)| model.estimate(q)).collect();
@@ -70,11 +72,16 @@ fn main() {
             gmq(&ests, &actuals, PAPER_THETA)
         };
         let f2 = featurizer.clone();
-        let mut ctl =
-            WarperController::new(featurizer.dim(), &train, baseline, WarperConfig::default(), 5)
-                .with_canonicalizer(Box::new(move |q: &[f64]| {
-                    f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
-                }));
+        let mut ctl = WarperController::new(
+            featurizer.dim(),
+            &train,
+            baseline,
+            WarperConfig::default(),
+            5,
+        )
+        .with_canonicalizer(Box::new(move |q: &[f64]| {
+            f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
+        }));
         let changelog = ChangeLog::mark(&table);
         let mut canaries = CanarySet::new(&table, 8, &mut rng);
 

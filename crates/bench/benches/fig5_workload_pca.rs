@@ -72,7 +72,10 @@ fn main() {
             format!("({cx:.2}, {cy:.2})"),
             format!("{spread:.2}"),
         ]);
-        json.insert(w.to_string(), serde_json::json!({ "cx": cx, "cy": cy, "spread": spread }));
+        json.insert(
+            w.to_string(),
+            serde_json::json!({ "cx": cx, "cy": cy, "spread": spread }),
+        );
     }
     print_table(
         "Figure 5: PCA projections of workloads on PRSA (shared 2-d basis)",
@@ -88,7 +91,11 @@ fn main() {
         for (j, _) in notations.iter().enumerate() {
             let (cxj, cyj, _) = centroid(&projected[j]);
             let d = ((cxi - cxj).powi(2) + (cyi - cyj).powi(2)).sqrt();
-            cells.push(if i == j { "-".into() } else { format!("{d:.2}") });
+            cells.push(if i == j {
+                "-".into()
+            } else {
+                format!("{d:.2}")
+            });
         }
         dist_rows.push(cells);
     }
@@ -102,10 +109,14 @@ fn main() {
     let all_pts: Vec<(f64, f64)> = projected.iter().flatten().copied().collect();
     let (xmin, xmax) = all_pts
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| (a.min(p.0), b.max(p.0)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| {
+            (a.min(p.0), b.max(p.0))
+        });
     let (ymin, ymax) = all_pts
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| (a.min(p.1), b.max(p.1)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), p| {
+            (a.min(p.1), b.max(p.1))
+        });
     const W: usize = 48;
     const H: usize = 12;
     for (w, pts) in notations.iter().zip(&projected) {

@@ -12,7 +12,10 @@ use warper_storage::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
     let strategies = [
         StrategyKind::Ft,
         StrategyKind::Mix,
@@ -36,11 +39,17 @@ fn main() {
             rows.push(vec![res.strategy.clone(), fmt_curve(res.curve.points())]);
         }
         print_table(
-            &format!("Figure 6 ({}, c2, w12→w345, LM-mlp): GMQ vs queries consumed", kind.name()),
+            &format!(
+                "Figure 6 ({}, c2, w12→w345, LM-mlp): GMQ vs queries consumed",
+                kind.name()
+            ),
             &["method", "curve (queries→GMQ)"],
             &rows,
         );
-        json.insert(kind.name().to_string(), serde_json::Value::Object(per_dataset));
+        json.insert(
+            kind.name().to_string(),
+            serde_json::Value::Object(per_dataset),
+        );
     }
     save_results("fig6_adaptation_curves", &serde_json::Value::Object(json));
 }

@@ -38,8 +38,10 @@ fn main() {
         .map(|(p, &c)| (featurizer.featurize(p), c as f64))
         .collect();
     let mut model = LmMlp::new(featurizer.dim(), LmMlpParams::default(), 3);
-    let ex: Vec<LabeledExample> =
-        train.iter().map(|(q, c)| LabeledExample::new(q.clone(), *c)).collect();
+    let ex: Vec<LabeledExample> = train
+        .iter()
+        .map(|(q, c)| LabeledExample::new(q.clone(), *c))
+        .collect();
     model.fit(&ex);
     let baseline = {
         let ests: Vec<f64> = train.iter().map(|(q, _)| model.estimate(q)).collect();
@@ -47,11 +49,16 @@ fn main() {
         gmq(&ests, &actuals, PAPER_THETA)
     };
     let f2 = featurizer.clone();
-    let mut ctl =
-        WarperController::new(featurizer.dim(), &train, baseline, WarperConfig::default(), 5)
-            .with_canonicalizer(Box::new(move |q: &[f64]| {
-                f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
-            }));
+    let mut ctl = WarperController::new(
+        featurizer.dim(),
+        &train,
+        baseline,
+        WarperConfig::default(),
+        5,
+    )
+    .with_canonicalizer(Box::new(move |q: &[f64]| {
+        f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
+    }));
 
     let mut new_gen = QueryGenerator::from_notation(&table, "w345");
     let mut rows = Vec::new();
@@ -70,9 +77,16 @@ fn main() {
             let f = &featurizer;
             let a = &annotator;
             let mut annotate = |qs: &[Vec<f64>]| -> Vec<f64> {
-                qs.iter().map(|q| a.count(t, &f.defeaturize(q)) as f64).collect()
+                qs.iter()
+                    .map(|q| a.count(t, &f.defeaturize(q)) as f64)
+                    .collect()
             };
-            ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut annotate);
+            ctl.invoke(
+                &mut model,
+                &arrived,
+                &DataTelemetry::default(),
+                &mut annotate,
+            );
         }
 
         // PCA over the whole pool; centroids per class. "Picked" are the
@@ -127,9 +141,18 @@ fn main() {
     }
     print_table(
         "Figure 7: pool composition during c2 adaptation (PRSA, PCA space)",
-        &["step", "#gen", "#picked", "‖gen−new‖", "‖gen−train‖", "‖train−new‖"],
+        &[
+            "step",
+            "#gen",
+            "#picked",
+            "‖gen−new‖",
+            "‖gen−train‖",
+            "‖train−new‖",
+        ],
         &rows,
     );
-    println!("(expected: generated/picked centroids track the new workload — ‖gen−new‖ < ‖gen−train‖)");
+    println!(
+        "(expected: generated/picked centroids track the new workload — ‖gen−new‖ < ‖gen−train‖)"
+    );
     save_results("fig7_pool_visualization", &serde_json::json!(json));
 }

@@ -21,12 +21,18 @@ fn main() {
     for (kind, train, new) in transitions {
         let table = bench_table(kind, scale, 19);
         let cfg = bench_runner_config(scale, 19);
-        let setup = DriftSetup::Workload { train: train.into(), new: new.into() };
+        let setup = DriftSetup::Workload {
+            train: train.into(),
+            new: new.into(),
+        };
         let mut rows = Vec::new();
         let mut per = serde_json::Map::new();
         for strategy in [StrategyKind::Ft, StrategyKind::Warper] {
             let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
-            per.insert(res.strategy.clone(), serde_json::json!(res.curve.points().to_vec()));
+            per.insert(
+                res.strategy.clone(),
+                serde_json::json!(res.curve.points().to_vec()),
+            );
             rows.push(vec![res.strategy.clone(), fmt_curve(res.curve.points())]);
         }
         print_table(

@@ -83,15 +83,24 @@ fn main() {
             let mut rows = Vec::new();
             let mut series = serde_json::Map::new();
             for method_name in ["no-adapt", "FT", "Warper"] {
-                let (gmqs, lats, oracle) =
-                    run_one(scenario, drift, method_name, tpch_scale, steps, arrivals_per_step);
+                let (gmqs, lats, oracle) = run_one(
+                    scenario,
+                    drift,
+                    method_name,
+                    tpch_scale,
+                    steps,
+                    arrivals_per_step,
+                );
                 series.insert(
                     method_name.to_string(),
                     serde_json::json!({ "gmq": gmqs, "latency": lats, "oracle": oracle }),
                 );
                 rows.push(vec![
                     method_name.to_string(),
-                    gmqs.iter().map(|g| format!("{g:.1}")).collect::<Vec<_>>().join(" "),
+                    gmqs.iter()
+                        .map(|g| format!("{g:.1}"))
+                        .collect::<Vec<_>>()
+                        .join(" "),
                     lats.iter()
                         .zip(&oracle)
                         .map(|(l, o)| format!("{:.0}%", 100.0 * (l / o - 1.0)))
@@ -101,7 +110,11 @@ fn main() {
             }
             print_table(
                 &format!("Figure 9 [{} × {}]", scenario.name(), drift.name()),
-                &["method", "GMQ per step", "latency regression vs oracle per step"],
+                &[
+                    "method",
+                    "GMQ per step",
+                    "latency regression vs oracle per step",
+                ],
                 &rows,
             );
             json.insert(
@@ -130,26 +143,29 @@ fn run_one(
     let mut rng = StdRng::seed_from_u64(31);
 
     // Seed CE models trained on w1 over each table.
-    let train_side = |table: &warper_storage::Table, f: &Featurizer, seed: u64, rng: &mut StdRng| {
-        let mut gen = warper_workload::QueryGenerator::from_notation(table, "w1");
-        let preds = gen.generate_many(700, rng);
-        let cards = annotator.count_batch(table, &preds);
-        let set: Vec<(Vec<f64>, f64)> = preds
-            .iter()
-            .zip(&cards)
-            .map(|(p, &c)| (f.featurize(p), c as f64))
-            .collect();
-        let mut m = LmMlp::new(f.dim(), LmMlpParams::default(), seed);
-        let ex: Vec<LabeledExample> =
-            set.iter().map(|(q, c)| LabeledExample::new(q.clone(), *c)).collect();
-        m.fit(&ex);
-        let baseline = {
-            let ests: Vec<f64> = set.iter().map(|(q, _)| m.estimate(q)).collect();
-            let actuals: Vec<f64> = set.iter().map(|(_, c)| *c).collect();
-            gmq(&ests, &actuals, PAPER_THETA)
+    let train_side =
+        |table: &warper_storage::Table, f: &Featurizer, seed: u64, rng: &mut StdRng| {
+            let mut gen = warper_workload::QueryGenerator::from_notation(table, "w1");
+            let preds = gen.generate_many(700, rng);
+            let cards = annotator.count_batch(table, &preds);
+            let set: Vec<(Vec<f64>, f64)> = preds
+                .iter()
+                .zip(&cards)
+                .map(|(p, &c)| (f.featurize(p), c as f64))
+                .collect();
+            let mut m = LmMlp::new(f.dim(), LmMlpParams::default(), seed);
+            let ex: Vec<LabeledExample> = set
+                .iter()
+                .map(|(q, c)| LabeledExample::new(q.clone(), *c))
+                .collect();
+            m.fit(&ex);
+            let baseline = {
+                let ests: Vec<f64> = set.iter().map(|(q, _)| m.estimate(q)).collect();
+                let actuals: Vec<f64> = set.iter().map(|(_, c)| *c).collect();
+                gmq(&ests, &actuals, PAPER_THETA)
+            };
+            (m, set, baseline)
         };
-        (m, set, baseline)
-    };
     let (mut model_l, train_l, base_l) = train_side(&tables.lineitem, &lf, 1, &mut rng);
     let (mut model_o, train_o, base_o) = train_side(&tables.orders, &of, 2, &mut rng);
 
@@ -169,7 +185,10 @@ fn run_one(
                     f.dim(),
                     set,
                     base,
-                    WarperConfig { gamma: 150, ..Default::default() },
+                    WarperConfig {
+                        gamma: 150,
+                        ..Default::default()
+                    },
                     seed,
                 )
                 .with_canonicalizer(Box::new(move |q: &[f64]| {

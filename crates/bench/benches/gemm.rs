@@ -1,0 +1,223 @@
+//! GEMM kernel benchmark: seed kernel vs blocked serial vs blocked+parallel,
+//! plus end-to-end `Mlp::train_epoch` (workspace path) vs the allocating
+//! cached path it replaced.
+//!
+//! Run with `cargo bench --bench gemm` (release profile). Writes the
+//! measured numbers to `BENCH_gemm.json` at the workspace root in addition
+//! to printing them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+use warper_linalg::{gemm, Matrix};
+use warper_nn::{Activation, Mlp, Workspace};
+
+/// The seed repository's dense kernel, kept verbatim as the baseline: naive
+/// i-k-j loop with a zero-skip on the left operand, allocating its output.
+fn seed_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    let (m, p, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for (k, &aik) in arow.iter().enumerate().take(p) {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(k);
+            let orow = out.row_mut(i);
+            for j in 0..n {
+                orow[j] += aik * brow[j];
+            }
+        }
+    }
+    out
+}
+
+fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = rng.random_range(-1.0..1.0);
+    }
+    m
+}
+
+/// Median wall-clock seconds of `reps` runs of `f`.
+fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One untimed warm-up run.
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn bench_gemm_512(out: &mut Vec<(String, serde_json::Value)>) {
+    const N: usize = 512;
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = random_matrix(N, N, &mut rng);
+    let b = random_matrix(N, N, &mut rng);
+
+    let seed_s = time_median(5, || {
+        black_box(seed_matmul(&a, &b));
+    });
+    let mut buf = Matrix::zeros(0, 0);
+    let blocked_s = time_median(5, || {
+        gemm::matmul_into_threaded(&mut buf, &a, &b, 1);
+        black_box(&buf);
+    });
+    let threads = gemm::auto_threads(N, N, N);
+    let parallel_s = time_median(5, || {
+        gemm::matmul_into(&mut buf, &a, &b);
+        black_box(&buf);
+    });
+
+    // Sanity: all three paths agree bitwise (seed zero-skip only ever skips
+    // adding ±0.0, which random inputs never produce).
+    let reference = seed_matmul(&a, &b);
+    gemm::matmul_into(&mut buf, &a, &b);
+    assert_eq!(buf, reference, "kernel mismatch at {N}");
+
+    println!("gemm {N}x{N}x{N}: seed {:.1} ms | blocked(1t) {:.1} ms ({:.2}x) | parallel({threads}t) {:.1} ms ({:.2}x)",
+        seed_s * 1e3, blocked_s * 1e3, seed_s / blocked_s, parallel_s * 1e3, seed_s / parallel_s);
+
+    out.push((
+        "gemm_512".into(),
+        serde_json::json!({
+            "shape": [N, N, N],
+            "seed_kernel_ms": seed_s * 1e3,
+            "blocked_serial_ms": blocked_s * 1e3,
+            "parallel_ms": parallel_s * 1e3,
+            "parallel_threads": threads,
+            "speedup_blocked_vs_seed": seed_s / blocked_s,
+            "speedup_parallel_vs_seed": seed_s / parallel_s,
+        }),
+    ));
+}
+
+fn bench_fused_transpose(out: &mut Vec<(String, serde_json::Value)>) {
+    const N: usize = 384;
+    let mut rng = StdRng::seed_from_u64(8);
+    let a = random_matrix(N, N, &mut rng);
+    let b = random_matrix(N, N, &mut rng);
+
+    // Seed path: materialize the transpose, then multiply with the seed
+    // kernel — exactly what `x.transpose().matmul(&y)` call sites paid.
+    let mat_s = time_median(5, || {
+        black_box(seed_matmul(&a.transpose(), &b));
+    });
+    let mut buf = Matrix::zeros(0, 0);
+    let fused_s = time_median(5, || {
+        gemm::matmul_transpose_a_into(&mut buf, &a, &b);
+        black_box(&buf);
+    });
+
+    println!(
+        "fused aT*b {N}x{N}: materialized {:.1} ms | fused {:.1} ms ({:.2}x)",
+        mat_s * 1e3,
+        fused_s * 1e3,
+        mat_s / fused_s
+    );
+    out.push((
+        "fused_transpose_a_384".into(),
+        serde_json::json!({
+            "shape": [N, N, N],
+            "materialized_transpose_ms": mat_s * 1e3,
+            "fused_ms": fused_s * 1e3,
+            "speedup": mat_s / fused_s,
+        }),
+    ));
+}
+
+fn bench_train_epoch(out: &mut Vec<(String, serde_json::Value)>) {
+    // The repo's realistic training shape (LM-style estimator: narrow
+    // features, two hidden layers, small batches).
+    let (n, din, hidden, batch) = (2048, 18, 64, 32);
+    let mut rng = StdRng::seed_from_u64(9);
+    let x = random_matrix(n, din, &mut rng);
+    let y = random_matrix(n, 1, &mut rng);
+    let net0 = Mlp::new(
+        &[din, hidden, hidden, 1],
+        Activation::Relu,
+        Activation::Identity,
+        &mut rng,
+    );
+    let order: Vec<usize> = (0..n).collect();
+
+    // Seed-style epoch: fresh batch matrices + cached forward/backward with
+    // per-call allocations, mirroring the pre-workspace training loops.
+    // Network/optimizer state lives across reps in both variants so each
+    // timed rep is one steady-state epoch.
+    let mut net = net0.clone();
+    let mut opt = warper_nn::optim::Sgd::new();
+    let cached_s = time_median(9, || {
+        for chunk in order.chunks(batch) {
+            let bx =
+                Matrix::from_rows(&chunk.iter().map(|&i| x.row(i).to_vec()).collect::<Vec<_>>());
+            let by =
+                Matrix::from_rows(&chunk.iter().map(|&i| y.row(i).to_vec()).collect::<Vec<_>>());
+            let (outm, cache) = net.forward_cached(&bx);
+            let (_, dout) = warper_nn::loss::mse(&outm, &by);
+            let grads = net.backward(&cache, &dout);
+            warper_nn::optim::Optimizer::step(&mut opt, &mut net, &grads, 1e-3);
+        }
+        black_box(&net);
+    });
+
+    let mut net = net0.clone();
+    let mut opt = warper_nn::optim::Sgd::new();
+    let mut ws = Workspace::new();
+    let ws_s = time_median(9, || {
+        black_box(net.train_epoch(&x, &y, &order, batch, &mut opt, 1e-3, &mut ws));
+    });
+
+    println!(
+        "mlp train_epoch n={n} [{din},{hidden},{hidden},1] b={batch}: cached-alloc {:.1} ms | workspace {:.1} ms ({:.2}x)",
+        cached_s * 1e3,
+        ws_s * 1e3,
+        cached_s / ws_s
+    );
+    out.push((
+        "mlp_train_epoch".into(),
+        serde_json::json!({
+            "n": n, "dims": [din, hidden, hidden, 1], "batch": batch,
+            "cached_alloc_path_ms": cached_s * 1e3,
+            "workspace_path_ms": ws_s * 1e3,
+            "speedup": cached_s / ws_s,
+        }),
+    ));
+}
+
+fn main() {
+    let mut sections: Vec<(String, serde_json::Value)> = Vec::new();
+    bench_gemm_512(&mut sections);
+    bench_fused_transpose(&mut sections);
+    bench_train_epoch(&mut sections);
+
+    let mut root = serde_json::Map::new();
+    root.insert(
+        "bench".into(),
+        serde_json::Value::String("crates/bench/benches/gemm.rs".into()),
+    );
+    for (k, v) in sections {
+        root.insert(k, v);
+    }
+    let json = serde_json::to_string_pretty(&serde_json::Value::Object(root)).unwrap();
+    // The bench runs from the workspace root (cargo sets cwd to the package
+    // dir; walk up to the root that holds Cargo.lock).
+    let mut dir = std::env::current_dir().unwrap();
+    while !dir.join("Cargo.lock").exists() {
+        if !dir.pop() {
+            break;
+        }
+    }
+    let path = dir.join("BENCH_gemm.json");
+    std::fs::write(&path, json).unwrap();
+    println!("wrote {}", path.display());
+}

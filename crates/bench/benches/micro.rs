@@ -72,12 +72,19 @@ fn warper_module_benches(c: &mut Criterion) {
         b.iter_batched(
             || {
                 (
-                    Encoder::new(dim, cfg.hidden, cfg.embed_dim, &mut StdRng::seed_from_u64(1)),
+                    Encoder::new(
+                        dim,
+                        cfg.hidden,
+                        cfg.embed_dim,
+                        &mut StdRng::seed_from_u64(1),
+                    ),
                     Gan::new(dim, &cfg, &mut StdRng::seed_from_u64(2)),
                     StdRng::seed_from_u64(3),
                 )
             },
-            |(mut e, mut g, mut r)| black_box(g.update_auto_encoder(&mut e, &pool, &cfg, 1, &mut r)),
+            |(mut e, mut g, mut r)| {
+                black_box(g.update_auto_encoder(&mut e, &pool, &cfg, 1, &mut r))
+            },
             BatchSize::LargeInput,
         )
     });
@@ -104,10 +111,18 @@ fn model_and_metric_benches(c: &mut Criterion) {
 
     let mut rng = StdRng::seed_from_u64(11);
     let a: Vec<Vec<f64>> = (0..500)
-        .map(|_| (0..18).map(|_| rand::Rng::random_range(&mut rng, 0.0..1.0)).collect())
+        .map(|_| {
+            (0..18)
+                .map(|_| rand::Rng::random_range(&mut rng, 0.0..1.0))
+                .collect()
+        })
         .collect();
     let b_: Vec<Vec<f64>> = (0..500)
-        .map(|_| (0..18).map(|_| rand::Rng::random_range(&mut rng, 0.2..1.0)).collect())
+        .map(|_| {
+            (0..18)
+                .map(|_| rand::Rng::random_range(&mut rng, 0.2..1.0))
+                .collect()
+        })
         .collect();
     c.bench_function("metrics/delta_js_k10_m3", |b| {
         b.iter(|| black_box(delta_js(&a, &b_, 10, 3)))

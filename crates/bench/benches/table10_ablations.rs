@@ -6,7 +6,9 @@
 //! random but trails the stratified/confidence picker; the GAN generator
 //! modestly beats noise.
 
-use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_bench::{
+    bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale,
+};
 use warper_core::controller::GenKind;
 use warper_core::picker::PickerKind;
 use warper_core::runner::{DriftSetup, ModelKind, StrategyKind};
@@ -14,20 +16,32 @@ use warper_storage::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
     let variants = [
         ("Warper", StrategyKind::Warper),
         (
             "P→rnd pick",
-            StrategyKind::WarperAblated { picker: PickerKind::Random, gen: GenKind::Gan },
+            StrategyKind::WarperAblated {
+                picker: PickerKind::Random,
+                gen: GenKind::Gan,
+            },
         ),
         (
             "P→entropy",
-            StrategyKind::WarperAblated { picker: PickerKind::Entropy, gen: GenKind::Gan },
+            StrategyKind::WarperAblated {
+                picker: PickerKind::Entropy,
+                gen: GenKind::Gan,
+            },
         ),
         (
             "G→AUG",
-            StrategyKind::WarperAblated { picker: PickerKind::Warper, gen: GenKind::Noise },
+            StrategyKind::WarperAblated {
+                picker: PickerKind::Warper,
+                gen: GenKind::Noise,
+            },
         ),
     ];
 
@@ -41,7 +55,14 @@ fn main() {
         // 0.1× budget every candidate is picked regardless of policy.
         cfg.warper.n_g_frac = 1.0;
         for (label, strategy) in variants {
-            let cmp = compare_to_ft(&table, &setup, ModelKind::LmMlp, strategy, &cfg, scale.runs());
+            let cmp = compare_to_ft(
+                &table,
+                &setup,
+                ModelKind::LmMlp,
+                strategy,
+                &cfg,
+                scale.runs(),
+            );
             rows.push(vec![
                 kind.name().to_string(),
                 label.to_string(),

@@ -8,7 +8,10 @@ use warper_storage::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
     let multipliers = [0.1, 0.3, 1.0, 3.0];
 
     let mut rows = Vec::new();
@@ -19,7 +22,8 @@ fn main() {
             let mut cfg = bench_runner_config(scale, 7);
             cfg.warper.n_g_frac = m;
             cfg.checkpoints = 5;
-            let res = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
+            let res =
+                run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
             let period = cfg.arrival.period_secs;
             let cpu = 100.0 * (res.annotate_secs + res.adapt_secs) / period;
             rows.push(vec![
@@ -43,7 +47,14 @@ fn main() {
     }
     print_table(
         "Table 11: CPU utilization as n_g varies (c2, 30 min period, 0.2 q/s)",
-        &["Dataset", "n_g", "generated", "Annotation", "Module update", "Avg CPU"],
+        &[
+            "Dataset",
+            "n_g",
+            "generated",
+            "Annotation",
+            "Module update",
+            "Avg CPU",
+        ],
         &rows,
     );
     println!("(paper: PRSA annotation 1.2s→36.3s for 0.1x→3x; CPU 0.25%→0.41%)");

@@ -17,7 +17,10 @@ use warper_workload::{ArrivalProcess, QueryGenerator};
 
 fn main() {
     let scale = Scale::from_env();
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
     // (label, rate q/s, period s) — scaled-down analogues of the paper's
     // "10 min @ 10 q/s", "10 min @ 1 q/s", "30 min @ 0.2 q/s".
     let rates: &[(&str, f64, f64)] = match scale {
@@ -53,7 +56,10 @@ fn main() {
         for strategy in [StrategyKind::Aug, StrategyKind::Hem, StrategyKind::Warper] {
             for &(label, rate, period) in rates {
                 let mut cfg = bench_runner_config(scale, 7);
-                cfg.arrival = ArrivalProcess { rate_per_sec: rate, period_secs: period };
+                cfg.arrival = ArrivalProcess {
+                    rate_per_sec: rate,
+                    period_secs: period,
+                };
                 cfg.checkpoints = 5;
                 let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
                 // CPU share = busy seconds over the *simulated* period.
@@ -83,7 +89,14 @@ fn main() {
     }
     print_table(
         "Table 6: cost overhead to adapt a CE model (single-core shares of simulated period)",
-        &["Dataset", "Method", "Annotation", "Module build", "Rate", "Avg CPU"],
+        &[
+            "Dataset",
+            "Method",
+            "Annotation",
+            "Module build",
+            "Rate",
+            "Avg CPU",
+        ],
         &rows,
     );
     println!("(paper: annotation 0.01–0.39 s/q at 0.4–11M rows; Warper CPU 0.25–10.8%)");

@@ -5,13 +5,18 @@
 //! Speedup magnitudes depend on the drift's hardness relative to the model,
 //! so the reproduction is compared on direction (Δ ≥ 1) and ordering.
 
-use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_bench::{
+    bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale,
+};
 use warper_core::runner::{DriftSetup, ModelKind, StrategyKind};
 use warper_storage::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
 
     let mut rows = Vec::new();
     let mut json = serde_json::Map::new();
@@ -50,7 +55,9 @@ fn main() {
     }
     print_table(
         "Table 7a: workload drift c2, Warper speedups over FT (LM-mlp)",
-        &["Dataset", "Cs", "Wkld", "Model", "δ_m", "δ_js", "Δ.5", "Δ.8", "Δ1"],
+        &[
+            "Dataset", "Cs", "Wkld", "Model", "δ_m", "δ_js", "Δ.5", "Δ.8", "Δ1",
+        ],
         &rows,
     );
     println!("(paper: PRSA 7.4/4.8/3.1, Poker 7.1/7.3/7.7, Higgs 3.8/3.7/3.5)");

@@ -6,14 +6,24 @@
 //! re-training models (LM-gbt/ply/rbf) — "In all cases, Warper performs no
 //! worse than FT or RT."
 
-use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_bench::{
+    bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale,
+};
 use warper_core::runner::{DriftSetup, ModelKind, StrategyKind};
 use warper_storage::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
-    let models = [ModelKind::LmGbt, ModelKind::LmPly, ModelKind::LmRbf, ModelKind::Mscn];
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
+    let models = [
+        ModelKind::LmGbt,
+        ModelKind::LmPly,
+        ModelKind::LmRbf,
+        ModelKind::Mscn,
+    ];
     // The paper's Table 7b covers PRSA, Poker and Higgs; the heavy
     // re-training models make Higgs slow at full scale, so small scale
     // sticks to the first two.
@@ -28,7 +38,14 @@ fn main() {
         for &kind in datasets {
             let table = bench_table(kind, scale, 7);
             let cfg = bench_runner_config(scale, 7);
-            let cmp = compare_to_ft(&table, &setup, model, StrategyKind::Warper, &cfg, scale.runs());
+            let cmp = compare_to_ft(
+                &table,
+                &setup,
+                model,
+                StrategyKind::Warper,
+                &cfg,
+                scale.runs(),
+            );
             rows.push(vec![
                 kind.name().to_string(),
                 "c2".into(),
@@ -50,7 +67,9 @@ fn main() {
     }
     print_table(
         "Table 7b: different CE models, Warper speedups over FT/RT",
-        &["Dataset", "Cs", "Wkld", "Model", "δ_m", "δ_js", "Δ.5", "Δ.8", "Δ1"],
+        &[
+            "Dataset", "Cs", "Wkld", "Model", "δ_m", "δ_js", "Δ.5", "Δ.8", "Δ1",
+        ],
         &rows,
     );
     println!("(paper: LM-gbt ≈1.0–6.8, LM-ply ≈1.0–4.0, LM-rbf ≈1.2–5.8, MSCN ≈2.5–8.1)");

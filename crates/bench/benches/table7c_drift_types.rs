@@ -7,7 +7,9 @@
 //! * c3: the workload drifts (w12 → w345) but arriving queries carry no
 //!   labels; both methods annotate under the same per-step budget.
 
-use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_bench::{
+    bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale,
+};
 use warper_core::runner::{DataDriftKind, DriftSetup, ModelKind, StrategyKind};
 use warper_storage::DatasetKind;
 
@@ -25,7 +27,14 @@ fn main() {
             workload: "w1".into(),
             kind: DataDriftKind::SortTruncate { col: 1 },
         };
-        let cmp = compare_to_ft(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg, scale.runs());
+        let cmp = compare_to_ft(
+            &table,
+            &setup,
+            ModelKind::LmMlp,
+            StrategyKind::Warper,
+            &cfg,
+            scale.runs(),
+        );
         rows.push(vec![
             kind.name().to_string(),
             "c1".into(),
@@ -48,8 +57,18 @@ fn main() {
         // c3: workload drift with unlabeled arrivals.
         let mut cfg = bench_runner_config(scale, 7);
         cfg.arrivals_labeled = false;
-        let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
-        let cmp = compare_to_ft(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg, scale.runs());
+        let setup = DriftSetup::Workload {
+            train: "w12".into(),
+            new: "w345".into(),
+        };
+        let cmp = compare_to_ft(
+            &table,
+            &setup,
+            ModelKind::LmMlp,
+            StrategyKind::Warper,
+            &cfg,
+            scale.runs(),
+        );
         rows.push(vec![
             kind.name().to_string(),
             "c3".into(),
@@ -69,7 +88,9 @@ fn main() {
 
     print_table(
         "Table 7c: data drift (c1) and slow-label workload drift (c3), LM-mlp",
-        &["Dataset", "Cs", "Wkld", "Model", "δ_m", "δ_js", "Δ.5", "Δ.8", "Δ1"],
+        &[
+            "Dataset", "Cs", "Wkld", "Model", "δ_m", "δ_js", "Δ.5", "Δ.8", "Δ1",
+        ],
         &rows,
     );
     println!("(paper c1: 1.0–7.6; c3: 1.0–1.4 — modest, from saved annotations)");

@@ -17,7 +17,10 @@ fn main() {
         let ft = join_ce::run(scale, false, seed);
         let warper = join_ce::run(scale, true, seed);
         let alpha = ft.initial_gmq().unwrap_or(1.0);
-        let beta = ft.best_gmq().unwrap_or(1.0).min(warper.best_gmq().unwrap_or(1.0));
+        let beta = ft
+            .best_gmq()
+            .unwrap_or(1.0)
+            .min(warper.best_gmq().unwrap_or(1.0));
         let s = relative_speedups(&ft, &warper, alpha, beta);
         d.0.push(s.d05);
         d.1.push(s.d08);

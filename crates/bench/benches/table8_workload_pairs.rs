@@ -5,7 +5,9 @@
 //! the accuracy gap δ_m is already small (≤ 0.2), and δ_m can be
 //! uncorrelated with the intrinsic distribution distance δ_js.
 
-use warper_bench::{bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale};
+use warper_bench::{
+    bench_runner_config, bench_table, compare_to_ft, print_table, save_results, Scale,
+};
 use warper_core::runner::{DriftSetup, ModelKind, StrategyKind};
 use warper_storage::DatasetKind;
 
@@ -28,7 +30,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut json = serde_json::Map::new();
     for (train, new) in pairs {
-        let setup = DriftSetup::Workload { train: train.into(), new: new.into() };
+        let setup = DriftSetup::Workload {
+            train: train.into(),
+            new: new.into(),
+        };
         let cfg = bench_runner_config(scale, 13);
         let cmp = compare_to_ft(
             &table,
@@ -38,7 +43,11 @@ fn main() {
             &cfg,
             scale.runs(),
         );
-        let label = format!("{}/{}", train.trim_start_matches('w'), new.trim_start_matches('w'));
+        let label = format!(
+            "{}/{}",
+            train.trim_start_matches('w'),
+            new.trim_start_matches('w')
+        );
         rows.push(vec![
             format!("w{label}"),
             format!("{:.1}", cmp.delta_m),

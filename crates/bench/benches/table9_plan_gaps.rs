@@ -53,7 +53,13 @@ fn main() {
     }
     print_table(
         "Table 9: queries used in §4.2 (latency gap = worst/oracle plan)",
-        &["Query setting", "Executed as", "Predicate on", "Latency gap (measured)", "(paper)"],
+        &[
+            "Query setting",
+            "Executed as",
+            "Predicate on",
+            "Latency gap (measured)",
+            "(paper)",
+        ],
         &rows,
     );
     save_results("table9_plan_gaps", &serde_json::Value::Object(json));

@@ -115,7 +115,10 @@ pub fn compare_to_ft(
     let mut method_runs = Vec::new();
     let mut ft_runs = Vec::new();
     for r in 0..runs {
-        let cfg = RunnerConfig { seed: base_cfg.seed + 97 * r as u64, ..*base_cfg };
+        let cfg = RunnerConfig {
+            seed: base_cfg.seed + 97 * r as u64,
+            ..*base_cfg
+        };
         let ft = run_single_table(table, setup, model, StrategyKind::Ft, &cfg);
         let m = run_single_table(table, setup, model, method, &cfg);
         let alpha = ft.curve.initial_gmq().unwrap_or(1.0);
@@ -133,12 +136,15 @@ pub fn compare_to_ft(
         method_runs.push(m);
         ft_runs.push(ft);
     }
-    let gmean = |v: &[f64]| {
-        (v.iter().map(|x| x.max(1e-6).ln()).sum::<f64>() / v.len() as f64).exp()
-    };
+    let gmean =
+        |v: &[f64]| (v.iter().map(|x| x.max(1e-6).ln()).sum::<f64>() / v.len() as f64).exp();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     Comparison {
-        speedups: SpeedupReport { d05: gmean(&d05), d08: gmean(&d08), d10: gmean(&d10) },
+        speedups: SpeedupReport {
+            d05: gmean(&d05),
+            d08: gmean(&d08),
+            d10: gmean(&d10),
+        },
         delta_m: mean(&delta_m),
         delta_js: mean(&delta_js),
         method_runs,
@@ -165,7 +171,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -239,12 +248,23 @@ pub mod join_ce {
         left_pred.highs[0] = fd[0].1;
         right_pred.lows[0] = dd[0].0;
         right_pred.highs[0] = dd[0].1;
-        (join_id, JoinQuery { left_pred, right_pred, left_key: 0, right_key: 0 })
+        (
+            join_id,
+            JoinQuery {
+                left_pred,
+                right_pred,
+                left_key: 0,
+                right_key: 0,
+            },
+        )
     }
 
     fn featurize(mf: &MscnFeaturizer, join_id: usize, q: &JoinQuery) -> Vec<f64> {
         let fact_table = if join_id == 0 { 1 } else { 2 };
-        mf.featurize(&[(fact_table, &q.left_pred), (0, &q.right_pred)], &[join_id])
+        mf.featurize(
+            &[(fact_table, &q.left_pred), (0, &q.right_pred)],
+            &[join_id],
+        )
     }
 
     fn annotate(mf: &MscnFeaturizer, db: &ImdbTables, feat: &[f64]) -> f64 {
@@ -258,7 +278,12 @@ pub mod join_ce {
         let right_pred = preds[0]
             .clone()
             .unwrap_or_else(|| RangePredicate::unconstrained(&dim.domains()));
-        let q = JoinQuery { left_pred, right_pred, left_key: 0, right_key: 0 };
+        let q = JoinQuery {
+            left_pred,
+            right_pred,
+            left_key: 0,
+            right_key: 0,
+        };
         join_count(fact, dim, &q) as f64
     }
 
@@ -315,7 +340,11 @@ pub mod join_ce {
                 mf.config().feature_dim(),
                 &train,
                 baseline,
-                WarperConfig { gamma: 100, n_p: 200, ..Default::default() },
+                WarperConfig {
+                    gamma: 100,
+                    n_p: 200,
+                    ..Default::default()
+                },
                 seed,
             )
             .with_canonicalizer(Box::new(move |f: &[f64]| mf2.canonicalize(f, 2)))
@@ -323,7 +352,10 @@ pub mod join_ce {
         let mut ft = FineTuneStrategy::new(&train, None, seed);
 
         // One query per minute over the paper's 30-minute period.
-        let arrival = ArrivalProcess { rate_per_sec: 1.0 / 60.0, period_secs: 1800.0 };
+        let arrival = ArrivalProcess {
+            rate_per_sec: 1.0 / 60.0,
+            period_secs: 1800.0,
+        };
         let steps = 6;
         let mut run_rng = StdRng::seed_from_u64(seed ^ 0x77);
         let mut curve = AdaptationCurve::new();
@@ -339,17 +371,30 @@ pub mod join_ce {
                     let (jid, q) = draw_query(&db, "w1", &mut run_rng);
                     let f = featurize(&mf, jid, &q);
                     let gt = annotate(&mf, &db, &f);
-                    ArrivedQuery { features: f, gt: Some(gt) }
+                    ArrivedQuery {
+                        features: f,
+                        gt: Some(gt),
+                    }
                 })
                 .collect();
             let mut annotate_cb =
                 |qs: &[Vec<f64>]| qs.iter().map(|f| annotate(&mf, &db, f)).collect();
             match &mut warper_ctl {
                 Some(ctl) => {
-                    ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut annotate_cb);
+                    ctl.invoke(
+                        &mut model,
+                        &arrived,
+                        &DataTelemetry::default(),
+                        &mut annotate_cb,
+                    );
                 }
                 None => {
-                    ft.step(&mut model, &arrived, &DataTelemetry::default(), &mut annotate_cb);
+                    ft.step(
+                        &mut model,
+                        &arrived,
+                        &DataTelemetry::default(),
+                        &mut annotate_cb,
+                    );
                 }
             }
             curve.push(total as f64, eval(&model, &test));

@@ -172,7 +172,10 @@ mod tests {
         let p = RangePredicate::new(vec![100.0], vec![299.0]);
         let est = h.estimate_predicate(&p);
         let actual = count_naive(&table, &p) as f64;
-        assert!((est / actual - 1.0).abs() < 0.1, "est {est} vs actual {actual}");
+        assert!(
+            (est / actual - 1.0).abs() < 0.1,
+            "est {est} vs actual {actual}"
+        );
     }
 
     #[test]
@@ -192,7 +195,10 @@ mod tests {
         let est = h.estimate_predicate(&p);
         let actual = Annotator::new().count(&table, &p) as f64;
         // True ≈ 10% of rows; AVI says ≈ 1%.
-        assert!(est < actual * 0.5, "AVI should underestimate: est {est}, actual {actual}");
+        assert!(
+            est < actual * 0.5,
+            "AVI should underestimate: est {est}, actual {actual}"
+        );
     }
 
     #[test]

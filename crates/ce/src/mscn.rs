@@ -74,6 +74,14 @@ impl MscnConfig {
     }
 }
 
+/// Reusable per-sub-network workspaces for [`Mscn`] training steps.
+#[derive(Default)]
+struct MscnScratch {
+    pred: warper_nn::Workspace,
+    join: warper_nn::Workspace,
+    head: warper_nn::Workspace,
+}
+
 /// The MSCN model.
 pub struct Mscn {
     cfg: MscnConfig,
@@ -127,7 +135,13 @@ impl Mscn {
 
     /// Decomposes into persisted parts.
     pub fn parts(&self) -> (MscnConfig, Mlp, Option<Mlp>, Mlp, u64) {
-        (self.cfg, self.pred_net.clone(), self.join_net.clone(), self.head.clone(), self.seed)
+        (
+            self.cfg,
+            self.pred_net.clone(),
+            self.join_net.clone(),
+            self.head.clone(),
+            self.seed,
+        )
     }
 
     /// Rebuilds from persisted parts (fresh optimizer state).
@@ -213,47 +227,57 @@ impl Mscn {
         self.head.forward(&head_in)
     }
 
-    /// One training step on a mini-batch; returns the loss.
-    fn train_step(&mut self, x: &Matrix, y: &Matrix, lr: f64) -> f64 {
+    /// One training step on a mini-batch; returns the loss. Each sub-network
+    /// keeps its layer intermediates and gradients in its own entry of
+    /// `scratch`, so repeated steps reuse every buffer.
+    fn train_step(&mut self, x: &Matrix, y: &Matrix, lr: f64, scratch: &mut MscnScratch) -> f64 {
         let (blocks, join) = self.split(x);
         let b = x.rows();
         let t = self.cfg.n_tables;
         let h = self.cfg.hidden;
 
-        let (units, pred_cache) = self.pred_net.forward_cached(&blocks);
         let mut pooled = Matrix::zeros(b, h);
-        for r in 0..b {
-            for ti in 0..t {
-                let u = units.row(r * t + ti);
-                let p = pooled.row_mut(r);
-                for c in 0..h {
-                    p[c] += u[c] / t as f64;
+        {
+            let units = self.pred_net.forward_ws(&blocks, &mut scratch.pred);
+            for r in 0..b {
+                for ti in 0..t {
+                    let u = units.row(r * t + ti);
+                    let p = pooled.row_mut(r);
+                    for c in 0..h {
+                        p[c] += u[c] / t as f64;
+                    }
                 }
             }
         }
-        let join_fwd = match (&self.join_net, &join) {
-            (Some(jn), Some(jx)) => Some(jn.forward_cached(jx)),
-            _ => None,
-        };
-        let head_in = match &join_fwd {
-            Some((ju, _)) => {
-                let mut cat = Matrix::zeros(b, 2 * h);
-                for r in 0..b {
-                    cat.row_mut(r)[..h].copy_from_slice(pooled.row(r));
-                    cat.row_mut(r)[h..].copy_from_slice(ju.row(r));
-                }
-                cat
+        let has_join = match (&self.join_net, &join) {
+            (Some(jn), Some(jx)) => {
+                jn.forward_ws(jx, &mut scratch.join);
+                true
             }
-            None => pooled,
+            _ => false,
         };
-        let (out, head_cache) = self.head.forward_cached(&head_in);
-        let (loss, dout) = warper_nn::loss::mse(&out, y);
-        let (head_grads, dhead_in) = self.head.backward_with_input_grad(&head_cache, &dout);
+        let head_in = if has_join {
+            let ju = scratch.join.output();
+            let mut cat = Matrix::zeros(b, 2 * h);
+            for r in 0..b {
+                cat.row_mut(r)[..h].copy_from_slice(pooled.row(r));
+                cat.row_mut(r)[h..].copy_from_slice(ju.row(r));
+            }
+            cat
+        } else {
+            pooled
+        };
+        let (loss, dout) = {
+            let out = self.head.forward_ws(&head_in, &mut scratch.head);
+            warper_nn::loss::mse(out, y)
+        };
+        self.head.backward_ws(&mut scratch.head, &dout);
 
         // Split head-input gradient back into pooled and join parts.
+        let dhead_in = scratch.head.input_grad();
         let mut dpooled = Matrix::zeros(b, h);
         let mut djoin_u: Option<Matrix> = None;
-        if join_fwd.is_some() {
+        if has_join {
             let mut dj = Matrix::zeros(b, h);
             for r in 0..b {
                 dpooled.row_mut(r).copy_from_slice(&dhead_in.row(r)[..h]);
@@ -277,13 +301,14 @@ impl Mscn {
                 }
             }
         }
-        let pred_grads = self.pred_net.backward(&pred_cache, &dunits);
+        self.pred_net.backward_ws(&mut scratch.pred, &dunits);
 
-        self.opt_head.step(&mut self.head, &head_grads, lr);
-        self.opt_pred.step(&mut self.pred_net, &pred_grads, lr);
-        if let (Some(jn), Some((_, jcache)), Some(dj)) = (&mut self.join_net, &join_fwd, djoin_u) {
-            let jg = jn.backward(jcache, &dj);
-            self.opt_join.step(jn, &jg, lr);
+        self.opt_head.step(&mut self.head, &scratch.head.grads, lr);
+        self.opt_pred
+            .step(&mut self.pred_net, &scratch.pred.grads, lr);
+        if let (Some(jn), Some(dj)) = (&mut self.join_net, djoin_u) {
+            jn.backward_ws(&mut scratch.join, &dj);
+            self.opt_join.step(jn, &scratch.join.grads, lr);
         }
         loss
     }
@@ -292,18 +317,29 @@ impl Mscn {
         if examples.is_empty() {
             return;
         }
+        let x = Matrix::from_rows(
+            &examples
+                .iter()
+                .map(|e| e.features.clone())
+                .collect::<Vec<_>>(),
+        );
+        let y = Matrix::from_rows(
+            &examples
+                .iter()
+                .map(|e| vec![to_target(e.card)])
+                .collect::<Vec<_>>(),
+        );
+        let mut scratch = MscnScratch::default();
+        let mut bx = Matrix::default();
+        let mut by = Matrix::default();
         let mut idx: Vec<usize> = (0..examples.len()).collect();
         for epoch in 0..epochs {
             let lr = self.cfg.lr.lr(epoch);
             idx.shuffle(&mut self.rng);
             for chunk in idx.chunks(self.cfg.batch) {
-                let x = Matrix::from_rows(
-                    &chunk.iter().map(|&i| examples[i].features.clone()).collect::<Vec<_>>(),
-                );
-                let y = Matrix::from_rows(
-                    &chunk.iter().map(|&i| vec![to_target(examples[i].card)]).collect::<Vec<_>>(),
-                );
-                self.train_step(&x, &y, lr);
+                bx.gather_rows(&x, chunk);
+                by.gather_rows(&y, chunk);
+                self.train_step(&bx, &by, lr, &mut scratch);
             }
         }
     }
@@ -352,7 +388,11 @@ impl MscnFeaturizer {
     /// distinct join conditions in the schema (0 for single-table CE).
     pub fn new(featurizers: Vec<Featurizer>, join_dim: usize) -> Self {
         let feat_width = featurizers.iter().map(Featurizer::dim).max().unwrap_or(0);
-        Self { featurizers, join_dim, feat_width }
+        Self {
+            featurizers,
+            join_dim,
+            feat_width,
+        }
     }
 
     /// The matching model configuration.
@@ -419,7 +459,11 @@ impl MscnFeaturizer {
     pub fn defeaturize(&self, feat: &[f64]) -> (Vec<Option<RangePredicate>>, Vec<usize>) {
         let t = self.featurizers.len();
         let bw = 1 + t + self.feat_width;
-        assert_eq!(feat.len(), t * bw + self.join_dim, "feature length mismatch");
+        assert_eq!(
+            feat.len(),
+            t * bw + self.join_dim,
+            "feature length mismatch"
+        );
         let mut preds = Vec::with_capacity(t);
         for table in 0..t {
             let base = table * bw;
@@ -447,12 +491,14 @@ impl MscnFeaturizer {
             .enumerate()
             .filter_map(|(t, p)| {
                 p.map(|p| {
-                    (t, p.keep_most_selective(self.featurizers[t].domains(), max_cols))
+                    (
+                        t,
+                        p.keep_most_selective(self.featurizers[t].domains(), max_cols),
+                    )
                 })
             })
             .collect();
-        let refs: Vec<(usize, &RangePredicate)> =
-            present.iter().map(|(t, p)| (*t, p)).collect();
+        let refs: Vec<(usize, &RangePredicate)> = present.iter().map(|(t, p)| (*t, p)).collect();
         self.featurize(&refs, &joins)
     }
 }
@@ -526,7 +572,11 @@ mod tests {
     #[test]
     fn canonicalize_restores_valid_layout() {
         let f = MscnFeaturizer::new(
-            vec![Featurizer::from_domains(vec![(0.0, 1.0), (0.0, 1.0), (0.0, 1.0)])],
+            vec![Featurizer::from_domains(vec![
+                (0.0, 1.0),
+                (0.0, 1.0),
+                (0.0, 1.0),
+            ])],
             1,
         );
         let p = RangePredicate::new(vec![0.2, 0.0, 0.4], vec![0.4, 1.0, 0.6]);
@@ -595,8 +645,11 @@ mod tests {
             let x1 = rng.random_range(lo..=hi);
             let x2 = rng.random_range(lo..=hi);
             let q = JoinQuery {
-                left_pred: RangePredicate::unconstrained(&ldom)
-                    .with_range(1, x1.min(x2), x1.max(x2)),
+                left_pred: RangePredicate::unconstrained(&ldom).with_range(
+                    1,
+                    x1.min(x2),
+                    x1.max(x2),
+                ),
                 right_pred: RangePredicate::unconstrained(&odom),
                 left_key: 0,
                 right_key: 0,
@@ -618,7 +671,10 @@ mod tests {
     #[test]
     fn gradient_check_tiny_mscn() {
         // Finite-difference check through pooling + head (no join module).
-        let cfg = MscnConfig { fit_epochs: 1, ..MscnConfig::new(2, 3, 0) };
+        let cfg = MscnConfig {
+            fit_epochs: 1,
+            ..MscnConfig::new(2, 3, 0)
+        };
         let mut m = Mscn::new(cfg, 7);
         let dim = cfg.feature_dim();
         let x = Matrix::from_rows(&[(0..dim).map(|i| 0.1 * i as f64).collect::<Vec<_>>()]);
@@ -628,8 +684,9 @@ mod tests {
             let out = m.forward_batch(&x);
             warper_nn::loss::mse(&out, &y).0
         };
+        let mut scratch = MscnScratch::default();
         for _ in 0..50 {
-            m.train_step(&x, &y, 0.01);
+            m.train_step(&x, &y, 0.01, &mut scratch);
         }
         let after = {
             let out = m.forward_batch(&x);

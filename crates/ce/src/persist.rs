@@ -114,11 +114,21 @@ impl Persistable for LmGbt {
 
     fn to_state(&self) -> LmGbtState {
         let (model, params, feature_dim, mean_fallback) = self.parts();
-        LmGbtState { model, params, feature_dim, mean_fallback }
+        LmGbtState {
+            model,
+            params,
+            feature_dim,
+            mean_fallback,
+        }
     }
 
     fn from_state(state: LmGbtState) -> Self {
-        LmGbt::from_parts(state.model, state.params, state.feature_dim, state.mean_fallback)
+        LmGbt::from_parts(
+            state.model,
+            state.params,
+            state.feature_dim,
+            state.mean_fallback,
+        )
     }
 }
 
@@ -139,7 +149,11 @@ impl Persistable for LmKrr {
     fn from_state(state: LmKrrState) -> Self {
         LmKrr::from_parts(
             state.model,
-            if state.poly { KrrVariant::Poly } else { KrrVariant::Rbf },
+            if state.poly {
+                KrrVariant::Poly
+            } else {
+                KrrVariant::Rbf
+            },
             state.feature_dim,
             state.seed,
             state.mean_fallback,
@@ -152,7 +166,11 @@ impl Persistable for LmLinear {
 
     fn to_state(&self) -> LmLinearState {
         let (beta, intercept, feature_dim) = self.parts();
-        LmLinearState { beta, intercept, feature_dim }
+        LmLinearState {
+            beta,
+            intercept,
+            feature_dim,
+        }
     }
 
     fn from_state(state: LmLinearState) -> Self {
@@ -165,11 +183,23 @@ impl Persistable for Mscn {
 
     fn to_state(&self) -> MscnState {
         let (cfg, pred_net, join_net, head, seed) = self.parts();
-        MscnState { cfg, pred_net, join_net, head, seed }
+        MscnState {
+            cfg,
+            pred_net,
+            join_net,
+            head,
+            seed,
+        }
     }
 
     fn from_state(state: MscnState) -> Self {
-        Mscn::from_parts(state.cfg, state.pred_net, state.join_net, state.head, state.seed)
+        Mscn::from_parts(
+            state.cfg,
+            state.pred_net,
+            state.join_net,
+            state.head,
+            state.seed,
+        )
     }
 }
 
@@ -181,18 +211,29 @@ mod tests {
     fn train_set(dim: usize) -> Vec<LabeledExample> {
         (0..200)
             .map(|i| {
-                let f: Vec<f64> = (0..dim).map(|c| ((i * 7 + c * 3) % 13) as f64 / 13.0).collect();
+                let f: Vec<f64> = (0..dim)
+                    .map(|c| ((i * 7 + c * 3) % 13) as f64 / 13.0)
+                    .collect();
                 LabeledExample::new(f, 10.0 + (i % 50) as f64 * 20.0)
             })
             .collect()
     }
 
-    fn assert_same_estimates(a: &dyn CardinalityEstimator, b: &dyn CardinalityEstimator, dim: usize) {
+    fn assert_same_estimates(
+        a: &dyn CardinalityEstimator,
+        b: &dyn CardinalityEstimator,
+        dim: usize,
+    ) {
         for i in 0..20 {
             let q: Vec<f64> = (0..dim).map(|c| ((i * 5 + c) % 11) as f64 / 11.0).collect();
             let ea = a.estimate(&q);
             let eb = b.estimate(&q);
-            assert!((ea - eb).abs() < 1e-9 * ea.abs().max(1.0), "{} vs {}", ea, eb);
+            assert!(
+                (ea - eb).abs() < 1e-9 * ea.abs().max(1.0),
+                "{} vs {}",
+                ea,
+                eb
+            );
         }
     }
 
@@ -207,7 +248,13 @@ mod tests {
 
     #[test]
     fn lm_gbt_roundtrips() {
-        let mut m = LmGbt::new(4, warper_nn::GbtParams { n_trees: 20, ..Default::default() });
+        let mut m = LmGbt::new(
+            4,
+            warper_nn::GbtParams {
+                n_trees: 20,
+                ..Default::default()
+            },
+        );
         m.fit(&train_set(4));
         let json = serde_json::to_string(&m.to_state()).unwrap();
         let restored = LmGbt::from_state(serde_json::from_str(&json).unwrap());

@@ -75,8 +75,7 @@ pub fn symmetric_eigen(a: &Matrix) -> EigenDecomposition {
     }
 
     // Collect and sort eigenpairs by descending eigenvalue.
-    let mut pairs: Vec<(f64, Vec<f64>)> =
-        (0..n).map(|i| (m.get(i, i), v.col(i))).collect();
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n).map(|i| (m.get(i, i), v.col(i))).collect();
     pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
 
     let values: Vec<f64> = pairs.iter().map(|p| p.0).collect();
@@ -197,11 +196,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let m = Matrix::from_vec(
-            3,
-            3,
-            vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0],
-        );
+        let m = Matrix::from_vec(3, 3, vec![2.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 2.0]);
         let e = symmetric_eigen(&m);
         for i in 0..3 {
             for j in 0..3 {
@@ -213,11 +208,7 @@ mod tests {
 
     #[test]
     fn eigenvalues_sorted_descending() {
-        let m = Matrix::from_vec(
-            3,
-            3,
-            vec![1.0, 0.2, 0.1, 0.2, 5.0, 0.3, 0.1, 0.3, 3.0],
-        );
+        let m = Matrix::from_vec(3, 3, vec![1.0, 0.2, 0.1, 0.2, 5.0, 0.3, 0.1, 0.3, 3.0]);
         let e = symmetric_eigen(&m);
         assert!(e.values[0] >= e.values[1]);
         assert!(e.values[1] >= e.values[2]);

@@ -7,15 +7,20 @@
 //! metric in §3.1), and scalar statistics helpers.
 //!
 //! Everything is implemented from scratch on `f64` — no BLAS, no external
-//! numeric crates — because the matrices involved are small (predicates have
-//! tens of columns, neural layers have at most a few hundred units) and the
-//! priority is portability and determinism.
+//! numeric crates — for portability and determinism. Dense products go
+//! through the cache-blocked, optionally multithreaded kernels in [`gemm`],
+//! which also provide fused-transpose variants (`AᵀB`, `ABᵀ`) so call sites
+//! never materialize a transpose; all kernel paths are bit-identical to the
+//! naive triple loop. [`parallel`] holds the shared scoped-thread worker
+//! pool the kernels and higher-level crates fan out on.
 
 // Index-based loops are the clearer idiom for the numerical kernels here.
 #![allow(clippy::needless_range_loop)]
 
 pub mod eigen;
+pub mod gemm;
 pub mod matrix;
+pub mod parallel;
 pub mod pca;
 pub mod sampling;
 pub mod solve;

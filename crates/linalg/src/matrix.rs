@@ -19,7 +19,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -43,7 +47,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "inconsistent row length");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -121,37 +129,76 @@ impl Matrix {
         t
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs`, via the blocked kernel in [`crate::gemm`].
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both `rhs` and
-        // `out`, which is what lets LLVM vectorize it.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for j in 0..rrow.len() {
-                    orow[j] += a * rrow[j];
-                }
-            }
-        }
+        let mut out = Matrix::zeros(0, 0);
+        crate::gemm::matmul_into(&mut out, self, rhs);
         out
+    }
+
+    /// Matrix product `self · rhs` written into `out`, reusing its buffer.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        crate::gemm::matmul_into(out, self, rhs);
+    }
+
+    /// Fused product `selfᵀ · rhs`; no transpose is materialized.
+    pub fn matmul_transpose_a(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        crate::gemm::matmul_transpose_a_into(&mut out, self, rhs);
+        out
+    }
+
+    /// Fused product `selfᵀ · rhs` written into `out`, reusing its buffer.
+    pub fn matmul_transpose_a_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        crate::gemm::matmul_transpose_a_into(out, self, rhs);
+    }
+
+    /// Fused product `self · rhsᵀ`; no transpose is materialized.
+    pub fn matmul_transpose_b(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        crate::gemm::matmul_transpose_b_into(&mut out, self, rhs);
+        out
+    }
+
+    /// Fused product `self · rhsᵀ` written into `out`, reusing its buffer.
+    pub fn matmul_transpose_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        crate::gemm::matmul_transpose_b_into(out, self, rhs);
+    }
+
+    /// Reshapes to `rows × cols`, growing the buffer only if the new shape
+    /// needs more capacity than any previous one. Contents are unspecified
+    /// afterwards; kernels that accumulate must zero via [`Self::fill_zero`].
+    pub fn ensure_shape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies `other`'s shape and contents into `self`, reusing the buffer.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.rows = other.rows;
+        self.cols = other.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Fills `self` with the given rows of `src` (a row gather), reusing the
+    /// buffer.
+    pub fn gather_rows(&mut self, src: &Matrix, rows: &[usize]) {
+        self.ensure_shape(rows.len(), src.cols());
+        for (dst_r, &src_r) in rows.iter().enumerate() {
+            let start = dst_r * self.cols;
+            self.data[start..start + self.cols].copy_from_slice(src.row(src_r));
+        }
     }
 
     /// Matrix–vector product `self · v`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|r| dot(self.row(r), v))
-            .collect()
+        (0..self.rows).map(|r| dot(self.row(r), v)).collect()
     }
 
     /// Applies `f` elementwise, in place.
@@ -203,12 +250,29 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     acc
 }
 
+impl Default for Matrix {
+    /// An empty `0 × 0` matrix (useful as an output buffer for the `_into`
+    /// kernels, which reshape it on first use).
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
 impl Add<&Matrix> for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -216,8 +280,17 @@ impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -225,7 +298,11 @@ impl Mul<f64> for &Matrix {
     type Output = Matrix;
     fn mul(self, s: f64) -> Matrix {
         let data = self.data.iter().map(|a| a * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

@@ -50,24 +50,10 @@ impl Pca {
 
         // Covariance matrix (biased, 1/n; the normalization constant does not
         // affect the eigenvectors and 1/n is well-defined even for n == 1).
-        let mut cov = Matrix::zeros(d, d);
-        let mut centered = vec![0.0; d];
-        for r in 0..n {
-            let row = data.row(r);
-            for j in 0..d {
-                centered[j] = row[j] - mean[j];
-            }
-            for i in 0..d {
-                let ci = centered[i];
-                if ci == 0.0 {
-                    continue;
-                }
-                let crow = cov.row_mut(i);
-                for j in 0..d {
-                    crow[j] += ci * centered[j];
-                }
-            }
-        }
+        // Computed as XᶜᵀXᶜ through the fused-transpose GEMM so the n×d pass
+        // runs on the blocked (and, for large inputs, multithreaded) kernel.
+        let centered = Self::center(data, &mean);
+        let mut cov = centered.matmul_transpose_a(&centered);
         cov.scale_inplace(1.0 / n as f64);
 
         let eig = symmetric_eigen(&cov);
@@ -80,7 +66,11 @@ impl Pca {
             }
             explained.push(eig.values[i].max(0.0));
         }
-        Some(Pca { mean, components, explained_variance: explained })
+        Some(Pca {
+            mean,
+            components,
+            explained_variance: explained,
+        })
     }
 
     /// Number of retained components.
@@ -104,21 +94,34 @@ impl Pca {
     /// Panics if `x.len()` differs from the fitted feature dimension.
     pub fn transform_one(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.mean.len(), "PCA input dimension mismatch");
-        let centered: Vec<f64> =
-            x.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
         (0..self.k())
             .map(|i| dot(self.components.row(i), &centered))
             .collect()
     }
 
     /// Projects every row of `data`; returns an `n × k` matrix.
+    ///
+    /// One centered-matrix pass plus a single `Xᶜ·Cᵀ` GEMM; bit-identical to
+    /// calling [`Pca::transform_one`] per row (the fused kernel's dot
+    /// products accumulate the same terms in the same order).
     pub fn transform(&self, data: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(data.rows(), self.k());
+        assert_eq!(data.cols(), self.mean.len(), "PCA input dimension mismatch");
+        let centered = Self::center(data, &self.mean);
+        centered.matmul_transpose_b(&self.components)
+    }
+
+    /// `data` with `mean` subtracted from every row.
+    fn center(data: &Matrix, mean: &[f64]) -> Matrix {
+        let mut centered = Matrix::zeros(data.rows(), data.cols());
         for r in 0..data.rows() {
-            let proj = self.transform_one(data.row(r));
-            out.row_mut(r).copy_from_slice(&proj);
+            let row = data.row(r);
+            let crow = centered.row_mut(r);
+            for (c, (v, m)) in crow.iter_mut().zip(row.iter().zip(mean)) {
+                *c = v - m;
+            }
         }
-        out
+        centered
     }
 }
 
@@ -160,11 +163,7 @@ mod tests {
 
     #[test]
     fn transform_centers_data() {
-        let data = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![3.0, 0.0],
-            vec![5.0, 0.0],
-        ]);
+        let data = Matrix::from_rows(&[vec![1.0, 0.0], vec![3.0, 0.0], vec![5.0, 0.0]]);
         let pca = Pca::fit(&data, 1).unwrap();
         // The mean point projects to the origin.
         let z = pca.transform_one(&[3.0, 0.0]);

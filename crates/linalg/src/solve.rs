@@ -128,6 +128,9 @@ mod tests {
     #[test]
     fn rejects_dimension_mismatch() {
         let a = Matrix::identity(2);
-        assert_eq!(cholesky_solve(&a, &[1.0]), Err(SolveError::DimensionMismatch));
+        assert_eq!(
+            cholesky_solve(&a, &[1.0]),
+            Err(SolveError::DimensionMismatch)
+        );
     }
 }

@@ -88,6 +88,73 @@ proptest! {
     }
 
     #[test]
+    fn fused_transpose_a_matches_materialized(
+        a in prop::collection::vec(-3.0f64..3.0, 24),
+        b in prop::collection::vec(-3.0f64..3.0, 20),
+    ) {
+        // a viewed as 4×6 (p×m), b as 4×5 (p×n): aᵀ·b is 6×5.
+        let ma = Matrix::from_vec(4, 6, a);
+        let mb = Matrix::from_vec(4, 5, b);
+        let fused = ma.matmul_transpose_a(&mb);
+        let materialized = ma.transpose().matmul(&mb);
+        prop_assert_eq!(fused, materialized); // bit-identical, not approximate
+    }
+
+    #[test]
+    fn fused_transpose_b_matches_materialized(
+        a in prop::collection::vec(-3.0f64..3.0, 24),
+        b in prop::collection::vec(-3.0f64..3.0, 30),
+    ) {
+        // a viewed as 4×6 (m×k), b as 5×6 (n×k): a·bᵀ is 4×5.
+        let ma = Matrix::from_vec(4, 6, a);
+        let mb = Matrix::from_vec(5, 6, b);
+        let fused = ma.matmul_transpose_b(&mb);
+        let materialized = ma.matmul(&mb.transpose());
+        prop_assert_eq!(fused, materialized);
+    }
+
+    #[test]
+    fn matmul_into_matches_matmul_with_dirty_buffer(
+        a in prop::collection::vec(-3.0f64..3.0, 18),
+        b in prop::collection::vec(-3.0f64..3.0, 24),
+    ) {
+        let ma = Matrix::from_vec(3, 6, a);
+        let mb = Matrix::from_vec(6, 4, b);
+        // Start from a wrongly-shaped, garbage-filled buffer: matmul_into
+        // must reshape and fully overwrite it.
+        let mut out = Matrix::from_vec(2, 2, vec![7.0; 4]);
+        ma.matmul_into(&mb, &mut out);
+        prop_assert_eq!(out, ma.matmul(&mb));
+    }
+
+    #[test]
+    fn parallel_gemm_matches_serial_for_any_thread_count(
+        a in prop::collection::vec(-3.0f64..3.0, 35),
+        b in prop::collection::vec(-3.0f64..3.0, 21),
+        threads in 1usize..9,
+    ) {
+        let ma = Matrix::from_vec(5, 7, a);
+        let mb = Matrix::from_vec(7, 3, b);
+        let mut serial = Matrix::zeros(0, 0);
+        warper_linalg::gemm::matmul_into_threaded(&mut serial, &ma, &mb, 1);
+        let mut parallel = Matrix::zeros(0, 0);
+        warper_linalg::gemm::matmul_into_threaded(&mut parallel, &ma, &mb, threads);
+        prop_assert_eq!(&serial, &parallel);
+
+        // Fused-transpose variants are deterministic across thread counts too.
+        let mut ta1 = Matrix::zeros(0, 0);
+        let mut tan = Matrix::zeros(0, 0);
+        warper_linalg::gemm::matmul_transpose_a_into_threaded(&mut ta1, &mb, &mb, 1);
+        warper_linalg::gemm::matmul_transpose_a_into_threaded(&mut tan, &mb, &mb, threads);
+        prop_assert_eq!(&ta1, &tan);
+        let mut tb1 = Matrix::zeros(0, 0);
+        let mut tbn = Matrix::zeros(0, 0);
+        warper_linalg::gemm::matmul_transpose_b_into_threaded(&mut tb1, &ma, &ma, 1);
+        warper_linalg::gemm::matmul_transpose_b_into_threaded(&mut tbn, &ma, &ma, threads);
+        prop_assert_eq!(&tb1, &tbn);
+    }
+
+    #[test]
     fn pca_explained_variance_descending_and_nonnegative(
         rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 4), 5..40),
     ) {

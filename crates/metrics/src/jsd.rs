@@ -52,7 +52,9 @@ fn quantize(proj: &Matrix, ranges: &[(f64, f64)], m: usize) -> HashMap<u64, f64>
         for (d, &(lo, hi)) in ranges.iter().enumerate() {
             let v = proj.get(r, d);
             let width = (hi - lo).max(1e-300);
-            let bin = (((v - lo) / width) * m as f64).floor().clamp(0.0, (m - 1) as f64) as u64;
+            let bin = (((v - lo) / width) * m as f64)
+                .floor()
+                .clamp(0.0, (m - 1) as f64) as u64;
             id = id * m as u64 + bin;
         }
         *hist.entry(id).or_insert(0.0) += 1.0;

@@ -122,7 +122,11 @@ pub fn relative_speedups(
             (None, None) => 1.0,
         }
     };
-    SpeedupReport { d05: at(0.5), d08: at(0.8), d10: at(1.0) }
+    SpeedupReport {
+        d05: at(0.5),
+        d08: at(0.8),
+        d10: at(1.0),
+    }
 }
 
 #[cfg(test)]

@@ -20,7 +20,11 @@ pub struct GbtParams {
 
 impl Default for GbtParams {
     fn default() -> Self {
-        Self { n_trees: 100, learning_rate: 0.01, tree: TreeParams::default() }
+        Self {
+            n_trees: 100,
+            learning_rate: 0.01,
+            tree: TreeParams::default(),
+        }
     }
 }
 
@@ -53,14 +57,16 @@ impl GradientBoostedTrees {
             }
             trees.push(tree);
         }
-        Self { base, trees, learning_rate: params.learning_rate }
+        Self {
+            base,
+            trees,
+            learning_rate: params.learning_rate,
+        }
     }
 
     /// Predicted value for one example.
     pub fn predict_one(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict_one(x)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict_one(x)).sum::<f64>()
     }
 
     /// Predictions for a batch.
@@ -79,14 +85,22 @@ mod tests {
     use super::*;
 
     fn mse(pred: &[f64], y: &[f64]) -> f64 {
-        pred.iter().zip(y).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / y.len() as f64
+        pred.iter()
+            .zip(y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / y.len() as f64
     }
 
     #[test]
     fn fits_linear_function() {
         let x: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 100.0]).collect();
         let y: Vec<f64> = x.iter().map(|v| 3.0 * v[0] + 1.0).collect();
-        let params = GbtParams { n_trees: 200, learning_rate: 0.1, tree: TreeParams::default() };
+        let params = GbtParams {
+            n_trees: 200,
+            learning_rate: 0.1,
+            tree: TreeParams::default(),
+        };
         let model = GradientBoostedTrees::fit(&x, &y, &params);
         let err = mse(&model.predict(&x), &y);
         assert!(err < 0.01, "mse {err}");
@@ -97,11 +111,18 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..300)
             .map(|i| vec![(i % 17) as f64 / 17.0, (i % 23) as f64 / 23.0])
             .collect();
-        let y: Vec<f64> = x.iter().map(|v| (v[0] * v[1] * 10.0).sin() + v[0]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|v| (v[0] * v[1] * 10.0).sin() + v[0])
+            .collect();
         let params = GbtParams {
             n_trees: 300,
             learning_rate: 0.1,
-            tree: TreeParams { max_depth: 4, min_leaf: 3, min_gain: 1e-10 },
+            tree: TreeParams {
+                max_depth: 4,
+                min_leaf: 3,
+                min_gain: 1e-10,
+            },
         };
         let model = GradientBoostedTrees::fit(&x, &y, &params);
         let err = mse(&model.predict(&x), &y);
@@ -115,12 +136,20 @@ mod tests {
         let small = GradientBoostedTrees::fit(
             &x,
             &y,
-            &GbtParams { n_trees: 5, learning_rate: 0.1, tree: TreeParams::default() },
+            &GbtParams {
+                n_trees: 5,
+                learning_rate: 0.1,
+                tree: TreeParams::default(),
+            },
         );
         let large = GradientBoostedTrees::fit(
             &x,
             &y,
-            &GbtParams { n_trees: 200, learning_rate: 0.1, tree: TreeParams::default() },
+            &GbtParams {
+                n_trees: 200,
+                learning_rate: 0.1,
+                tree: TreeParams::default(),
+            },
         );
         assert!(mse(&large.predict(&x), &y) < mse(&small.predict(&x), &y));
     }
@@ -132,7 +161,11 @@ mod tests {
         let model = GradientBoostedTrees::fit(
             &x,
             &y,
-            &GbtParams { n_trees: 0, learning_rate: 0.1, tree: TreeParams::default() },
+            &GbtParams {
+                n_trees: 0,
+                learning_rate: 0.1,
+                tree: TreeParams::default(),
+            },
         );
         assert_eq!(model.predict_one(&[100.0]), 4.0);
         assert_eq!(model.n_trees(), 0);

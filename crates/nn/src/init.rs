@@ -22,7 +22,13 @@ pub fn he_init(rows: usize, cols: usize, fan_in: usize, rng: &mut StdRng) -> Mat
 
 /// Xavier/Glorot uniform initialization: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. Used for linear output heads.
-pub fn xavier_init(rows: usize, cols: usize, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Matrix {
+pub fn xavier_init(
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut StdRng,
+) -> Matrix {
     let a = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
     let mut m = Matrix::zeros(rows, cols);
     for v in m.data_mut() {

@@ -23,18 +23,28 @@ pub enum Kernel {
 impl Kernel {
     /// The paper's LM-ply kernel: degree-5 polynomial.
     pub fn paper_poly(dim: usize) -> Self {
-        Kernel::Polynomial { degree: 5, gamma: 1.0 / dim.max(1) as f64, coef0: 1.0 }
+        Kernel::Polynomial {
+            degree: 5,
+            gamma: 1.0 / dim.max(1) as f64,
+            coef0: 1.0,
+        }
     }
 
     /// The paper's LM-rbf kernel with the sklearn-style `1/d` gamma default.
     pub fn paper_rbf(dim: usize) -> Self {
-        Kernel::Rbf { gamma: 1.0 / dim.max(1) as f64 }
+        Kernel::Rbf {
+            gamma: 1.0 / dim.max(1) as f64,
+        }
     }
 
     /// Evaluates `k(a, b)`.
     pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
         match *self {
-            Kernel::Polynomial { degree, gamma, coef0 } => {
+            Kernel::Polynomial {
+                degree,
+                gamma,
+                coef0,
+            } => {
                 let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
                 (gamma * dot + coef0).powi(degree as i32)
             }
@@ -44,6 +54,43 @@ impl Kernel {
             }
         }
     }
+}
+
+/// Kernel matrix `K[i][j] = k(a_i, b_j)` for two row-major point sets,
+/// computed as one fused `A·Bᵀ` GEMM plus an elementwise map.
+///
+/// For the polynomial kernel this is bit-identical to [`Kernel::eval`]: the
+/// GEMM dot accumulates the same terms in the same order. For RBF the
+/// squared distance comes from `‖a‖² + ‖b‖² − 2·a·b` (clamped at zero), which
+/// agrees with the direct sum to rounding error and is exact on the diagonal
+/// when `a == b`.
+fn gram(a: &Matrix, b: &Matrix, kernel: Kernel) -> Matrix {
+    let mut g = a.matmul_transpose_b(b);
+    match kernel {
+        Kernel::Polynomial {
+            degree,
+            gamma,
+            coef0,
+        } => {
+            g.map_inplace(|v| (gamma * v + coef0).powi(degree as i32));
+        }
+        Kernel::Rbf { gamma } => {
+            let row_norms = |m: &Matrix| -> Vec<f64> {
+                (0..m.rows())
+                    .map(|i| m.row(i).iter().map(|v| v * v).sum::<f64>())
+                    .collect()
+            };
+            let na = row_norms(a);
+            let nb = row_norms(b);
+            for i in 0..g.rows() {
+                for j in 0..g.cols() {
+                    let sq = (na[i] + nb[j] - 2.0 * g.get(i, j)).max(0.0);
+                    g.set(i, j, (-gamma * sq).exp());
+                }
+            }
+        }
+    }
+    g
 }
 
 /// Hyperparameters for [`KernelRidge`].
@@ -59,7 +106,10 @@ pub struct KernelRidgeParams {
 
 impl Default for KernelRidgeParams {
     fn default() -> Self {
-        Self { lambda: 1e-3, max_train: 1000 }
+        Self {
+            lambda: 1e-3,
+            max_train: 1000,
+        }
     }
 }
 
@@ -100,17 +150,22 @@ impl KernelRidge {
         };
 
         let n = sx.len();
-        let mut k = Matrix::zeros(n, n);
+        let xm = Matrix::from_rows(&sx);
+        // Gram matrix via one fused X·Xᵀ product; both kernels reduce to
+        // elementwise maps over pairwise dot products (for RBF through
+        // ‖x−y‖² = ‖x‖² + ‖y‖² − 2·x·y). The result is exactly symmetric:
+        // the dot kernel accumulates k-terms in the same order for (i,j)
+        // and (j,i).
+        let mut k = gram(&xm, &xm, kernel);
         for i in 0..n {
-            for j in 0..=i {
-                let v = kernel.eval(&sx[i], &sx[j]);
-                k.set(i, j, v);
-                k.set(j, i, v);
-            }
             k.set(i, i, k.get(i, i) + params.lambda);
         }
         let alpha = cholesky_solve(&k, &sy).ok()?;
-        Some(Self { kernel, support: sx, alpha })
+        Some(Self {
+            kernel,
+            support: sx,
+            alpha,
+        })
     }
 
     /// Predicted value for one example.
@@ -122,9 +177,15 @@ impl KernelRidge {
             .sum()
     }
 
-    /// Predictions for a batch.
+    /// Predictions for a batch: one `xs × support` kernel GEMM followed by a
+    /// mat-vec with α, instead of a per-example scan of the support set.
     pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict_one(x)).collect()
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let xm = Matrix::from_rows(xs);
+        let sm = Matrix::from_rows(&self.support);
+        gram(&xm, &sm, self.kernel).matvec(&self.alpha)
     }
 
     /// Number of support points retained.
@@ -144,7 +205,11 @@ mod tests {
 
     #[test]
     fn kernel_values() {
-        let k = Kernel::Polynomial { degree: 2, gamma: 1.0, coef0 : 0.0 };
+        let k = Kernel::Polynomial {
+            degree: 2,
+            gamma: 1.0,
+            coef0: 0.0,
+        };
         assert_eq!(k.eval(&[1.0, 2.0], &[3.0, 4.0]), 121.0); // (11)^2
         let r = Kernel::Rbf { gamma: 1.0 };
         assert_eq!(r.eval(&[1.0], &[1.0]), 1.0);
@@ -159,7 +224,10 @@ mod tests {
             &x,
             &y,
             Kernel::Rbf { gamma: 2.0 },
-            &KernelRidgeParams { lambda: 1e-8, max_train: 1000 },
+            &KernelRidgeParams {
+                lambda: 1e-8,
+                max_train: 1000,
+            },
             &mut rng(),
         )
         .unwrap();
@@ -175,8 +243,15 @@ mod tests {
         let model = KernelRidge::fit(
             &x,
             &y,
-            Kernel::Polynomial { degree: 2, gamma: 1.0, coef0: 1.0 },
-            &KernelRidgeParams { lambda: 1e-6, max_train: 1000 },
+            Kernel::Polynomial {
+                degree: 2,
+                gamma: 1.0,
+                coef0: 1.0,
+            },
+            &KernelRidgeParams {
+                lambda: 1e-6,
+                max_train: 1000,
+            },
             &mut rng(),
         )
         .unwrap();
@@ -197,11 +272,57 @@ mod tests {
             &x,
             &y,
             Kernel::Rbf { gamma: 0.1 },
-            &KernelRidgeParams { lambda: 1e-3, max_train: 100 },
+            &KernelRidgeParams {
+                lambda: 1e-3,
+                max_train: 100,
+            },
             &mut rng(),
         )
         .unwrap();
         assert_eq!(model.support_count(), 100);
+    }
+
+    #[test]
+    fn batch_predict_matches_predict_one() {
+        let x: Vec<Vec<f64>> = (0..15)
+            .map(|i| vec![i as f64 / 4.0, (i as f64).cos()])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] - v[1]).collect();
+        for kernel in [
+            Kernel::Polynomial {
+                degree: 3,
+                gamma: 0.5,
+                coef0: 1.0,
+            },
+            Kernel::Rbf { gamma: 0.7 },
+        ] {
+            let model = KernelRidge::fit(
+                &x,
+                &y,
+                kernel,
+                &KernelRidgeParams {
+                    lambda: 1e-4,
+                    max_train: 1000,
+                },
+                &mut rng(),
+            )
+            .unwrap();
+            let batch = model.predict(&x);
+            for (xi, b) in x.iter().zip(&batch) {
+                let one = model.predict_one(xi);
+                assert!((one - b).abs() < 1e-9, "batch {b} vs single {one}");
+            }
+        }
+        assert!(KernelRidge::fit(
+            &x,
+            &y,
+            Kernel::Rbf { gamma: 0.7 },
+            &KernelRidgeParams::default(),
+            &mut rng()
+        )
+        .unwrap()
+        .predict(&[])
+        .is_empty());
     }
 
     #[test]

@@ -25,6 +25,12 @@ impl Activation {
     /// Applies the activation elementwise.
     pub fn forward(&self, m: &Matrix) -> Matrix {
         let mut out = m.clone();
+        self.forward_inplace(&mut out);
+        out
+    }
+
+    /// Applies the activation elementwise, in place.
+    pub fn forward_inplace(&self, out: &mut Matrix) {
         match self {
             Activation::Identity => {}
             Activation::Relu => out.map_inplace(|x| x.max(0.0)),
@@ -35,13 +41,19 @@ impl Activation {
             Activation::Tanh => out.map_inplace(f64::tanh),
             Activation::Sigmoid => out.map_inplace(|x| 1.0 / (1.0 + (-x).exp())),
         }
-        out
     }
 
     /// Given the pre-activation values `pre` and the gradient w.r.t. the
     /// activation output `dy`, returns the gradient w.r.t. `pre`.
     pub fn backward(&self, pre: &Matrix, dy: &Matrix) -> Matrix {
         let mut dx = dy.clone();
+        self.backward_inplace(pre, &mut dx);
+        dx
+    }
+
+    /// In-place variant of [`Self::backward`]: rewrites `dx` (the upstream
+    /// gradient on entry) into the gradient w.r.t. `pre`.
+    pub fn backward_inplace(&self, pre: &Matrix, dx: &mut Matrix) {
         match self {
             Activation::Identity => {}
             Activation::Relu => {
@@ -71,7 +83,6 @@ impl Activation {
                 }
             }
         }
-        dx
     }
 }
 
@@ -98,7 +109,10 @@ pub struct LinearGrads {
 impl Linear {
     /// Creates a layer with He-initialized weights and zero bias.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
-        Self { w: he_init(out_dim, in_dim, in_dim, rng), b: vec![0.0; out_dim] }
+        Self {
+            w: he_init(out_dim, in_dim, in_dim, rng),
+            b: vec![0.0; out_dim],
+        }
     }
 
     /// Input dimension.
@@ -118,15 +132,23 @@ impl Linear {
 
     /// Forward pass: `X·Wᵀ + b` for a `batch × in_dim` input.
     pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Forward pass written into `y`, reusing its buffer. The `X·Wᵀ` product
+    /// runs through the fused-transpose kernel — `W` is never transposed in
+    /// memory.
+    pub fn forward_into(&self, x: &Matrix, y: &mut Matrix) {
         assert_eq!(x.cols(), self.in_dim(), "Linear input dim mismatch");
-        let mut y = x.matmul(&self.w.transpose());
+        x.matmul_transpose_b_into(&self.w, y);
         for r in 0..y.rows() {
             let row = y.row_mut(r);
             for (v, b) in row.iter_mut().zip(&self.b) {
                 *v += b;
             }
         }
-        y
     }
 
     /// Backward pass. Given the layer input `x` and the upstream gradient
@@ -135,18 +157,31 @@ impl Linear {
     /// Gradients are averaged over the batch — this matches the mean-reduced
     /// losses in [`crate::loss`], so the two must be used together.
     pub fn backward(&self, x: &Matrix, dy: &Matrix) -> (LinearGrads, Matrix) {
+        let mut g = LinearGrads {
+            dw: Matrix::zeros(0, 0),
+            db: Vec::new(),
+        };
+        let mut dx = Matrix::zeros(0, 0);
+        self.backward_into(x, dy, &mut g, &mut dx);
+        (g, dx)
+    }
+
+    /// Backward pass writing the parameter gradients into `g` and `∂L/∂x`
+    /// into `dx`, reusing both buffers. `dW = dYᵀ·X` runs through the fused
+    /// kernel with no transpose materialized.
+    pub fn backward_into(&self, x: &Matrix, dy: &Matrix, g: &mut LinearGrads, dx: &mut Matrix) {
         assert_eq!(dy.cols(), self.out_dim());
         assert_eq!(x.rows(), dy.rows());
         // dW = dYᵀ·X, db = column-sum(dY), dX = dY·W.
-        let dw = dy.transpose().matmul(x);
-        let mut db = vec![0.0; self.out_dim()];
+        dy.matmul_transpose_a_into(x, &mut g.dw);
+        g.db.clear();
+        g.db.resize(self.out_dim(), 0.0);
         for r in 0..dy.rows() {
-            for (acc, v) in db.iter_mut().zip(dy.row(r)) {
+            for (acc, v) in g.db.iter_mut().zip(dy.row(r)) {
                 *acc += v;
             }
         }
-        let dx = dy.matmul(&self.w);
-        (LinearGrads { dw, db }, dx)
+        dy.matmul_into(&self.w, dx);
     }
 }
 
@@ -204,7 +239,11 @@ mod tests {
         lm.w.set(1, 2, lm.w.get(1, 2) - eps);
         let f = |layer: &Linear| layer.forward(&x).data().iter().sum::<f64>();
         let num = (f(&lp) - f(&lm)) / (2.0 * eps);
-        assert!((num - grads.dw.get(1, 2)).abs() < 1e-5, "{num} vs {}", grads.dw.get(1, 2));
+        assert!(
+            (num - grads.dw.get(1, 2)).abs() < 1e-5,
+            "{num} vs {}",
+            grads.dw.get(1, 2)
+        );
 
         // Check one input gradient.
         let num_dx = {
@@ -212,8 +251,7 @@ mod tests {
             xp.set(0, 1, x.get(0, 1) + eps);
             let mut xm = x.clone();
             xm.set(0, 1, x.get(0, 1) - eps);
-            (l.forward(&xp).data().iter().sum::<f64>()
-                - l.forward(&xm).data().iter().sum::<f64>())
+            (l.forward(&xp).data().iter().sum::<f64>() - l.forward(&xm).data().iter().sum::<f64>())
                 / (2.0 * eps)
         };
         assert!((num_dx - dx.get(0, 1)).abs() < 1e-5);

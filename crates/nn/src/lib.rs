@@ -30,5 +30,5 @@ pub mod tree;
 pub use gbt::{GbtParams, GradientBoostedTrees};
 pub use kernel::{Kernel, KernelRidge, KernelRidgeParams};
 pub use layer::{Activation, Linear};
-pub use mlp::{Mlp, MlpGrads};
+pub use mlp::{Mlp, MlpGrads, Workspace};
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd};

@@ -17,12 +17,18 @@ pub struct LrSchedule {
 impl LrSchedule {
     /// The paper's default: 1e-3 halved every 10 epochs.
     pub fn paper_default() -> Self {
-        Self { base: 1e-3, half_every: 10 }
+        Self {
+            base: 1e-3,
+            half_every: 10,
+        }
     }
 
     /// A constant learning rate.
     pub fn constant(base: f64) -> Self {
-        Self { base, half_every: 0 }
+        Self {
+            base,
+            half_every: 0,
+        }
     }
 
     /// Learning rate at `epoch`.
@@ -54,12 +60,18 @@ pub struct Sgd {
 impl Sgd {
     /// SGD without momentum.
     pub fn new() -> Self {
-        Self { momentum: 0.0, velocity: None }
+        Self {
+            momentum: 0.0,
+            velocity: None,
+        }
     }
 
     /// SGD with classical momentum.
     pub fn with_momentum(momentum: f64) -> Self {
-        Self { momentum, velocity: None }
+        Self {
+            momentum,
+            velocity: None,
+        }
     }
 }
 
@@ -129,7 +141,13 @@ struct AdamLayerState {
 impl Adam {
     /// Adam with standard hyperparameters.
     pub fn new() -> Self {
-        Self { beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, moments: None }
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            moments: None,
+        }
     }
 }
 

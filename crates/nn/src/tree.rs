@@ -14,7 +14,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 4, min_leaf: 5, min_gain: 1e-9 }
+        Self {
+            max_depth: 4,
+            min_leaf: 5,
+            min_gain: 1e-9,
+        }
     }
 }
 
@@ -61,8 +65,17 @@ impl RegressionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -89,8 +102,9 @@ impl RegressionTree {
         match best_split(x, y, idx, params) {
             None => self.push_leaf(mean),
             Some((feature, threshold)) => {
-                let (li, ri): (Vec<u32>, Vec<u32>) =
-                    idx.iter().partition(|&&i| x[i as usize][feature] <= threshold);
+                let (li, ri): (Vec<u32>, Vec<u32>) = idx
+                    .iter()
+                    .partition(|&&i| x[i as usize][feature] <= threshold);
                 if li.len() < params.min_leaf || ri.len() < params.min_leaf {
                     return self.push_leaf(mean);
                 }
@@ -100,7 +114,12 @@ impl RegressionTree {
                 self.nodes.push(Node::Leaf { value: mean });
                 let left = self.grow(x, y, &li, depth + 1, params);
                 let right = self.grow(x, y, &ri, depth + 1, params);
-                self.nodes[me] = Node::Split { feature, threshold, left, right };
+                self.nodes[me] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 me
             }
         }
@@ -148,8 +167,8 @@ fn best_split(x: &[Vec<f64>], y: &[f64], idx: &[u32], params: &TreeParams) -> Op
             }
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl)
-                + (right_sq - right_sum * right_sum / nr);
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
             let gain = parent_sse - sse;
             if gain > params.min_gain && best.is_none_or(|(g, _, _)| gain > g) {
                 best = Some((gain, f, 0.5 * (xv + xnext)));
@@ -185,7 +204,11 @@ mod tests {
     fn respects_max_depth() {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
-        let params = TreeParams { max_depth: 1, min_leaf: 1, min_gain: 1e-12 };
+        let params = TreeParams {
+            max_depth: 1,
+            min_leaf: 1,
+            min_gain: 1e-12,
+        };
         let tree = RegressionTree::fit(&x, &y, &params);
         // Depth-1 tree: one split + two leaves.
         assert_eq!(tree.node_count(), 3);
@@ -197,7 +220,9 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..40)
             .map(|i| vec![(i % 2) as f64, (i * 7 % 13) as f64])
             .collect();
-        let y: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })
+            .collect();
         let tree = RegressionTree::fit(&x, &y, &TreeParams::default());
         assert!((tree.predict_one(&[0.0, 5.0]) - 0.0).abs() < 1e-9);
         assert!((tree.predict_one(&[1.0, 5.0]) - 10.0).abs() < 1e-9);
@@ -208,7 +233,11 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
         let mut y = vec![0.0; 10];
         y[9] = 100.0; // an outlier a small leaf would isolate
-        let params = TreeParams { max_depth: 8, min_leaf: 5, min_gain: 1e-12 };
+        let params = TreeParams {
+            max_depth: 8,
+            min_leaf: 5,
+            min_gain: 1e-12,
+        };
         let tree = RegressionTree::fit(&x, &y, &params);
         // Only the 5/5 split is allowed.
         assert!(tree.node_count() <= 3);

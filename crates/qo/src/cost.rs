@@ -19,7 +19,11 @@ pub enum Scenario {
 impl Scenario {
     /// All scenarios in Table 9 order.
     pub fn all() -> [Scenario; 3] {
-        [Scenario::S1BufferSpill, Scenario::S2JoinType, Scenario::S3BitmapSide]
+        [
+            Scenario::S1BufferSpill,
+            Scenario::S2JoinType,
+            Scenario::S3BitmapSide,
+        ]
     }
 
     /// Row label used in Table 9.
@@ -88,7 +92,15 @@ mod tests {
     #[test]
     fn defaults_positive() {
         let c = CostModel::default();
-        for v in [c.scan, c.build, c.probe, c.spill, c.nl_pair, c.bitmap_build, c.join_row] {
+        for v in [
+            c.scan,
+            c.build,
+            c.probe,
+            c.spill,
+            c.nl_pair,
+            c.bitmap_build,
+            c.join_row,
+        ] {
             assert!(v > 0.0);
         }
         assert!(c.grant_headroom >= 1.0);

@@ -50,7 +50,10 @@ pub struct Executor {
 impl Executor {
     /// Builds an executor with the default calibrated cost model.
     pub fn new(scenario: Scenario) -> Self {
-        Self { scenario, cost: CostModel::default() }
+        Self {
+            scenario,
+            cost: CostModel::default(),
+        }
     }
 
     /// Overrides the cost model.
@@ -78,7 +81,9 @@ impl Executor {
                 if nl < hash {
                     Plan::NestedLoop
                 } else {
-                    Plan::HashJoin { grant_rows: f64::INFINITY }
+                    Plan::HashJoin {
+                        grant_rows: f64::INFINITY,
+                    }
                 }
             }
             Scenario::S3BitmapSide => Plan::BitmapHash {
@@ -111,17 +116,23 @@ impl Executor {
                 // the wrong (larger) side pays its bitmap construction *and*
                 // pushes all of that side's rows through the join pipeline.
                 let (build_rows, probe_passed) = if build_on_left {
-                    (actual.left, if actual.left <= actual.right {
-                        actual.join.min(actual.right)
-                    } else {
-                        actual.right
-                    })
+                    (
+                        actual.left,
+                        if actual.left <= actual.right {
+                            actual.join.min(actual.right)
+                        } else {
+                            actual.right
+                        },
+                    )
                 } else {
-                    (actual.right, if actual.right <= actual.left {
-                        actual.join.min(actual.left)
-                    } else {
-                        actual.left
-                    })
+                    (
+                        actual.right,
+                        if actual.right <= actual.left {
+                            actual.join.min(actual.left)
+                        } else {
+                            actual.left
+                        },
+                    )
                 };
                 let join_work = c.join_row * (build_rows + probe_passed);
                 (scan + c.bitmap_build * build_rows + join_work) / c.threads
@@ -146,15 +157,23 @@ impl Executor {
             Scenario::S1BufferSpill => vec![
                 // Grant sized from an arbitrarily bad underestimate.
                 Plan::HashJoin { grant_rows: 1.0 },
-                Plan::HashJoin { grant_rows: f64::INFINITY },
+                Plan::HashJoin {
+                    grant_rows: f64::INFINITY,
+                },
             ],
             Scenario::S2JoinType => vec![
                 Plan::NestedLoop,
-                Plan::HashJoin { grant_rows: f64::INFINITY },
+                Plan::HashJoin {
+                    grant_rows: f64::INFINITY,
+                },
             ],
             Scenario::S3BitmapSide => vec![
-                Plan::BitmapHash { build_on_left: true },
-                Plan::BitmapHash { build_on_left: false },
+                Plan::BitmapHash {
+                    build_on_left: true,
+                },
+                Plan::BitmapHash {
+                    build_on_left: false,
+                },
             ],
         };
         plans
@@ -189,8 +208,14 @@ mod tests {
     fn s1_underestimate_spills_and_slows() {
         let ex = Executor::new(Scenario::S1BufferSpill);
         let actual = rep_cards();
-        let under = QueryCards { left: 400.0, ..actual };
-        let over = QueryCards { left: 400_000.0, ..actual };
+        let under = QueryCards {
+            left: 400.0,
+            ..actual
+        };
+        let over = QueryCards {
+            left: 400_000.0,
+            ..actual
+        };
         let good = ex.oracle_latency(&actual);
         let bad = ex.latency(&under, &actual);
         let over_lat = ex.latency(&over, &actual);
@@ -211,7 +236,11 @@ mod tests {
         let ex = Executor::new(Scenario::S2JoinType);
         let actual = rep_cards();
         // 1000× underestimates on both sides make NLJ look cheap.
-        let under = QueryCards { left: 40.0, right: 12.0, ..actual };
+        let under = QueryCards {
+            left: 40.0,
+            right: 12.0,
+            ..actual
+        };
         assert_eq!(ex.plan(&under), Plan::NestedLoop);
         assert!(matches!(ex.plan(&actual), Plan::HashJoin { .. }));
         let good = ex.oracle_latency(&actual);
@@ -246,17 +275,39 @@ mod tests {
         };
         assert_eq!(ex.plan(&tiny), Plan::NestedLoop);
         // And it is genuinely no slower there.
-        assert!(ex.latency(&tiny, &tiny) <= ex.simulate(&Plan::HashJoin { grant_rows: f64::INFINITY }, &tiny) + 1e-9);
+        assert!(
+            ex.latency(&tiny, &tiny)
+                <= ex.simulate(
+                    &Plan::HashJoin {
+                        grant_rows: f64::INFINITY
+                    },
+                    &tiny
+                ) + 1e-9
+        );
     }
 
     #[test]
     fn s3_wrong_bitmap_side_slows() {
         let ex = Executor::new(Scenario::S3BitmapSide);
         let actual = rep_cards(); // right (12k) < left (40k) → build on right
-        assert_eq!(ex.plan(&actual), Plan::BitmapHash { build_on_left: false });
+        assert_eq!(
+            ex.plan(&actual),
+            Plan::BitmapHash {
+                build_on_left: false
+            }
+        );
         // A flipped estimate picks the wrong side.
-        let flipped = QueryCards { left: 5_000.0, right: 50_000.0, ..actual };
-        assert_eq!(ex.plan(&flipped), Plan::BitmapHash { build_on_left: true });
+        let flipped = QueryCards {
+            left: 5_000.0,
+            right: 50_000.0,
+            ..actual
+        };
+        assert_eq!(
+            ex.plan(&flipped),
+            Plan::BitmapHash {
+                build_on_left: true
+            }
+        );
         assert!(ex.latency(&flipped, &actual) > ex.oracle_latency(&actual));
         // The Table-9 gap is measured on asymmetric inputs, where picking
         // the wrong side is most damaging.
@@ -284,10 +335,7 @@ mod tests {
                     right: actual.right / f.max(0.5),
                     ..actual
                 };
-                assert!(
-                    ex.latency(&est, &actual) >= oracle - 1e-9,
-                    "{s:?} f={f}"
-                );
+                assert!(ex.latency(&est, &actual) >= oracle - 1e-9, "{s:?} f={f}");
             }
         }
     }

@@ -34,14 +34,23 @@ impl<'t> SpjTemplate<'t> {
     /// Builds a template generator using the given Table-5 workload
     /// notation (e.g. `"w1"`) for the predicates.
     pub fn new(tables: &'t TpchTables, scenario: Scenario, workload: &str) -> Self {
-        let mix = Mix::parse(workload)
-            .unwrap_or_else(|| panic!("bad workload notation {workload:?}"));
+        let mix =
+            Mix::parse(workload).unwrap_or_else(|| panic!("bad workload notation {workload:?}"));
         // Predicates over the non-key columns only (column 0 is the join
         // key in both generated tables).
-        let spec = WorkloadSpec { min_cols: 1, max_cols: 2, ..Default::default() };
+        let spec = WorkloadSpec {
+            min_cols: 1,
+            max_cols: 2,
+            ..Default::default()
+        };
         let lineitem_gen = QueryGenerator::new(&tables.lineitem, mix.clone(), spec);
         let orders_gen = QueryGenerator::new(&tables.orders, mix, spec);
-        Self { tables, scenario, lineitem_gen, orders_gen }
+        Self {
+            tables,
+            scenario,
+            lineitem_gen,
+            orders_gen,
+        }
     }
 
     /// The scenario this template serves.
@@ -59,9 +68,7 @@ impl<'t> SpjTemplate<'t> {
         left_pred.highs[0] = ldom[0].1;
 
         let right_pred = match self.scenario {
-            Scenario::S1BufferSpill => {
-                RangePredicate::unconstrained(&self.tables.orders.domains())
-            }
+            Scenario::S1BufferSpill => RangePredicate::unconstrained(&self.tables.orders.domains()),
             Scenario::S2JoinType | Scenario::S3BitmapSide => {
                 let mut p = self.orders_gen.generate(rng);
                 let odom = self.tables.orders.domains();
@@ -71,7 +78,12 @@ impl<'t> SpjTemplate<'t> {
             }
         };
 
-        let join = JoinQuery { left_pred, right_pred, left_key: 0, right_key: 0 };
+        let join = JoinQuery {
+            left_pred,
+            right_pred,
+            left_key: 0,
+            right_key: 0,
+        };
         let cards = join_cardinalities(&self.tables.lineitem, &self.tables.orders, &join);
         TemplateQuery {
             join,
@@ -121,7 +133,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let qs = t.draw_many(20, &mut rng);
         // At least some draws genuinely filter the orders side.
-        assert!(qs.iter().any(|q| q.actual.right < tables.orders.num_rows() as f64));
+        assert!(qs
+            .iter()
+            .any(|q| q.actual.right < tables.orders.num_rows() as f64));
         for q in &qs {
             assert!(q.actual.join <= q.actual.left.min(q.actual.right * 7.0) + 1e-9);
         }

@@ -4,7 +4,13 @@ use proptest::prelude::*;
 use warper_qo::{Executor, QueryCards, Scenario};
 
 fn cards(left: f64, right: f64, join: f64) -> QueryCards {
-    QueryCards { left, right, join, left_base: 200_000.0, right_base: 50_000.0 }
+    QueryCards {
+        left,
+        right,
+        join,
+        left_base: 200_000.0,
+        right_base: 50_000.0,
+    }
 }
 
 proptest! {

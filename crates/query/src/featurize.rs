@@ -21,7 +21,9 @@ pub struct Featurizer {
 impl Featurizer {
     /// Captures the domains of `table`'s columns.
     pub fn from_table(table: &Table) -> Self {
-        Self { domains: table.domains() }
+        Self {
+            domains: table.domains(),
+        }
     }
 
     /// Builds from explicit domains.

@@ -127,7 +127,14 @@ mod tests {
         // k=0 matches none, k=1 matches 2 → 2.
         assert_eq!(join_count(&l, &r, &q), 2);
         let cards = join_cardinalities(&l, &r, &q);
-        assert_eq!(cards, JoinCardinalities { left: 2, right: 2, join: 2 });
+        assert_eq!(
+            cards,
+            JoinCardinalities {
+                left: 2,
+                right: 2,
+                join: 2
+            }
+        );
     }
 
     #[test]

@@ -64,7 +64,12 @@ impl SamplingAnnotator {
             samples.push((Table::new("sample", columns), n as f64 / size as f64));
             size *= 4;
         }
-        Self { samples, exact: Annotator::new(), min_hits: 32, full_rows: n }
+        Self {
+            samples,
+            exact: Annotator::new(),
+            min_hits: 32,
+            full_rows: n,
+        }
     }
 
     /// Number of sample levels materialized.
@@ -116,7 +121,11 @@ mod tests {
         let r = sa.count(&table, &p);
         assert!(!r.exact_fallback);
         assert_eq!(r.rows_scanned, 500);
-        assert!((r.estimate - 40_000.0).abs() < 1.0, "estimate {}", r.estimate);
+        assert!(
+            (r.estimate - 40_000.0).abs() < 1.0,
+            "estimate {}",
+            r.estimate
+        );
     }
 
     #[test]
@@ -129,9 +138,16 @@ mod tests {
         let p = RangePredicate::unconstrained(&domains).with_range(3, lo, (lo + hi) / 2.0);
         let truth = exact.count(&table, &p) as f64;
         let r = sa.count(&table, &p);
-        assert!(truth > 1_000.0, "test premise: large cardinality, got {truth}");
+        assert!(
+            truth > 1_000.0,
+            "test premise: large cardinality, got {truth}"
+        );
         let rel = (r.estimate - truth).abs() / truth;
-        assert!(rel < 0.25, "relative error {rel} (est {} truth {truth})", r.estimate);
+        assert!(
+            rel < 0.25,
+            "relative error {rel} (est {} truth {truth})",
+            r.estimate
+        );
         assert!(r.rows_scanned < table.num_rows());
     }
 

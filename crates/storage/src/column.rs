@@ -30,7 +30,11 @@ pub struct Column {
 impl Column {
     /// Creates a column.
     pub fn new(name: impl Into<String>, ty: ColumnType, values: Vec<f64>) -> Self {
-        Self { name: name.into(), ty, values }
+        Self {
+            name: name.into(),
+            ty,
+            values,
+        }
     }
 
     /// Column name.

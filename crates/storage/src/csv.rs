@@ -37,7 +37,11 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "io error: {e}"),
-            CsvError::RaggedRow { line, got, expected } => {
+            CsvError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
             CsvError::Empty => write!(f, "empty csv input"),
@@ -83,7 +87,10 @@ fn split_line(line: &str) -> Vec<String> {
 /// Parses CSV text into a [`Table`]. `has_header` controls whether the first
 /// row names the columns (otherwise they are `c0, c1, …`).
 pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, CsvError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (first_no, first) = lines.next().ok_or(CsvError::Empty)?;
     let first_fields = split_line(first);
     let width = first_fields.len();
@@ -100,7 +107,11 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, C
     for (no, line) in lines {
         let fields = split_line(line);
         if fields.len() != width {
-            return Err(CsvError::RaggedRow { line: no + 1, got: fields.len(), expected: width });
+            return Err(CsvError::RaggedRow {
+                line: no + 1,
+                got: fields.len(),
+                expected: width,
+            });
         }
         raw.push(fields);
     }
@@ -130,9 +141,7 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, C
     // Build columns; drop rows with missing numeric fields.
     let keep: Vec<bool> = raw
         .iter()
-        .map(|row| {
-            (0..width).all(|c| !(numeric[c] && row[c].trim().is_empty()))
-        })
+        .map(|row| (0..width).all(|c| !(numeric[c] && row[c].trim().is_empty())))
         .collect();
     let mut columns = Vec::with_capacity(width);
     for c in 0..width {
@@ -155,7 +164,11 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, C
                     *dict.entry(row[c].trim().to_string()).or_insert(next)
                 })
                 .collect();
-            columns.push(Column::new(names[c].clone(), ColumnType::Categorical, values));
+            columns.push(Column::new(
+                names[c].clone(),
+                ColumnType::Categorical,
+                values,
+            ));
         }
     }
     Ok(Table::new(name, columns))
@@ -216,13 +229,23 @@ mod tests {
     #[test]
     fn ragged_rows_rejected() {
         let err = read_csv_str("t", "a,b\n1,2\n3\n", true).unwrap_err();
-        assert!(matches!(err, CsvError::RaggedRow { line: 3, got: 1, expected: 2 }));
+        assert!(matches!(
+            err,
+            CsvError::RaggedRow {
+                line: 3,
+                got: 1,
+                expected: 2
+            }
+        ));
     }
 
     #[test]
     fn empty_input_rejected() {
         assert!(matches!(read_csv_str("t", "", true), Err(CsvError::Empty)));
-        assert!(matches!(read_csv_str("t", "a,b\n", true), Err(CsvError::Empty)));
+        assert!(matches!(
+            read_csv_str("t", "a,b\n", true),
+            Err(CsvError::Empty)
+        ));
     }
 
     #[test]

@@ -80,8 +80,7 @@ pub fn higgs(rows: usize, seed: u64) -> Table {
     let comps = [(-2.0, 0.6), (0.0, 1.0), (2.5, 0.8)];
     let mix = Zipf::new(3, 0.5);
 
-    let mut cols: Vec<Vec<f64>> =
-        (0..10).map(|_| Vec::with_capacity(rows)).collect();
+    let mut cols: Vec<Vec<f64>> = (0..10).map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
         let c = mix.sample(&mut rng);
         let (mu, sd) = comps[c];
@@ -100,13 +99,28 @@ pub fn higgs(rows: usize, seed: u64) -> Table {
         cols[8].push(normal(&mut rng, z1 * 2.0, 0.5));
         cols[9].push((z0 - z1).abs() + 0.1 * standard_normal(&mut rng));
     }
-    let names = ["jet_cat", "lepton_sign", "m0", "m1", "m_joint", "tau", "pt", "energy", "eta", "dphi"];
+    let names = [
+        "jet_cat",
+        "lepton_sign",
+        "m0",
+        "m1",
+        "m_joint",
+        "tau",
+        "pt",
+        "energy",
+        "eta",
+        "dphi",
+    ];
     let columns = cols
         .into_iter()
         .zip(names)
         .enumerate()
         .map(|(i, (v, n))| {
-            let ty = if i < 2 { ColumnType::Date } else { ColumnType::Real };
+            let ty = if i < 2 {
+                ColumnType::Date
+            } else {
+                ColumnType::Real
+            };
             Column::new(n, ty, v)
         })
         .collect();
@@ -182,8 +196,7 @@ pub fn prsa(rows: usize, seed: u64) -> Table {
 /// deterministic function of the others (distinct counts 4/13/10).
 pub fn poker(rows: usize, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x504f_4b52);
-    let mut cols: Vec<Vec<f64>> =
-        (0..11).map(|_| Vec::with_capacity(rows)).collect();
+    let mut cols: Vec<Vec<f64>> = (0..11).map(|_| Vec::with_capacity(rows)).collect();
     for _ in 0..rows {
         let mut ranks = [0u8; 5];
         let mut suits = [0u8; 5];
@@ -289,7 +302,12 @@ mod tests {
         let n = a.len() as f64;
         let ma = a.iter().sum::<f64>() / n;
         let mb = b.iter().sum::<f64>() / n;
-        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum::<f64>() / n;
+        let cov: f64 = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - ma) * (y - mb))
+            .sum::<f64>()
+            / n;
         let sa = (a.iter().map(|x| (x - ma).powi(2)).sum::<f64>() / n).sqrt();
         let sb = (b.iter().map(|x| (x - mb).powi(2)).sum::<f64>() / n).sqrt();
         let corr = cov / (sa * sb);

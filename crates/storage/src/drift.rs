@@ -26,7 +26,10 @@ pub struct ChangeLog {
 impl ChangeLog {
     /// Marks the current state of `table` as the baseline.
     pub fn mark(table: &Table) -> Self {
-        Self { baseline_changed: table.rows_changed, baseline_rows: table.num_rows() }
+        Self {
+            baseline_changed: table.rows_changed,
+            baseline_rows: table.num_rows(),
+        }
     }
 
     /// Fraction of rows changed (appended / updated / deleted) since the

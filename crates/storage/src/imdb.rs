@@ -38,9 +38,7 @@ pub fn generate_imdb(titles: usize, seed: u64) -> ImdbTables {
     let role = Zipf::new(12, 1.1);
     let info_type = Zipf::new(20, 1.0);
     // Popularity governs both rating and fanout → cross-table correlation.
-    let popularity: Vec<f64> = (0..titles)
-        .map(|_| normal(&mut rng, 0.0, 1.0))
-        .collect();
+    let popularity: Vec<f64> = (0..titles).map(|_| normal(&mut rng, 0.0, 1.0)).collect();
 
     let mut t_id = Vec::with_capacity(titles);
     let mut t_year = Vec::with_capacity(titles);
@@ -146,7 +144,12 @@ mod tests {
         let n = 3000.0;
         let mf = fanout.iter().sum::<f64>() / n;
         let mr = rating.iter().sum::<f64>() / n;
-        let cov: f64 = fanout.iter().zip(rating).map(|(f, r)| (f - mf) * (r - mr)).sum::<f64>() / n;
+        let cov: f64 = fanout
+            .iter()
+            .zip(rating)
+            .map(|(f, r)| (f - mf) * (r - mr))
+            .sum::<f64>()
+            / n;
         assert!(cov > 0.0, "cov {cov}");
     }
 

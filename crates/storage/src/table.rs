@@ -27,7 +27,11 @@ impl Table {
                 assert_eq!(c.len(), first.len(), "column length mismatch in table");
             }
         }
-        Self { name: name.into(), columns, rows_changed: 0 }
+        Self {
+            name: name.into(),
+            columns,
+            rows_changed: 0,
+        }
     }
 
     /// Table name.
@@ -106,7 +110,11 @@ impl Table {
         let (dmin, dmed, dmax) = if distinct.is_empty() {
             (0, 0, 0)
         } else {
-            (distinct[0], distinct[distinct.len() / 2], distinct[distinct.len() - 1])
+            (
+                distinct[0],
+                distinct[distinct.len() / 2],
+                distinct[distinct.len() - 1],
+            )
         };
         TableProfile {
             name: self.name.clone(),

@@ -39,7 +39,9 @@ impl TpchScale {
     /// orders scaled down by `downscale` (e.g. `rows(10, 100)` models SF10
     /// at 1% size).
     pub fn rows(sf: f64, downscale: f64) -> Self {
-        Self { orders: ((1_500_000.0 * sf) / downscale).max(100.0) as usize }
+        Self {
+            orders: ((1_500_000.0 * sf) / downscale).max(100.0) as usize,
+        }
     }
 }
 
@@ -75,7 +77,7 @@ pub fn generate_tpch(scale: TpchScale, seed: u64) -> TpchTables {
 
     for key in 0..n_orders {
         let orderdate = rng.random_range(0.0..2557.0); // 7 years of days
-        // Fanout 1..=7 like TPC-H.
+                                                       // Fanout 1..=7 like TPC-H.
         let fanout = rng.random_range(1..=7usize);
         let mut total = 0.0;
         for _ in 0..fanout {
@@ -130,7 +132,10 @@ mod tests {
         assert_eq!(t.orders.num_rows(), 500);
         let ratio = t.lineitem.num_rows() as f64 / t.orders.num_rows() as f64;
         assert!((1.0..=7.0).contains(&ratio), "ratio {ratio}");
-        assert!((ratio - 4.0).abs() < 0.5, "average fanout should be ~4, got {ratio}");
+        assert!(
+            (ratio - 4.0).abs() < 0.5,
+            "average fanout should be ~4, got {ratio}"
+        );
     }
 
     #[test]

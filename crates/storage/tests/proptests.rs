@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use warper_storage::drift::{append_rows, delete_rows, sort_and_truncate_half, update_rows, ChangeLog};
+use warper_storage::drift::{
+    append_rows, delete_rows, sort_and_truncate_half, update_rows, ChangeLog,
+};
 use warper_storage::{Column, ColumnType, Table};
 
 fn table_from(values: Vec<f64>, cats: Vec<f64>) -> Table {

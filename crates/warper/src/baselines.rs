@@ -125,8 +125,10 @@ fn labeled_from_arrived(
         let j = rng.random_range(i..unlabeled.len());
         unlabeled.swap(i, j);
     }
-    let to_annotate: Vec<Vec<f64>> =
-        unlabeled[..budget].iter().map(|a| a.features.clone()).collect();
+    let to_annotate: Vec<Vec<f64>> = unlabeled[..budget]
+        .iter()
+        .map(|a| a.features.clone())
+        .collect();
     let annotated = to_annotate.len();
     if annotated > 0 {
         let cards = annotate(&to_annotate);
@@ -147,7 +149,11 @@ pub struct FineTuneStrategy {
 
 impl FineTuneStrategy {
     /// Creates FT seeded with the original training corpus.
-    pub fn new(training_set: &[(Vec<f64>, f64)], annotation_budget: Option<usize>, seed: u64) -> Self {
+    pub fn new(
+        training_set: &[(Vec<f64>, f64)],
+        annotation_budget: Option<usize>,
+        seed: u64,
+    ) -> Self {
         Self {
             corpus: Corpus::new(training_set),
             annotation_budget,
@@ -171,7 +177,11 @@ impl AdaptStrategy for FineTuneStrategy {
         let (fresh, annotated) =
             labeled_from_arrived(arrived, self.annotation_budget, &mut self.rng, annotate);
         let trained_on = self.corpus.apply(model, fresh);
-        StepReport { annotated, trained_on, ..Default::default() }
+        StepReport {
+            annotated,
+            trained_on,
+            ..Default::default()
+        }
     }
 }
 
@@ -189,7 +199,11 @@ impl MixStrategy {
             .iter()
             .map(|(f, c)| LabeledExample::new(f.clone(), *c))
             .collect();
-        Self { corpus: Corpus::new(training_set), train_set, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            corpus: Corpus::new(training_set),
+            train_set,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -212,7 +226,11 @@ impl AdaptStrategy for MixStrategy {
             fresh.push(self.train_set[i].clone());
         }
         let trained_on = self.corpus.apply(model, fresh);
-        StepReport { annotated, trained_on, ..Default::default() }
+        StepReport {
+            annotated,
+            trained_on,
+            ..Default::default()
+        }
     }
 }
 
@@ -299,7 +317,12 @@ impl AdaptStrategy for AugStrategy {
             }
         }
         let trained_on = self.corpus.apply(model, fresh);
-        StepReport { annotated, generated, trained_on, skipped: false }
+        StepReport {
+            annotated,
+            generated,
+            trained_on,
+            skipped: false,
+        }
     }
 }
 
@@ -388,7 +411,12 @@ impl AdaptStrategy for HemStrategy {
             }
         }
         let trained_on = self.corpus.apply(model, fresh);
-        StepReport { annotated, generated, trained_on, skipped: false }
+        StepReport {
+            annotated,
+            generated,
+            trained_on,
+            skipped: false,
+        }
     }
 }
 
@@ -405,7 +433,11 @@ mod tests {
 
     impl SpyModel {
         fn new(kind: UpdateKind) -> Self {
-            Self { kind, updates: Vec::new(), fits: Vec::new() }
+            Self {
+                kind,
+                updates: Vec::new(),
+                fits: Vec::new(),
+            }
         }
     }
 
@@ -431,7 +463,9 @@ mod tests {
     }
 
     fn train_set() -> Vec<(Vec<f64>, f64)> {
-        (0..20).map(|i| (vec![i as f64 / 20.0, 0.5], 100.0)).collect()
+        (0..20)
+            .map(|i| (vec![i as f64 / 20.0, 0.5], 100.0))
+            .collect()
     }
 
     fn arrived(n: usize, with_gt: bool) -> Vec<ArrivedQuery> {
@@ -451,7 +485,12 @@ mod tests {
     fn ft_fine_tunes_on_arrived_only() {
         let mut model = SpyModel::new(UpdateKind::FineTune);
         let mut ft = FineTuneStrategy::new(&train_set(), None, 1);
-        let rep = ft.step(&mut model, &arrived(10, true), &DataTelemetry::default(), &mut no_annotate());
+        let rep = ft.step(
+            &mut model,
+            &arrived(10, true),
+            &DataTelemetry::default(),
+            &mut no_annotate(),
+        );
         assert_eq!(model.updates, vec![10]);
         assert!(model.fits.is_empty());
         assert_eq!(rep.annotated, 0);
@@ -462,8 +501,18 @@ mod tests {
     fn ft_retrains_cumulatively_for_tree_models() {
         let mut model = SpyModel::new(UpdateKind::Retrain);
         let mut ft = FineTuneStrategy::new(&train_set(), None, 1);
-        ft.step(&mut model, &arrived(10, true), &DataTelemetry::default(), &mut no_annotate());
-        ft.step(&mut model, &arrived(5, true), &DataTelemetry::default(), &mut no_annotate());
+        ft.step(
+            &mut model,
+            &arrived(10, true),
+            &DataTelemetry::default(),
+            &mut no_annotate(),
+        );
+        ft.step(
+            &mut model,
+            &arrived(5, true),
+            &DataTelemetry::default(),
+            &mut no_annotate(),
+        );
         assert_eq!(model.fits, vec![30, 35]); // 20 train + arrivals
     }
 
@@ -471,7 +520,12 @@ mod tests {
     fn ft_annotation_budget_respected() {
         let mut model = SpyModel::new(UpdateKind::FineTune);
         let mut ft = FineTuneStrategy::new(&train_set(), Some(3), 1);
-        let rep = ft.step(&mut model, &arrived(10, false), &DataTelemetry::default(), &mut no_annotate());
+        let rep = ft.step(
+            &mut model,
+            &arrived(10, false),
+            &DataTelemetry::default(),
+            &mut no_annotate(),
+        );
         assert_eq!(rep.annotated, 3);
         assert_eq!(rep.trained_on, 3);
     }
@@ -480,7 +534,12 @@ mod tests {
     fn mix_doubles_with_train_samples() {
         let mut model = SpyModel::new(UpdateKind::FineTune);
         let mut mix = MixStrategy::new(&train_set(), 2);
-        let rep = mix.step(&mut model, &arrived(8, true), &DataTelemetry::default(), &mut no_annotate());
+        let rep = mix.step(
+            &mut model,
+            &arrived(8, true),
+            &DataTelemetry::default(),
+            &mut no_annotate(),
+        );
         assert_eq!(rep.trained_on, 16);
     }
 
@@ -493,7 +552,12 @@ mod tests {
             count += qs.len();
             vec![10.0; qs.len()]
         };
-        let rep = aug.step(&mut model, &arrived(10, true), &DataTelemetry::default(), &mut annotate);
+        let rep = aug.step(
+            &mut model,
+            &arrived(10, true),
+            &DataTelemetry::default(),
+            &mut annotate,
+        );
         assert_eq!(rep.generated, 5);
         assert_eq!(rep.annotated, 5);
         assert_eq!(count, 5);
@@ -506,7 +570,12 @@ mod tests {
     fn hem_mines_hard_examples() {
         let mut model = SpyModel::new(UpdateKind::FineTune);
         let mut hem = HemStrategy::new(&train_set(), 4);
-        let rep = hem.step(&mut model, &arrived(20, true), &DataTelemetry::default(), &mut no_annotate());
+        let rep = hem.step(
+            &mut model,
+            &arrived(20, true),
+            &DataTelemetry::default(),
+            &mut no_annotate(),
+        );
         assert_eq!(rep.generated, 2); // 10% of 20
         assert_eq!(rep.trained_on, 22);
     }
@@ -520,7 +589,12 @@ mod tests {
             &mut AugStrategy::new(&train_set(), 1),
             &mut HemStrategy::new(&train_set(), 1),
         ] {
-            let rep = strat.step(&mut model, &[], &DataTelemetry::default(), &mut no_annotate());
+            let rep = strat.step(
+                &mut model,
+                &[],
+                &DataTelemetry::default(),
+                &mut no_annotate(),
+            );
             assert_eq!(rep.trained_on, 0, "{}", strat.name());
         }
         assert!(model.updates.is_empty());

@@ -66,7 +66,9 @@ impl CostBudget {
         } else {
             (affordable_queries / arrivals as f64).min(requested_n_g_frac)
         };
-        Recommendation::Warper { max_n_g_frac: max_frac.max(0.0) }
+        Recommendation::Warper {
+            max_n_g_frac: max_frac.max(0.0),
+        }
     }
 
     /// Predicted CPU utilization (fraction of one core) of a Warper period
@@ -115,7 +117,10 @@ mod tests {
         let b = CostBudget { per_period: 53.0 };
         match b.recommend(&PROFILE, 360, 3.0) {
             Recommendation::Warper { max_n_g_frac } => {
-                assert!((max_n_g_frac - 100.0 / 360.0).abs() < 1e-9, "{max_n_g_frac}")
+                assert!(
+                    (max_n_g_frac - 100.0 / 360.0).abs() < 1e-9,
+                    "{max_n_g_frac}"
+                )
             }
             r => panic!("unexpected {r:?}"),
         }

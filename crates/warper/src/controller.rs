@@ -278,8 +278,7 @@ impl WarperController {
         }
 
         // det_drft.
-        let arrived_features: Vec<Vec<f64>> =
-            arrived.iter().map(|a| a.features.clone()).collect();
+        let arrived_features: Vec<Vec<f64>> = arrived.iter().map(|a| a.features.clone()).collect();
         self.workload_tracker.observe(&arrived_features);
         let labeled_arrivals =
             arrived.iter().filter(|a| a.gt.is_some()).count() + probe_annotations;
@@ -287,13 +286,25 @@ impl WarperController {
             self.n_t_since_drift += arrived.len();
             self.n_a_since_drift += labeled_arrivals;
         }
-        let Detection { mode, delta_m, delta_js: _ } = self.detector.detect_with_tracker(
+        let Detection {
+            mode,
+            delta_m,
+            delta_js: _,
+        } = self.detector.detect_with_tracker(
             model,
             &self.recent_eval,
             telemetry,
             Some(&self.workload_tracker),
-            if self.drift_active { self.n_t_since_drift } else { arrived.len() },
-            if self.drift_active { self.n_a_since_drift } else { labeled_arrivals },
+            if self.drift_active {
+                self.n_t_since_drift
+            } else {
+                arrived.len()
+            },
+            if self.drift_active {
+                self.n_a_since_drift
+            } else {
+                labeled_arrivals
+            },
             self.gamma,
         );
         if !mode.any() {
@@ -358,9 +369,12 @@ impl WarperController {
         if mode.c2 && n_g > 0 {
             match self.gen_kind {
                 GenKind::Gan => {
-                    gan_stats =
-                        self.gan
-                            .update_multi_task(&mut self.encoder, &self.pool, &self.cfg, &mut self.rng);
+                    gan_stats = self.gan.update_multi_task(
+                        &mut self.encoder,
+                        &self.pool,
+                        &self.cfg,
+                        &mut self.rng,
+                    );
                     let base: Vec<Vec<f64>> = self
                         .pool
                         .records()
@@ -389,10 +403,8 @@ impl WarperController {
                     if !news.is_empty() {
                         let mut qgen: Vec<Vec<f64>> = (0..n_g)
                             .map(|_| {
-                                let base = &news[rand::Rng::random_range(
-                                    &mut self.rng,
-                                    0..news.len(),
-                                )];
+                                let base =
+                                    &news[rand::Rng::random_range(&mut self.rng, 0..news.len())];
                                 base.iter()
                                     .map(|&v| {
                                         (v + 0.1 * standard_normal(&mut self.rng)).clamp(0.0, 1.0)
@@ -613,12 +625,18 @@ pub struct WarperStrategy {
 impl WarperStrategy {
     /// Wraps a configured controller.
     pub fn new(controller: WarperController) -> Self {
-        Self { controller, display_name: "Warper" }
+        Self {
+            controller,
+            display_name: "Warper",
+        }
     }
 
     /// Wraps with a custom display name (used by the ablation tables).
     pub fn named(controller: WarperController, name: &'static str) -> Self {
-        Self { controller, display_name: name }
+        Self {
+            controller,
+            display_name: name,
+        }
     }
 
     /// Access to the wrapped controller.
@@ -736,14 +754,14 @@ mod tests {
         let arrived: Vec<ArrivedQuery> = training_set()
             .into_iter()
             .take(10)
-            .map(|(f, c)| ArrivedQuery { features: f, gt: Some(c) })
+            .map(|(f, c)| ArrivedQuery {
+                features: f,
+                gt: Some(c),
+            })
             .collect();
-        let rep = ctl.invoke(
-            &mut model,
-            &arrived,
-            &DataTelemetry::default(),
-            &mut |qs| vec![0.0; qs.len()],
-        );
+        let rep = ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
+            vec![0.0; qs.len()]
+        });
         assert!(!rep.mode.any());
         assert_eq!(rep.annotated, 0);
         assert_eq!(rep.generated, 0);
@@ -799,7 +817,10 @@ mod tests {
     fn c1_marks_stale_and_reannotates() {
         let mut ctl = controller();
         let mut model = ToyModel { scale: 1000.0 };
-        let telemetry = DataTelemetry { changed_fraction: 0.5, canary_max_change: 0.5 };
+        let telemetry = DataTelemetry {
+            changed_fraction: 0.5,
+            canary_max_change: 0.5,
+        };
         let rep = ctl.invoke(&mut model, &[], &telemetry, &mut |qs| {
             // New data: cardinalities doubled.
             qs.iter().map(|f| 2_000.0 * (0.1 + f[0])).collect()
@@ -807,12 +828,7 @@ mod tests {
         assert!(rep.mode.c1);
         assert!(rep.annotated > 0);
         // Re-annotated records carry the new labels.
-        let relabeled = ctl
-            .pool
-            .records()
-            .iter()
-            .filter(|r| r.labeled())
-            .count();
+        let relabeled = ctl.pool.records().iter().filter(|r| r.labeled()).count();
         assert_eq!(relabeled, rep.annotated);
         assert!(model.scale > 1400.0, "scale {}", model.scale);
     }
@@ -850,7 +866,9 @@ mod tests {
 
     #[test]
     fn ablation_constructors() {
-        let ctl = controller().with_picker(PickerKind::Random).with_generator(GenKind::Noise);
+        let ctl = controller()
+            .with_picker(PickerKind::Random)
+            .with_generator(GenKind::Noise);
         let mut strat = WarperStrategy::named(ctl, "Warper(P→rnd,G→AUG)");
         assert_eq!(strat.name(), "Warper(P→rnd,G→AUG)");
         let mut model = ToyModel { scale: 1000.0 };

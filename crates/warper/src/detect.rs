@@ -93,12 +93,12 @@ impl CanarySet {
     /// Draws `n` canaries from a w1-style workload over `table` and records
     /// their current ground truth as the baseline.
     pub fn new(table: &Table, n: usize, rng: &mut StdRng) -> Self {
-        let spec = WorkloadSpec { min_cols: 1, max_cols: 2, ..Default::default() };
-        let mut gen = QueryGenerator::new(
-            table,
-            warper_workload::Mix::parse("w1").unwrap(),
-            spec,
-        );
+        let spec = WorkloadSpec {
+            min_cols: 1,
+            max_cols: 2,
+            ..Default::default()
+        };
+        let mut gen = QueryGenerator::new(table, warper_workload::Mix::parse("w1").unwrap(), spec);
         let preds = gen.generate_many(n, rng);
         let annotator = Annotator::new();
         let baseline = preds.iter().map(|p| annotator.count(table, p)).collect();
@@ -122,7 +122,11 @@ impl CanarySet {
     /// has been adapted to the new data).
     pub fn rebaseline(&mut self, table: &Table) {
         let annotator = Annotator::new();
-        self.baseline = self.preds.iter().map(|p| annotator.count(table, p)).collect();
+        self.baseline = self
+            .preds
+            .iter()
+            .map(|p| annotator.count(table, p))
+            .collect();
     }
 
     /// Number of canaries.
@@ -154,7 +158,13 @@ pub struct WorkloadDriftTracker {
 impl WorkloadDriftTracker {
     /// Builds a tracker over the training workload's feature vectors.
     pub fn new(reference: Vec<Vec<f64>>) -> Self {
-        Self { reference, window: Vec::new(), window_cap: 300, k: 10, m: 3 }
+        Self {
+            reference,
+            window: Vec::new(),
+            window_cap: 300,
+            k: 10,
+            m: 3,
+        }
     }
 
     /// Records newly arrived featurized queries.
@@ -185,8 +195,7 @@ impl WorkloadDriftTracker {
         // the null carries the same sampling noise as the signal.
         let n = self.window.len().min(ref_b.len());
         let stride = ref_b.len() / n;
-        let null_sample: Vec<Vec<f64>> =
-            (0..n).map(|i| ref_b[i * stride].clone()).collect();
+        let null_sample: Vec<Vec<f64>> = (0..n).map(|i| ref_b[i * stride].clone()).collect();
         let raw = warper_metrics::delta_js(ref_a, &self.window, self.k, self.m);
         let null = warper_metrics::delta_js(ref_a, &null_sample, self.k, self.m);
         (raw - null).max(0.0)
@@ -322,7 +331,11 @@ impl DriftDetector {
                 mode.c4 = true;
             }
         }
-        Detection { mode, delta_m, delta_js }
+        Detection {
+            mode,
+            delta_m,
+            delta_js,
+        }
     }
 
     /// After an early stop, raise π so the next invocation "directly uses
@@ -404,7 +417,10 @@ mod tests {
     fn data_drift_from_telemetry() {
         let d = detector();
         let model = ConstModel(100.0);
-        let telemetry = DataTelemetry { changed_fraction: 0.3, canary_max_change: 0.0 };
+        let telemetry = DataTelemetry {
+            changed_fraction: 0.3,
+            canary_max_change: 0.0,
+        };
         let det = d.detect(&model, &[], &telemetry, 0, 0, 400);
         assert!(det.mode.c1);
         assert!(!det.mode.c2 && !det.mode.c3 && !det.mode.c4);
@@ -413,17 +429,33 @@ mod tests {
     #[test]
     fn pi_backoff_suppresses_retrigger() {
         // Pin π explicitly so the test is independent of the default.
-        let cfg = WarperConfig { pi: 0.5, pi_backoff: 1.5, ..Default::default() };
+        let cfg = WarperConfig {
+            pi: 0.5,
+            pi_backoff: 1.5,
+            ..Default::default()
+        };
         let mut d = DriftDetector::new(2.0, &cfg);
         let model = ConstModel(100.0);
         let recent = vec![(vec![0.0, 0.0], 280.0); 10]; // q-error 2.8, δ_m = 0.8
-        assert!(d.detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400).mode.any());
+        assert!(d
+            .detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400)
+            .mode
+            .any());
         d.register_early_stop(); // π → 0.75
-        assert!(d.detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400).mode.any());
+        assert!(d
+            .detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400)
+            .mode
+            .any());
         d.register_early_stop(); // π → 1.125 > 0.8
-        assert!(!d.detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400).mode.any());
+        assert!(!d
+            .detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400)
+            .mode
+            .any());
         d.reset_pi();
-        assert!(d.detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400).mode.any());
+        assert!(d
+            .detect(&model, &recent, &DataTelemetry::default(), 10, 10, 400)
+            .mode
+            .any());
     }
 
     #[test]
@@ -495,7 +527,10 @@ mod tests {
         m.c2 = true;
         assert_eq!(m.to_string(), "c1|c2");
         assert!(m.needs_mitigation());
-        let c4 = DriftMode { c4: true, ..DriftMode::none() };
+        let c4 = DriftMode {
+            c4: true,
+            ..DriftMode::none()
+        };
         assert!(!c4.needs_mitigation());
         assert!(c4.any());
     }

@@ -87,19 +87,28 @@ impl Encoder {
 
     /// Embeds a batch of `(features, gt)` rows.
     pub fn embed_batch(&self, rows: &[(Vec<f64>, Option<f64>)]) -> Matrix {
-        let inputs: Vec<Vec<f64>> = rows
-            .iter()
-            .map(|(f, gt)| self.input_row(f, *gt))
-            .collect();
+        let inputs: Vec<Vec<f64>> = rows.iter().map(|(f, gt)| self.input_row(f, *gt)).collect();
         self.net.forward(&Matrix::from_rows(&inputs))
     }
 
     /// Refreshes the `z` field of every pool record (stale labels are
     /// treated as absent, per the paper's "available and up-to-date" rule).
+    ///
+    /// All records are embedded in one batched forward pass, so the pool
+    /// refresh costs a handful of large GEMMs instead of one small network
+    /// evaluation per record.
     pub fn refresh_pool(&self, pool: &mut QueryPool) {
-        for r in pool.records_mut() {
-            let gt = if r.gt_stale { None } else { r.gt };
-            r.z = Some(self.embed(&r.features, gt));
+        let rows: Vec<(Vec<f64>, Option<f64>)> = pool
+            .records()
+            .iter()
+            .map(|r| (r.features.clone(), if r.gt_stale { None } else { r.gt }))
+            .collect();
+        if rows.is_empty() {
+            return;
+        }
+        let z = self.embed_batch(&rows);
+        for (i, r) in pool.records_mut().iter_mut().enumerate() {
+            r.z = Some(z.row(i).to_vec());
         }
     }
 

@@ -55,15 +55,18 @@ pub fn estimate_gamma(
         let size = raw_size.min(corpus.len()).max(1);
         let mut model = make_model();
         model.fit(&corpus[..size]);
-        let ests: Vec<f64> = holdout.iter().map(|e| model.estimate(&e.features)).collect();
-        curve.push(LearningCurvePoint { train_size: size, gmq: gmq(&ests, &actuals, PAPER_THETA) });
+        let ests: Vec<f64> = holdout
+            .iter()
+            .map(|e| model.estimate(&e.features))
+            .collect();
+        curve.push(LearningCurvePoint {
+            train_size: size,
+            gmq: gmq(&ests, &actuals, PAPER_THETA),
+        });
     }
 
     // Best GMQ anywhere on the curve; γ = first size within tolerance of it.
-    let best = curve
-        .iter()
-        .map(|p| p.gmq)
-        .fold(f64::INFINITY, f64::min);
+    let best = curve.iter().map(|p| p.gmq).fold(f64::INFINITY, f64::min);
     let gamma = curve
         .iter()
         .find(|p| p.gmq <= best * (1.0 + tolerance))

@@ -16,7 +16,7 @@ use rand::Rng;
 use warper_linalg::sampling::standard_normal;
 use warper_linalg::Matrix;
 use warper_nn::loss::{l1, softmax, softmax_cross_entropy};
-use warper_nn::{Activation, Adam, Mlp, Optimizer};
+use warper_nn::{Activation, Adam, Mlp, Optimizer, Workspace};
 
 use crate::config::WarperConfig;
 use crate::encoder::Encoder;
@@ -54,7 +54,13 @@ impl Gan {
     /// (a single `|z| → 3` layer), per Table 3.
     pub fn new(feature_dim: usize, cfg: &WarperConfig, rng: &mut StdRng) -> Self {
         let generator = Mlp::new(
-            &[cfg.embed_dim, cfg.hidden, cfg.hidden, cfg.hidden, feature_dim],
+            &[
+                cfg.embed_dim,
+                cfg.hidden,
+                cfg.hidden,
+                cfg.hidden,
+                feature_dim,
+            ],
             Activation::LeakyRelu(0.01),
             Activation::Identity,
             rng,
@@ -153,12 +159,7 @@ impl Gan {
                 .unwrap();
             rec.predicted = Some(Source::from_class_index(argmax));
             rec.score = Some(row[Source::New.class_index()]);
-            rec.entropy = Some(
-                row.iter()
-                    .filter(|&&p| p > 0.0)
-                    .map(|&p| -p * p.ln())
-                    .sum(),
-            );
+            rec.entropy = Some(row.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum());
         }
     }
 
@@ -177,6 +178,24 @@ impl Gan {
             return TrainStats::default();
         }
         let mut stats = TrainStats::default();
+        // Stage all encoder inputs and reconstruction targets once; batches
+        // are row gathers, and both networks keep their intermediates in
+        // workspaces reused across every batch and epoch.
+        let inputs: Vec<Vec<f64>> = pool
+            .records()
+            .iter()
+            .map(|r| {
+                let gt = if r.gt_stale { None } else { r.gt };
+                encoder.input_row(&r.features, gt)
+            })
+            .collect();
+        let targets: Vec<Vec<f64>> = pool.records().iter().map(|r| r.features.clone()).collect();
+        let all_x = Matrix::from_rows(&inputs);
+        let all_t = Matrix::from_rows(&targets);
+        let mut ws_e = Workspace::new();
+        let mut ws_g = Workspace::new();
+        let mut x = Matrix::default();
+        let mut t = Matrix::default();
         let mut idx: Vec<usize> = (0..n).collect();
         for _epoch in 0..epochs {
             // Fisher–Yates shuffle.
@@ -184,28 +203,18 @@ impl Gan {
                 idx.swap(i, rng.random_range(0..=i));
             }
             for chunk in idx.chunks(cfg.batch) {
-                let inputs: Vec<Vec<f64>> = chunk
-                    .iter()
-                    .map(|&i| {
-                        let r = &pool.records()[i];
-                        let gt = if r.gt_stale { None } else { r.gt };
-                        encoder.input_row(&r.features, gt)
-                    })
-                    .collect();
-                let targets: Vec<Vec<f64>> = chunk
-                    .iter()
-                    .map(|&i| pool.records()[i].features.clone())
-                    .collect();
-                let x = Matrix::from_rows(&inputs);
-                let t = Matrix::from_rows(&targets);
+                x.gather_rows(&all_x, chunk);
+                t.gather_rows(&all_t, chunk);
 
-                let (z, e_cache) = encoder.net().forward_cached(&x);
-                let (qhat, g_cache) = self.generator.forward_cached(&z);
-                let (loss, dqhat) = l1(&qhat, &t);
-                let (g_grads, dz) = self.generator.backward_with_input_grad(&g_cache, &dqhat);
-                let e_grads = encoder.net().backward(&e_cache, &dz);
-                self.opt_g.step(&mut self.generator, &g_grads, cfg.lr);
-                self.opt_e.step(encoder.net_mut(), &e_grads, cfg.lr);
+                let (loss, dqhat) = {
+                    let z = encoder.net().forward_ws(&x, &mut ws_e);
+                    let qhat = self.generator.forward_ws(z, &mut ws_g);
+                    l1(qhat, &t)
+                };
+                self.generator.backward_ws(&mut ws_g, &dqhat);
+                encoder.net().backward_ws(&mut ws_e, ws_g.input_grad());
+                self.opt_g.step(&mut self.generator, &ws_g.grads, cfg.lr);
+                self.opt_e.step(encoder.net_mut(), &ws_e.grads, cfg.lr);
                 stats.ae_loss = loss;
                 stats.iterations += 1;
             }
@@ -240,19 +249,23 @@ impl Gan {
             return stats;
         }
 
+        // One workspace per network, shared by every stage of every
+        // iteration; a stage's gradients are consumed (stepped or discarded)
+        // before the next stage reuses the buffers.
+        let mut ws_e = Workspace::new();
+        let mut ws_g = Workspace::new();
+        let mut ws_d = Workspace::new();
         let mut prev_loss = f64::INFINITY;
         let mut flat_iters = 0;
         for iter in 0..cfg.n_i {
             // Recompute new-workload embeddings with the current encoder.
             let new_z = encoder.embed_batch(&new_rows);
-            let base_zs: Vec<Vec<f64>> =
-                (0..new_z.rows()).map(|r| new_z.row(r).to_vec()).collect();
+            let base_zs: Vec<Vec<f64>> = (0..new_z.rows()).map(|r| new_z.row(r).to_vec()).collect();
             let sigma = Encoder::embedding_std(&base_zs);
 
             // --- Discriminator step over a mixed batch (real + generated).
             let half = cfg.batch / 2;
-            let real_idx: Vec<usize> =
-                (0..half).map(|_| rng.random_range(0..n)).collect();
+            let real_idx: Vec<usize> = (0..half).map(|_| rng.random_range(0..n)).collect();
             let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(cfg.batch);
             let mut labels: Vec<usize> = Vec::with_capacity(cfg.batch);
             let mut real_feats: Vec<Vec<f64>> = Vec::with_capacity(half);
@@ -272,14 +285,15 @@ impl Gan {
             {
                 let x_real = Matrix::from_rows(&inputs[..real_feats.len()]);
                 let t_real = Matrix::from_rows(&real_feats);
-                let (z_r, e_cache) = encoder.net().forward_cached(&x_real);
-                let (qhat, g_cache) = self.generator.forward_cached(&z_r);
-                let (ae_loss, dqhat) = l1(&qhat, &t_real);
-                let (g_grads, dz) =
-                    self.generator.backward_with_input_grad(&g_cache, &dqhat);
-                let e_grads = encoder.net().backward(&e_cache, &dz);
-                self.opt_g.step(&mut self.generator, &g_grads, cfg.lr);
-                self.opt_e.step(encoder.net_mut(), &e_grads, cfg.lr);
+                let (ae_loss, dqhat) = {
+                    let z_r = encoder.net().forward_ws(&x_real, &mut ws_e);
+                    let qhat = self.generator.forward_ws(z_r, &mut ws_g);
+                    l1(qhat, &t_real)
+                };
+                self.generator.backward_ws(&mut ws_g, &dqhat);
+                encoder.net().backward_ws(&mut ws_e, ws_g.input_grad());
+                self.opt_g.step(&mut self.generator, &ws_g.grads, cfg.lr);
+                self.opt_e.step(encoder.net_mut(), &ws_e.grads, cfg.lr);
                 stats.ae_loss = ae_loss;
             }
             for q in self.generate(&base_zs, &sigma, cfg.batch - half, rng) {
@@ -293,15 +307,19 @@ impl Gan {
             // larger learning rate and a couple of steps per iteration to
             // keep pace with the drifting embeddings.
             let x = Matrix::from_rows(&inputs);
-            let z = encoder.net().forward(&x);
             let mut d_loss = 0.0;
-            for _ in 0..2 {
-                let (logits, d_cache) = self.discriminator.forward_cached(&z);
-                let (loss, dlogits) = softmax_cross_entropy(&logits, &labels);
-                let (d_grads, _) =
-                    self.discriminator.backward_with_input_grad(&d_cache, &dlogits);
-                self.opt_d.step(&mut self.discriminator, &d_grads, 5.0 * cfg.lr);
-                d_loss = loss;
+            {
+                let z = encoder.net().forward_ws(&x, &mut ws_e);
+                for _ in 0..2 {
+                    let (loss, dlogits) = {
+                        let logits = self.discriminator.forward_ws(z, &mut ws_d);
+                        softmax_cross_entropy(logits, &labels)
+                    };
+                    self.discriminator.backward_ws(&mut ws_d, &dlogits);
+                    self.opt_d
+                        .step(&mut self.discriminator, &ws_d.grads, 5.0 * cfg.lr);
+                    d_loss = loss;
+                }
             }
 
             // --- Generator step: z+ε → G → q_gen → E → z' → D → 'new'.
@@ -315,33 +333,40 @@ impl Gan {
                 })
                 .collect();
             let zin = Matrix::from_rows(&gen_inputs);
-            let (qgen, g_cache) = self.generator.forward_cached(&zin);
             // Route through E with the label slots zeroed (generated queries
             // have no gt). Build E inputs by appending two zero columns.
-            let mut e_in = Matrix::zeros(qgen.rows(), qgen.cols() + 2);
-            for r in 0..qgen.rows() {
-                e_in.row_mut(r)[..qgen.cols()].copy_from_slice(qgen.row(r));
-            }
-            let (z2, e2_cache) = encoder.net().forward_cached(&e_in);
-            let (logits2, d2_cache) = self.discriminator.forward_cached(&z2);
-            let want_new = vec![Source::New.class_index(); logits2.rows()];
-            let (g_loss, mut dlogits2) = softmax_cross_entropy(&logits2, &want_new);
+            let (grows, gcols, e_in) = {
+                let qgen = self.generator.forward_ws(&zin, &mut ws_g);
+                let mut e_in = Matrix::zeros(qgen.rows(), qgen.cols() + 2);
+                for r in 0..qgen.rows() {
+                    e_in.row_mut(r)[..qgen.cols()].copy_from_slice(qgen.row(r));
+                }
+                (qgen.rows(), qgen.cols(), e_in)
+            };
+            let (g_loss, mut dlogits2) = {
+                let z2 = encoder.net().forward_ws(&e_in, &mut ws_e);
+                let logits2 = self.discriminator.forward_ws(z2, &mut ws_d);
+                let want_new = vec![Source::New.class_index(); logits2.rows()];
+                softmax_cross_entropy(logits2, &want_new)
+            };
             // The adversarial gradient is down-weighted relative to the
             // reconstruction task so it steers G without erasing its decoder
             // behaviour (a collapsed G defeats the purpose of generation).
             dlogits2.scale_inplace(ADV_WEIGHT);
-            // Freeze D and E: only propagate input gradients through them.
-            let (_, dz2) = self.discriminator.backward_with_input_grad(&d2_cache, &dlogits2);
-            let (_, de_in) = encoder.net().backward_with_input_grad(&e2_cache, &dz2);
+            // Freeze D and E: run their backward passes only for the input
+            // gradients; the parameter gradients in their workspaces are
+            // simply never stepped.
+            self.discriminator.backward_ws(&mut ws_d, &dlogits2);
+            encoder.net().backward_ws(&mut ws_e, ws_d.input_grad());
             // Drop the two label columns to get ∂L/∂q_gen.
-            let mut dqgen = Matrix::zeros(qgen.rows(), qgen.cols());
-            for r in 0..qgen.rows() {
+            let mut dqgen = Matrix::zeros(grows, gcols);
+            for r in 0..grows {
                 dqgen
                     .row_mut(r)
-                    .copy_from_slice(&de_in.row(r)[..qgen.cols()]);
+                    .copy_from_slice(&ws_e.input_grad().row(r)[..gcols]);
             }
-            let g_grads = self.generator.backward(&g_cache, &dqgen);
-            self.opt_g.step(&mut self.generator, &g_grads, cfg.lr);
+            self.generator.backward_ws(&mut ws_g, &dqgen);
+            self.opt_g.step(&mut self.generator, &ws_g.grads, cfg.lr);
 
             stats.discr_loss = d_loss;
             stats.gen_loss = g_loss;
@@ -369,7 +394,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn small_cfg() -> WarperConfig {
-        WarperConfig { embed_dim: 6, hidden: 24, n_i: 25, batch: 16, ..Default::default() }
+        WarperConfig {
+            embed_dim: 6,
+            hidden: 24,
+            n_i: 25,
+            batch: 16,
+            ..Default::default()
+        }
     }
 
     fn pool_with_two_clusters(n: usize) -> QueryPool {
@@ -394,7 +425,12 @@ mod tests {
         let pool = pool_with_two_clusters(40);
         let first = gan.update_auto_encoder(&mut enc, &pool, &cfg, 1, &mut rng);
         let last = gan.update_auto_encoder(&mut enc, &pool, &cfg, 30, &mut rng);
-        assert!(last.ae_loss < first.ae_loss, "{} !< {}", last.ae_loss, first.ae_loss);
+        assert!(
+            last.ae_loss < first.ae_loss,
+            "{} !< {}",
+            last.ae_loss,
+            first.ae_loss
+        );
         assert!(last.ae_loss < 0.1, "ae loss {}", last.ae_loss);
     }
 
@@ -426,13 +462,15 @@ mod tests {
         let mean: f64 = gen.iter().flat_map(|g| g.iter()).sum::<f64>() / (50.0 * 4.0);
         assert!(mean > 0.5, "generated mean {mean}");
         // And stay inside the feature box.
-        assert!(gen.iter().all(|g| g.iter().all(|&v| (0.0..=1.0).contains(&v))));
+        assert!(gen
+            .iter()
+            .all(|g| g.iter().all(|&v| (0.0..=1.0).contains(&v))));
     }
 
     #[test]
     fn discriminator_learns_to_separate_sources() {
         let cfg = small_cfg();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = StdRng::seed_from_u64(12);
         let mut enc = Encoder::new(4, cfg.hidden, cfg.embed_dim, &mut rng);
         let mut gan = Gan::new(4, &cfg, &mut rng);
         let mut pool = pool_with_two_clusters(60);
@@ -471,7 +509,10 @@ mod tests {
             .filter(|r| r.source == Source::Train && r.predicted == Some(Source::New))
             .count();
         let train_total = pool.count_of(Source::Train);
-        assert!(train_as_new * 3 < train_total, "{train_as_new}/{train_total} train→new");
+        assert!(
+            train_as_new * 3 < train_total,
+            "{train_as_new}/{train_total} train→new"
+        );
     }
 
     #[test]
@@ -490,7 +531,10 @@ mod tests {
 
     #[test]
     fn early_stop_respects_n_i_bound() {
-        let cfg = WarperConfig { n_i: 5, ..small_cfg() };
+        let cfg = WarperConfig {
+            n_i: 5,
+            ..small_cfg()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let mut enc = Encoder::new(4, cfg.hidden, cfg.embed_dim, &mut rng);
         let mut gan = Gan::new(4, &cfg, &mut rng);
@@ -500,4 +544,3 @@ mod tests {
         assert!(stats.iterations >= 1);
     }
 }
-

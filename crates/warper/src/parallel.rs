@@ -2,12 +2,13 @@
 //!
 //! Every (strategy × seed) run in an experiment is independent — same table,
 //! same drift, byte-identical workload replays — so the comparison benches
-//! can fan runs out across cores. Results are collected under a
-//! `parking_lot` mutex and returned in submission order.
+//! can fan runs out across cores. Work is handed out through the shared
+//! lock-free worker pool in `warper_linalg::parallel` (an atomic fetch-add
+//! index, no mutexes), and results come back in submission order.
 
-use parking_lot::Mutex;
-
-use crate::runner::{run_single_table, DriftSetup, ModelKind, RunResult, RunnerConfig, StrategyKind};
+use crate::runner::{
+    run_single_table, DriftSetup, ModelKind, RunResult, RunnerConfig, StrategyKind,
+};
 use warper_storage::Table;
 
 /// One unit of parallel work.
@@ -30,39 +31,14 @@ pub fn run_parallel(
     base_cfg: &RunnerConfig,
     threads: usize,
 ) -> Vec<RunResult> {
-    if specs.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.max(1).min(specs.len());
-    let results: Mutex<Vec<Option<RunResult>>> = Mutex::new(vec![None; specs.len()]);
-    let next: Mutex<usize> = Mutex::new(0);
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = {
-                    let mut guard = next.lock();
-                    if *guard >= specs.len() {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let spec = specs[i];
-                let cfg = RunnerConfig { seed: spec.seed, ..*base_cfg };
-                let result = run_single_table(table, setup, spec.model, spec.strategy, &cfg);
-                results.lock()[i] = Some(result);
-            });
-        }
+    warper_linalg::parallel::run_indexed(specs.len(), threads, |i| {
+        let spec = specs[i];
+        let cfg = RunnerConfig {
+            seed: spec.seed,
+            ..*base_cfg
+        };
+        run_single_table(table, setup, spec.model, spec.strategy, &cfg)
     })
-    .expect("parallel runner worker panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("all runs completed"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -77,7 +53,10 @@ mod tests {
             n_train: 200,
             n_test: 50,
             checkpoints: 2,
-            arrival: ArrivalProcess { rate_per_sec: 0.1, period_secs: 400.0 },
+            arrival: ArrivalProcess {
+                rate_per_sec: 0.1,
+                period_secs: 400.0,
+            },
             arrivals_labeled: true,
             seed: 0,
             warper: WarperConfig {
@@ -95,16 +74,34 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         let table = generate(DatasetKind::Poker, 1_500, 9);
-        let setup = DriftSetup::Workload { train: "w1".into(), new: "w5".into() };
+        let setup = DriftSetup::Workload {
+            train: "w1".into(),
+            new: "w5".into(),
+        };
         let specs = [
-            RunSpec { model: ModelKind::LmMlp, strategy: StrategyKind::Ft, seed: 3 },
-            RunSpec { model: ModelKind::LmMlp, strategy: StrategyKind::Warper, seed: 3 },
-            RunSpec { model: ModelKind::LmMlp, strategy: StrategyKind::Ft, seed: 4 },
+            RunSpec {
+                model: ModelKind::LmMlp,
+                strategy: StrategyKind::Ft,
+                seed: 3,
+            },
+            RunSpec {
+                model: ModelKind::LmMlp,
+                strategy: StrategyKind::Warper,
+                seed: 3,
+            },
+            RunSpec {
+                model: ModelKind::LmMlp,
+                strategy: StrategyKind::Ft,
+                seed: 4,
+            },
         ];
         let parallel = run_parallel(&table, &setup, &specs, &tiny_cfg(), 3);
         assert_eq!(parallel.len(), 3);
         for (spec, res) in specs.iter().zip(&parallel) {
-            let cfg = RunnerConfig { seed: spec.seed, ..tiny_cfg() };
+            let cfg = RunnerConfig {
+                seed: spec.seed,
+                ..tiny_cfg()
+            };
             let seq = run_single_table(&table, &setup, spec.model, spec.strategy, &cfg);
             assert_eq!(seq.curve.points(), res.curve.points(), "{}", res.strategy);
             assert_eq!(seq.strategy, res.strategy);
@@ -114,7 +111,10 @@ mod tests {
     #[test]
     fn empty_specs_is_noop() {
         let table = generate(DatasetKind::Poker, 500, 9);
-        let setup = DriftSetup::Workload { train: "w1".into(), new: "w5".into() };
+        let setup = DriftSetup::Workload {
+            train: "w1".into(),
+            new: "w5".into(),
+        };
         assert!(run_parallel(&table, &setup, &[], &tiny_cfg(), 4).is_empty());
     }
 }

@@ -96,7 +96,9 @@ mod tests {
     }
 
     fn training_set() -> Vec<(Vec<f64>, f64)> {
-        (0..50).map(|i| (vec![0.2 + 0.001 * (i % 7) as f64; 4], 300.0)).collect()
+        (0..50)
+            .map(|i| (vec![0.2 + 0.001 * (i % 7) as f64; 4], 300.0))
+            .collect()
     }
 
     #[test]
@@ -150,12 +152,18 @@ mod tests {
         let ctl = WarperController::new(4, &training_set(), 1.5, cfg, 7);
         let mut restored = WarperController::from_state(ctl.to_state());
         let arrived: Vec<ArrivedQuery> = (0..40)
-            .map(|_| ArrivedQuery { features: vec![0.9; 4], gt: Some(50_000.0) })
+            .map(|_| ArrivedQuery {
+                features: vec![0.9; 4],
+                gt: Some(50_000.0),
+            })
             .collect();
         let mut model = ToyModel;
         let report = restored.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
             vec![50_000.0; qs.len()]
         });
-        assert!(report.mode.any(), "restored controller must still detect drift");
+        assert!(
+            report.mode.any(),
+            "restored controller must still detect drift"
+        );
     }
 }

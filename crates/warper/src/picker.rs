@@ -46,7 +46,11 @@ pub struct Picker {
 impl Picker {
     /// Builds a picker with the configuration's bucket/kNN parameters.
     pub fn new(kind: PickerKind, cfg: &WarperConfig) -> Self {
-        Self { kind, buckets: cfg.picker_buckets.max(1), knn: cfg.picker_knn.max(1) }
+        Self {
+            kind,
+            buckets: cfg.picker_buckets.max(1),
+            knn: cfg.picker_knn.max(1),
+        }
     }
 
     /// The active policy.
@@ -173,8 +177,7 @@ impl Picker {
 
         // 3. Round-robin across buckets, sampling within each bucket with
         //    replacement; empty buckets are skipped.
-        let nonempty: Vec<&Vec<usize>> =
-            bucket_members.iter().filter(|m| !m.is_empty()).collect();
+        let nonempty: Vec<&Vec<usize>> = bucket_members.iter().filter(|m| !m.is_empty()).collect();
         if nonempty.is_empty() {
             return Vec::new();
         }
@@ -245,7 +248,11 @@ fn knn_bucket(
     for &(_, r) in dists.iter().take(knn) {
         *votes.entry(bucket_of_ref[&r]).or_insert(0usize) += 1;
     }
-    votes.into_iter().max_by_key(|&(_, v)| v).map(|(b, _)| b).unwrap_or(0)
+    votes
+        .into_iter()
+        .max_by_key(|&(_, v)| v)
+        .map(|(b, _)| b)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -358,9 +365,15 @@ mod tests {
         let picked = picker.pick_stratified(&pool, &model, &cands, 10, &mut rng);
         assert!(!picked.is_empty());
         // Stratification should draw from both embedding clusters.
-        let low = picked.iter().filter(|&&i| pool.records()[i].z.as_ref().unwrap()[0] < 0.5).count();
+        let low = picked
+            .iter()
+            .filter(|&&i| pool.records()[i].z.as_ref().unwrap()[0] < 0.5)
+            .count();
         let high = picked.len() - low;
-        assert!(low > 0 && high > 0, "picked only one cluster: low={low} high={high}");
+        assert!(
+            low > 0 && high > 0,
+            "picked only one cluster: low={low} high={high}"
+        );
     }
 
     #[test]
@@ -381,9 +394,15 @@ mod tests {
         let picker = Picker::new(PickerKind::Warper, &WarperConfig::default());
         let model = ConstModel(1.0);
         let mut rng = StdRng::seed_from_u64(9);
-        assert!(picker.pick_by_confidence(&pool, &[], 5, &mut rng).is_empty());
-        assert!(picker.pick_stratified(&pool, &model, &[], 5, &mut rng).is_empty());
+        assert!(picker
+            .pick_by_confidence(&pool, &[], 5, &mut rng)
+            .is_empty());
+        assert!(picker
+            .pick_stratified(&pool, &model, &[], 5, &mut rng)
+            .is_empty());
         let (pool2, cands2) = pool_with_scores(&[0.5]);
-        assert!(picker.pick_by_confidence(&pool2, &cands2, 0, &mut rng).is_empty());
+        assert!(picker
+            .pick_by_confidence(&pool2, &cands2, 0, &mut rng)
+            .is_empty());
     }
 }

@@ -212,10 +212,8 @@ mod tests {
     use super::*;
 
     fn example_pool() -> QueryPool {
-        let mut p = QueryPool::from_training_set(&[
-            (vec![0.1, 0.2], 100.0),
-            (vec![0.3, 0.4], 200.0),
-        ]);
+        let mut p =
+            QueryPool::from_training_set(&[(vec![0.1, 0.2], 100.0), (vec![0.3, 0.4], 200.0)]);
         p.append_new(&[(vec![0.5, 0.6], Some(50.0)), (vec![0.7, 0.8], None)]);
         p.append_gen(vec![vec![0.9, 1.0]]);
         p

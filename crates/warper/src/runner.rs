@@ -92,9 +92,18 @@ impl StrategyKind {
             StrategyKind::Aug => "AUG",
             StrategyKind::Hem => "HEM",
             StrategyKind::Warper => "Warper",
-            StrategyKind::WarperAblated { picker: PickerKind::Random, .. } => "Warper(P→rnd)",
-            StrategyKind::WarperAblated { picker: PickerKind::Entropy, .. } => "Warper(P→ent)",
-            StrategyKind::WarperAblated { gen: GenKind::Noise, .. } => "Warper(G→AUG)",
+            StrategyKind::WarperAblated {
+                picker: PickerKind::Random,
+                ..
+            } => "Warper(P→rnd)",
+            StrategyKind::WarperAblated {
+                picker: PickerKind::Entropy,
+                ..
+            } => "Warper(P→ent)",
+            StrategyKind::WarperAblated {
+                gen: GenKind::Noise,
+                ..
+            } => "Warper(G→AUG)",
             StrategyKind::WarperAblated { .. } => "Warper(abl)",
         }
     }
@@ -227,12 +236,20 @@ pub struct RunResult {
 }
 
 /// Builds a CE model for a feature dimension.
-pub fn build_model(kind: ModelKind, feature_dim: usize, seed: u64) -> Box<dyn CardinalityEstimator> {
+pub fn build_model(
+    kind: ModelKind,
+    feature_dim: usize,
+    seed: u64,
+) -> Box<dyn CardinalityEstimator> {
     match kind {
         ModelKind::LmMlp => Box::new(LmMlp::new(feature_dim, LmMlpParams::default(), seed)),
         ModelKind::LmGbt => Box::new(LmGbt::new(
             feature_dim,
-            GbtParams { n_trees: 120, learning_rate: 0.1, ..Default::default() },
+            GbtParams {
+                n_trees: 120,
+                learning_rate: 0.1,
+                ..Default::default()
+            },
         )),
         ModelKind::LmPly => Box::new(LmKrr::new(feature_dim, KrrVariant::Poly, seed)),
         ModelKind::LmRbf => Box::new(LmKrr::new(feature_dim, KrrVariant::Rbf, seed)),
@@ -286,7 +303,6 @@ pub fn build_strategy(
     }
 }
 
-
 /// The feature mapping used by a run: predicate → model features, and the
 /// inverse needed to annotate generated feature vectors.
 struct FeatureMap {
@@ -297,8 +313,8 @@ struct FeatureMap {
 impl FeatureMap {
     fn new(table: &Table, model: ModelKind) -> Self {
         let featurizer = Featurizer::from_table(table);
-        let mscn = (model == ModelKind::Mscn)
-            .then(|| MscnFeaturizer::new(vec![featurizer.clone()], 0));
+        let mscn =
+            (model == ModelKind::Mscn).then(|| MscnFeaturizer::new(vec![featurizer.clone()], 0));
         Self { featurizer, mscn }
     }
 
@@ -476,7 +492,10 @@ pub fn run_single_table(
                 let gt = cfg
                     .arrivals_labeled
                     .then(|| annotator.count(&table, p) as f64);
-                ArrivedQuery { features: fmap.featurize(p), gt }
+                ArrivedQuery {
+                    features: fmap.featurize(p),
+                    gt,
+                }
             })
             .collect();
 
@@ -536,7 +555,10 @@ mod tests {
             n_train: 300,
             n_test: 60,
             checkpoints: 3,
-            arrival: ArrivalProcess { rate_per_sec: 0.2, period_secs: 600.0 },
+            arrival: ArrivalProcess {
+                rate_per_sec: 0.2,
+                period_secs: 600.0,
+            },
             arrivals_labeled: true,
             seed: 11,
             warper: WarperConfig {
@@ -554,8 +576,17 @@ mod tests {
     #[test]
     fn ft_run_produces_monotoneish_curve() {
         let table = generate(DatasetKind::Prsa, 3_000, 5);
-        let setup = DriftSetup::Workload { train: "w1".into(), new: "w3".into() };
-        let res = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &quick_cfg());
+        let setup = DriftSetup::Workload {
+            train: "w1".into(),
+            new: "w3".into(),
+        };
+        let res = run_single_table(
+            &table,
+            &setup,
+            ModelKind::LmMlp,
+            StrategyKind::Ft,
+            &quick_cfg(),
+        );
         assert_eq!(res.strategy, "FT");
         assert_eq!(res.curve.points().len(), 4); // 0 + 3 checkpoints
         assert!(res.delta_js > 0.0);
@@ -569,13 +600,25 @@ mod tests {
     #[test]
     fn warper_run_generates_and_annotates() {
         let table = generate(DatasetKind::Prsa, 3_000, 6);
-        let setup = DriftSetup::Workload { train: "w1".into(), new: "w4".into() };
-        let res =
-            run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &quick_cfg());
+        let setup = DriftSetup::Workload {
+            train: "w1".into(),
+            new: "w4".into(),
+        };
+        let res = run_single_table(
+            &table,
+            &setup,
+            ModelKind::LmMlp,
+            StrategyKind::Warper,
+            &quick_cfg(),
+        );
         assert_eq!(res.strategy, "Warper");
         // If the drift registered, Warper should have synthesized queries.
         if res.delta_m > quick_cfg().warper.pi {
-            assert!(res.generated_total > 0, "delta_m {} but nothing generated", res.delta_m);
+            assert!(
+                res.generated_total > 0,
+                "delta_m {} but nothing generated",
+                res.delta_m
+            );
             assert!(res.annotated_total > 0);
         }
         assert!(res.build_secs >= 0.0);
@@ -597,7 +640,10 @@ mod tests {
     #[test]
     fn identical_seeds_reproduce_curves() {
         let table = generate(DatasetKind::Poker, 2_000, 8);
-        let setup = DriftSetup::Workload { train: "w1".into(), new: "w5".into() };
+        let setup = DriftSetup::Workload {
+            train: "w1".into(),
+            new: "w5".into(),
+        };
         let cfg = quick_cfg();
         let a = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg);
         let b = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg);

@@ -18,7 +18,10 @@ pub struct ArrivalProcess {
 impl ArrivalProcess {
     /// The paper's default: one query per 5 s over a 30-minute period.
     pub fn paper_default() -> Self {
-        Self { rate_per_sec: 0.2, period_secs: 30.0 * 60.0 }
+        Self {
+            rate_per_sec: 0.2,
+            period_secs: 30.0 * 60.0,
+        }
     }
 
     /// Number of queries arrived by time `t` seconds (clamped to the
@@ -68,7 +71,10 @@ mod tests {
     #[test]
     fn slow_rate() {
         // Join-CE experiment: one query per minute (§4.1.2).
-        let a = ArrivalProcess { rate_per_sec: 1.0 / 60.0, period_secs: 1800.0 };
+        let a = ArrivalProcess {
+            rate_per_sec: 1.0 / 60.0,
+            period_secs: 1800.0,
+        };
         assert_eq!(a.total(), 30);
     }
 }

@@ -104,7 +104,12 @@ pub struct WorkloadSpec {
 
 impl Default for WorkloadSpec {
     fn default() -> Self {
-        Self { min_cols: 1, max_cols: 3, sample_k: 10, max_width_frac: 0.3 }
+        Self {
+            min_cols: 1,
+            max_cols: 3,
+            sample_k: 10,
+            max_width_frac: 0.3,
+        }
     }
 }
 
@@ -124,13 +129,19 @@ impl<'t> QueryGenerator<'t> {
     pub fn new(table: &'t Table, mix: Mix, spec: WorkloadSpec) -> Self {
         let domains = table.domains();
         let strata = vec![None; table.num_cols()];
-        Self { table, domains, mix, spec, strata }
+        Self {
+            table,
+            domains,
+            mix,
+            spec,
+            strata,
+        }
     }
 
     /// Convenience constructor parsing the paper's `"w12"` notation.
     pub fn from_notation(table: &'t Table, notation: &str) -> Self {
-        let mix = Mix::parse(notation)
-            .unwrap_or_else(|| panic!("bad workload notation {notation:?}"));
+        let mix =
+            Mix::parse(notation).unwrap_or_else(|| panic!("bad workload notation {notation:?}"));
         Self::new(table, mix, WorkloadSpec::default())
     }
 
@@ -192,7 +203,10 @@ impl<'t> QueryGenerator<'t> {
                 let row = rng.random_range(0..self.table.num_rows().max(1));
                 let center = self.table.value(row.min(self.table.num_rows() - 1), c);
                 let width = rng.random_range(0.0..=self.spec.max_width_frac) * range;
-                ((center - 0.5 * width).max(lo), (center + 0.5 * width).min(hi))
+                (
+                    (center - 0.5 * width).max(lo),
+                    (center + 0.5 * width).min(hi),
+                )
             }
             Method::W4 => {
                 let n = self.table.num_rows();
@@ -208,7 +222,10 @@ impl<'t> QueryGenerator<'t> {
             Method::W5 => {
                 let center = self.stratified_value(c, rng);
                 let width = rng.random_range(0.0..=self.spec.max_width_frac) * range;
-                ((center - 0.5 * width).max(lo), (center + 0.5 * width).min(hi))
+                (
+                    (center - 0.5 * width).max(lo),
+                    (center + 0.5 * width).min(hi),
+                )
             }
         }
     }
@@ -244,8 +261,14 @@ mod tests {
 
     #[test]
     fn parse_notation() {
-        assert_eq!(Mix::parse("w12").unwrap().methods(), &[Method::W1, Method::W2]);
-        assert_eq!(Mix::parse("345").unwrap().methods(), &[Method::W3, Method::W4, Method::W5]);
+        assert_eq!(
+            Mix::parse("w12").unwrap().methods(),
+            &[Method::W1, Method::W2]
+        );
+        assert_eq!(
+            Mix::parse("345").unwrap().methods(),
+            &[Method::W3, Method::W4, Method::W5]
+        );
         assert!(Mix::parse("w9").is_none());
         assert!(Mix::parse("w").is_none());
     }
@@ -272,7 +295,11 @@ mod tests {
     fn constrained_column_counts_respected() {
         let table = generate(DatasetKind::Higgs, 1000, 2);
         let domains = table.domains();
-        let spec = WorkloadSpec { min_cols: 2, max_cols: 2, ..Default::default() };
+        let spec = WorkloadSpec {
+            min_cols: 2,
+            max_cols: 2,
+            ..Default::default()
+        };
         let mut g = QueryGenerator::new(&table, Mix::parse("w1").unwrap(), spec);
         let mut rng = rng();
         for p in g.generate_many(30, &mut rng) {
@@ -287,7 +314,11 @@ mod tests {
     fn w2_is_biased_low() {
         let table = generate(DatasetKind::Higgs, 1000, 3);
         let domains = table.domains();
-        let spec = WorkloadSpec { min_cols: 1, max_cols: 1, ..Default::default() };
+        let spec = WorkloadSpec {
+            min_cols: 1,
+            max_cols: 1,
+            ..Default::default()
+        };
         let mut rng = rng();
         let mut mids_w1 = Vec::new();
         let mut mids_w2 = Vec::new();

@@ -51,7 +51,10 @@ pub struct Scenario {
 impl Scenario {
     /// Builder entry point.
     pub fn named(name: impl Into<String>) -> Self {
-        Self { name: name.into(), periods: Vec::new() }
+        Self {
+            name: name.into(),
+            periods: Vec::new(),
+        }
     }
 
     /// Appends a period (builder style).
@@ -67,8 +70,7 @@ impl Scenario {
 
     /// §4.2 Drift A: a persistent workload shift w1 → w2.
     pub fn drift_a(steps: usize) -> Self {
-        Scenario::named("Drift A")
-            .then(vec![DriftEvent::WorkloadShift("w2".into())], steps)
+        Scenario::named("Drift A").then(vec![DriftEvent::WorkloadShift("w2".into())], steps)
     }
 
     /// §4.2 Drift B: a short-lived shift — the first half of each period
@@ -113,6 +115,9 @@ mod tests {
         assert_eq!(b.total_steps(), 6);
         let c = Scenario::drift_c(4, 1);
         assert_eq!(c.periods[0].events.len(), 2);
-        assert!(matches!(c.periods[0].events[1], DriftEvent::DataSortTruncate { col: 1 }));
+        assert!(matches!(
+            c.periods[0].events[1],
+            DriftEvent::DataSortTruncate { col: 1 }
+        ));
     }
 }

@@ -14,8 +14,16 @@ use warper_repro::warper::picker::PickerKind;
 
 fn main() {
     let table = generate(DatasetKind::Prsa, 20_000, 7);
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
-    let cfg = RunnerConfig { n_train: 1000, n_test: 150, seed: 7, ..Default::default() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
+    let cfg = RunnerConfig {
+        n_train: 1000,
+        n_test: 150,
+        seed: 7,
+        ..Default::default()
+    };
 
     println!(
         "{:<16} {:>4} {:>5} {:>6}  GMQ at 0%..100% of the test period",
@@ -28,9 +36,18 @@ fn main() {
         StrategyKind::Aug,
         StrategyKind::Hem,
         StrategyKind::Warper,
-        StrategyKind::WarperAblated { picker: PickerKind::Random, gen: GenKind::Gan },
-        StrategyKind::WarperAblated { picker: PickerKind::Entropy, gen: GenKind::Gan },
-        StrategyKind::WarperAblated { picker: PickerKind::Warper, gen: GenKind::Noise },
+        StrategyKind::WarperAblated {
+            picker: PickerKind::Random,
+            gen: GenKind::Gan,
+        },
+        StrategyKind::WarperAblated {
+            picker: PickerKind::Entropy,
+            gen: GenKind::Gan,
+        },
+        StrategyKind::WarperAblated {
+            picker: PickerKind::Warper,
+            gen: GenKind::Noise,
+        },
     ] {
         let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
         let pts: Vec<String> = res
@@ -53,7 +70,11 @@ fn main() {
             // Report the paper's Δ-speedups for the headline pair.
             let ft = ft_curve.as_ref().unwrap();
             let alpha = ft.curve.initial_gmq().unwrap();
-            let beta = ft.curve.best_gmq().unwrap().min(res.curve.best_gmq().unwrap());
+            let beta = ft
+                .curve
+                .best_gmq()
+                .unwrap()
+                .min(res.curve.best_gmq().unwrap());
             let s = relative_speedups(&ft.curve, &res.curve, alpha, beta);
             println!(
                 "{:<16} Δ.5={:.1}x Δ.8={:.1}x Δ1={:.1}x (vs FT)",

@@ -35,12 +35,17 @@ fn main() {
     let table = read_csv_file("sensors", &path, true).expect("csv parse");
     println!("loaded: {:?}", table.profile());
     for c in table.columns() {
-        println!("  {:<12} {:?} (distinct {})", c.name(), c.ty(), c.distinct_count());
+        println!(
+            "  {:<12} {:?} (distinct {})",
+            c.name(),
+            c.ty(),
+            c.distinct_count()
+        );
     }
 
     // 3. Classical baseline: equi-depth histograms under AVI.
     let hist = HistogramCe::build(&table, 64);
-    let f = Featurizer::from_table(&table);
+    let _featurizer = Featurizer::from_table(&table);
     let a = Annotator::new();
     let mut rng = StdRng::seed_from_u64(21);
     let mut gen = QueryGenerator::from_notation(&table, "w3");
@@ -54,12 +59,24 @@ fn main() {
     println!("(correlated columns break the independence assumption)");
 
     // 4. The standard drift pipeline on the ingested table.
-    let setup = DriftSetup::Workload { train: "w1".into(), new: "w3".into() };
-    let cfg = RunnerConfig { n_train: 800, n_test: 150, seed: 31, ..Default::default() };
+    let setup = DriftSetup::Workload {
+        train: "w1".into(),
+        new: "w3".into(),
+    };
+    let cfg = RunnerConfig {
+        n_train: 800,
+        n_test: 150,
+        seed: 31,
+        ..Default::default()
+    };
     for strategy in [StrategyKind::Ft, StrategyKind::Warper] {
         let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
-        let pts: Vec<String> =
-            res.curve.points().iter().map(|(_, g)| format!("{g:.2}")).collect();
+        let pts: Vec<String> = res
+            .curve
+            .points()
+            .iter()
+            .map(|(_, g)| format!("{g:.2}"))
+            .collect();
         println!("{:<8} GMQ: [{}]", res.strategy, pts.join(", "));
     }
     let _ = std::fs::remove_file(&path);

@@ -16,12 +16,18 @@ fn main() {
     let table = generate(DatasetKind::Prsa, 20_000, 13);
 
     for (name, kind) in [
-        ("sort+truncate (paper §4.1.2)", DataDriftKind::SortTruncate { col: 1 }),
+        (
+            "sort+truncate (paper §4.1.2)",
+            DataDriftKind::SortTruncate { col: 1 },
+        ),
         ("update 60% of rows", DataDriftKind::Update { frac: 0.6 }),
         ("append 50% new rows", DataDriftKind::Append { frac: 0.5 }),
     ] {
         println!("\ndata drift: {name}");
-        let setup = DriftSetup::Data { workload: "w1".into(), kind };
+        let setup = DriftSetup::Data {
+            workload: "w1".into(),
+            kind,
+        };
         let cfg = RunnerConfig {
             n_train: 1000,
             n_test: 150,

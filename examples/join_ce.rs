@@ -14,8 +14,8 @@ use rand::{Rng, SeedableRng};
 use warper_repro::ce::mscn::{Mscn, MscnFeaturizer};
 use warper_repro::prelude::*;
 use warper_repro::storage::imdb::{generate_imdb, ImdbTables};
-use warper_repro::warper::detect::DataTelemetry;
 use warper_repro::warper::baselines::FineTuneStrategy;
+use warper_repro::warper::detect::DataTelemetry;
 
 /// Join id 0: cast_info ⋈ title; join id 1: movie_info ⋈ title.
 fn join_tables(db: &ImdbTables, join_id: usize) -> (&Table, &Table) {
@@ -26,11 +26,7 @@ fn join_tables(db: &ImdbTables, join_id: usize) -> (&Table, &Table) {
 }
 
 /// Draws one join query using the given workload mixture on both sides.
-fn draw_query(
-    db: &ImdbTables,
-    workload: &str,
-    rng: &mut StdRng,
-) -> (usize, JoinQuery) {
+fn draw_query(db: &ImdbTables, workload: &str, rng: &mut StdRng) -> (usize, JoinQuery) {
     let join_id = rng.random_range(0..2usize);
     let (fact, dim) = join_tables(db, join_id);
     let mut fact_gen = QueryGenerator::from_notation(fact, workload);
@@ -44,14 +40,25 @@ fn draw_query(
     left_pred.highs[0] = fd[0].1;
     right_pred.lows[0] = dd[0].0;
     right_pred.highs[0] = dd[0].1;
-    (join_id, JoinQuery { left_pred, right_pred, left_key: 0, right_key: 0 })
+    (
+        join_id,
+        JoinQuery {
+            left_pred,
+            right_pred,
+            left_key: 0,
+            right_key: 0,
+        },
+    )
 }
 
 fn featurize(mf: &MscnFeaturizer, db: &ImdbTables, join_id: usize, q: &JoinQuery) -> Vec<f64> {
     // Table indices in the featurizer: 0 = title, 1 = cast_info, 2 = movie_info.
     let fact_table = if join_id == 0 { 1 } else { 2 };
     let _ = db;
-    mf.featurize(&[(fact_table, &q.left_pred), (0, &q.right_pred)], &[join_id])
+    mf.featurize(
+        &[(fact_table, &q.left_pred), (0, &q.right_pred)],
+        &[join_id],
+    )
 }
 
 /// Exact join cardinality for a (possibly generated) feature vector.
@@ -66,7 +73,12 @@ fn annotate_features(mf: &MscnFeaturizer, db: &ImdbTables, feat: &[f64]) -> f64 
     let right_pred = preds[0]
         .clone()
         .unwrap_or_else(|| RangePredicate::unconstrained(&dim.domains()));
-    let q = JoinQuery { left_pred, right_pred, left_key: 0, right_key: 0 };
+    let q = JoinQuery {
+        left_pred,
+        right_pred,
+        left_key: 0,
+        right_key: 0,
+    };
     warper_repro::query::join_count(fact, dim, &q) as f64
 }
 
@@ -124,7 +136,10 @@ fn main() {
     };
 
     // The paper's join experiment: one query per minute, 30-minute period.
-    let arrival = ArrivalProcess { rate_per_sec: 1.0 / 60.0, period_secs: 1800.0 };
+    let arrival = ArrivalProcess {
+        rate_per_sec: 1.0 / 60.0,
+        period_secs: 1800.0,
+    };
     let steps = 6;
 
     for strategy_name in ["FT", "Warper"] {
@@ -140,11 +155,17 @@ fn main() {
         let mf2 = mf.clone();
         let canon = move |f: &[f64]| mf2.canonicalize(f, 2);
         let mut warper_ctl = (strategy_name == "Warper").then(|| {
-            WarperController::new(mf.config().feature_dim(), &train, baseline, WarperConfig {
-                gamma: 100,
-                n_p: 200,
-                ..Default::default()
-            }, 5)
+            WarperController::new(
+                mf.config().feature_dim(),
+                &train,
+                baseline,
+                WarperConfig {
+                    gamma: 100,
+                    n_p: 200,
+                    ..Default::default()
+                },
+                5,
+            )
             .with_canonicalizer(Box::new(canon))
         });
         let mut ft = FineTuneStrategy::new(&train, None, 5);
@@ -162,17 +183,30 @@ fn main() {
                     let (jid, q) = draw_query(&db, "w1", &mut run_rng);
                     let f = featurize(&mf, &db, jid, &q);
                     let gt = annotate_features(&mf, &db, &f);
-                    ArrivedQuery { features: f, gt: Some(gt) }
+                    ArrivedQuery {
+                        features: f,
+                        gt: Some(gt),
+                    }
                 })
                 .collect();
             let mut annotate =
                 |qs: &[Vec<f64>]| qs.iter().map(|f| annotate_features(&mf, &db, f)).collect();
             match &mut warper_ctl {
                 Some(ctl) => {
-                    ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut annotate);
+                    ctl.invoke(
+                        &mut model,
+                        &arrived,
+                        &DataTelemetry::default(),
+                        &mut annotate,
+                    );
                 }
                 None => {
-                    ft.step(&mut model, &arrived, &DataTelemetry::default(), &mut annotate);
+                    ft.step(
+                        &mut model,
+                        &arrived,
+                        &DataTelemetry::default(),
+                        &mut annotate,
+                    );
                 }
             }
             curve.push((total, eval(&model)));
@@ -181,6 +215,9 @@ fn main() {
             .iter()
             .map(|(q, g)| format!("({q} → {g:.1})"))
             .collect();
-        println!("{strategy_name:<8} train-workload GMQ {baseline:.1}  adaptation on w1: {}", pts.join(" "));
+        println!(
+            "{strategy_name:<8} train-workload GMQ {baseline:.1}  adaptation on w1: {}",
+            pts.join(" ")
+        );
     }
 }

@@ -33,8 +33,10 @@ fn main() {
         .map(|(p, &c)| (f.featurize(p), c as f64))
         .collect();
     let mut model = LmMlp::new(f.dim(), LmMlpParams::default(), 5);
-    let examples: Vec<LabeledExample> =
-        train.iter().map(|(q, c)| LabeledExample::new(q.clone(), *c)).collect();
+    let examples: Vec<LabeledExample> = train
+        .iter()
+        .map(|(q, c)| LabeledExample::new(q.clone(), *c))
+        .collect();
     model.fit(&examples);
     let baseline = {
         let ests: Vec<f64> = train.iter().map(|(q, _)| model.estimate(q)).collect();
@@ -56,9 +58,14 @@ fn main() {
     };
     let arrived = arrive(50, &mut rng, &mut new_gen);
     let rep = ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
-        qs.iter().map(|q| a.count(&table, &f.defeaturize(q)) as f64).collect()
+        qs.iter()
+            .map(|q| a.count(&table, &f.defeaturize(q)) as f64)
+            .collect()
     });
-    println!("process 1: adapted once (mode={}, generated={})", rep.mode, rep.generated);
+    println!(
+        "process 1: adapted once (mode={}, generated={})",
+        rep.mode, rep.generated
+    );
 
     // --- persist everything as JSON (any serde format works).
     let model_json = serde_json::to_string(&model.to_state()).expect("serialize model");
@@ -72,12 +79,11 @@ fn main() {
     // --- "second process": restore and continue adapting.
     let mut model2 = LmMlp::from_state(serde_json::from_str(&model_json).unwrap());
     let f2 = f.clone();
-    let mut ctl2 = WarperController::from_state(
-        serde_json::from_str::<WarperState>(&warper_json).unwrap(),
-    )
-    .with_canonicalizer(Box::new(move |q: &[f64]| {
-        f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
-    }));
+    let mut ctl2 =
+        WarperController::from_state(serde_json::from_str::<WarperState>(&warper_json).unwrap())
+            .with_canonicalizer(Box::new(move |q: &[f64]| {
+                f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
+            }));
 
     // Estimates agree exactly across the restart.
     let probe = f.featurize(&preds[0]);
@@ -85,9 +91,16 @@ fn main() {
     println!("restored model agrees exactly on estimates");
 
     let arrived = arrive(50, &mut rng, &mut new_gen);
-    let rep = ctl2.invoke(&mut model2, &arrived, &DataTelemetry::default(), &mut |qs| {
-        qs.iter().map(|q| a.count(&table, &f.defeaturize(q)) as f64).collect()
-    });
+    let rep = ctl2.invoke(
+        &mut model2,
+        &arrived,
+        &DataTelemetry::default(),
+        &mut |qs| {
+            qs.iter()
+                .map(|q| a.count(&table, &f.defeaturize(q)) as f64)
+                .collect()
+        },
+    );
     println!(
         "process 2: resumed adaptation (mode={}, pool={} records, eval GMQ={:?})",
         rep.mode,

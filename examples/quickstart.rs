@@ -17,7 +17,10 @@ fn main() {
 
     // 2. Workload drift c2: train on w12, drift to w345 — the headline
     //    configuration of the paper's Figure 6 / Table 7a.
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
     let cfg = RunnerConfig {
         n_train: 1000,
         n_test: 150,

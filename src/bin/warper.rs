@@ -101,11 +101,15 @@ fn num<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 }
 
 fn cmd_adapt(flags: &HashMap<String, String>) -> ExitCode {
-    let Some(kind) = dataset_of(flags) else { return ExitCode::FAILURE };
+    let Some(kind) = dataset_of(flags) else {
+        return ExitCode::FAILURE;
+    };
     let Some(rows) = num(flags, "rows", kind.default_rows()) else {
         return ExitCode::FAILURE;
     };
-    let Some(seed) = num(flags, "seed", 7u64) else { return ExitCode::FAILURE };
+    let Some(seed) = num(flags, "seed", 7u64) else {
+        return ExitCode::FAILURE;
+    };
     let model = match flags.get("model").map(String::as_str).unwrap_or("lm-mlp") {
         "lm-mlp" => ModelKind::LmMlp,
         "lm-gbt" => ModelKind::LmGbt,
@@ -117,7 +121,11 @@ fn cmd_adapt(flags: &HashMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let strategy = match flags.get("strategy").map(String::as_str).unwrap_or("warper") {
+    let strategy = match flags
+        .get("strategy")
+        .map(String::as_str)
+        .unwrap_or("warper")
+    {
         "ft" => StrategyKind::Ft,
         "mix" => StrategyKind::Mix,
         "aug" => StrategyKind::Aug,
@@ -136,8 +144,14 @@ fn cmd_adapt(flags: &HashMap<String, String>) -> ExitCode {
     }
 
     let table = generate(kind, rows, seed);
-    let setup = DriftSetup::Workload { train: train.clone(), new: new.clone() };
-    let cfg = RunnerConfig { seed, ..Default::default() };
+    let setup = DriftSetup::Workload {
+        train: train.clone(),
+        new: new.clone(),
+    };
+    let cfg = RunnerConfig {
+        seed,
+        ..Default::default()
+    };
     println!(
         "{} ({} rows), {train} → {new}, model {}, strategy {}",
         kind.name(),
@@ -158,7 +172,10 @@ fn cmd_adapt(flags: &HashMap<String, String>) -> ExitCode {
             .unwrap_or(1.0)
             .min(res.curve.best_gmq().unwrap_or(1.0));
         let s = relative_speedups(&ft.curve, &res.curve, alpha, beta);
-        println!("speedup vs FT: Δ.5={:.1}x Δ.8={:.1}x Δ1={:.1}x", s.d05, s.d08, s.d10);
+        println!(
+            "speedup vs FT: Δ.5={:.1}x Δ.8={:.1}x Δ1={:.1}x",
+            s.d05, s.d08, s.d10
+        );
     }
     ExitCode::SUCCESS
 }
@@ -182,11 +199,15 @@ fn print_run(res: &RunResult) {
 }
 
 fn cmd_gamma(flags: &HashMap<String, String>) -> ExitCode {
-    let Some(kind) = dataset_of(flags) else { return ExitCode::FAILURE };
+    let Some(kind) = dataset_of(flags) else {
+        return ExitCode::FAILURE;
+    };
     let Some(rows) = num(flags, "rows", kind.default_rows()) else {
         return ExitCode::FAILURE;
     };
-    let Some(seed) = num(flags, "seed", 7u64) else { return ExitCode::FAILURE };
+    let Some(seed) = num(flags, "seed", 7u64) else {
+        return ExitCode::FAILURE;
+    };
 
     let table = generate(kind, rows, seed);
     let f = Featurizer::from_table(&table);
@@ -217,7 +238,11 @@ fn cmd_gamma(flags: &HashMap<String, String>) -> ExitCode {
         &[100, 200, 400, 800, 1600],
         0.05,
     );
-    println!("learning curve on {} ({} rows, w12 workload):", kind.name(), rows);
+    println!(
+        "learning curve on {} ({} rows, w12 workload):",
+        kind.name(),
+        rows
+    );
     for p in &est.curve {
         println!("  {:>5} training queries → GMQ {:.2}", p.train_size, p.gmq);
     }
@@ -229,7 +254,9 @@ fn cmd_gaps(flags: &HashMap<String, String>) -> ExitCode {
     let Some(orders) = num(flags, "orders", 20_000usize) else {
         return ExitCode::FAILURE;
     };
-    let Some(seed) = num(flags, "seed", 9u64) else { return ExitCode::FAILURE };
+    let Some(seed) = num(flags, "seed", 9u64) else {
+        return ExitCode::FAILURE;
+    };
     let tables = generate_tpch(TpchScale { orders }, seed);
     let mut rng = StdRng::seed_from_u64(seed);
     println!("plan-choice latency gaps on TPC-H-like tables ({orders} orders):");

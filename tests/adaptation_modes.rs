@@ -43,7 +43,16 @@ impl Env {
             let actuals: Vec<f64> = train.iter().map(|(_, c)| *c).collect();
             gmq(&ests, &actuals, PAPER_THETA)
         };
-        (Env { table, featurizer, annotator, train, baseline }, model)
+        (
+            Env {
+                table,
+                featurizer,
+                annotator,
+                train,
+                baseline,
+            },
+            model,
+        )
     }
 
     fn controller(&self, seed: u64, gamma: usize) -> WarperController {
@@ -52,7 +61,13 @@ impl Env {
             self.featurizer.dim(),
             &self.train,
             self.baseline,
-            WarperConfig { gamma, n_p: 200, n_i: 15, pretrain_epochs: 5, ..Default::default() },
+            WarperConfig {
+                gamma,
+                n_p: 200,
+                n_i: 15,
+                pretrain_epochs: 5,
+                ..Default::default()
+            },
             seed,
         )
         .with_canonicalizer(Box::new(move |q: &[f64]| {
@@ -83,7 +98,9 @@ impl Env {
         let f = &self.featurizer;
         let a = &self.annotator;
         ctl.invoke(model, arrived, telemetry, &mut |qs| {
-            qs.iter().map(|q| a.count(table, &f.defeaturize(q)) as f64).collect()
+            qs.iter()
+                .map(|q| a.count(table, &f.defeaturize(q)) as f64)
+                .collect()
         })
     }
 }
@@ -128,9 +145,16 @@ fn c1_data_drift_reannotates_stale_labels() {
     let mut ctl = env.controller(7, 150);
     let arrived = env.arrivals("w1", 20, false, 9);
     let report = env.invoke(&mut ctl, &mut model, &arrived, &telemetry);
-    assert!(report.mode.c1, "telemetry should flag c1, got {}", report.mode);
+    assert!(
+        report.mode.c1,
+        "telemetry should flag c1, got {}",
+        report.mode
+    );
     assert!(report.annotated > 0, "c1 must re-annotate");
-    assert!(report.trained_on > 0, "the model must be updated from re-annotations");
+    assert!(
+        report.trained_on > 0,
+        "the model must be updated from re-annotations"
+    );
 }
 
 #[test]
@@ -141,7 +165,11 @@ fn c4_adequate_queries_fall_back_to_plain_update() {
     let arrived = env.arrivals("w4", 60, true, 200);
     let report = env.invoke(&mut ctl, &mut model, &arrived, &DataTelemetry::default());
     if report.mode.any() {
-        assert!(report.mode.c4, "with n_t ≥ γ and labels, mode must be c4: {}", report.mode);
+        assert!(
+            report.mode.c4,
+            "with n_t ≥ γ and labels, mode must be c4: {}",
+            report.mode
+        );
         assert_eq!(report.generated, 0, "c4 needs no synthesis");
         assert_eq!(report.annotated, 0, "c4 needs no annotation");
         assert!(report.trained_on > 0);
@@ -155,7 +183,11 @@ fn no_drift_keeps_machinery_idle() {
     // Same workload as training: no drift.
     let arrived = env.arrivals("w1", 40, true, 17);
     let report = env.invoke(&mut ctl, &mut model, &arrived, &DataTelemetry::default());
-    assert!(!report.mode.any(), "in-distribution workload should not trigger: {}", report.mode);
+    assert!(
+        !report.mode.any(),
+        "in-distribution workload should not trigger: {}",
+        report.mode
+    );
     assert_eq!(report.generated, 0);
     assert_eq!(report.annotated, 0);
 }

@@ -14,7 +14,10 @@ fn tiny_cfg(seed: u64) -> RunnerConfig {
         n_train: 250,
         n_test: 60,
         checkpoints: 3,
-        arrival: ArrivalProcess { rate_per_sec: 0.2, period_secs: 450.0 },
+        arrival: ArrivalProcess {
+            rate_per_sec: 0.2,
+            period_secs: 450.0,
+        },
         arrivals_labeled: true,
         seed,
         warper: WarperConfig {
@@ -32,7 +35,10 @@ fn tiny_cfg(seed: u64) -> RunnerConfig {
 #[test]
 fn every_strategy_completes_a_run() {
     let table = generate(DatasetKind::Prsa, 2_500, 31);
-    let setup = DriftSetup::Workload { train: "w1".into(), new: "w3".into() };
+    let setup = DriftSetup::Workload {
+        train: "w1".into(),
+        new: "w3".into(),
+    };
     for strategy in [
         StrategyKind::Ft,
         StrategyKind::Mix,
@@ -42,7 +48,11 @@ fn every_strategy_completes_a_run() {
     ] {
         let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &tiny_cfg(31));
         assert_eq!(res.curve.points().len(), 4, "{}", res.strategy);
-        assert!(res.curve.points().iter().all(|(_, g)| g.is_finite() && *g >= 1.0));
+        assert!(res
+            .curve
+            .points()
+            .iter()
+            .all(|(_, g)| g.is_finite() && *g >= 1.0));
         assert!(res.delta_js >= 0.0 && res.delta_js <= 1.0);
     }
 }
@@ -50,7 +60,10 @@ fn every_strategy_completes_a_run() {
 #[test]
 fn every_model_kind_completes_a_run() {
     let table = generate(DatasetKind::Poker, 2_000, 33);
-    let setup = DriftSetup::Workload { train: "w1".into(), new: "w5".into() };
+    let setup = DriftSetup::Workload {
+        train: "w1".into(),
+        new: "w5".into(),
+    };
     for model in [
         ModelKind::LmMlp,
         ModelKind::LmGbt,
@@ -76,7 +89,10 @@ fn combined_drift_runs() {
     cfg.arrivals_labeled = false;
     let res = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
     // Combined drift: both data telemetry and the workload change act.
-    assert!(res.annotated_total > 0, "combined drift requires annotation");
+    assert!(
+        res.annotated_total > 0,
+        "combined drift requires annotation"
+    );
 }
 
 #[test]
@@ -91,14 +107,20 @@ fn better_estimates_give_better_plans() {
     let mut any_regression = false;
     for q in &queries {
         let oracle = executor.oracle_latency(&q.actual);
-        let under = QueryCards { left: q.actual.left / 100.0, ..q.actual };
+        let under = QueryCards {
+            left: q.actual.left / 100.0,
+            ..q.actual
+        };
         let bad = executor.latency(&under, &q.actual);
         assert!(bad >= oracle - 1e-12);
         if q.actual.left > 1_000.0 {
             any_regression |= bad > oracle * 1.05;
         }
     }
-    assert!(any_regression, "large underestimates should cause spills somewhere");
+    assert!(
+        any_regression,
+        "large underestimates should cause spills somewhere"
+    );
 }
 
 #[test]
@@ -106,9 +128,24 @@ fn runner_is_deterministic_across_processes() {
     // Replays with the same seed must agree exactly — the basis for every
     // cross-strategy comparison in the benches.
     let table = generate(DatasetKind::Higgs, 2_000, 43);
-    let setup = DriftSetup::Workload { train: "w2".into(), new: "w4".into() };
-    let a = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &tiny_cfg(43));
-    let b = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &tiny_cfg(43));
+    let setup = DriftSetup::Workload {
+        train: "w2".into(),
+        new: "w4".into(),
+    };
+    let a = run_single_table(
+        &table,
+        &setup,
+        ModelKind::LmMlp,
+        StrategyKind::Warper,
+        &tiny_cfg(43),
+    );
+    let b = run_single_table(
+        &table,
+        &setup,
+        ModelKind::LmMlp,
+        StrategyKind::Warper,
+        &tiny_cfg(43),
+    );
     assert_eq!(a.curve.points(), b.curve.points());
     assert_eq!(a.generated_total, b.generated_total);
     assert_eq!(a.annotated_total, b.annotated_total);
@@ -117,12 +154,19 @@ fn runner_is_deterministic_across_processes() {
 #[test]
 fn speedup_report_vs_ft_is_computable() {
     let table = generate(DatasetKind::Prsa, 2_500, 47);
-    let setup = DriftSetup::Workload { train: "w12".into(), new: "w345".into() };
+    let setup = DriftSetup::Workload {
+        train: "w12".into(),
+        new: "w345".into(),
+    };
     let cfg = tiny_cfg(47);
     let ft = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg);
     let warper = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
     let alpha = ft.curve.initial_gmq().unwrap();
-    let beta = ft.curve.best_gmq().unwrap().min(warper.curve.best_gmq().unwrap());
+    let beta = ft
+        .curve
+        .best_gmq()
+        .unwrap()
+        .min(warper.curve.best_gmq().unwrap());
     let s = relative_speedups(&ft.curve, &warper.curve, alpha, beta);
     for v in [s.d05, s.d08, s.d10] {
         assert!(v.is_finite() && v > 0.0);

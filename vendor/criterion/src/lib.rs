@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the builder/bench surface the workspace uses — `Criterion`
+//! with `sample_size`/`measurement_time`/`warm_up_time`, `bench_function`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by plain `std::time::Instant` timing.
+//! No statistics, plots, or baseline comparison: each benchmark prints its
+//! mean wall-clock time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped; only affects upstream criterion's memory
+/// strategy, so the variants are accepted and ignored here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Benchmark harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            measure: self.measurement_time,
+            samples: self.sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.total.as_secs_f64() / b.iters as f64
+        } else {
+            0.0
+        };
+        println!(
+            "bench {name:<50} {:>12.3} µs/iter ({} iters)",
+            per_iter * 1e6,
+            b.iters
+        );
+        self
+    }
+}
+
+/// Passed to benchmark closures; times the routine under test.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up, untimed.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine());
+        }
+        let deadline = Instant::now() + self.measure;
+        let min_iters = self.samples.max(1) as u64;
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if self.iters >= min_iters && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.measure;
+        let min_iters = self.samples.max(1) as u64;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if self.iters >= min_iters && Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Prevents the optimizer from deleting a computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,61 @@
+//! Offline stand-in for `crossbeam`'s scoped-thread API, built on
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Call sites use the crossbeam 0.8 shape:
+//!
+//! ```ignore
+//! crossbeam::scope(|scope| {
+//!     scope.spawn(|_| { /* work */ });
+//! }).unwrap();
+//! ```
+//!
+//! `std::thread::scope` already joins all threads and propagates child panics
+//! by re-panicking, so `scope` here always returns `Ok` when it returns.
+
+use std::any::Any;
+
+pub mod thread {
+    //! Mirror of `crossbeam::thread` (`crossbeam_utils::thread`).
+    pub use crate::{scope, Scope, ScopedJoinHandle};
+}
+
+/// A scope handle passed to closures; mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread, mirroring `crossbeam`'s `ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle, like
+    /// crossbeam's `spawn` (commonly ignored as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing from the environment can be
+/// spawned; joins them all before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

@@ -1,0 +1,56 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// A length specification for [`vec`]: exact or a half-open range.
+#[derive(Debug, Clone)]
+pub enum SizeRange {
+    /// Exactly this many elements.
+    Exact(usize),
+    /// Uniformly random length in `[start, end)`.
+    Between(usize, usize),
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange::Exact(n)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange::Between(r.start, r.end)
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Creates a strategy for `Vec`s with `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = match self.size {
+            SizeRange::Exact(n) => n,
+            SizeRange::Between(lo, hi) => {
+                assert!(lo < hi, "empty vec size range");
+                lo + rng.below((hi - lo) as u64) as usize
+            }
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

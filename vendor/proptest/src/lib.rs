@@ -1,0 +1,132 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the workspace uses: the `proptest!` macro with an
+//! optional `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! `name in strategy` arguments, range strategies over floats and integers,
+//! tuple strategies, `prop::collection::vec`, and the `prop_assert*` macros.
+//!
+//! Cases are generated from a seed derived from the test function's name, so
+//! runs are deterministic. There is no shrinking: a failing case reports its
+//! case index and assertion message.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+mod rng;
+
+pub use rng::TestRng;
+
+/// Everything tests import via `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(..)` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` samples its strategies
+/// `cases` times and runs the body; `prop_assert*` failures abort the case
+/// with a message. Following upstream idiom, each function must carry its
+/// own `#[test]` attribute (all call sites in this workspace do) — the
+/// attributes are passed through verbatim, not synthesized.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); ) => {};
+    (@impl ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )*
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(msg) = __outcome {
+                    panic!("proptest `{}` case {}/{} failed: {}",
+                           stringify!($name), __case + 1, __cfg.cases, msg);
+                }
+            }
+        }
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    // No config header: default number of cases.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({:?} vs {:?})",
+                stringify!($left), stringify!($right), __l, __r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Asserts two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}` (both {:?})",
+                stringify!($left), stringify!($right), __l,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}

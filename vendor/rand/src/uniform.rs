@@ -1,0 +1,107 @@
+//! Uniform sampling over ranges.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Converts 64 random bits to a uniform `f64` in `[0, 1)`.
+#[inline]
+pub(crate) fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Converts 64 random bits to a uniform `f64` in `[0, 1]`.
+#[inline]
+fn unit_f64_inclusive(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {}
+
+/// Ranges a `T` can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Note: f32 ranges are intentionally not supported. With both float widths
+// implemented, an unsuffixed literal like `rng.random_range(-1.0..1.0)`
+// becomes ambiguous (two candidate impls defeat the f64 literal fallback);
+// the workspace samples f64 only.
+impl SampleUniform for f64 {}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = unit_f64(rng.next_u64());
+        let v = self.start + u * (self.end - self.start);
+        // Floating-point rounding can land exactly on `end`; stay inside.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        let u = unit_f64_inclusive(rng.next_u64());
+        (lo + u * (hi - lo)).clamp(lo, hi)
+    }
+}
+
+/// Uniform `u64` below `bound` via unbiased rejection sampling.
+#[inline]
+fn below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    // Largest multiple of `bound` that fits in u64; values past it would bias.
+    let zone = u64::MAX - (u64::MAX % bound) - 1;
+    loop {
+        let x = rng.next_u64();
+        if x <= zone {
+            return x % bound;
+        }
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {}
+
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(below(rng, span) as $wide) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as $wide).wrapping_add(below(rng, span + 1) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);

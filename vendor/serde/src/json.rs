@@ -1,0 +1,284 @@
+//! Minimal JSON lexer/parser shared by `Deserialize` impls and derives.
+
+use std::fmt;
+
+/// A JSON parse error with byte position context.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    pos: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A cursor over JSON source text.
+pub struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Builds an error annotated with the current position.
+    pub fn error(&self, msg: &str) -> Error {
+        Error {
+            msg: msg.to_string(),
+            pos: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.src.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Returns the next non-whitespace byte without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    /// Consumes the next non-whitespace byte if it equals `c`.
+    pub fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the next non-whitespace byte, requiring it to equal `c`.
+    pub fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    /// Consumes `lit` (e.g. `null`) if it is next; returns whether it was.
+    pub fn parse_literal(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes a JSON number, returning its raw text.
+    pub fn number_str(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.src.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected number"));
+        }
+        // Safety of from_utf8: the consumed range is all ASCII.
+        std::str::from_utf8(&self.src[start..self.pos]).map_err(|_| self.error("invalid utf-8"))
+    }
+
+    /// Consumes a JSON string (including quotes), returning its unescaped
+    /// contents.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.src.get(self.pos) else {
+                return Err(self.error("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.src.get(self.pos) else {
+                        return Err(self.error("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .src
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting at b.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    self.pos = start + len;
+                    let bytes = self
+                        .src
+                        .get(start..start + len)
+                        .ok_or_else(|| self.error("truncated utf-8"))?;
+                    let s = std::str::from_utf8(bytes).map_err(|_| self.error("invalid utf-8"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    /// Consumes the opening `{` of an object.
+    pub fn begin_object(&mut self) -> Result<(), Error> {
+        self.expect(b'{')
+    }
+
+    /// Advances to the next key inside an object.
+    ///
+    /// Returns `Ok(None)` when the closing `}` is reached. `*first` must be
+    /// initialised to `true` before the first call and is managed internally.
+    pub fn object_key(&mut self, first: &mut bool) -> Result<Option<String>, Error> {
+        if self.eat(b'}') {
+            return Ok(None);
+        }
+        if !*first {
+            self.expect(b',')?;
+        }
+        *first = false;
+        let key = self.parse_string()?;
+        self.expect(b':')?;
+        Ok(Some(key))
+    }
+
+    /// Consumes the opening `[` of an array.
+    pub fn begin_array(&mut self) -> Result<(), Error> {
+        self.expect(b'[')
+    }
+
+    /// Advances to the next element inside an array.
+    ///
+    /// Returns `Ok(false)` when the closing `]` is reached; otherwise the
+    /// parser is positioned at the next value. `*first` must start `true`.
+    pub fn array_next(&mut self, first: &mut bool) -> Result<bool, Error> {
+        if self.eat(b']') {
+            return Ok(false);
+        }
+        if !*first {
+            self.expect(b',')?;
+        }
+        *first = false;
+        Ok(true)
+    }
+
+    /// Skips one complete JSON value of any type.
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+            }
+            Some(b'{') => {
+                self.begin_object()?;
+                let mut first = true;
+                while self.object_key(&mut first)?.is_some() {
+                    self.skip_value()?;
+                }
+            }
+            Some(b'[') => {
+                self.begin_array()?;
+                let mut first = true;
+                while self.array_next(&mut first)? {
+                    self.skip_value()?;
+                }
+            }
+            Some(b't') | Some(b'f') => {
+                if !self.parse_literal("true") && !self.parse_literal("false") {
+                    return Err(self.error("invalid literal"));
+                }
+            }
+            Some(b'n') => {
+                if !self.parse_literal("null") {
+                    return Err(self.error("invalid literal"));
+                }
+            }
+            Some(_) => {
+                self.number_str()?;
+            }
+            None => return Err(self.error("unexpected end of input")),
+        }
+        Ok(())
+    }
+
+    /// Asserts only whitespace remains.
+    pub fn end(&mut self) -> Result<(), Error> {
+        self.skip_ws();
+        if self.pos == self.src.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing characters"))
+        }
+    }
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn write_escaped_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde separates data model from format; this stand-in collapses
+//! both into JSON, which is the only format the workspace uses. `Serialize`
+//! writes JSON text into a `String`; `Deserialize` reads from a
+//! [`json::Parser`]. The derive macros in `serde_derive` generate
+//! externally-tagged encodings matching upstream serde's JSON output
+//! (`"Variant"`, `{"Variant":value}`, `{"Variant":[..]}`, `{"Variant":{..}}`).
+//!
+//! The `'de` lifetime on [`Deserialize`] is unused (nothing here borrows from
+//! the input) but kept so `for<'de> Deserialize<'de>` bounds compile.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serializes `self` as JSON text appended to `out`.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize(&self, out: &mut String);
+}
+
+/// Deserializes `Self` from JSON text via a [`json::Parser`].
+pub trait Deserialize<'de>: Sized {
+    /// Parses one JSON value into `Self`.
+    fn deserialize(p: &mut json::Parser<'_>) -> Result<Self, json::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut String) {
+        (**self).serialize(out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        if p.parse_literal("true") {
+            Ok(true)
+        } else if p.parse_literal("false") {
+            Ok(false)
+        } else {
+            Err(p.error("expected boolean"))
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+                let text = p.number_str()?;
+                text.parse::<$t>().map_err(|_| p.error("invalid number"))
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's float Display is shortest-roundtrip, so the
+                    // persisted text parses back to the identical bits.
+                    out.push_str(&self.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+                if p.parse_literal("null") {
+                    return Ok(<$t>::NAN);
+                }
+                let text = p.number_str()?;
+                text.parse::<$t>().map_err(|_| p.error("invalid float"))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut String) {
+        json::write_escaped_str(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut String) {
+        json::write_escaped_str(out, self);
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        p.parse_string()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize(out),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        if p.parse_literal("null") {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize(p)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        p.begin_array()?;
+        let mut out = Vec::new();
+        let mut first = true;
+        while p.array_next(&mut first)? {
+            out.push(T::deserialize(p)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, out: &mut String) {
+        self.as_slice().serialize(out);
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+        let v: Vec<T> = Vec::deserialize(p)?;
+        v.try_into().map_err(|_| p.error("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    self.$idx.serialize(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize(p: &mut json::Parser<'_>) -> Result<Self, json::Error> {
+                let mut first = true;
+                p.begin_array()?;
+                let result = ($(
+                    {
+                        if !p.array_next(&mut first)? {
+                            return Err(p.error("tuple too short"));
+                        }
+                        $name::deserialize(p)?
+                    },
+                )+);
+                if p.array_next(&mut first)? {
+                    return Err(p.error("tuple too long"));
+                }
+                Ok(result)
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);

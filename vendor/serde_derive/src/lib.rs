@@ -1,0 +1,458 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates JSON `Serialize`/`Deserialize` impls for the trait definitions
+//! in the vendored `serde` crate. Built without `syn`/`quote`: the item is
+//! parsed by walking raw token trees and the impl is emitted as source text.
+//!
+//! Supported shapes (everything the workspace derives on): non-generic
+//! structs with named fields, and non-generic enums whose variants are unit,
+//! newtype/tuple, or struct-like. Encodings match upstream serde's
+//! externally-tagged JSON.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Parenthesised payload with this many fields (1 = newtype).
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (JSON writer).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (JSON reader).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Item parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive: generic types are not supported by the offline stub")
+            }
+            Some(_) => i += 1,
+            None => {
+                panic!("serde_derive: `{name}` has no braced body (tuple/unit structs unsupported)")
+            }
+        }
+    };
+
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Extracts field names from the tokens of a `{ name: Type, ... }` body.
+///
+/// Types never need parsing: generated code infers them from the struct
+/// construction site. Commas inside angle brackets (e.g. `Vec<Vec<f64>>`
+/// has none, but `HashMap<K, V>` would) are skipped by depth tracking;
+/// commas inside any bracketed group (e.g. `[usize; 2]`) are invisible here
+/// because the group is a single token tree.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip variant attributes.
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Consume the trailing comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+/// Counts fields in a tuple-variant payload by top-level commas.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tok in body {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::Struct { name, fields } => {
+            body.push_str("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     ::serde::Serialize::serialize(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');\n");
+            name
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        body.push_str(&format!("Self::{vn} => out.push_str(\"\\\"{vn}\\\"\"),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        body.push_str(&format!(
+                            "Self::{vn}(__f0) => {{\n\
+                             out.push_str(\"{{\\\"{vn}\\\":\");\n\
+                             ::serde::Serialize::serialize(__f0, out);\n\
+                             out.push('}}');\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        body.push_str(&format!(
+                            "Self::{vn}({}) => {{\n\
+                             out.push_str(\"{{\\\"{vn}\\\":[\");\n",
+                            binders.join(", ")
+                        ));
+                        for (k, b) in binders.iter().enumerate() {
+                            if k > 0 {
+                                body.push_str("out.push(',');\n");
+                            }
+                            body.push_str(&format!("::serde::Serialize::serialize({b}, out);\n"));
+                        }
+                        body.push_str("out.push_str(\"]}\");\n}\n");
+                    }
+                    VariantKind::Struct(fields) => {
+                        body.push_str(&format!(
+                            "Self::{vn} {{ {} }} => {{\n\
+                             out.push_str(\"{{\\\"{vn}\\\":{{\");\n",
+                            fields.join(", ")
+                        ));
+                        for (k, f) in fields.iter().enumerate() {
+                            if k > 0 {
+                                body.push_str("out.push(',');\n");
+                            }
+                            body.push_str(&format!(
+                                "out.push_str(\"\\\"{f}\\\":\");\n\
+                                 ::serde::Serialize::serialize({f}, out);\n"
+                            ));
+                        }
+                        body.push_str("out.push_str(\"}}\");\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+            name
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, out: &mut ::std::string::String) {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::Struct { name, fields } => {
+            body.push_str(&gen_named_fields_reader("Self", fields, true));
+            name
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),\n", v.name))
+                .collect();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => Self::{vn}(::serde::Deserialize::deserialize(p)?),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{\n\
+                             p.begin_array()?;\n\
+                             let mut __afirst = true;\n"
+                        );
+                        let mut binders = Vec::new();
+                        for k in 0..*n {
+                            arm.push_str(&format!(
+                                "if !p.array_next(&mut __afirst)? {{\n\
+                                 return ::std::result::Result::Err(p.error(\"tuple variant too short\"));\n\
+                                 }}\n\
+                                 let __f{k} = ::serde::Deserialize::deserialize(p)?;\n"
+                            ));
+                            binders.push(format!("__f{k}"));
+                        }
+                        arm.push_str(
+                            "if p.array_next(&mut __afirst)? {\n\
+                             return ::std::result::Result::Err(p.error(\"tuple variant too long\"));\n\
+                             }\n",
+                        );
+                        arm.push_str(&format!("Self::{vn}({})\n}}\n", binders.join(", ")));
+                        payload_arms.push_str(&arm);
+                    }
+                    VariantKind::Struct(fields) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n{}}}\n",
+                            gen_named_fields_reader(&format!("Self::{vn}"), fields, false),
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "match p.peek() {{\n\
+                 ::std::option::Option::Some(b'\"') => {{\n\
+                 let __s = p.parse_string()?;\n\
+                 match __s.as_str() {{\n\
+                 {unit_arms}\
+                 _ => ::std::result::Result::Err(p.error(\"unknown enum variant\")),\n\
+                 }}\n\
+                 }}\n\
+                 ::std::option::Option::Some(b'{{') => {{\n\
+                 p.begin_object()?;\n\
+                 let mut __first = true;\n\
+                 let __key = match p.object_key(&mut __first)? {{\n\
+                 ::std::option::Option::Some(k) => k,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(p.error(\"empty enum object\")),\n\
+                 }};\n\
+                 let __value = match __key.as_str() {{\n\
+                 {payload_arms}\
+                 _ => return ::std::result::Result::Err(p.error(\"unknown enum variant\")),\n\
+                 }};\n\
+                 if p.object_key(&mut __first)?.is_some() {{\n\
+                 return ::std::result::Result::Err(p.error(\"enum object must have one key\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(__value)\n\
+                 }}\n\
+                 _ => ::std::result::Result::Err(p.error(\"expected enum\")),\n\
+                 }}\n"
+            ));
+            name
+        }
+    };
+    // unreachable_code: for unit-only enums every payload-match arm
+    // diverges, making the generated single-key check unreachable.
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         #[allow(unreachable_code)]\n\
+         fn deserialize(p: &mut ::serde::json::Parser<'_>) \
+         -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+         {body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+/// Emits an expression-position block that parses `{ "field": value, ... }`
+/// and evaluates to `<ctor> { ... }` (wrapped in `Ok` when `wrap_ok`).
+/// Missing-field errors `return` out of the enclosing `deserialize` fn.
+fn gen_named_fields_reader(ctor: &str, fields: &[String], wrap_ok: bool) -> String {
+    let mut s = String::new();
+    s.push_str("p.begin_object()?;\n");
+    for f in fields {
+        s.push_str(&format!(
+            "let mut __field_{f} = ::std::option::Option::None;\n"
+        ));
+    }
+    s.push_str(
+        "let mut __first = true;\n\
+         while let ::std::option::Option::Some(__key) = p.object_key(&mut __first)? {\n\
+         match __key.as_str() {\n",
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "\"{f}\" => __field_{f} = ::std::option::Option::Some(::serde::Deserialize::deserialize(p)?),\n"
+        ));
+    }
+    s.push_str(
+        "_ => p.skip_value()?,\n\
+         }\n\
+         }\n",
+    );
+    if wrap_ok {
+        s.push_str(&format!("::std::result::Result::Ok({ctor} {{\n"));
+    } else {
+        s.push_str(&format!("{ctor} {{\n"));
+    }
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: match __field_{f} {{\n\
+             ::std::option::Option::Some(v) => v,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(p.error(\"missing field `{f}`\")),\n\
+             }},\n"
+        ));
+    }
+    if wrap_ok {
+        s.push_str("})\n");
+    } else {
+        s.push_str("}\n");
+    }
+    s
+}

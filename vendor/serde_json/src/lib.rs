@@ -1,0 +1,260 @@
+//! Offline stand-in for `serde_json`, layered on the vendored `serde`.
+//!
+//! Provides [`Value`]/[`Map`], the [`json!`] macro (flat objects with literal
+//! keys, arrays, and serializable expressions), [`to_string`],
+//! [`to_string_pretty`], [`from_str`], and [`to_value`].
+
+use serde::json::Parser;
+use serde::{Deserialize, Serialize};
+
+pub use serde::json::Error;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map),
+}
+
+/// An insertion-ordered string-keyed map of [`Value`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts `value` under `key`, replacing and returning any prior value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.serialize(out),
+            Value::Number(n) => write_number(out, *n),
+            Value::String(s) => s.serialize(out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.serialize(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    k.serialize(out);
+                    out.push(':');
+                    v.serialize(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a number the way serde_json does: integral values without a
+/// fractional part, everything else via shortest-roundtrip `Display`.
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&n.to_string());
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize(p: &mut Parser<'_>) -> Result<Self, Error> {
+        match p.peek() {
+            Some(b'"') => Ok(Value::String(p.parse_string()?)),
+            Some(b'{') => {
+                p.begin_object()?;
+                let mut map = Map::new();
+                let mut first = true;
+                while let Some(key) = p.object_key(&mut first)? {
+                    let v = Value::deserialize(p)?;
+                    map.insert(key, v);
+                }
+                Ok(Value::Object(map))
+            }
+            Some(b'[') => {
+                p.begin_array()?;
+                let mut items = Vec::new();
+                let mut first = true;
+                while p.array_next(&mut first)? {
+                    items.push(Value::deserialize(p)?);
+                }
+                Ok(Value::Array(items))
+            }
+            Some(b't') | Some(b'f') => {
+                if p.parse_literal("true") {
+                    Ok(Value::Bool(true))
+                } else if p.parse_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(p.error("invalid literal"))
+                }
+            }
+            Some(b'n') => {
+                if p.parse_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(p.error("invalid literal"))
+                }
+            }
+            Some(_) => {
+                let text = p.number_str()?;
+                text.parse::<f64>()
+                    .map(Value::Number)
+                    .map_err(|_| p.error("invalid number"))
+            }
+            None => Err(p.error("unexpected end of input")),
+        }
+    }
+}
+
+/// Serializes `value` to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to human-readable, two-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value_impl(value)?;
+    let mut out = String::new();
+    pretty(&v, 0, &mut out);
+    Ok(out)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                k.serialize(out);
+                out.push_str(": ");
+                pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => other.serialize(out),
+    }
+}
+
+fn push_indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// Parses JSON text into any `Deserialize` type.
+pub fn from_str<T: for<'de> Deserialize<'de>>(src: &str) -> Result<T, Error> {
+    let mut p = Parser::new(src);
+    let value = T::deserialize(&mut p)?;
+    p.end()?;
+    Ok(value)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    to_value_impl(value).expect("serialization produced invalid JSON")
+}
+
+fn to_value_impl<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    let mut text = String::new();
+    value.serialize(&mut text);
+    let mut p = Parser::new(&text);
+    let v = Value::deserialize(&mut p)?;
+    p.end()?;
+    Ok(v)
+}
+
+/// Builds a [`Value`]: `json!(null)`, `json!(expr)`, `json!([..])`, or a flat
+/// `json!({"key": expr, ...})` object with literal keys.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert($key.to_string(), $crate::json!($value)); )*
+        $crate::Value::Object(map)
+    }};
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($value)),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
