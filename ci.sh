@@ -10,7 +10,19 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy -q --offline --workspace --all-targets -- -D warnings
 
+# Library code on the adaptation path must not panic on external input or
+# training failures: unwrap/expect are denied in the warper, query, and
+# storage crates' libraries (tests, benches, and binaries are exempt).
+echo "== cargo clippy --lib (no unwrap/expect in library code)"
+cargo clippy -q --offline --no-deps --lib \
+    -p warper-core -p warper-query -p warper-storage \
+    -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
+
 echo "== cargo test -q"
 cargo test -q --offline --workspace
+
+# Chaos/property suites: fault injection and snapshot corruption.
+echo "== cargo test -q --features faults"
+cargo test -q --offline --workspace --features faults
 
 echo "CI OK"

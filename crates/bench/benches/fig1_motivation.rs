@@ -105,9 +105,9 @@ fn main() {
             })
             .collect();
         let lineitem = &tables.lineitem;
-        let mut annotate = |qs: &[Vec<f64>]| -> Vec<f64> {
+        let mut annotate = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
             qs.iter()
-                .map(|q| annotator.count(lineitem, &lf.defeaturize(q)) as f64)
+                .map(|q| Some(annotator.count(lineitem, &lf.defeaturize(q)) as f64))
                 .collect()
         };
         ctl.invoke(

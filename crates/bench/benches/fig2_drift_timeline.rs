@@ -124,9 +124,9 @@ fn main() {
                     let table_ref = &table;
                     let f = &featurizer;
                     let a = &annotator;
-                    let mut annotate = |qs: &[Vec<f64>]| -> Vec<f64> {
+                    let mut annotate = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
                         qs.iter()
-                            .map(|q| a.count(table_ref, &f.defeaturize(q)) as f64)
+                            .map(|q| Some(a.count(table_ref, &f.defeaturize(q)) as f64))
                             .collect()
                     };
                     ctl.invoke(&mut model, &arrived, &telemetry, &mut annotate)

@@ -31,7 +31,8 @@ fn main() {
         let mut rows = Vec::new();
         let mut per_dataset = serde_json::Map::new();
         for strategy in strategies {
-            let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
+            let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg)
+                .unwrap_or_else(|e| panic!("{} run failed: {e}", strategy.name()));
             per_dataset.insert(
                 res.strategy.clone(),
                 serde_json::json!(res.curve.points().to_vec()),

@@ -76,9 +76,9 @@ fn main() {
             let t = &table;
             let f = &featurizer;
             let a = &annotator;
-            let mut annotate = |qs: &[Vec<f64>]| -> Vec<f64> {
+            let mut annotate = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
                 qs.iter()
-                    .map(|q| a.count(t, &f.defeaturize(q)) as f64)
+                    .map(|q| Some(a.count(t, &f.defeaturize(q)) as f64))
                     .collect()
             };
             ctl.invoke(

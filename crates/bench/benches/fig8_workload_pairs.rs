@@ -28,7 +28,8 @@ fn main() {
         let mut rows = Vec::new();
         let mut per = serde_json::Map::new();
         for strategy in [StrategyKind::Ft, StrategyKind::Warper] {
-            let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
+            let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg)
+                .unwrap_or_else(|e| panic!("{} run failed: {e}", strategy.name()));
             per.insert(
                 res.strategy.clone(),
                 serde_json::json!(res.curve.points().to_vec()),

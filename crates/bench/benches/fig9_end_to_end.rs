@@ -238,14 +238,14 @@ fn run_one(
         {
             let lineitem = &tables.lineitem;
             let orders = &tables.orders;
-            let mut anno_l = |qs: &[Vec<f64>]| -> Vec<f64> {
+            let mut anno_l = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
                 qs.iter()
-                    .map(|q| annotator.count(lineitem, &lf.defeaturize(q)) as f64)
+                    .map(|q| Some(annotator.count(lineitem, &lf.defeaturize(q)) as f64))
                     .collect()
             };
-            let mut anno_o = |qs: &[Vec<f64>]| -> Vec<f64> {
+            let mut anno_o = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
                 qs.iter()
-                    .map(|q| annotator.count(orders, &of.defeaturize(q)) as f64)
+                    .map(|q| Some(annotator.count(orders, &of.defeaturize(q)) as f64))
                     .collect()
             };
             match &mut method {

@@ -23,7 +23,8 @@ fn main() {
             cfg.warper.n_g_frac = m;
             cfg.checkpoints = 5;
             let res =
-                run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
+                run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg)
+                    .unwrap_or_else(|e| panic!("warper run failed: {e}"));
             let period = cfg.arrival.period_secs;
             let cpu = 100.0 * (res.annotate_secs + res.adapt_secs) / period;
             rows.push(vec![

@@ -61,7 +61,8 @@ fn main() {
                     period_secs: period,
                 };
                 cfg.checkpoints = 5;
-                let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
+                let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg)
+                    .unwrap_or_else(|e| panic!("{} run failed: {e}", strategy.name()));
                 // CPU share = busy seconds over the *simulated* period.
                 let cpu = 100.0 * (res.annotate_secs + res.adapt_secs) / period;
                 rows.push(vec![

@@ -74,6 +74,7 @@ pub fn bench_runner_config(scale: Scale, seed: u64) -> RunnerConfig {
         arrivals_labeled: true,
         seed,
         warper: WarperConfig::default(),
+        ..Default::default()
     }
 }
 
@@ -99,6 +100,10 @@ pub struct Comparison {
 
 /// Runs `method` and FT on identical replays over `runs` seeds and computes
 /// the paper's Δ-speedup triple (averaged geometrically across runs).
+///
+/// # Panics
+/// Panics if a run fails (bench configurations are static and known-good, so
+/// a failure is a bug worth a loud stop, not a degraded row).
 pub fn compare_to_ft(
     table: &Table,
     setup: &DriftSetup,
@@ -119,8 +124,10 @@ pub fn compare_to_ft(
             seed: base_cfg.seed + 97 * r as u64,
             ..*base_cfg
         };
-        let ft = run_single_table(table, setup, model, StrategyKind::Ft, &cfg);
-        let m = run_single_table(table, setup, model, method, &cfg);
+        let ft = run_single_table(table, setup, model, StrategyKind::Ft, &cfg)
+            .unwrap_or_else(|e| panic!("FT reference run failed: {e}"));
+        let m = run_single_table(table, setup, model, method, &cfg)
+            .unwrap_or_else(|e| panic!("{} run failed: {e}", method.name()));
         let alpha = ft.curve.initial_gmq().unwrap_or(1.0);
         let beta = ft
             .curve
@@ -377,8 +384,9 @@ pub mod join_ce {
                     }
                 })
                 .collect();
-            let mut annotate_cb =
-                |qs: &[Vec<f64>]| qs.iter().map(|f| annotate(&mf, &db, f)).collect();
+            let mut annotate_cb = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
+                qs.iter().map(|f| Some(annotate(&mf, &db, f))).collect()
+            };
             match &mut warper_ctl {
                 Some(ctl) => {
                     ctl.invoke(

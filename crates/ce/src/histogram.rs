@@ -73,6 +73,7 @@ impl ColumnHistogram {
 }
 
 /// Equi-depth histogram estimator under the AVI assumption.
+#[derive(Clone)]
 pub struct HistogramCe {
     columns: Vec<ColumnHistogram>,
     domains: Vec<(f64, f64)>,
@@ -123,6 +124,8 @@ impl HistogramCe {
 }
 
 impl CardinalityEstimator for HistogramCe {
+    crate::clone_snapshot_impl!();
+
     fn feature_dim(&self) -> usize {
         2 * self.columns.len()
     }

@@ -25,6 +25,8 @@ pub mod lm;
 pub mod mscn;
 pub mod persist;
 
+pub use persist::{PersistError, Persistable};
+
 /// A labeled training example: the model-specific feature vector of a query
 /// and its ground-truth cardinality.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +57,12 @@ pub enum UpdateKind {
 }
 
 /// The black-box CE model contract Warper adapts.
-pub trait CardinalityEstimator: Send {
+///
+/// The `Any` supertrait exists for [`CardinalityEstimator::snapshot`] /
+/// [`CardinalityEstimator::restore`]: a checkpointing supervisor holds models
+/// as `dyn CardinalityEstimator` and needs a type-safe way to copy state back
+/// into the serving instance.
+pub trait CardinalityEstimator: Send + std::any::Any {
     /// Expected feature-vector length `m`.
     fn feature_dim(&self) -> usize;
 
@@ -74,7 +81,43 @@ pub trait CardinalityEstimator: Send {
 
     /// Model name as used in the paper's tables (e.g. `"LM-mlp"`).
     fn name(&self) -> &'static str;
+
+    /// A deep copy of this model for checkpointing, or `None` if the model
+    /// does not support rollback. The default opts out.
+    fn snapshot(&self) -> Option<Box<dyn CardinalityEstimator>> {
+        None
+    }
+
+    /// Overwrites this model's state from a snapshot previously produced by
+    /// [`CardinalityEstimator::snapshot`] on the same concrete type. Returns
+    /// `false` (leaving the model untouched) if the snapshot's type does not
+    /// match or the model does not support rollback.
+    fn restore(&mut self, _snapshot: &dyn CardinalityEstimator) -> bool {
+        false
+    }
 }
+
+/// Implements [`CardinalityEstimator::snapshot`] /
+/// [`CardinalityEstimator::restore`] via `Clone` + `Any` downcasting, for use
+/// inside a `CardinalityEstimator` impl block of a `Clone + 'static` model.
+macro_rules! clone_snapshot_impl {
+    () => {
+        fn snapshot(&self) -> Option<Box<dyn crate::CardinalityEstimator>> {
+            Some(Box::new(self.clone()))
+        }
+
+        fn restore(&mut self, snapshot: &dyn crate::CardinalityEstimator) -> bool {
+            match (snapshot as &dyn std::any::Any).downcast_ref::<Self>() {
+                Some(s) => {
+                    *self = s.clone();
+                    true
+                }
+                None => false,
+            }
+        }
+    };
+}
+pub(crate) use clone_snapshot_impl;
 
 /// Shared target transform: models regress `ln(1 + card)`.
 pub(crate) fn to_target(card: f64) -> f64 {

@@ -44,6 +44,7 @@ impl Default for LmMlpParams {
 }
 
 /// LM with an MLP regressor; updates by fine-tuning.
+#[derive(Clone)]
 pub struct LmMlp {
     net: Mlp,
     opt: Adam,
@@ -136,6 +137,8 @@ impl LmMlp {
 }
 
 impl CardinalityEstimator for LmMlp {
+    crate::clone_snapshot_impl!();
+
     fn feature_dim(&self) -> usize {
         self.feature_dim
     }
@@ -163,6 +166,7 @@ impl CardinalityEstimator for LmMlp {
 }
 
 /// LM with a gradient-boosted-tree regressor; re-trains on update.
+#[derive(Clone)]
 pub struct LmGbt {
     model: Option<GradientBoostedTrees>,
     params: GbtParams,
@@ -220,6 +224,8 @@ impl LmGbt {
 }
 
 impl CardinalityEstimator for LmGbt {
+    crate::clone_snapshot_impl!();
+
     fn feature_dim(&self) -> usize {
         self.feature_dim
     }
@@ -258,6 +264,7 @@ pub enum KrrVariant {
 }
 
 /// LM with a kernel ridge regressor (SVM substitute); re-trains on update.
+#[derive(Clone)]
 pub struct LmKrr {
     variant: KrrVariant,
     model: Option<KernelRidge>,
@@ -331,6 +338,8 @@ impl LmKrr {
 }
 
 impl CardinalityEstimator for LmKrr {
+    crate::clone_snapshot_impl!();
+
     fn feature_dim(&self) -> usize {
         self.feature_dim
     }
@@ -368,6 +377,7 @@ impl CardinalityEstimator for LmKrr {
 ///
 /// Included so the benches can reproduce that finding. Fitting solves the
 /// ridge-regularized normal equations `(XᵀX + λI)β = Xᵀy` directly.
+#[derive(Clone)]
 pub struct LmLinear {
     beta: Option<Vec<f64>>,
     intercept: f64,
@@ -440,6 +450,8 @@ impl LmLinear {
 }
 
 impl CardinalityEstimator for LmLinear {
+    crate::clone_snapshot_impl!();
+
     fn feature_dim(&self) -> usize {
         self.feature_dim
     }

@@ -83,6 +83,7 @@ struct MscnScratch {
 }
 
 /// The MSCN model.
+#[derive(Clone)]
 pub struct Mscn {
     cfg: MscnConfig,
     pred_net: Mlp,
@@ -346,6 +347,8 @@ impl Mscn {
 }
 
 impl CardinalityEstimator for Mscn {
+    crate::clone_snapshot_impl!();
+
     fn feature_dim(&self) -> usize {
         self.cfg.feature_dim()
     }

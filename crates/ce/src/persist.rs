@@ -79,6 +79,85 @@ pub struct MscnState {
     pub seed: u64,
 }
 
+/// A persisted model state failed validation on load.
+///
+/// States come from disk (or any other untrusted channel); a corrupted or
+/// hand-edited blob must surface as an error, not as a model that panics or
+/// serves NaN estimates later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// A numeric field (weight, bias, coefficient, fallback) was NaN or ±∞.
+    NonFinite {
+        /// Which model type was being restored.
+        model: &'static str,
+        /// Which field failed.
+        field: &'static str,
+    },
+    /// A stored dimension disagrees with the stored parameters.
+    DimensionMismatch {
+        /// Which model type was being restored.
+        model: &'static str,
+        /// Which field failed.
+        field: &'static str,
+        /// The dimension found in the state.
+        got: usize,
+        /// The dimension implied by the rest of the state.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::NonFinite { model, field } => {
+                write!(
+                    f,
+                    "{model} state: field {field:?} contains non-finite values"
+                )
+            }
+            PersistError::DimensionMismatch {
+                model,
+                field,
+                got,
+                expected,
+            } => write!(
+                f,
+                "{model} state: field {field:?} has dimension {got}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Errors unless every parameter of `net` is finite.
+fn check_net(model: &'static str, field: &'static str, net: &Mlp) -> Result<(), PersistError> {
+    if net.params_finite() {
+        Ok(())
+    } else {
+        Err(PersistError::NonFinite { model, field })
+    }
+}
+
+/// Errors unless `net`'s input dimension matches `expected`.
+fn check_in_dim(
+    model: &'static str,
+    field: &'static str,
+    net: &Mlp,
+    expected: usize,
+) -> Result<(), PersistError> {
+    if net.in_dim() == expected {
+        Ok(())
+    } else {
+        Err(PersistError::DimensionMismatch {
+            model,
+            field,
+            got: net.in_dim(),
+            expected,
+        })
+    }
+}
+
 /// A model that can round-trip through a serializable state.
 pub trait Persistable: Sized {
     /// The serde-serializable mirror type.
@@ -87,9 +166,10 @@ pub trait Persistable: Sized {
     /// Snapshots the model.
     fn to_state(&self) -> Self::State;
 
-    /// Reconstructs the model (fresh optimizer state / RNG from the stored
-    /// seed).
-    fn from_state(state: Self::State) -> Self;
+    /// Validates the state and reconstructs the model (fresh optimizer state
+    /// / RNG from the stored seed). A corrupted state — non-finite
+    /// parameters, dimensions that disagree — is rejected rather than loaded.
+    fn from_state(state: Self::State) -> Result<Self, PersistError>;
 }
 
 impl Persistable for LmMlp {
@@ -104,8 +184,15 @@ impl Persistable for LmMlp {
         }
     }
 
-    fn from_state(state: LmMlpState) -> Self {
-        LmMlp::from_parts(state.net, state.params, state.feature_dim, state.seed)
+    fn from_state(state: LmMlpState) -> Result<Self, PersistError> {
+        check_net("LM-mlp", "net", &state.net)?;
+        check_in_dim("LM-mlp", "net", &state.net, state.feature_dim)?;
+        Ok(LmMlp::from_parts(
+            state.net,
+            state.params,
+            state.feature_dim,
+            state.seed,
+        ))
     }
 }
 
@@ -122,13 +209,19 @@ impl Persistable for LmGbt {
         }
     }
 
-    fn from_state(state: LmGbtState) -> Self {
-        LmGbt::from_parts(
+    fn from_state(state: LmGbtState) -> Result<Self, PersistError> {
+        if !state.mean_fallback.is_finite() {
+            return Err(PersistError::NonFinite {
+                model: "LM-gbt",
+                field: "mean_fallback",
+            });
+        }
+        Ok(LmGbt::from_parts(
             state.model,
             state.params,
             state.feature_dim,
             state.mean_fallback,
-        )
+        ))
     }
 }
 
@@ -146,8 +239,14 @@ impl Persistable for LmKrr {
         }
     }
 
-    fn from_state(state: LmKrrState) -> Self {
-        LmKrr::from_parts(
+    fn from_state(state: LmKrrState) -> Result<Self, PersistError> {
+        if !state.mean_fallback.is_finite() {
+            return Err(PersistError::NonFinite {
+                model: "LM-krr",
+                field: "mean_fallback",
+            });
+        }
+        Ok(LmKrr::from_parts(
             state.model,
             if state.poly {
                 KrrVariant::Poly
@@ -157,7 +256,7 @@ impl Persistable for LmKrr {
             state.feature_dim,
             state.seed,
             state.mean_fallback,
-        )
+        ))
     }
 }
 
@@ -173,8 +272,34 @@ impl Persistable for LmLinear {
         }
     }
 
-    fn from_state(state: LmLinearState) -> Self {
-        LmLinear::from_parts(state.beta, state.intercept, state.feature_dim)
+    fn from_state(state: LmLinearState) -> Result<Self, PersistError> {
+        if !state.intercept.is_finite() {
+            return Err(PersistError::NonFinite {
+                model: "LM-linear",
+                field: "intercept",
+            });
+        }
+        if let Some(beta) = &state.beta {
+            if beta.iter().any(|v| !v.is_finite()) {
+                return Err(PersistError::NonFinite {
+                    model: "LM-linear",
+                    field: "beta",
+                });
+            }
+            if beta.len() != state.feature_dim {
+                return Err(PersistError::DimensionMismatch {
+                    model: "LM-linear",
+                    field: "beta",
+                    got: beta.len(),
+                    expected: state.feature_dim,
+                });
+            }
+        }
+        Ok(LmLinear::from_parts(
+            state.beta,
+            state.intercept,
+            state.feature_dim,
+        ))
     }
 }
 
@@ -192,14 +317,20 @@ impl Persistable for Mscn {
         }
     }
 
-    fn from_state(state: MscnState) -> Self {
-        Mscn::from_parts(
+    fn from_state(state: MscnState) -> Result<Self, PersistError> {
+        check_net("MSCN", "pred_net", &state.pred_net)?;
+        check_in_dim("MSCN", "pred_net", &state.pred_net, state.cfg.block_width())?;
+        check_net("MSCN", "head", &state.head)?;
+        if let Some(join_net) = &state.join_net {
+            check_net("MSCN", "join_net", join_net)?;
+        }
+        Ok(Mscn::from_parts(
             state.cfg,
             state.pred_net,
             state.join_net,
             state.head,
             state.seed,
-        )
+        ))
     }
 }
 
@@ -242,7 +373,7 @@ mod tests {
         let mut m = LmMlp::new(6, LmMlpParams::default(), 3);
         m.fit(&train_set(6));
         let json = serde_json::to_string(&m.to_state()).unwrap();
-        let restored = LmMlp::from_state(serde_json::from_str(&json).unwrap());
+        let restored = LmMlp::from_state(serde_json::from_str(&json).unwrap()).unwrap();
         assert_same_estimates(&m, &restored, 6);
     }
 
@@ -257,7 +388,7 @@ mod tests {
         );
         m.fit(&train_set(4));
         let json = serde_json::to_string(&m.to_state()).unwrap();
-        let restored = LmGbt::from_state(serde_json::from_str(&json).unwrap());
+        let restored = LmGbt::from_state(serde_json::from_str(&json).unwrap()).unwrap();
         assert_same_estimates(&m, &restored, 4);
     }
 
@@ -267,7 +398,7 @@ mod tests {
             let mut m = LmKrr::new(4, variant, 9);
             m.fit(&train_set(4));
             let json = serde_json::to_string(&m.to_state()).unwrap();
-            let restored = LmKrr::from_state(serde_json::from_str(&json).unwrap());
+            let restored = LmKrr::from_state(serde_json::from_str(&json).unwrap()).unwrap();
             assert_same_estimates(&m, &restored, 4);
         }
     }
@@ -277,7 +408,7 @@ mod tests {
         let mut m = LmLinear::new(4);
         m.fit(&train_set(4));
         let json = serde_json::to_string(&m.to_state()).unwrap();
-        let restored = LmLinear::from_state(serde_json::from_str(&json).unwrap());
+        let restored = LmLinear::from_state(serde_json::from_str(&json).unwrap()).unwrap();
         assert_same_estimates(&m, &restored, 4);
     }
 
@@ -287,15 +418,59 @@ mod tests {
         let mut m = Mscn::new(cfg, 5);
         m.fit(&train_set(cfg.feature_dim()));
         let json = serde_json::to_string(&m.to_state()).unwrap();
-        let restored = Mscn::from_state(serde_json::from_str(&json).unwrap());
+        let restored = Mscn::from_state(serde_json::from_str(&json).unwrap()).unwrap();
         assert_same_estimates(&m, &restored, cfg.feature_dim());
+    }
+
+    #[test]
+    fn corrupted_states_rejected() {
+        let mut m = LmMlp::new(4, LmMlpParams::default(), 3);
+        m.fit(&train_set(4));
+        // Non-finite weight.
+        let mut state = m.to_state();
+        state.net.layers_mut()[0].w.data_mut()[0] = f64::NAN;
+        assert!(matches!(
+            LmMlp::from_state(state),
+            Err(PersistError::NonFinite { .. })
+        ));
+        // Dimension lie.
+        let mut state = m.to_state();
+        state.feature_dim = 7;
+        assert!(matches!(
+            LmMlp::from_state(state),
+            Err(PersistError::DimensionMismatch { .. })
+        ));
+        // Corrupted linear coefficients.
+        let mut lin = LmLinear::new(4);
+        lin.fit(&train_set(4));
+        let mut state = lin.to_state();
+        if let Some(beta) = &mut state.beta {
+            beta[0] = f64::INFINITY;
+        }
+        assert!(matches!(
+            LmLinear::from_state(state),
+            Err(PersistError::NonFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_as_trait_object() {
+        let mut m = LmMlp::new(4, LmMlpParams::default(), 3);
+        m.fit(&train_set(4));
+        let snap = CardinalityEstimator::snapshot(&m).expect("LmMlp supports snapshots");
+        let mut other = LmMlp::new(4, LmMlpParams::default(), 99);
+        assert!(other.restore(snap.as_ref()));
+        assert_same_estimates(&m, &other, 4);
+        // Restoring from a different concrete type is refused.
+        let mut lin = LmLinear::new(4);
+        assert!(!lin.restore(snap.as_ref()));
     }
 
     #[test]
     fn restored_models_keep_learning() {
         let mut m = LmMlp::new(4, LmMlpParams::default(), 3);
         m.fit(&train_set(4));
-        let mut restored = LmMlp::from_state(m.to_state());
+        let mut restored = LmMlp::from_state(m.to_state()).unwrap();
         // update() must work after restore (fresh optimizer state).
         restored.update(&train_set(4));
         assert!(restored.estimate(&[0.2; 4]).is_finite());

@@ -6,14 +6,44 @@ use warper_linalg::stats::geometric_mean;
 /// [10]" (§4.1).
 pub const PAPER_THETA: f64 = 10.0;
 
+/// Cardinality cap applied inside [`q_error`] before taking ratios.
+///
+/// A diverged model can emit `+∞` (e.g. `exp` overflow when decoding a
+/// log-target), and a degenerate query can report a NaN or negative actual.
+/// Either would make a *single* q-error infinite/NaN, which propagates
+/// through the geometric mean into GMQ and from there into the δ_m drift
+/// trigger — one bad query would then look like a permanent drift. Clamping
+/// to `1e30` keeps every q-error finite while staying far above any real
+/// cardinality (the paper's tables top out below 2³² rows).
+pub const CARD_CAP: f64 = 1e30;
+
+/// Maps a possibly-degenerate cardinality into `[0, CARD_CAP]`:
+/// NaN and negative values become 0 (they carry no count information and the
+/// θ floor takes over), `+∞` and huge values clamp to [`CARD_CAP`].
+fn sanitize(card: f64) -> f64 {
+    if card.is_nan() {
+        0.0
+    } else {
+        card.clamp(0.0, CARD_CAP)
+    }
+}
+
 /// The q-error of an estimate `est` against the actual cardinality `actual`:
 ///
 /// `q_θ(g, ĝ) = max( max(g,θ)/max(ĝ,θ), max(ĝ,θ)/max(g,θ) )`
 ///
-/// Always ≥ 1; 1 is a perfect estimate (up to the θ floor).
+/// Always ≥ 1; 1 is a perfect estimate (up to the θ floor). Non-finite or
+/// negative inputs are sanitized (see [`CARD_CAP`]) so the result is always
+/// finite — a NaN estimate counts as a maximally wrong one, never as a NaN
+/// metric.
 pub fn q_error(est: f64, actual: f64, theta: f64) -> f64 {
-    let g = est.max(theta);
-    let gt = actual.max(theta);
+    let theta = if theta.is_finite() && theta > 0.0 {
+        theta
+    } else {
+        PAPER_THETA
+    };
+    let g = sanitize(est).max(theta);
+    let gt = sanitize(actual).max(theta);
     (g / gt).max(gt / g)
 }
 
@@ -66,6 +96,22 @@ mod tests {
         for (e, a) in [(0.0, 0.0), (1e9, 3.0), (17.0, 17.0), (10.0, 1e6)] {
             assert!(q_error(e, a, PAPER_THETA) >= 1.0);
         }
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_finite() {
+        // NaN/∞ estimates count as maximally wrong, never as NaN metrics.
+        assert_eq!(q_error(f64::NAN, 100.0, PAPER_THETA), 10.0);
+        assert!(q_error(f64::INFINITY, 100.0, PAPER_THETA).is_finite());
+        assert_eq!(q_error(f64::INFINITY, 100.0, PAPER_THETA), CARD_CAP / 100.0);
+        // Negative "cardinalities" floor to θ.
+        assert_eq!(q_error(-50.0, 100.0, PAPER_THETA), 10.0);
+        // A NaN actual can't poison GMQ either.
+        let g = gmq(&[100.0, 200.0], &[f64::NAN, 100.0], PAPER_THETA);
+        assert!(g.is_finite());
+        // A degenerate θ falls back to the paper default instead of NaN.
+        assert!(q_error(100.0, 100.0, f64::NAN).is_finite());
+        assert!(q_error(100.0, 100.0, -1.0).is_finite());
     }
 
     #[test]

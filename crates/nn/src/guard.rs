@@ -1,0 +1,248 @@
+//! Training divergence guards.
+//!
+//! A training loop that keeps stepping after a non-finite loss or gradient
+//! poisons its weights irreversibly; one that keeps stepping through an
+//! exploding loss wastes its budget making the model worse. The helpers here
+//! detect both conditions *before* the optimizer step, so callers can abort
+//! with a typed [`DivergenceError`] while the parameters are still the last
+//! known-good values.
+
+use crate::mlp::{Mlp, MlpGrads};
+
+/// A training run diverged and was aborted before weights were updated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DivergenceError {
+    /// The loss evaluated to NaN or ±∞.
+    NonFiniteLoss {
+        /// Which training task diverged (e.g. `"auto-encoder"`).
+        task: &'static str,
+        /// Iteration (or epoch) at which divergence was detected.
+        iteration: usize,
+        /// The offending loss value.
+        loss: f64,
+    },
+    /// A parameter gradient contained NaN or ±∞.
+    NonFiniteGradient {
+        /// Which training task diverged.
+        task: &'static str,
+        /// Iteration (or epoch) at which divergence was detected.
+        iteration: usize,
+    },
+    /// The loss grew far beyond its best observed value — runaway training.
+    LossExplosion {
+        /// Which training task diverged.
+        task: &'static str,
+        /// Iteration (or epoch) at which the explosion was detected.
+        iteration: usize,
+        /// The exploding loss value.
+        loss: f64,
+        /// The best (lowest) loss observed before the explosion.
+        floor: f64,
+    },
+    /// Adversarial training collapsed: the discriminator won so decisively
+    /// that the generator receives no usable signal.
+    Collapse {
+        /// Which training task collapsed.
+        task: &'static str,
+        /// Iteration at which the collapse was detected.
+        iteration: usize,
+        /// Discriminator loss at detection time.
+        d_loss: f64,
+        /// Generator loss at detection time.
+        g_loss: f64,
+    },
+}
+
+impl std::fmt::Display for DivergenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DivergenceError::NonFiniteLoss {
+                task,
+                iteration,
+                loss,
+            } => write!(f, "{task}: non-finite loss {loss} at iteration {iteration}"),
+            DivergenceError::NonFiniteGradient { task, iteration } => {
+                write!(f, "{task}: non-finite gradient at iteration {iteration}")
+            }
+            DivergenceError::LossExplosion {
+                task,
+                iteration,
+                loss,
+                floor,
+            } => write!(
+                f,
+                "{task}: loss exploded to {loss} at iteration {iteration} (best was {floor})"
+            ),
+            DivergenceError::Collapse {
+                task,
+                iteration,
+                d_loss,
+                g_loss,
+            } => write!(
+                f,
+                "{task}: adversarial collapse at iteration {iteration} \
+                 (d_loss {d_loss}, g_loss {g_loss})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DivergenceError {}
+
+/// How much larger than its best observed value a loss may grow before
+/// [`LossTracker`] declares an explosion. Generous on purpose: early
+/// adversarial training oscillates, and a rollback on a false positive costs
+/// an entire invocation.
+pub const EXPLOSION_FACTOR: f64 = 1e4;
+
+/// Rolling loss monitor for one training task.
+///
+/// Feed it every loss value via [`LossTracker::observe`]; it reports
+/// non-finite losses immediately and explosions once the loss exceeds
+/// `best × EXPLOSION_FACTOR` (after a short warm-up so the first noisy
+/// iterations can't set a misleading floor).
+#[derive(Debug, Clone)]
+pub struct LossTracker {
+    task: &'static str,
+    best: f64,
+    observed: usize,
+}
+
+/// Iterations before the explosion heuristic arms itself.
+const WARMUP_ITERS: usize = 3;
+
+impl LossTracker {
+    /// Creates a tracker labelled with the training task's name.
+    pub fn new(task: &'static str) -> Self {
+        Self {
+            task,
+            best: f64::INFINITY,
+            observed: 0,
+        }
+    }
+
+    /// Observes one loss value, erroring on NaN/∞ or runaway growth.
+    pub fn observe(&mut self, iteration: usize, loss: f64) -> Result<(), DivergenceError> {
+        if !loss.is_finite() {
+            return Err(DivergenceError::NonFiniteLoss {
+                task: self.task,
+                iteration,
+                loss,
+            });
+        }
+        let magnitude = loss.abs();
+        if self.observed >= WARMUP_ITERS && magnitude > self.best.max(1e-12) * EXPLOSION_FACTOR {
+            return Err(DivergenceError::LossExplosion {
+                task: self.task,
+                iteration,
+                loss,
+                floor: self.best,
+            });
+        }
+        self.observed += 1;
+        self.best = self.best.min(magnitude);
+        Ok(())
+    }
+}
+
+/// Returns `true` iff every gradient entry is finite.
+pub fn grads_finite(grads: &MlpGrads) -> bool {
+    grads.layers.iter().all(|layer| {
+        layer.dw.data().iter().all(|v| v.is_finite()) && layer.db.iter().all(|v| v.is_finite())
+    })
+}
+
+/// Errors unless every gradient entry is finite.
+pub fn check_grads(
+    task: &'static str,
+    iteration: usize,
+    grads: &MlpGrads,
+) -> Result<(), DivergenceError> {
+    if grads_finite(grads) {
+        Ok(())
+    } else {
+        Err(DivergenceError::NonFiniteGradient { task, iteration })
+    }
+}
+
+impl Mlp {
+    /// Returns `true` iff every weight and bias is finite.
+    pub fn params_finite(&self) -> bool {
+        self.layers().iter().all(|layer| {
+            layer.w.data().iter().all(|v| v.is_finite()) && layer.b.iter().all(|v| v.is_finite())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tracker_accepts_normal_descent() {
+        let mut t = LossTracker::new("test");
+        for (i, loss) in [5.0, 3.0, 2.0, 1.5, 1.2, 1.0].iter().enumerate() {
+            t.observe(i, *loss).unwrap();
+        }
+    }
+
+    #[test]
+    fn tracker_rejects_nan_and_inf() {
+        let mut t = LossTracker::new("test");
+        assert!(matches!(
+            t.observe(0, f64::NAN),
+            Err(DivergenceError::NonFiniteLoss { .. })
+        ));
+        assert!(matches!(
+            t.observe(0, f64::INFINITY),
+            Err(DivergenceError::NonFiniteLoss { .. })
+        ));
+    }
+
+    #[test]
+    fn tracker_flags_explosion_after_warmup() {
+        let mut t = LossTracker::new("test");
+        for i in 0..4 {
+            t.observe(i, 1.0).unwrap();
+        }
+        let err = t.observe(4, 1.0 * EXPLOSION_FACTOR * 10.0).unwrap_err();
+        assert!(matches!(err, DivergenceError::LossExplosion { .. }));
+    }
+
+    #[test]
+    fn tracker_tolerates_early_oscillation() {
+        let mut t = LossTracker::new("test");
+        // Large swings inside the warm-up window are fine.
+        t.observe(0, 1e-9).unwrap();
+        t.observe(1, 50.0).unwrap();
+        t.observe(2, 0.5).unwrap();
+    }
+
+    #[test]
+    fn grad_and_param_checks() {
+        use crate::layer::LinearGrads;
+        use warper_linalg::Matrix;
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&[3, 4, 2], Activation::Relu, Activation::Identity, &mut rng);
+        assert!(mlp.params_finite());
+        let mut grads = MlpGrads {
+            layers: mlp
+                .layers()
+                .iter()
+                .map(|l| LinearGrads {
+                    dw: Matrix::zeros(l.out_dim(), l.in_dim()),
+                    db: vec![0.0; l.out_dim()],
+                })
+                .collect(),
+        };
+        assert!(grads_finite(&grads));
+        assert!(check_grads("t", 0, &grads).is_ok());
+        grads.layers[0].dw.data_mut()[0] = f64::NAN;
+        assert!(!grads_finite(&grads));
+        assert!(check_grads("t", 0, &grads).is_err());
+    }
+}

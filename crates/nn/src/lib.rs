@@ -19,6 +19,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod gbt;
+pub mod guard;
 pub mod init;
 pub mod kernel;
 pub mod layer;
@@ -28,6 +29,7 @@ pub mod optim;
 pub mod tree;
 
 pub use gbt::{GbtParams, GradientBoostedTrees};
+pub use guard::{check_grads, grads_finite, DivergenceError, LossTracker};
 pub use kernel::{Kernel, KernelRidge, KernelRidgeParams};
 pub use layer::{Activation, Linear};
 pub use mlp::{Mlp, MlpGrads, Workspace};

@@ -107,7 +107,7 @@ impl Annotator {
         }
         let chunk = preds.len().div_ceil(self.threads);
         let mut out = vec![0u64; preds.len()];
-        crossbeam::scope(|s| {
+        let scope_result = crossbeam::scope(|s| {
             for (preds_chunk, out_chunk) in preds.chunks(chunk).zip(out.chunks_mut(chunk)) {
                 s.spawn(move |_| {
                     for (p, o) in preds_chunk.iter().zip(out_chunk.iter_mut()) {
@@ -115,8 +115,12 @@ impl Annotator {
                     }
                 });
             }
-        })
-        .expect("annotator worker panicked");
+        });
+        if let Err(payload) = scope_result {
+            // A worker panicked; re-raise the original panic on this thread
+            // instead of masking it behind a second, less informative one.
+            std::panic::resume_unwind(payload);
+        }
         out
     }
 }

@@ -1,0 +1,432 @@
+//! Fault injection and graceful degradation for the annotation path.
+//!
+//! In production the annotator is a DBMS round-trip (paper §3.5), and DBMS
+//! round-trips fail: queries time out, connections drop, replicas return
+//! stale counts. The adaptation loop must degrade — skip a label, fall back
+//! to sampling, shrink the batch — rather than panic or block. This module
+//! provides the pieces:
+//!
+//! * [`CountService`] — the fallible counting contract, implemented by the
+//!   exact [`Annotator`] and the approximate [`SamplingAnnotator`];
+//! * [`FaultInjector`] — a deterministic wrapper injecting failures,
+//!   simulated timeouts, and label noise (for tests and chaos runs);
+//! * [`ResilientAnnotator`] — the degradation ladder: try exact → retry once
+//!   → fall back to sampling → skip, all under a per-invocation row budget
+//!   (the deadline proxy; rows scanned is what annotation latency is made
+//!   of, `c_gt` in §4.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warper_storage::Table;
+
+use crate::annotator::Annotator;
+use crate::predicate::RangePredicate;
+use crate::sampling_annotator::SamplingAnnotator;
+
+/// An annotation request that did not produce a usable label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotateError {
+    /// The backing count service failed outright.
+    Failed {
+        /// `true` when the failure was injected by a [`FaultInjector`].
+        injected: bool,
+    },
+    /// The scan exceeded its row budget (simulated query timeout).
+    Timeout {
+        /// The budget that was exceeded.
+        budget_rows: usize,
+        /// Rows the scan would have needed.
+        needed_rows: usize,
+    },
+}
+
+impl std::fmt::Display for AnnotateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnnotateError::Failed { injected: true } => write!(f, "annotation failed (injected)"),
+            AnnotateError::Failed { injected: false } => write!(f, "annotation failed"),
+            AnnotateError::Timeout {
+                budget_rows,
+                needed_rows,
+            } => write!(
+                f,
+                "annotation timed out: needed {needed_rows} rows, budget {budget_rows}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnnotateError {}
+
+/// One answered count request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountAnswer {
+    /// The cardinality (exact or estimated).
+    pub card: f64,
+    /// Rows scanned to produce it — the latency/cost proxy.
+    pub rows_scanned: usize,
+    /// `true` when the answer is approximate (sampled or noise-injected).
+    pub approximate: bool,
+}
+
+/// A fallible counting backend — the DBMS stand-in the adaptation loop
+/// annotates through.
+pub trait CountService: Send {
+    /// Answers one `COUNT(*)` request, or reports why it could not.
+    fn count(&mut self, table: &Table, pred: &RangePredicate)
+        -> Result<CountAnswer, AnnotateError>;
+}
+
+impl CountService for Annotator {
+    fn count(
+        &mut self,
+        table: &Table,
+        pred: &RangePredicate,
+    ) -> Result<CountAnswer, AnnotateError> {
+        let card = Annotator::count(self, table, pred) as f64;
+        Ok(CountAnswer {
+            card,
+            rows_scanned: table.num_rows(),
+            approximate: false,
+        })
+    }
+}
+
+impl CountService for SamplingAnnotator {
+    fn count(
+        &mut self,
+        table: &Table,
+        pred: &RangePredicate,
+    ) -> Result<CountAnswer, AnnotateError> {
+        let r = SamplingAnnotator::count(self, table, pred);
+        Ok(CountAnswer {
+            card: r.estimate,
+            rows_scanned: r.rows_scanned,
+            approximate: !r.exact_fallback,
+        })
+    }
+}
+
+/// What a [`FaultInjector`] injects. All faults are deterministic given the
+/// seed, so chaos tests reproduce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that a request fails outright.
+    pub failure_rate: f64,
+    /// Simulated per-query timeout: a scan needing more rows than this
+    /// errors instead of answering. `None` disables.
+    pub timeout_rows: Option<usize>,
+    /// Multiplicative label noise: answers are scaled by a uniform factor in
+    /// `[1 − noise, 1 + noise]`. `0` disables.
+    pub label_noise: f64,
+    /// Seed for the injection RNG.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            failure_rate: 0.0,
+            timeout_rows: None,
+            label_noise: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Wraps a [`CountService`], injecting the faults described by a
+/// [`FaultConfig`].
+pub struct FaultInjector {
+    inner: Box<dyn CountService>,
+    cfg: FaultConfig,
+    rng: StdRng,
+}
+
+impl FaultInjector {
+    /// Wraps `inner` with the given fault profile.
+    pub fn new(inner: Box<dyn CountService>, cfg: FaultConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self { inner, cfg, rng }
+    }
+}
+
+impl CountService for FaultInjector {
+    fn count(
+        &mut self,
+        table: &Table,
+        pred: &RangePredicate,
+    ) -> Result<CountAnswer, AnnotateError> {
+        if self.cfg.failure_rate > 0.0 && self.rng.random_range(0.0..1.0) < self.cfg.failure_rate {
+            return Err(AnnotateError::Failed { injected: true });
+        }
+        let mut ans = self.inner.count(table, pred)?;
+        if let Some(budget) = self.cfg.timeout_rows {
+            if ans.rows_scanned > budget {
+                return Err(AnnotateError::Timeout {
+                    budget_rows: budget,
+                    needed_rows: ans.rows_scanned,
+                });
+            }
+        }
+        if self.cfg.label_noise > 0.0 {
+            let eps = self
+                .rng
+                .random_range(-self.cfg.label_noise..=self.cfg.label_noise);
+            ans.card = (ans.card * (1.0 + eps)).max(0.0);
+            ans.approximate = true;
+        }
+        Ok(ans)
+    }
+}
+
+/// Degraded-mode counters for one run, aggregated across invocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedStats {
+    /// Queries that got no label at all (requeued by the caller).
+    pub skipped: usize,
+    /// Primary-path retries after a first failure.
+    pub retried: usize,
+    /// Queries answered by the sampling fallback.
+    pub fallback: usize,
+    /// Queries skipped because the per-invocation row budget ran out.
+    pub deadline_skips: usize,
+}
+
+impl DegradedStats {
+    /// Merges another invocation's counters into this one.
+    pub fn merge(&mut self, other: &DegradedStats) {
+        self.skipped += other.skipped;
+        self.retried += other.retried;
+        self.fallback += other.fallback;
+        self.deadline_skips += other.deadline_skips;
+    }
+
+    /// `true` when any degraded-mode event occurred.
+    pub fn any(&self) -> bool {
+        self.skipped + self.retried + self.fallback + self.deadline_skips > 0
+    }
+}
+
+/// The degradation ladder around a primary (exact) count service:
+///
+/// 1. try the primary service;
+/// 2. on failure, retry it once (transient faults are the common case);
+/// 3. on a second failure, fall back to the sampling service if configured
+///    (cheaper, so it also dodges simulated timeouts);
+/// 4. otherwise skip the query — the caller keeps it unlabeled and requeues
+///    it at the next invocation.
+///
+/// A per-invocation row budget acts as the deadline: once the invocation has
+/// spent its rows, the rest of the batch is skipped (batch shrinking) rather
+/// than blocking the control loop.
+pub struct ResilientAnnotator {
+    primary: Box<dyn CountService>,
+    fallback: Option<Box<dyn CountService>>,
+    budget_rows: Option<usize>,
+    spent_rows: usize,
+    stats: DegradedStats,
+}
+
+impl ResilientAnnotator {
+    /// A ladder with only the primary rung.
+    pub fn new(primary: Box<dyn CountService>) -> Self {
+        Self {
+            primary,
+            fallback: None,
+            budget_rows: None,
+            spent_rows: 0,
+            stats: DegradedStats::default(),
+        }
+    }
+
+    /// Adds a (typically sampling-based) fallback service.
+    pub fn with_fallback(mut self, fallback: Box<dyn CountService>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Caps the rows one invocation may scan before skipping the remainder.
+    pub fn with_budget_rows(mut self, rows: usize) -> Self {
+        self.budget_rows = Some(rows);
+        self
+    }
+
+    /// Resets the per-invocation budget. Call at the start of each
+    /// controller invocation.
+    pub fn begin_invocation(&mut self) {
+        self.spent_rows = 0;
+    }
+
+    /// Cumulative degraded-mode counters across all invocations so far.
+    pub fn stats(&self) -> DegradedStats {
+        self.stats
+    }
+
+    fn budget_left(&self) -> bool {
+        self.budget_rows.is_none_or(|b| self.spent_rows < b)
+    }
+
+    /// Annotates one batch; `None` entries carry no label (failed or
+    /// skipped) and should stay unlabeled in the caller's pool.
+    pub fn annotate_batch(&mut self, table: &Table, preds: &[RangePredicate]) -> Vec<Option<f64>> {
+        preds.iter().map(|p| self.annotate_one(table, p)).collect()
+    }
+
+    fn annotate_one(&mut self, table: &Table, pred: &RangePredicate) -> Option<f64> {
+        if !self.budget_left() {
+            self.stats.deadline_skips += 1;
+            return None;
+        }
+        match self.primary.count(table, pred) {
+            Ok(ans) => {
+                self.spent_rows += ans.rows_scanned;
+                return Some(ans.card);
+            }
+            Err(_) => {
+                self.stats.retried += 1;
+            }
+        }
+        if let Ok(ans) = self.primary.count(table, pred) {
+            self.spent_rows += ans.rows_scanned;
+            return Some(ans.card);
+        }
+        if let Some(fallback) = &mut self.fallback {
+            if let Ok(ans) = fallback.count(table, pred) {
+                self.spent_rows += ans.rows_scanned;
+                self.stats.fallback += 1;
+                return Some(ans.card);
+            }
+        }
+        self.stats.skipped += 1;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use warper_storage::{generate, DatasetKind};
+
+    fn table_and_preds(n_preds: usize) -> (Table, Vec<RangePredicate>) {
+        let table = generate(DatasetKind::Prsa, 5_000, 7);
+        let domains = table.domains();
+        let mut rng = StdRng::seed_from_u64(3);
+        let preds = (0..n_preds)
+            .map(|_| {
+                let c = rng.random_range(0..domains.len());
+                let (lo, hi) = domains[c];
+                let a = rng.random_range(lo..=hi);
+                let b = rng.random_range(lo..=hi);
+                RangePredicate::unconstrained(&domains).with_range(c, a.min(b), a.max(b))
+            })
+            .collect();
+        (table, preds)
+    }
+
+    #[test]
+    fn fault_free_ladder_matches_exact_annotator() {
+        let (table, preds) = table_and_preds(20);
+        let exact = Annotator::new();
+        let mut ladder = ResilientAnnotator::new(Box::new(Annotator::new()));
+        ladder.begin_invocation();
+        let labels = ladder.annotate_batch(&table, &preds);
+        for (p, l) in preds.iter().zip(&labels) {
+            assert_eq!(l.unwrap(), exact.count(&table, p) as f64);
+        }
+        assert!(!ladder.stats().any());
+    }
+
+    #[test]
+    fn injected_failures_are_deterministic_and_skipped() {
+        let (table, preds) = table_and_preds(200);
+        let run = |seed: u64| {
+            let injector = FaultInjector::new(
+                Box::new(Annotator::new()),
+                FaultConfig {
+                    failure_rate: 0.5,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            let mut ladder = ResilientAnnotator::new(Box::new(injector));
+            ladder.begin_invocation();
+            (ladder.annotate_batch(&table, &preds), ladder.stats())
+        };
+        let (labels_a, stats_a) = run(9);
+        let (labels_b, stats_b) = run(9);
+        assert_eq!(labels_a, labels_b);
+        assert_eq!(stats_a, stats_b);
+        // At 50% failure and one retry, some queries fail twice → skipped.
+        assert!(stats_a.skipped > 0, "stats {stats_a:?}");
+        assert!(stats_a.retried > stats_a.skipped);
+        let labeled = labels_a.iter().flatten().count();
+        assert!(labeled > 0 && labeled < preds.len());
+    }
+
+    #[test]
+    fn timeout_escalates_to_sampling_fallback() {
+        let (table, preds) = table_and_preds(10);
+        // Exact scans need 5 000 rows/query; a 4 000-row timeout forces every
+        // query through the ladder to the sampling fallback.
+        let injector = FaultInjector::new(
+            Box::new(Annotator::new()),
+            FaultConfig {
+                timeout_rows: Some(4_000),
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let sampler = SamplingAnnotator::build(&table, 250, 2, &mut rng);
+        let mut ladder =
+            ResilientAnnotator::new(Box::new(injector)).with_fallback(Box::new(sampler));
+        ladder.begin_invocation();
+        let labels = ladder.annotate_batch(&table, &preds);
+        let stats = ladder.stats();
+        // Unselective predicates answer from the 250/1000-row samples; only
+        // near-point ones escalate inside the bag and may stay unlabeled.
+        assert!(stats.fallback > 0, "stats {stats:?}");
+        assert_eq!(
+            labels.iter().flatten().count(),
+            stats.fallback,
+            "every label must come from the fallback rung"
+        );
+    }
+
+    #[test]
+    fn row_budget_shrinks_the_batch() {
+        let (table, preds) = table_and_preds(10);
+        // Budget covers two full scans (and change); the rest must be
+        // deadline-skipped without touching the table.
+        let mut ladder =
+            ResilientAnnotator::new(Box::new(Annotator::new())).with_budget_rows(11_000);
+        ladder.begin_invocation();
+        let labels = ladder.annotate_batch(&table, &preds);
+        assert_eq!(labels.iter().flatten().count(), 3);
+        assert_eq!(ladder.stats().deadline_skips, 7);
+        // A fresh invocation gets a fresh budget.
+        ladder.begin_invocation();
+        let labels = ladder.annotate_batch(&table, &preds[..2]);
+        assert_eq!(labels.iter().flatten().count(), 2);
+    }
+
+    #[test]
+    fn label_noise_stays_close_and_marks_approximate() {
+        let (table, preds) = table_and_preds(30);
+        let exact = Annotator::new();
+        let mut noisy = FaultInjector::new(
+            Box::new(Annotator::new()),
+            FaultConfig {
+                label_noise: 0.1,
+                seed: 4,
+                ..Default::default()
+            },
+        );
+        for p in &preds {
+            let truth = exact.count(&table, p) as f64;
+            let ans = noisy.count(&table, p).unwrap();
+            assert!(ans.approximate);
+            assert!((ans.card - truth).abs() <= 0.1 * truth + 1e-9);
+        }
+    }
+}

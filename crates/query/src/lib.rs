@@ -17,12 +17,17 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod annotator;
+pub mod faults;
 pub mod featurize;
 pub mod join;
 pub mod predicate;
 pub mod sampling_annotator;
 
 pub use annotator::{count_naive, Annotator};
+pub use faults::{
+    AnnotateError, CountAnswer, CountService, DegradedStats, FaultConfig, FaultInjector,
+    ResilientAnnotator,
+};
 pub use featurize::Featurizer;
 pub use join::{join_cardinalities, join_count, JoinCardinalities, JoinQuery};
 pub use predicate::RangePredicate;

@@ -1,0 +1,96 @@
+//! Chaos/property suite (`--features faults`): the annotation degradation
+//! ladder under arbitrary fault profiles.
+//!
+//! Property: whatever the failure rate, simulated timeout, label noise, and
+//! row budget, [`ResilientAnnotator`] never panics, every label it does
+//! produce is finite and non-negative, its degraded-mode counters account
+//! for every unlabeled query, and the whole run replays deterministically
+//! from the injector seed.
+#![cfg(feature = "faults")]
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warper_query::{
+    Annotator, DegradedStats, FaultConfig, FaultInjector, RangePredicate, ResilientAnnotator,
+    SamplingAnnotator,
+};
+use warper_storage::{generate, DatasetKind, Table};
+
+fn table() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| generate(DatasetKind::Prsa, 3_000, 7))
+}
+
+fn preds(n: usize, seed: u64) -> Vec<RangePredicate> {
+    let domains = table().domains();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let c = rng.random_range(0..domains.len());
+            let (lo, hi) = domains[c];
+            let a = rng.random_range(lo..=hi);
+            let b = rng.random_range(lo..=hi);
+            RangePredicate::unconstrained(&domains).with_range(c, a.min(b), a.max(b))
+        })
+        .collect()
+}
+
+fn run_ladder(
+    cfg: FaultConfig,
+    budget_rows: Option<usize>,
+    with_fallback: bool,
+    preds: &[RangePredicate],
+) -> (Vec<Option<f64>>, DegradedStats) {
+    let injector = FaultInjector::new(Box::new(Annotator::new()), cfg);
+    let mut ladder = ResilientAnnotator::new(Box::new(injector));
+    if with_fallback {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5eed);
+        let sampler = SamplingAnnotator::build(table(), 200, 2, &mut rng);
+        ladder = ladder.with_fallback(Box::new(sampler));
+    }
+    if let Some(b) = budget_rows {
+        ladder = ladder.with_budget_rows(b);
+    }
+    ladder.begin_invocation();
+    let labels = ladder.annotate_batch(table(), preds);
+    (labels, ladder.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ladder_survives_any_fault_profile(
+        failure_rate in 0.0f64..1.0,
+        // Codes below the lower bound mean "disabled" — the vendored
+        // proptest stub has no `prop::option::of`.
+        timeout_code in 0usize..6_000,
+        label_noise in 0.0f64..0.5,
+        budget_code in 0usize..100_000,
+        fallback_code in 0usize..2,
+        seed in 0u64..1_000,
+    ) {
+        let timeout = (timeout_code >= 500).then_some(timeout_code);
+        let budget = (budget_code >= 1_000).then_some(budget_code);
+        let with_fallback = fallback_code == 1;
+        let cfg = FaultConfig { failure_rate, timeout_rows: timeout, label_noise, seed };
+        let batch = preds(24, seed.wrapping_mul(31).wrapping_add(5));
+        let (labels, stats) = run_ladder(cfg, budget, with_fallback, &batch);
+
+        prop_assert_eq!(labels.len(), batch.len());
+        for l in labels.iter().flatten() {
+            prop_assert!(l.is_finite() && *l >= 0.0, "bad label {l}");
+        }
+        // Every unlabeled query is accounted for by a degraded-mode counter.
+        let unlabeled = labels.iter().filter(|l| l.is_none()).count();
+        prop_assert_eq!(unlabeled, stats.skipped + stats.deadline_skips);
+
+        // The whole run is a pure function of the configuration.
+        let (labels2, stats2) = run_ladder(cfg, budget, with_fallback, &batch);
+        prop_assert_eq!(labels, labels2);
+        prop_assert_eq!(stats, stats2);
+    }
+}

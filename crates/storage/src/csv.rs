@@ -31,6 +31,17 @@ pub enum CsvError {
     },
     /// The input had no rows at all.
     Empty,
+    /// A cell in a numeric column could not be converted to a finite number.
+    BadCell {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+        /// Name of the offending column.
+        column_name: String,
+        /// The raw cell text.
+        value: String,
+    },
 }
 
 impl std::fmt::Display for CsvError {
@@ -45,6 +56,16 @@ impl std::fmt::Display for CsvError {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
             CsvError::Empty => write!(f, "empty csv input"),
+            CsvError::BadCell {
+                line,
+                column,
+                column_name,
+                value,
+            } => write!(
+                f,
+                "line {line}, column {column} ({column_name:?}): \
+                 cell {value:?} is not a finite number"
+            ),
         }
     }
 }
@@ -96,13 +117,13 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, C
     let width = first_fields.len();
 
     let mut names: Vec<String>;
-    let mut raw: Vec<Vec<String>> = Vec::new();
+    // Data rows, each tagged with its 1-based source line for error context.
+    let mut raw: Vec<(usize, Vec<String>)> = Vec::new();
     if has_header {
         names = first_fields;
     } else {
         names = (0..width).map(|i| format!("c{i}")).collect();
-        raw.push(first_fields);
-        let _ = first_no;
+        raw.push((first_no + 1, first_fields));
     }
     for (no, line) in lines {
         let fields = split_line(line);
@@ -113,7 +134,7 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, C
                 expected: width,
             });
         }
-        raw.push(fields);
+        raw.push((no + 1, fields));
     }
     if raw.is_empty() {
         return Err(CsvError::Empty);
@@ -131,7 +152,7 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, C
     // Infer types: numeric iff every non-empty field parses.
     let numeric: Vec<bool> = (0..width)
         .map(|c| {
-            raw.iter().all(|row| {
+            raw.iter().all(|(_, row)| {
                 let f = row[c].trim();
                 f.is_empty() || f.parse::<f64>().is_ok()
             })
@@ -141,17 +162,29 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, C
     // Build columns; drop rows with missing numeric fields.
     let keep: Vec<bool> = raw
         .iter()
-        .map(|row| (0..width).all(|c| !(numeric[c] && row[c].trim().is_empty())))
+        .map(|(_, row)| (0..width).all(|c| !(numeric[c] && row[c].trim().is_empty())))
         .collect();
     let mut columns = Vec::with_capacity(width);
     for c in 0..width {
         if numeric[c] {
-            let values: Vec<f64> = raw
-                .iter()
-                .zip(&keep)
-                .filter(|(_, &k)| k)
-                .map(|(row, _)| row[c].trim().parse::<f64>().unwrap())
-                .collect();
+            let mut values = Vec::with_capacity(raw.len());
+            for ((line, row), _) in raw.iter().zip(&keep).filter(|(_, &k)| k) {
+                let cell = row[c].trim();
+                // A literal like "nan" or "inf" parses but would poison every
+                // downstream range predicate and q-error — treat it (and the
+                // can't-happen parse failure) as a malformed cell.
+                let v = cell
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|v| v.is_finite())
+                    .ok_or_else(|| CsvError::BadCell {
+                        line: *line,
+                        column: c,
+                        column_name: names[c].clone(),
+                        value: cell.to_string(),
+                    })?;
+                values.push(v);
+            }
             columns.push(Column::new(names[c].clone(), ColumnType::Real, values));
         } else {
             let mut dict: HashMap<String, f64> = HashMap::new();
@@ -159,7 +192,7 @@ pub fn read_csv_str(name: &str, text: &str, has_header: bool) -> Result<Table, C
                 .iter()
                 .zip(&keep)
                 .filter(|(_, &k)| k)
-                .map(|(row, _)| {
+                .map(|((_, row), _)| {
                     let next = dict.len() as f64;
                     *dict.entry(row[c].trim().to_string()).or_insert(next)
                 })
@@ -245,6 +278,49 @@ mod tests {
         assert!(matches!(
             read_csv_str("t", "a,b\n", true),
             Err(CsvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn non_finite_numeric_cells_rejected_with_context() {
+        // "nan" parses as an f64 but must not enter a Table: range predicates
+        // never match NaN and GMQ would silently degenerate.
+        let err = read_csv_str("t", "a,b\n1,2\nnan,4\n", true).unwrap_err();
+        match err {
+            CsvError::BadCell {
+                line,
+                column,
+                column_name,
+                value,
+            } => {
+                assert_eq!(line, 3);
+                assert_eq!(column, 0);
+                assert_eq!(column_name, "a");
+                assert_eq!(value, "nan");
+            }
+            other => panic!("expected BadCell, got {other:?}"),
+        }
+        let err = read_csv_str("t", "a,b\n1,inf\n", true).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::BadCell {
+                line: 2,
+                column: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bad_cell_reports_headerless_line_numbers() {
+        let err = read_csv_str("t", "-inf,1\n2,3\n", false).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::BadCell {
+                line: 1,
+                column: 0,
+                ..
+            }
         ));
     }
 

@@ -233,7 +233,7 @@ fn hand_class(suits: &[u8; 5], ranks: &[u8; 5]) -> u8 {
     for &r in ranks {
         counts[r as usize] += 1;
     }
-    let max_same = *counts.iter().max().unwrap();
+    let max_same = counts.iter().copied().max().unwrap_or(0);
     let pairs = counts.iter().filter(|&&c| c == 2).count();
     let flush = suits.iter().all(|&s| s == suits[0]);
     let mut sorted = *ranks;

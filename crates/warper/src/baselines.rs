@@ -45,7 +45,16 @@ pub struct StepReport {
     /// True if the strategy skipped the step (no drift detected / early
     /// stopped).
     pub skipped: bool,
+    /// Annotation requests that failed (the annotator returned `None`).
+    pub annotation_failed: usize,
+    /// True if a supervising layer rolled this step back (Warper only).
+    pub rolled_back: bool,
 }
+
+/// Batch annotation callback: query feature vectors in, labels out. A
+/// `None` entry marks a query the annotator could not label — it stays
+/// unlabeled and becomes eligible again at a later invocation.
+pub type AnnotateFn<'a> = dyn FnMut(&[Vec<f64>]) -> Vec<Option<f64>> + 'a;
 
 /// An adaptation method: consumes newly arrived queries each period and
 /// updates the CE model. `annotate` computes fresh ground truth for feature
@@ -60,7 +69,7 @@ pub trait AdaptStrategy {
         model: &mut dyn CardinalityEstimator,
         arrived: &[ArrivedQuery],
         telemetry: &DataTelemetry,
-        annotate: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
+        annotate: &mut AnnotateFn<'_>,
     ) -> StepReport;
 }
 
@@ -112,8 +121,8 @@ fn labeled_from_arrived(
     arrived: &[ArrivedQuery],
     budget: Option<usize>,
     rng: &mut StdRng,
-    annotate: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
-) -> (Vec<LabeledExample>, usize) {
+    annotate: &mut AnnotateFn<'_>,
+) -> (Vec<LabeledExample>, usize, usize) {
     let mut fresh: Vec<LabeledExample> = arrived
         .iter()
         .filter_map(|a| a.gt.map(|g| LabeledExample::new(a.features.clone(), g)))
@@ -130,13 +139,17 @@ fn labeled_from_arrived(
         .map(|a| a.features.clone())
         .collect();
     let annotated = to_annotate.len();
+    let mut failed = 0;
     if annotated > 0 {
         let cards = annotate(&to_annotate);
         for (f, c) in to_annotate.into_iter().zip(cards) {
-            fresh.push(LabeledExample::new(f, c));
+            match c {
+                Some(c) => fresh.push(LabeledExample::new(f, c)),
+                None => failed += 1,
+            }
         }
     }
-    (fresh, annotated)
+    (fresh, annotated, failed)
 }
 
 /// FT: fine-tune on arrived labeled queries (re-train for tree/SVM models).
@@ -172,14 +185,15 @@ impl AdaptStrategy for FineTuneStrategy {
         model: &mut dyn CardinalityEstimator,
         arrived: &[ArrivedQuery],
         _telemetry: &DataTelemetry,
-        annotate: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
+        annotate: &mut AnnotateFn<'_>,
     ) -> StepReport {
-        let (fresh, annotated) =
+        let (fresh, annotated, annotation_failed) =
             labeled_from_arrived(arrived, self.annotation_budget, &mut self.rng, annotate);
         let trained_on = self.corpus.apply(model, fresh);
         StepReport {
             annotated,
             trained_on,
+            annotation_failed,
             ..Default::default()
         }
     }
@@ -217,9 +231,10 @@ impl AdaptStrategy for MixStrategy {
         model: &mut dyn CardinalityEstimator,
         arrived: &[ArrivedQuery],
         _telemetry: &DataTelemetry,
-        annotate: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
+        annotate: &mut AnnotateFn<'_>,
     ) -> StepReport {
-        let (mut fresh, annotated) = labeled_from_arrived(arrived, None, &mut self.rng, annotate);
+        let (mut fresh, annotated, annotation_failed) =
+            labeled_from_arrived(arrived, None, &mut self.rng, annotate);
         let extra = fresh.len().min(self.train_set.len());
         for _ in 0..extra {
             let i = self.rng.random_range(0..self.train_set.len());
@@ -229,6 +244,7 @@ impl AdaptStrategy for MixStrategy {
         StepReport {
             annotated,
             trained_on,
+            annotation_failed,
             ..Default::default()
         }
     }
@@ -296,9 +312,9 @@ impl AdaptStrategy for AugStrategy {
         model: &mut dyn CardinalityEstimator,
         arrived: &[ArrivedQuery],
         _telemetry: &DataTelemetry,
-        annotate: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
+        annotate: &mut AnnotateFn<'_>,
     ) -> StepReport {
-        let (mut fresh, mut annotated) =
+        let (mut fresh, mut annotated, mut annotation_failed) =
             labeled_from_arrived(arrived, None, &mut self.rng, annotate);
         let n_g = (self.gen_frac * arrived.len() as f64).floor() as usize;
         let mut generated = 0;
@@ -313,7 +329,10 @@ impl AdaptStrategy for AugStrategy {
             let cards = annotate(&synth);
             annotated += synth.len();
             for (f, c) in synth.into_iter().zip(cards) {
-                fresh.push(LabeledExample::new(f, c));
+                match c {
+                    Some(c) => fresh.push(LabeledExample::new(f, c)),
+                    None => annotation_failed += 1,
+                }
             }
         }
         let trained_on = self.corpus.apply(model, fresh);
@@ -321,7 +340,8 @@ impl AdaptStrategy for AugStrategy {
             annotated,
             generated,
             trained_on,
-            skipped: false,
+            annotation_failed,
+            ..Default::default()
         }
     }
 }
@@ -366,9 +386,9 @@ impl AdaptStrategy for HemStrategy {
         model: &mut dyn CardinalityEstimator,
         arrived: &[ArrivedQuery],
         _telemetry: &DataTelemetry,
-        annotate: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
+        annotate: &mut AnnotateFn<'_>,
     ) -> StepReport {
-        let (mut fresh, mut annotated) =
+        let (mut fresh, mut annotated, mut annotation_failed) =
             labeled_from_arrived(arrived, None, &mut self.rng, annotate);
         // Weight the labeled arrivals by current model error.
         let weights: Vec<f64> = fresh
@@ -407,7 +427,10 @@ impl AdaptStrategy for HemStrategy {
             let cards = annotate(&synth);
             annotated += synth.len();
             for (f, c) in synth.into_iter().zip(cards) {
-                fresh.push(LabeledExample::new(f, c));
+                match c {
+                    Some(c) => fresh.push(LabeledExample::new(f, c)),
+                    None => annotation_failed += 1,
+                }
             }
         }
         let trained_on = self.corpus.apply(model, fresh);
@@ -415,7 +438,8 @@ impl AdaptStrategy for HemStrategy {
             annotated,
             generated,
             trained_on,
-            skipped: false,
+            annotation_failed,
+            ..Default::default()
         }
     }
 }
@@ -477,8 +501,8 @@ mod tests {
             .collect()
     }
 
-    fn no_annotate() -> impl FnMut(&[Vec<f64>]) -> Vec<f64> {
-        |qs: &[Vec<f64>]| vec![42.0; qs.len()]
+    fn no_annotate() -> impl FnMut(&[Vec<f64>]) -> Vec<Option<f64>> {
+        |qs: &[Vec<f64>]| vec![Some(42.0); qs.len()]
     }
 
     #[test]
@@ -531,6 +555,26 @@ mod tests {
     }
 
     #[test]
+    fn failed_annotations_are_skipped_not_trained_on() {
+        let mut model = SpyModel::new(UpdateKind::FineTune);
+        let mut ft = FineTuneStrategy::new(&train_set(), None, 1);
+        let rep = ft.step(
+            &mut model,
+            &arrived(10, false),
+            &DataTelemetry::default(),
+            &mut |qs: &[Vec<f64>]| {
+                qs.iter()
+                    .enumerate()
+                    .map(|(i, _)| (i % 2 == 0).then_some(42.0))
+                    .collect()
+            },
+        );
+        assert_eq!(rep.annotated, 10);
+        assert_eq!(rep.annotation_failed, 5);
+        assert_eq!(rep.trained_on, 5);
+    }
+
+    #[test]
     fn mix_doubles_with_train_samples() {
         let mut model = SpyModel::new(UpdateKind::FineTune);
         let mut mix = MixStrategy::new(&train_set(), 2);
@@ -550,7 +594,7 @@ mod tests {
         let mut count = 0usize;
         let mut annotate = |qs: &[Vec<f64>]| {
             count += qs.len();
-            vec![10.0; qs.len()]
+            vec![Some(10.0); qs.len()]
         };
         let rep = aug.step(
             &mut model,

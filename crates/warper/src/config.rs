@@ -47,6 +47,15 @@ pub struct WarperConfig {
     /// Epochs of auto-encoder pre-training when `I_train` is available
     /// (§3.5).
     pub pretrain_epochs: usize,
+    /// Bounded retries (with re-seeded fresh networks) when a GAN /
+    /// auto-encoder update diverges before the controller gives up on
+    /// internal-module training for the invocation.
+    #[serde(default = "default_gan_retries")]
+    pub gan_retries: usize,
+}
+
+fn default_gan_retries() -> usize {
+    2
 }
 
 impl Default for WarperConfig {
@@ -70,6 +79,7 @@ impl Default for WarperConfig {
             picker_buckets: 5,
             picker_knn: 5,
             pretrain_epochs: 20,
+            gan_retries: default_gan_retries(),
         }
     }
 }

@@ -6,14 +6,27 @@ use rand::SeedableRng;
 use warper_ce::{CardinalityEstimator, LabeledExample, UpdateKind};
 use warper_linalg::sampling::standard_normal;
 use warper_metrics::{gmq, PAPER_THETA};
+use warper_nn::DivergenceError;
 
-use crate::baselines::{AdaptStrategy, ArrivedQuery, StepReport};
+use crate::baselines::{AdaptStrategy, AnnotateFn, ArrivedQuery, StepReport};
 use crate::config::WarperConfig;
 use crate::detect::{DataTelemetry, Detection, DriftDetector, DriftMode, WorkloadDriftTracker};
 use crate::encoder::Encoder;
 use crate::gan::{Gan, TrainStats};
+use crate::persist::{RuntimeState, WarperState};
 use crate::picker::{Picker, PickerKind};
 use crate::pool::{QueryPool, Source};
+use crate::supervisor::{RollbackReason, Supervisor, SupervisorConfig, SupervisorStats};
+
+/// A risky internal-module training task run under
+/// `WarperController::train_guarded`'s all-or-nothing semantics.
+type GanTask = dyn Fn(
+    &mut Gan,
+    &mut Encoder,
+    &QueryPool,
+    &WarperConfig,
+    &mut StdRng,
+) -> Result<TrainStats, DivergenceError>;
 
 /// How synthetic queries are produced — the paper's GAN, or the Gaussian
 /// noise ablation of Table 10 ("G → AUG").
@@ -49,6 +62,17 @@ pub struct InvocationReport {
     pub early_stopped: bool,
     /// GAN / auto-encoder training stats.
     pub gan_stats: TrainStats,
+    /// Picked/probe annotations that failed; the records stay unlabeled in
+    /// the pool and are re-eligible at the next invocation (skip-and-requeue).
+    pub annotation_failed: usize,
+    /// Re-seeded internal-module training retries consumed this invocation.
+    pub gan_retries: usize,
+    /// Divergence that survived every retry; the invocation continued
+    /// without that module update (degraded mode).
+    pub training_error: Option<DivergenceError>,
+    /// Set by the [`Supervisor`](crate::supervisor::Supervisor) when it
+    /// rolled this invocation back to the pre-invoke checkpoint.
+    pub rollback: Option<RollbackReason>,
 }
 
 /// Optional projection applied to generated feature vectors before they
@@ -109,8 +133,20 @@ impl WarperController {
         let pool = QueryPool::from_training_set(training_set);
         // Offline pre-training: "the generator G and the encoder E are
         // pre-trained offline using task1 and the queries from I_train".
+        // Divergence here re-seeds fresh networks (a bounded number of
+        // times); if every attempt diverges the controller starts with
+        // un-pre-trained E/G — degraded, but serving, never poisoned.
         if !pool.is_empty() {
-            gan.update_auto_encoder(&mut encoder, &pool, &cfg, cfg.pretrain_epochs, &mut rng);
+            for _ in 0..=cfg.gan_retries {
+                if gan
+                    .update_auto_encoder(&mut encoder, &pool, &cfg, cfg.pretrain_epochs, &mut rng)
+                    .is_ok()
+                {
+                    break;
+                }
+                encoder = Encoder::new(feature_dim, cfg.hidden, cfg.embed_dim, &mut rng);
+                gan = Gan::new(feature_dim, &cfg, &mut rng);
+            }
         }
         let picker = Picker::new(PickerKind::Warper, &cfg);
         let detector = DriftDetector::new(baseline_gmq, &cfg);
@@ -234,19 +270,161 @@ impl WarperController {
         }
     }
 
+    /// Test-only: spikes the internal-module learning rate to force
+    /// training divergence (used by the supervisor's rollback tests).
+    #[cfg(test)]
+    pub(crate) fn spike_lr_for_test(&mut self, lr: f64) {
+        self.cfg.lr = lr;
+    }
+
+    /// The transient runtime state (drift counters, adaptive π, rolling
+    /// evaluation window) for checkpointing.
+    pub(crate) fn runtime_state(&self) -> RuntimeState {
+        RuntimeState {
+            pi: self.detector.pi(),
+            drift_active: self.drift_active,
+            n_t_since_drift: self.n_t_since_drift,
+            n_a_since_drift: self.n_a_since_drift,
+            prev_eval_gmq: self.prev_eval_gmq,
+            handled_changed_fraction: self.handled_changed_fraction,
+            recent_eval: self.recent_eval.clone(),
+        }
+    }
+
+    /// Overwrites the transient runtime state from a checkpoint.
+    pub(crate) fn apply_runtime(&mut self, rt: &RuntimeState) {
+        self.detector.set_pi(rt.pi);
+        self.drift_active = rt.drift_active;
+        self.n_t_since_drift = rt.n_t_since_drift;
+        self.n_a_since_drift = rt.n_a_since_drift;
+        self.prev_eval_gmq = rt.prev_eval_gmq;
+        self.handled_changed_fraction = rt.handled_changed_fraction;
+        self.recent_eval = rt.recent_eval.clone();
+    }
+
+    /// A clone of the RNG at its current position (checkpointing).
+    pub(crate) fn rng_snapshot(&self) -> StdRng {
+        self.rng.clone()
+    }
+
+    /// Restores the RNG position from a checkpoint.
+    pub(crate) fn restore_rng(&mut self, rng: StdRng) {
+        self.rng = rng;
+    }
+
+    /// In-place rollback to a previously captured [`WarperState`]: pool,
+    /// `E`/`G`/`D`, γ and — when the state carries it — the transient drift
+    /// runtime are all restored. The canonicalization hook, picker policy
+    /// and generator kind are not part of the snapshot and survive the
+    /// rollback; optimizer moments restart, exactly as after a process
+    /// restart.
+    pub fn rollback_to(&mut self, state: &WarperState) {
+        self.cfg = state.cfg;
+        self.pool = state.pool.clone();
+        self.encoder = state.encoder.clone();
+        self.gan = Gan::from_parts(state.generator.clone(), state.discriminator.clone());
+        self.detector = DriftDetector::new(state.baseline_gmq, &self.cfg);
+        self.gamma = state.gamma;
+        self.workload_tracker = WorkloadDriftTracker::new(
+            state
+                .pool
+                .records()
+                .iter()
+                .filter(|r| r.source == Source::Train)
+                .map(|r| r.features.clone())
+                .collect(),
+        );
+        if let Some(rt) = &state.runtime {
+            self.apply_runtime(rt);
+        } else {
+            self.drift_active = false;
+            self.n_t_since_drift = 0;
+            self.n_a_since_drift = 0;
+            self.prev_eval_gmq = None;
+            self.handled_changed_fraction = 0.0;
+            self.recent_eval.clear();
+        }
+    }
+
+    /// `model`'s GMQ on the controller's rolling evaluation window — the
+    /// quantity the supervisor compares across a checkpoint boundary. `None`
+    /// when the window is empty.
+    pub fn eval_gmq(&self, model: &dyn CardinalityEstimator) -> Option<f64> {
+        if self.recent_eval.is_empty() {
+            return None;
+        }
+        let ests: Vec<f64> = self
+            .recent_eval
+            .iter()
+            .map(|(f, _)| model.estimate(f))
+            .collect();
+        let actuals: Vec<f64> = self.recent_eval.iter().map(|(_, a)| *a).collect();
+        Some(gmq(&ests, &actuals, PAPER_THETA))
+    }
+
+    /// `true` when `model` produces a finite estimate for every query in the
+    /// rolling evaluation window (trivially `true` on an empty window).
+    pub fn estimates_finite(&self, model: &dyn CardinalityEstimator) -> bool {
+        self.recent_eval
+            .iter()
+            .all(|(f, _)| model.estimate(f).is_finite())
+    }
+
+    /// Runs one risky internal-module training task with all-or-nothing
+    /// semantics: on divergence the encoder and GAN are restored to their
+    /// pre-call snapshots, then fresh re-seeded networks are retried up to
+    /// `cfg.gan_retries` times; when every attempt diverges the invocation
+    /// proceeds without the update (degraded mode) and reports the error.
+    fn train_guarded(&mut self, task: &GanTask) -> (TrainStats, usize, Option<DivergenceError>) {
+        let enc_ck = self.encoder.clone();
+        let gan_ck = self.gan.clone();
+        let mut retries = 0usize;
+        loop {
+            match task(
+                &mut self.gan,
+                &mut self.encoder,
+                &self.pool,
+                &self.cfg,
+                &mut self.rng,
+            ) {
+                Ok(stats) => return (stats, retries, None),
+                Err(err) => {
+                    // The diverged networks never serve: restore the
+                    // pre-call snapshot before deciding what happens next.
+                    self.encoder = enc_ck.clone();
+                    self.gan = gan_ck.clone();
+                    if retries >= self.cfg.gan_retries {
+                        return (TrainStats::default(), retries, Some(err));
+                    }
+                    retries += 1;
+                    // Divergence is often an unlucky init/batch interaction:
+                    // retry with fresh re-seeded G/D (the encoder keeps its
+                    // checkpoint — it carries the pre-trained embedding).
+                    self.gan = Gan::new(self.encoder.feature_dim(), &self.cfg, &mut self.rng);
+                }
+            }
+        }
+    }
+
     /// One Warper invocation: `det_drft` plus Algorithm 1.
+    ///
+    /// `annotate` is fallible: a `None` entry means the annotator could not
+    /// label that query (fault, timeout, exhausted budget). The controller
+    /// degrades gracefully — failed records stay unlabeled in the pool and
+    /// are re-eligible at the next invocation.
     pub fn invoke(
         &mut self,
         model: &mut dyn CardinalityEstimator,
         arrived: &[ArrivedQuery],
         telemetry: &DataTelemetry,
-        annotate: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
+        annotate: &mut AnnotateFn<'_>,
     ) -> InvocationReport {
         // Alg. 1 line 1: inject newly arrived predicates into the pool.
         let rows: Vec<(Vec<f64>, Option<f64>)> =
             arrived.iter().map(|a| (a.features.clone(), a.gt)).collect();
         self.pool.append_new(&rows);
         let mut probe_annotations = 0usize;
+        let mut annotation_failed = 0usize;
         for a in arrived {
             if let Some(gt) = a.gt {
                 self.recent_eval.push((a.features.clone(), gt));
@@ -263,9 +441,13 @@ impl WarperController {
                 .map(|i| arrived[i * stride].features.clone())
                 .collect();
             let cards = annotate(&probe_feats);
-            probe_annotations = probe_feats.len();
             let pool_base = self.pool.len() - arrived.len();
             for (i, (f, card)) in probe_feats.into_iter().zip(cards).enumerate() {
+                let Some(card) = card else {
+                    annotation_failed += 1;
+                    continue;
+                };
+                probe_annotations += 1;
                 self.recent_eval.push((f, card));
                 let rec = &mut self.pool.records_mut()[pool_base + i * stride];
                 rec.gt = Some(card);
@@ -337,6 +519,10 @@ impl WarperController {
                 eval_gmq: None,
                 early_stopped: false,
                 gan_stats: TrainStats::default(),
+                annotation_failed,
+                gan_retries: 0,
+                training_error: None,
+                rollback: None,
             };
         }
         if !self.drift_active {
@@ -361,6 +547,8 @@ impl WarperController {
 
         // Alg. 1 lines 3–8: train internal modules; generate if needed.
         let mut gan_stats = TrainStats::default();
+        let mut gan_retries = 0usize;
+        let mut training_error = None;
         let mut generated = 0;
         // n_g = 10%·n_t with n_t the queries arrived from the new workload
         // so far (Table 1); the §4.3 cost analysis annotates ~0.1·n_t
@@ -369,12 +557,14 @@ impl WarperController {
         if mode.c2 && n_g > 0 {
             match self.gen_kind {
                 GenKind::Gan => {
-                    gan_stats = self.gan.update_multi_task(
-                        &mut self.encoder,
-                        &self.pool,
-                        &self.cfg,
-                        &mut self.rng,
-                    );
+                    let (stats, retries, err) = self.train_guarded(&|gan, enc, pool, cfg, rng| {
+                        gan.update_multi_task(enc, pool, cfg, rng)
+                    });
+                    gan_stats = stats;
+                    gan_retries = retries;
+                    training_error = err;
+                    // Even when training diverged the restored pre-call G is
+                    // a valid decoder — generation still runs (degraded).
                     let base: Vec<Vec<f64>> = self
                         .pool
                         .records()
@@ -428,13 +618,12 @@ impl WarperController {
         } else {
             // Alg. 1 line 8: no generation needed — keep E/G fresh with the
             // auto-encoder task.
-            gan_stats = self.gan.update_auto_encoder(
-                &mut self.encoder,
-                &self.pool,
-                &self.cfg,
-                2,
-                &mut self.rng,
-            );
+            let (stats, retries, err) = self.train_guarded(&|gan, enc, pool, cfg, rng| {
+                gan.update_auto_encoder(enc, pool, cfg, 2, rng)
+            });
+            gan_stats = stats;
+            gan_retries = retries;
+            training_error = err;
             if mode.c2 || mode.c3 {
                 self.gan.score_pool(&mut self.pool);
             }
@@ -513,18 +702,27 @@ impl WarperController {
             .collect();
         to_annotate.sort_unstable();
         to_annotate.dedup();
-        let annotated = to_annotate.len() + probe_annotations;
-        if annotated > 0 {
+        let mut annotated = probe_annotations;
+        if !to_annotate.is_empty() {
             let feats: Vec<Vec<f64>> = to_annotate
                 .iter()
                 .map(|&i| self.pool.records()[i].features.clone())
                 .collect();
             let cards = annotate(&feats);
             for (&i, card) in to_annotate.iter().zip(cards) {
+                // Skip-and-requeue: a failed annotation leaves the record
+                // unlabeled and pickable again next invocation.
+                let Some(card) = card else {
+                    annotation_failed += 1;
+                    continue;
+                };
                 let rec = &mut self.pool.records_mut()[i];
                 rec.gt = Some(card);
                 rec.gt_stale = false;
+                annotated += 1;
             }
+        }
+        if annotated > 0 {
             self.n_a_since_drift += annotated;
         }
 
@@ -536,7 +734,7 @@ impl WarperController {
             .filter_map(|&i| {
                 let r = &self.pool.records()[i];
                 if r.labeled() {
-                    Some(LabeledExample::new(r.features.clone(), r.gt.unwrap()))
+                    r.gt.map(|g| LabeledExample::new(r.features.clone(), g))
                 } else {
                     None
                 }
@@ -611,6 +809,10 @@ impl WarperController {
             eval_gmq,
             early_stopped,
             gan_stats,
+            annotation_failed,
+            gan_retries,
+            training_error,
+            rollback: None,
         }
     }
 }
@@ -620,6 +822,7 @@ impl WarperController {
 pub struct WarperStrategy {
     controller: WarperController,
     display_name: &'static str,
+    supervisor: Option<Supervisor>,
 }
 
 impl WarperStrategy {
@@ -628,6 +831,7 @@ impl WarperStrategy {
         Self {
             controller,
             display_name: "Warper",
+            supervisor: None,
         }
     }
 
@@ -636,12 +840,25 @@ impl WarperStrategy {
         Self {
             controller,
             display_name: name,
+            supervisor: None,
         }
+    }
+
+    /// Makes every invocation transactional: checkpoint before, validate
+    /// after, roll back on regression (see [`crate::supervisor`]).
+    pub fn with_supervisor(mut self, cfg: SupervisorConfig) -> Self {
+        self.supervisor = Some(Supervisor::new(cfg));
+        self
     }
 
     /// Access to the wrapped controller.
     pub fn controller(&self) -> &WarperController {
         &self.controller
+    }
+
+    /// Commit/rollback counters, when a supervisor is installed.
+    pub fn supervisor_stats(&self) -> Option<SupervisorStats> {
+        self.supervisor.as_ref().map(|s| s.stats())
     }
 }
 
@@ -655,14 +872,19 @@ impl AdaptStrategy for WarperStrategy {
         model: &mut dyn CardinalityEstimator,
         arrived: &[ArrivedQuery],
         telemetry: &DataTelemetry,
-        annotate: &mut dyn FnMut(&[Vec<f64>]) -> Vec<f64>,
+        annotate: &mut AnnotateFn<'_>,
     ) -> StepReport {
-        let report = self.controller.invoke(model, arrived, telemetry, annotate);
+        let report = match &mut self.supervisor {
+            Some(sup) => sup.invoke(&mut self.controller, model, arrived, telemetry, annotate),
+            None => self.controller.invoke(model, arrived, telemetry, annotate),
+        };
         StepReport {
             annotated: report.annotated,
             generated: report.generated,
             trained_on: report.trained_on,
             skipped: !report.mode.any(),
+            annotation_failed: report.annotation_failed,
+            rolled_back: report.rollback.is_some(),
         }
     }
 }
@@ -760,7 +982,7 @@ mod tests {
             })
             .collect();
         let rep = ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
-            vec![0.0; qs.len()]
+            vec![Some(0.0); qs.len()]
         });
         assert!(!rep.mode.any());
         assert_eq!(rep.annotated, 0);
@@ -778,7 +1000,7 @@ mod tests {
         let mut annotations = 0usize;
         let rep = ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
             annotations += qs.len();
-            qs.iter().map(|f| 90_000.0 * (0.1 + f[0])).collect()
+            qs.iter().map(|f| Some(90_000.0 * (0.1 + f[0]))).collect()
         });
         assert!(rep.mode.c2, "mode {}", rep.mode);
         assert!(rep.generated > 0);
@@ -797,7 +1019,7 @@ mod tests {
         for _ in 0..8 {
             let arrived = arrived_shifted(30, true);
             let rep = ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
-                qs.iter().map(|f| 90_000.0 * (0.1 + f[0])).collect()
+                qs.iter().map(|f| Some(90_000.0 * (0.1 + f[0]))).collect()
             });
             stopped |= rep.early_stopped;
             if !rep.mode.any() {
@@ -823,7 +1045,7 @@ mod tests {
         };
         let rep = ctl.invoke(&mut model, &[], &telemetry, &mut |qs| {
             // New data: cardinalities doubled.
-            qs.iter().map(|f| 2_000.0 * (0.1 + f[0])).collect()
+            qs.iter().map(|f| Some(2_000.0 * (0.1 + f[0]))).collect()
         });
         assert!(rep.mode.c1);
         assert!(rep.annotated > 0);
@@ -842,7 +1064,7 @@ mod tests {
         let mut first = arrived_shifted(5, true);
         first.extend(arrived_shifted(60, false));
         let rep = ctl.invoke(&mut model, &first, &DataTelemetry::default(), &mut |qs| {
-            qs.iter().map(|f| 90_000.0 * (0.1 + f[0])).collect()
+            qs.iter().map(|f| Some(90_000.0 * (0.1 + f[0]))).collect()
         });
         assert!(rep.mode.c3, "mode {}", rep.mode);
         assert!(rep.annotated > 0);
@@ -858,7 +1080,7 @@ mod tests {
             &mut model,
             &arrived_shifted(20, true),
             &DataTelemetry::default(),
-            &mut |qs| qs.iter().map(|f| 90_000.0 * (0.1 + f[0])).collect(),
+            &mut |qs| qs.iter().map(|f| Some(90_000.0 * (0.1 + f[0]))).collect(),
         );
         assert!(!rep.skipped);
         assert!(rep.trained_on > 0);
@@ -876,7 +1098,7 @@ mod tests {
             &mut model,
             &arrived_shifted(30, true),
             &DataTelemetry::default(),
-            &mut |qs| qs.iter().map(|f| 90_000.0 * (0.1 + f[0])).collect(),
+            &mut |qs| qs.iter().map(|f| Some(90_000.0 * (0.1 + f[0]))).collect(),
         );
         assert!(rep.generated > 0, "noise generator should still synthesize");
     }

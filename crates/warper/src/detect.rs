@@ -98,7 +98,10 @@ impl CanarySet {
             max_cols: 2,
             ..Default::default()
         };
-        let mut gen = QueryGenerator::new(table, warper_workload::Mix::parse("w1").unwrap(), spec);
+        // "w1" always parses; the fallback keeps this path panic-free.
+        let mix = warper_workload::Mix::parse("w1")
+            .unwrap_or_else(|| warper_workload::Mix::new(vec![warper_workload::Method::W1]));
+        let mut gen = QueryGenerator::new(table, mix, spec);
         let preds = gen.generate_many(n, rng);
         let annotator = Annotator::new();
         let baseline = preds.iter().map(|p| annotator.count(table, p)).collect();
@@ -264,6 +267,11 @@ impl DriftDetector {
     /// The current threshold π.
     pub fn pi(&self) -> f64 {
         self.pi
+    }
+
+    /// Restores an adapted threshold π (checkpoint rollback / persistence).
+    pub fn set_pi(&mut self, pi: f64) {
+        self.pi = pi;
     }
 
     /// The reference GMQ.

@@ -1,0 +1,103 @@
+//! The workspace-wide error type for fallible Warper operations.
+//!
+//! Library code in the adaptation loop never panics on bad external input
+//! (malformed CSVs, corrupted persisted state, unknown workload notation) or
+//! on runtime faults (diverging training, failing annotators): each layer
+//! surfaces a typed error and [`WarperError`] is the sum the harness sees.
+
+use warper_ce::PersistError;
+use warper_nn::DivergenceError;
+use warper_query::AnnotateError;
+use warper_storage::CsvError;
+use warper_workload::NotationError;
+
+/// Any failure the Warper adaptation stack can report.
+#[derive(Debug)]
+pub enum WarperError {
+    /// Loading a dataset failed (I/O or malformed cell).
+    Csv(CsvError),
+    /// A workload mix notation could not be parsed.
+    Workload(NotationError),
+    /// Persisted model state failed validation on restore.
+    Persist(PersistError),
+    /// Internal module training diverged and exhausted its retries.
+    Training(DivergenceError),
+    /// The annotator failed (after the degradation ladder was exhausted).
+    Annotation(AnnotateError),
+    /// A persisted or constructed controller state is internally
+    /// inconsistent (e.g. non-finite γ, empty pool where one is required).
+    InvalidState(String),
+}
+
+impl std::fmt::Display for WarperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WarperError::Csv(e) => write!(f, "csv: {e}"),
+            WarperError::Workload(e) => write!(f, "workload: {e}"),
+            WarperError::Persist(e) => write!(f, "persist: {e}"),
+            WarperError::Training(e) => write!(f, "training: {e}"),
+            WarperError::Annotation(e) => write!(f, "annotation: {e}"),
+            WarperError::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WarperError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WarperError::Csv(e) => Some(e),
+            WarperError::Workload(e) => Some(e),
+            WarperError::Persist(e) => Some(e),
+            WarperError::Training(e) => Some(e),
+            WarperError::Annotation(e) => Some(e),
+            WarperError::InvalidState(_) => None,
+        }
+    }
+}
+
+impl From<CsvError> for WarperError {
+    fn from(e: CsvError) -> Self {
+        WarperError::Csv(e)
+    }
+}
+
+impl From<NotationError> for WarperError {
+    fn from(e: NotationError) -> Self {
+        WarperError::Workload(e)
+    }
+}
+
+impl From<PersistError> for WarperError {
+    fn from(e: PersistError) -> Self {
+        WarperError::Persist(e)
+    }
+}
+
+impl From<DivergenceError> for WarperError {
+    fn from(e: DivergenceError) -> Self {
+        WarperError::Training(e)
+    }
+}
+
+impl From<AnnotateError> for WarperError {
+    fn from(e: AnnotateError) -> Self {
+        WarperError::Annotation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_layer() {
+        let e = WarperError::InvalidState("gamma is 0".into());
+        assert!(e.to_string().contains("invalid state"));
+        let e: WarperError = AnnotateError::Timeout {
+            budget_rows: 5,
+            needed_rows: 10,
+        }
+        .into();
+        assert!(e.to_string().starts_with("annotation:"));
+    }
+}

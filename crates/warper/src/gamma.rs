@@ -70,8 +70,8 @@ pub fn estimate_gamma(
     let gamma = curve
         .iter()
         .find(|p| p.gmq <= best * (1.0 + tolerance))
-        .map(|p| p.train_size)
-        .unwrap_or_else(|| curve.last().unwrap().train_size);
+        .or(curve.last())
+        .map_or(1, |p| p.train_size);
     GammaEstimate { gamma, curve }
 }
 

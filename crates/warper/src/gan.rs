@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use warper_linalg::sampling::standard_normal;
 use warper_linalg::Matrix;
+use warper_nn::guard::{check_grads, DivergenceError, LossTracker};
 use warper_nn::loss::{l1, softmax, softmax_cross_entropy};
 use warper_nn::{Activation, Adam, Mlp, Optimizer, Workspace};
 
@@ -24,6 +25,7 @@ use crate::pool::{QueryPool, Source};
 
 /// The GAN pair (G, D) plus their optimizers; the encoder's optimizer also
 /// lives here because both tasks train `E` jointly.
+#[derive(Clone)]
 pub struct Gan {
     generator: Mlp,
     discriminator: Mlp,
@@ -35,6 +37,16 @@ pub struct Gan {
 /// Weight of the adversarial generator loss relative to the reconstruction
 /// anchor in `update_MultiTask`.
 const ADV_WEIGHT: f64 = 0.3;
+
+/// Discriminator loss below which the D side of the game counts as "won".
+const COLLAPSE_D_LOSS: f64 = 0.02;
+
+/// Generator loss above which the G side counts as starved. `−ln(p)` at
+/// `p(new) = e⁻⁶ ≈ 0.25%` — far past any useful training signal.
+const COLLAPSE_G_LOSS: f64 = 6.0;
+
+/// Consecutive collapsed iterations before `update_multi_task` gives up.
+const COLLAPSE_PATIENCE: usize = 3;
 
 /// Loss summary of one `update_*` call.
 #[derive(Debug, Clone, Copy, Default)]
@@ -140,23 +152,29 @@ impl Gan {
     /// class) and `s'` (probability of the `new` class). Assumes `z` is
     /// fresh (call [`Encoder::refresh_pool`] first).
     pub fn score_pool(&self, pool: &mut QueryPool) {
-        let zs: Vec<Vec<f64>> = pool
+        // Records without a fresh embedding are left unscored rather than
+        // panicking the control loop; refresh_pool normally prevents this.
+        let with_z: Vec<(usize, Vec<f64>)> = pool
             .records()
             .iter()
-            .map(|r| r.z.clone().expect("score_pool requires fresh embeddings"))
+            .enumerate()
+            .filter_map(|(i, r)| r.z.clone().map(|z| (i, z)))
             .collect();
-        if zs.is_empty() {
+        if with_z.is_empty() {
             return;
         }
+        let zs: Vec<Vec<f64>> = with_z.iter().map(|(_, z)| z.clone()).collect();
         let logits = self.discriminator.forward(&Matrix::from_rows(&zs));
         let probs = softmax(&logits);
-        for (i, rec) in pool.records_mut().iter_mut().enumerate() {
-            let row = probs.row(i);
-            let (argmax, _) = row
+        for (row_i, &(rec_i, _)) in with_z.iter().enumerate() {
+            let row = probs.row(row_i);
+            let argmax = row
                 .iter()
                 .enumerate()
                 .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .unwrap();
+                .map(|(i, _)| i)
+                .unwrap_or(Source::Gen.class_index());
+            let rec = &mut pool.records_mut()[rec_i];
             rec.predicted = Some(Source::from_class_index(argmax));
             rec.score = Some(row[Source::New.class_index()]);
             rec.entropy = Some(row.iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum());
@@ -165,6 +183,12 @@ impl Gan {
 
     /// `update_AutoEncoder` (§3.3): trains `E` and `G` as an auto-encoder
     /// for `epochs` passes over the pool. Returns the final loss.
+    ///
+    /// Divergence (non-finite loss/gradient, loss explosion) aborts with a
+    /// typed error *before* the offending optimizer step, so the batch that
+    /// diverged never touches the weights. Earlier batches of the same call
+    /// may already have stepped — callers that need all-or-nothing semantics
+    /// snapshot `E`/`G` first (the controller does).
     pub fn update_auto_encoder(
         &mut self,
         encoder: &mut Encoder,
@@ -172,12 +196,13 @@ impl Gan {
         cfg: &WarperConfig,
         epochs: usize,
         rng: &mut StdRng,
-    ) -> TrainStats {
+    ) -> Result<TrainStats, DivergenceError> {
         let n = pool.len();
         if n == 0 {
-            return TrainStats::default();
+            return Ok(TrainStats::default());
         }
         let mut stats = TrainStats::default();
+        let mut tracker = LossTracker::new("auto-encoder");
         // Stage all encoder inputs and reconstruction targets once; batches
         // are row gathers, and both networks keep their intermediates in
         // workspaces reused across every batch and epoch.
@@ -211,32 +236,38 @@ impl Gan {
                     let qhat = self.generator.forward_ws(z, &mut ws_g);
                     l1(qhat, &t)
                 };
+                tracker.observe(stats.iterations, loss)?;
                 self.generator.backward_ws(&mut ws_g, &dqhat);
                 encoder.net().backward_ws(&mut ws_e, ws_g.input_grad());
+                check_grads("auto-encoder", stats.iterations, &ws_g.grads)?;
+                check_grads("auto-encoder", stats.iterations, &ws_e.grads)?;
                 self.opt_g.step(&mut self.generator, &ws_g.grads, cfg.lr);
                 self.opt_e.step(encoder.net_mut(), &ws_e.grads, cfg.lr);
                 stats.ae_loss = loss;
                 stats.iterations += 1;
             }
         }
-        stats
+        Ok(stats)
     }
 
     /// `update_MultiTask` (§3.3): one GAN phase of up to `cfg.n_i`
     /// iterations with early stop on loss convergence (§3.5). Each iteration
     /// runs a discriminator step over a mixed pool batch and a generator
     /// step through frozen `E`/`D`.
+    /// Divergence and adversarial collapse abort with a typed error before
+    /// the offending optimizer step (same contract as
+    /// [`Gan::update_auto_encoder`]).
     pub fn update_multi_task(
         &mut self,
         encoder: &mut Encoder,
         pool: &QueryPool,
         cfg: &WarperConfig,
         rng: &mut StdRng,
-    ) -> TrainStats {
+    ) -> Result<TrainStats, DivergenceError> {
         let n = pool.len();
         let mut stats = TrainStats::default();
         if n == 0 {
-            return stats;
+            return Ok(stats);
         }
         // Base embeddings of the new workload for the generator's input.
         let new_rows: Vec<(Vec<f64>, Option<f64>)> = pool
@@ -246,7 +277,7 @@ impl Gan {
             .map(|r| (r.features.clone(), if r.gt_stale { None } else { r.gt }))
             .collect();
         if new_rows.is_empty() {
-            return stats;
+            return Ok(stats);
         }
 
         // One workspace per network, shared by every stage of every
@@ -257,6 +288,10 @@ impl Gan {
         let mut ws_d = Workspace::new();
         let mut prev_loss = f64::INFINITY;
         let mut flat_iters = 0;
+        let mut ae_tracker = LossTracker::new("gan/auto-encoder");
+        let mut d_tracker = LossTracker::new("gan/discriminator");
+        let mut g_tracker = LossTracker::new("gan/generator");
+        let mut collapse_iters = 0;
         for iter in 0..cfg.n_i {
             // Recompute new-workload embeddings with the current encoder.
             let new_z = encoder.embed_batch(&new_rows);
@@ -290,8 +325,11 @@ impl Gan {
                     let qhat = self.generator.forward_ws(z_r, &mut ws_g);
                     l1(qhat, &t_real)
                 };
+                ae_tracker.observe(iter, ae_loss)?;
                 self.generator.backward_ws(&mut ws_g, &dqhat);
                 encoder.net().backward_ws(&mut ws_e, ws_g.input_grad());
+                check_grads("gan/auto-encoder", iter, &ws_g.grads)?;
+                check_grads("gan/auto-encoder", iter, &ws_e.grads)?;
                 self.opt_g.step(&mut self.generator, &ws_g.grads, cfg.lr);
                 self.opt_e.step(encoder.net_mut(), &ws_e.grads, cfg.lr);
                 stats.ae_loss = ae_loss;
@@ -315,7 +353,9 @@ impl Gan {
                         let logits = self.discriminator.forward_ws(z, &mut ws_d);
                         softmax_cross_entropy(logits, &labels)
                     };
+                    d_tracker.observe(iter, loss)?;
                     self.discriminator.backward_ws(&mut ws_d, &dlogits);
+                    check_grads("gan/discriminator", iter, &ws_d.grads)?;
                     self.opt_d
                         .step(&mut self.discriminator, &ws_d.grads, 5.0 * cfg.lr);
                     d_loss = loss;
@@ -352,6 +392,7 @@ impl Gan {
             // The adversarial gradient is down-weighted relative to the
             // reconstruction task so it steers G without erasing its decoder
             // behaviour (a collapsed G defeats the purpose of generation).
+            g_tracker.observe(iter, g_loss)?;
             dlogits2.scale_inplace(ADV_WEIGHT);
             // Freeze D and E: run their backward passes only for the input
             // gradients; the parameter gradients in their workspaces are
@@ -366,11 +407,29 @@ impl Gan {
                     .copy_from_slice(&ws_e.input_grad().row(r)[..gcols]);
             }
             self.generator.backward_ws(&mut ws_g, &dqgen);
+            check_grads("gan/generator", iter, &ws_g.grads)?;
             self.opt_g.step(&mut self.generator, &ws_g.grads, cfg.lr);
 
             stats.discr_loss = d_loss;
             stats.gen_loss = g_loss;
             stats.iterations = iter + 1;
+
+            // Adversarial collapse: a discriminator that wins decisively for
+            // several consecutive iterations starves the generator of
+            // gradient — further iterations only burn budget (or worse).
+            if d_loss < COLLAPSE_D_LOSS && g_loss > COLLAPSE_G_LOSS {
+                collapse_iters += 1;
+                if collapse_iters >= COLLAPSE_PATIENCE {
+                    return Err(DivergenceError::Collapse {
+                        task: "gan",
+                        iteration: iter,
+                        d_loss,
+                        g_loss,
+                    });
+                }
+            } else {
+                collapse_iters = 0;
+            }
 
             // Early stop when the combined loss flattens (§3.5).
             let total = d_loss + g_loss;
@@ -384,7 +443,7 @@ impl Gan {
             }
             prev_loss = total;
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -423,8 +482,12 @@ mod tests {
         let mut enc = Encoder::new(4, cfg.hidden, cfg.embed_dim, &mut rng);
         let mut gan = Gan::new(4, &cfg, &mut rng);
         let pool = pool_with_two_clusters(40);
-        let first = gan.update_auto_encoder(&mut enc, &pool, &cfg, 1, &mut rng);
-        let last = gan.update_auto_encoder(&mut enc, &pool, &cfg, 30, &mut rng);
+        let first = gan
+            .update_auto_encoder(&mut enc, &pool, &cfg, 1, &mut rng)
+            .unwrap();
+        let last = gan
+            .update_auto_encoder(&mut enc, &pool, &cfg, 30, &mut rng)
+            .unwrap();
         assert!(
             last.ae_loss < first.ae_loss,
             "{} !< {}",
@@ -442,9 +505,11 @@ mod tests {
         let mut gan = Gan::new(4, &cfg, &mut rng);
         let pool = pool_with_two_clusters(60);
         // Pre-train AE then run the GAN task a few rounds.
-        gan.update_auto_encoder(&mut enc, &pool, &cfg, 20, &mut rng);
+        gan.update_auto_encoder(&mut enc, &pool, &cfg, 20, &mut rng)
+            .unwrap();
         for _ in 0..4 {
-            gan.update_multi_task(&mut enc, &pool, &cfg, &mut rng);
+            gan.update_multi_task(&mut enc, &pool, &cfg, &mut rng)
+                .unwrap();
         }
         let new_rows: Vec<(Vec<f64>, Option<f64>)> = pool
             .records()
@@ -474,9 +539,11 @@ mod tests {
         let mut enc = Encoder::new(4, cfg.hidden, cfg.embed_dim, &mut rng);
         let mut gan = Gan::new(4, &cfg, &mut rng);
         let mut pool = pool_with_two_clusters(60);
-        gan.update_auto_encoder(&mut enc, &pool, &cfg, 20, &mut rng);
+        gan.update_auto_encoder(&mut enc, &pool, &cfg, 20, &mut rng)
+            .unwrap();
         for _ in 0..6 {
-            gan.update_multi_task(&mut enc, &pool, &cfg, &mut rng);
+            gan.update_multi_task(&mut enc, &pool, &cfg, &mut rng)
+                .unwrap();
         }
         enc.refresh_pool(&mut pool);
         gan.score_pool(&mut pool);
@@ -522,8 +589,12 @@ mod tests {
         let mut enc = Encoder::new(4, cfg.hidden, cfg.embed_dim, &mut rng);
         let mut gan = Gan::new(4, &cfg, &mut rng);
         let pool = QueryPool::new();
-        let s1 = gan.update_auto_encoder(&mut enc, &pool, &cfg, 3, &mut rng);
-        let s2 = gan.update_multi_task(&mut enc, &pool, &cfg, &mut rng);
+        let s1 = gan
+            .update_auto_encoder(&mut enc, &pool, &cfg, 3, &mut rng)
+            .unwrap();
+        let s2 = gan
+            .update_multi_task(&mut enc, &pool, &cfg, &mut rng)
+            .unwrap();
         assert_eq!(s1.iterations, 0);
         assert_eq!(s2.iterations, 0);
         assert!(gan.generate(&[], &[], 5, &mut rng).is_empty());
@@ -539,7 +610,9 @@ mod tests {
         let mut enc = Encoder::new(4, cfg.hidden, cfg.embed_dim, &mut rng);
         let mut gan = Gan::new(4, &cfg, &mut rng);
         let pool = pool_with_two_clusters(30);
-        let stats = gan.update_multi_task(&mut enc, &pool, &cfg, &mut rng);
+        let stats = gan
+            .update_multi_task(&mut enc, &pool, &cfg, &mut rng)
+            .unwrap();
         assert!(stats.iterations <= 5);
         assert!(stats.iterations >= 1);
     }

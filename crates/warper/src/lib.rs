@@ -20,6 +20,11 @@
 //!   flags;
 //! * [`controller::WarperController`] — Algorithm 1, wiring the above
 //!   together with early stopping and online γ tuning;
+//! * [`supervisor::Supervisor`] — the fault-tolerance layer: checkpoints
+//!   controller + model state before each invocation, validates the updated
+//!   model, and rolls back on divergence or GMQ regression;
+//! * [`error::WarperError`] — the workspace-wide typed error that replaces
+//!   panics on external input and training paths;
 //! * [`baselines`] — FT, RT, MIX, AUG and HEM under the same
 //!   [`baselines::AdaptStrategy`] interface, so every experiment compares
 //!   strategies on identical inputs;
@@ -32,6 +37,7 @@ pub mod config;
 pub mod controller;
 pub mod detect;
 pub mod encoder;
+pub mod error;
 pub mod gamma;
 pub mod gan;
 pub mod parallel;
@@ -39,11 +45,15 @@ pub mod persist;
 pub mod picker;
 pub mod pool;
 pub mod runner;
+pub mod supervisor;
 
-pub use baselines::{AdaptStrategy, ArrivedQuery, StepReport};
+pub use baselines::{AdaptStrategy, AnnotateFn, ArrivedQuery, StepReport};
 pub use budget::{CostBudget, CostProfile, Recommendation};
 pub use config::WarperConfig;
 pub use controller::WarperController;
 pub use detect::{DriftDetector, DriftMode, WorkloadDriftTracker};
+pub use error::WarperError;
 pub use gamma::{estimate_gamma, GammaEstimate};
+pub use persist::{RuntimeState, WarperState};
 pub use pool::{QueryPool, Source};
+pub use supervisor::{RollbackReason, Supervisor, SupervisorConfig, SupervisorStats};

@@ -6,6 +6,7 @@
 //! lock-free worker pool in `warper_linalg::parallel` (an atomic fetch-add
 //! index, no mutexes), and results come back in submission order.
 
+use crate::error::WarperError;
 use crate::runner::{
     run_single_table, DriftSetup, ModelKind, RunResult, RunnerConfig, StrategyKind,
 };
@@ -23,14 +24,16 @@ pub struct RunSpec {
 }
 
 /// Runs all `specs` against the same table and drift, in parallel across up
-/// to `threads` workers. Results come back in `specs` order.
+/// to `threads` workers. Results come back in `specs` order; a run that
+/// fails (e.g. bad workload notation) yields its error without aborting the
+/// sibling runs.
 pub fn run_parallel(
     table: &Table,
     setup: &DriftSetup,
     specs: &[RunSpec],
     base_cfg: &RunnerConfig,
     threads: usize,
-) -> Vec<RunResult> {
+) -> Vec<Result<RunResult, WarperError>> {
     warper_linalg::parallel::run_indexed(specs.len(), threads, |i| {
         let spec = specs[i];
         let cfg = RunnerConfig {
@@ -68,6 +71,7 @@ mod tests {
                 n_p: 40,
                 ..Default::default()
             },
+            ..Default::default()
         }
     }
 
@@ -98,11 +102,12 @@ mod tests {
         let parallel = run_parallel(&table, &setup, &specs, &tiny_cfg(), 3);
         assert_eq!(parallel.len(), 3);
         for (spec, res) in specs.iter().zip(&parallel) {
+            let res = res.as_ref().unwrap();
             let cfg = RunnerConfig {
                 seed: spec.seed,
                 ..tiny_cfg()
             };
-            let seq = run_single_table(&table, &setup, spec.model, spec.strategy, &cfg);
+            let seq = run_single_table(&table, &setup, spec.model, spec.strategy, &cfg).unwrap();
             assert_eq!(seq.curve.points(), res.curve.points(), "{}", res.strategy);
             assert_eq!(seq.strategy, res.strategy);
         }

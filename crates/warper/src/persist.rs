@@ -13,7 +13,30 @@ use warper_nn::Mlp;
 use crate::config::WarperConfig;
 use crate::controller::WarperController;
 use crate::encoder::Encoder;
+use crate::error::WarperError;
 use crate::pool::QueryPool;
+
+/// Transient drift-handling runtime carried by newer snapshots: the adaptive
+/// threshold π, the active-drift counters, and the rolling evaluation
+/// window. Older snapshots deserialize without it (`runtime: None`) and the
+/// restored controller starts with fresh counters, exactly as before.
+#[derive(Serialize, Deserialize, Clone, Debug, Default)]
+pub struct RuntimeState {
+    /// The adaptive drift-detection threshold π.
+    pub pi: f64,
+    /// Whether a drift was being handled at snapshot time.
+    pub drift_active: bool,
+    /// Arrivals since the active drift began.
+    pub n_t_since_drift: usize,
+    /// Labeled arrivals/annotations since the active drift began.
+    pub n_a_since_drift: usize,
+    /// Eval GMQ of the previous invocation (early-stop reference).
+    pub prev_eval_gmq: Option<f64>,
+    /// Data-drift changed-row fraction already handled (c1 dedup).
+    pub handled_changed_fraction: f64,
+    /// Rolling window of recent labeled arrivals used for δ_m and eval.
+    pub recent_eval: Vec<(Vec<f64>, f64)>,
+}
 
 /// A snapshot of a [`WarperController`].
 #[derive(Serialize, Deserialize, Clone)]
@@ -34,6 +57,77 @@ pub struct WarperState {
     pub gamma: usize,
     /// RNG seed for the restored controller.
     pub seed: u64,
+    /// Transient drift runtime (absent in snapshots from older versions).
+    #[serde(default)]
+    pub runtime: Option<RuntimeState>,
+}
+
+impl WarperState {
+    /// Validates structural and numeric invariants before a controller is
+    /// (re)built from this snapshot. A corrupted snapshot — non-finite
+    /// weights, mismatched dimensions, impossible counters — is rejected
+    /// with a typed error instead of poisoning a serving controller.
+    pub fn validate(&self) -> Result<(), WarperError> {
+        let invalid = |msg: String| Err(WarperError::InvalidState(msg));
+        if !self.baseline_gmq.is_finite() || self.baseline_gmq <= 0.0 {
+            return invalid(format!("baseline_gmq {} is not usable", self.baseline_gmq));
+        }
+        if self.gamma == 0 {
+            return invalid("gamma must be positive".into());
+        }
+        if !self.cfg.pi.is_finite() || self.cfg.pi <= 0.0 {
+            return invalid(format!("configured pi {} is not usable", self.cfg.pi));
+        }
+        if !self.encoder.net().params_finite() {
+            return invalid("encoder has non-finite parameters".into());
+        }
+        if !self.generator.params_finite() {
+            return invalid("generator has non-finite parameters".into());
+        }
+        if !self.discriminator.params_finite() {
+            return invalid("discriminator has non-finite parameters".into());
+        }
+        let m = self.encoder.feature_dim();
+        if self.generator.out_dim() != m {
+            return invalid(format!(
+                "generator emits {} features but the encoder expects {m}",
+                self.generator.out_dim()
+            ));
+        }
+        for (i, r) in self.pool.records().iter().enumerate() {
+            if r.features.len() != m {
+                return invalid(format!(
+                    "pool record {i} has {} features, expected {m}",
+                    r.features.len()
+                ));
+            }
+            if r.features.iter().any(|v| !v.is_finite()) {
+                return invalid(format!("pool record {i} has non-finite features"));
+            }
+            if r.gt.is_some_and(|g| !g.is_finite()) {
+                return invalid(format!("pool record {i} has a non-finite label"));
+            }
+        }
+        if let Some(rt) = &self.runtime {
+            if !rt.pi.is_finite() || rt.pi <= 0.0 {
+                return invalid(format!("runtime pi {} is not usable", rt.pi));
+            }
+            if !rt.handled_changed_fraction.is_finite() {
+                return invalid("runtime handled_changed_fraction is non-finite".into());
+            }
+            if rt.prev_eval_gmq.is_some_and(|g| !g.is_finite()) {
+                return invalid("runtime prev_eval_gmq is non-finite".into());
+            }
+            if rt
+                .recent_eval
+                .iter()
+                .any(|(f, a)| !a.is_finite() || f.iter().any(|v| !v.is_finite()))
+            {
+                return invalid("runtime eval window contains non-finite values".into());
+            }
+        }
+        Ok(())
+    }
 }
 
 impl WarperController {
@@ -51,13 +145,18 @@ impl WarperController {
             baseline_gmq: self.detector().baseline_gmq(),
             gamma: self.gamma(),
             seed: self.seed(),
+            runtime: Some(self.runtime_state()),
         }
     }
 
-    /// Restores a controller from a snapshot (fresh optimizer state and
-    /// drift counters; the detector restarts at the configured π).
-    pub fn from_state(state: WarperState) -> Self {
-        WarperController::restore(
+    /// Restores a controller from a snapshot (fresh optimizer state; drift
+    /// counters and the adaptive π resume from the snapshot's runtime when
+    /// present). The snapshot is validated first: corrupted state yields a
+    /// typed error, never a controller that panics or serves NaNs.
+    pub fn from_state(state: WarperState) -> Result<Self, WarperError> {
+        state.validate()?;
+        let runtime = state.runtime.clone();
+        let mut ctl = WarperController::restore(
             state.cfg,
             state.pool,
             state.encoder,
@@ -66,7 +165,11 @@ impl WarperController {
             state.baseline_gmq,
             state.gamma,
             state.seed,
-        )
+        );
+        if let Some(rt) = &runtime {
+            ctl.apply_runtime(rt);
+        }
+        Ok(ctl)
     }
 }
 
@@ -120,11 +223,11 @@ mod tests {
             .collect();
         let mut model = ToyModel;
         ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
-            vec![90_000.0; qs.len()]
+            vec![Some(90_000.0); qs.len()]
         });
 
         let json = serde_json::to_string(&ctl.to_state()).unwrap();
-        let restored = WarperController::from_state(serde_json::from_str(&json).unwrap());
+        let restored = WarperController::from_state(serde_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(restored.pool().len(), ctl.pool().len());
         assert_eq!(restored.gamma(), ctl.gamma());
         assert_eq!(
@@ -150,7 +253,7 @@ mod tests {
             ..Default::default()
         };
         let ctl = WarperController::new(4, &training_set(), 1.5, cfg, 7);
-        let mut restored = WarperController::from_state(ctl.to_state());
+        let mut restored = WarperController::from_state(ctl.to_state()).unwrap();
         let arrived: Vec<ArrivedQuery> = (0..40)
             .map(|_| ArrivedQuery {
                 features: vec![0.9; 4],
@@ -159,7 +262,7 @@ mod tests {
             .collect();
         let mut model = ToyModel;
         let report = restored.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
-            vec![50_000.0; qs.len()]
+            vec![Some(50_000.0); qs.len()]
         });
         assert!(
             report.mode.any(),

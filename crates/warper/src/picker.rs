@@ -144,10 +144,10 @@ impl Picker {
         }
         let mut ref_errors: Vec<(usize, f64)> = references
             .iter()
-            .map(|&i| {
+            .filter_map(|&i| {
                 let r = &pool.records()[i];
                 let est = model.estimate(&r.features);
-                (i, q_error(est, r.gt.unwrap(), PAPER_THETA))
+                r.gt.map(|gt| (i, q_error(est, gt, PAPER_THETA)))
             })
             .collect();
         ref_errors.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));

@@ -186,7 +186,7 @@ impl QueryPool {
         self.records
             .iter()
             .filter(|r| r.labeled() && sources.contains(&r.source))
-            .map(|r| (r.features.clone(), r.gt.unwrap()))
+            .filter_map(|r| r.gt.map(|g| (r.features.clone(), g)))
             .collect()
     }
 

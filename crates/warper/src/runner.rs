@@ -20,7 +20,10 @@ use warper_ce::mscn::{Mscn, MscnFeaturizer};
 use warper_ce::{CardinalityEstimator, LabeledExample};
 use warper_metrics::{delta_js, gmq, AdaptationCurve, PAPER_THETA};
 use warper_nn::GbtParams;
-use warper_query::{Annotator, Featurizer, RangePredicate};
+use warper_query::{
+    Annotator, CountService, FaultConfig, FaultInjector, Featurizer, RangePredicate,
+    ResilientAnnotator, SamplingAnnotator,
+};
 use warper_storage::drift as data_drift;
 use warper_storage::{ChangeLog, Table};
 use warper_workload::{ArrivalProcess, QueryGenerator};
@@ -31,7 +34,11 @@ use crate::baselines::{
 use crate::config::WarperConfig;
 use crate::controller::{CanonicalizeFn, GenKind, WarperController, WarperStrategy};
 use crate::detect::{CanarySet, DataTelemetry};
+use crate::error::WarperError;
 use crate::picker::PickerKind;
+use crate::supervisor::SupervisorConfig;
+
+pub use warper_query::DegradedStats;
 
 /// Which CE model a run adapts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +198,16 @@ pub struct RunnerConfig {
     pub seed: u64,
     /// Warper configuration.
     pub warper: WarperConfig,
+    /// Fault profile injected into the annotation path (chaos runs). `None`
+    /// annotates exactly, as the seed behavior did.
+    pub faults: Option<FaultConfig>,
+    /// Per-invocation annotation row budget — the deadline proxy. Once an
+    /// adaptation step has scanned this many rows, the rest of its batch is
+    /// skipped instead of blocking the loop. `None` = unbounded.
+    pub annotate_budget_rows: Option<usize>,
+    /// Checkpoint/rollback supervisor for Warper strategies. `None` runs
+    /// unsupervised.
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl Default for RunnerConfig {
@@ -203,6 +220,9 @@ impl Default for RunnerConfig {
             arrivals_labeled: true,
             seed: 7,
             warper: WarperConfig::default(),
+            faults: None,
+            annotate_budget_rows: None,
+            supervisor: None,
         }
     }
 }
@@ -233,6 +253,14 @@ pub struct RunResult {
     pub adapt_secs: f64,
     /// Seconds to build/pre-train the strategy (Warper's one-time cost).
     pub build_secs: f64,
+    /// Annotation requests that produced no label (failed, timed out, or
+    /// deadline-skipped) and were requeued.
+    pub annotation_failed_total: usize,
+    /// Supervisor rollbacks across the run (0 without a supervisor).
+    pub rollbacks: usize,
+    /// Degradation-ladder counters (all zero without fault injection or a
+    /// row budget).
+    pub degraded: DegradedStats,
 }
 
 /// Builds a CE model for a feature dimension.
@@ -290,7 +318,11 @@ pub fn build_strategy(
             let ctl =
                 WarperController::new(feature_dim, training_set, baseline_gmq, cfg.warper, seed)
                     .with_canonicalizer(make_canon());
-            Box::new(WarperStrategy::new(ctl))
+            let mut strat = WarperStrategy::new(ctl);
+            if let Some(sup) = cfg.supervisor {
+                strat = strat.with_supervisor(sup);
+            }
+            Box::new(strat)
         }
         StrategyKind::WarperAblated { picker, gen } => {
             let ctl =
@@ -298,7 +330,11 @@ pub fn build_strategy(
                     .with_picker(picker)
                     .with_generator(gen)
                     .with_canonicalizer(make_canon());
-            Box::new(WarperStrategy::named(ctl, kind.name()))
+            let mut strat = WarperStrategy::named(ctl, kind.name());
+            if let Some(sup) = cfg.supervisor {
+                strat = strat.with_supervisor(sup);
+            }
+            Box::new(strat)
         }
     }
 }
@@ -373,13 +409,17 @@ impl FeatureMap {
 }
 
 /// Runs one (strategy × model × drift) experiment.
+///
+/// Errors on invalid workload notation or an inconsistent model/featurizer
+/// pairing; a faulty annotator (see [`RunnerConfig::faults`]) degrades the
+/// run but never fails it.
 pub fn run_single_table(
     base_table: &Table,
     setup: &DriftSetup,
     model_kind: ModelKind,
     strategy_kind: StrategyKind,
     cfg: &RunnerConfig,
-) -> RunResult {
+) -> Result<RunResult, WarperError> {
     let mut table = base_table.clone();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let fmap = FeatureMap::new(&table, model_kind);
@@ -392,7 +432,7 @@ pub fn run_single_table(
     };
 
     // 1. I_train and the pre-drift baseline.
-    let mut train_gen = QueryGenerator::from_notation(&table, train_mix);
+    let mut train_gen = QueryGenerator::try_from_notation(&table, train_mix)?;
     let train_preds = train_gen.generate_many(cfg.n_train, &mut rng);
     let train_cards = annotator.count_batch(&table, &train_preds);
     let training_set: Vec<(Vec<f64>, f64)> = train_preds
@@ -402,10 +442,14 @@ pub fn run_single_table(
         .collect();
 
     let mut model: Box<dyn CardinalityEstimator> = match model_kind {
-        ModelKind::Mscn => Box::new(Mscn::new(
-            fmap.mscn.as_ref().unwrap().config(),
-            cfg.seed ^ 0x5150,
-        )),
+        ModelKind::Mscn => {
+            let Some(mscn) = fmap.mscn.as_ref() else {
+                return Err(WarperError::InvalidState(
+                    "MSCN run without an MSCN featurizer".into(),
+                ));
+            };
+            Box::new(Mscn::new(mscn.config(), cfg.seed ^ 0x5150))
+        }
         other => build_model(other, fmap.dim(), cfg.seed ^ 0x5150),
     };
     let examples: Vec<LabeledExample> = training_set
@@ -432,7 +476,7 @@ pub fn run_single_table(
     if let Some(kind) = data_kind {
         kind.apply(&mut table, &mut rng);
     }
-    let mut new_gen = QueryGenerator::from_notation(&table, new_mix);
+    let mut new_gen = QueryGenerator::try_from_notation(&table, new_mix)?;
 
     // 3. Held-out test set from the new workload on the (post-drift) table.
     let test_preds = new_gen.generate_many(cfg.n_test, &mut rng);
@@ -468,6 +512,25 @@ pub fn run_single_table(
     );
     let build_secs = build_start.elapsed().as_secs_f64();
 
+    // Annotation backend: exact, or the degradation ladder when faults are
+    // injected or a per-invocation deadline is set. The sampling fallback is
+    // built on the post-drift table (a DBMS would sample live data too).
+    let mut ladder = match (cfg.faults, cfg.annotate_budget_rows) {
+        (None, None) => None,
+        (faults, budget) => {
+            let primary: Box<dyn CountService> = match faults {
+                Some(f) => Box::new(FaultInjector::new(Box::new(Annotator::new()), f)),
+                None => Box::new(Annotator::new()),
+            };
+            let mut r = ResilientAnnotator::new(primary)
+                .with_fallback(Box::new(SamplingAnnotator::build(&table, 500, 4, &mut rng)));
+            if let Some(rows) = budget {
+                r = r.with_budget_rows(rows);
+            }
+            Some(r)
+        }
+    };
+
     // 5. The test period.
     let mut curve = AdaptationCurve::new();
     let drift_gmq = eval(model.as_ref());
@@ -476,6 +539,8 @@ pub fn run_single_table(
     let mut annotate_secs = 0.0;
     let mut annotated_total = 0usize;
     let mut generated_total = 0usize;
+    let mut annotation_failed_total = 0usize;
+    let mut rollbacks = 0usize;
     let mut adapt_secs = 0.0;
     let mut prev_arrived = 0usize;
 
@@ -506,17 +571,28 @@ pub fn run_single_table(
 
         let step_start = Instant::now();
         let mut step_annotate_secs = 0.0;
+        if let Some(l) = ladder.as_mut() {
+            l.begin_invocation();
+        }
         let report = {
             let table_ref = &table;
             let fmap_ref = &fmap;
             let annotator_ref = &annotator;
-            let mut annotate = |qs: &[Vec<f64>]| -> Vec<f64> {
+            let ladder_ref = &mut ladder;
+            let mut annotate = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
                 let a0 = Instant::now();
                 let preds: Vec<RangePredicate> =
                     qs.iter().map(|f| fmap_ref.defeaturize(f)).collect();
-                let counts = annotator_ref.count_batch(table_ref, &preds);
+                let labels = match ladder_ref.as_mut() {
+                    Some(l) => l.annotate_batch(table_ref, &preds),
+                    None => annotator_ref
+                        .count_batch(table_ref, &preds)
+                        .into_iter()
+                        .map(|c| Some(c as f64))
+                        .collect(),
+                };
                 step_annotate_secs += a0.elapsed().as_secs_f64();
-                counts.into_iter().map(|c| c as f64).collect()
+                labels
             };
             strategy.step(model.as_mut(), &arrived, &telemetry, &mut annotate)
         };
@@ -524,13 +600,15 @@ pub fn run_single_table(
         annotate_secs += step_annotate_secs;
         annotated_total += report.annotated;
         generated_total += report.generated;
+        annotation_failed_total += report.annotation_failed;
+        rollbacks += report.rolled_back as usize;
 
         curve.push(total_arrived as f64, eval(model.as_ref()));
     }
     // Data drift fully handled → canaries could rebaseline; informative only.
     canaries.rebaseline(&table);
 
-    RunResult {
+    Ok(RunResult {
         strategy: strategy.name().to_string(),
         model: model_kind.name().to_string(),
         curve,
@@ -542,7 +620,10 @@ pub fn run_single_table(
         annotate_secs,
         adapt_secs,
         build_secs,
-    }
+        annotation_failed_total,
+        rollbacks,
+        degraded: ladder.as_ref().map(|l| l.stats()).unwrap_or_default(),
+    })
 }
 
 #[cfg(test)]
@@ -570,6 +651,7 @@ mod tests {
                 n_p: 60,
                 ..Default::default()
             },
+            ..Default::default()
         }
     }
 
@@ -586,7 +668,8 @@ mod tests {
             ModelKind::LmMlp,
             StrategyKind::Ft,
             &quick_cfg(),
-        );
+        )
+        .unwrap();
         assert_eq!(res.strategy, "FT");
         assert_eq!(res.curve.points().len(), 4); // 0 + 3 checkpoints
         assert!(res.delta_js > 0.0);
@@ -610,7 +693,8 @@ mod tests {
             ModelKind::LmMlp,
             StrategyKind::Warper,
             &quick_cfg(),
-        );
+        )
+        .unwrap();
         assert_eq!(res.strategy, "Warper");
         // If the drift registered, Warper should have synthesized queries.
         if res.delta_m > quick_cfg().warper.pi {
@@ -633,7 +717,8 @@ mod tests {
         };
         let mut cfg = quick_cfg();
         cfg.arrivals_labeled = false; // c1: labels must be re-obtained
-        let res = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
+        let res =
+            run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg).unwrap();
         assert!(res.annotated_total > 0, "c1 must re-annotate");
     }
 
@@ -645,8 +730,56 @@ mod tests {
             new: "w5".into(),
         };
         let cfg = quick_cfg();
-        let a = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg);
-        let b = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg);
+        let a = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg).unwrap();
+        let b = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg).unwrap();
         assert_eq!(a.curve.points(), b.curve.points());
+    }
+
+    #[test]
+    fn bad_notation_is_a_typed_error_not_a_panic() {
+        let table = generate(DatasetKind::Poker, 1_000, 8);
+        let setup = DriftSetup::Workload {
+            train: "bogus".into(),
+            new: "w5".into(),
+        };
+        let err = run_single_table(
+            &table,
+            &setup,
+            ModelKind::LmMlp,
+            StrategyKind::Ft,
+            &quick_cfg(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, WarperError::Workload(_)), "{err}");
+    }
+
+    #[test]
+    fn faulty_annotator_degrades_gracefully() {
+        let table = generate(DatasetKind::Prsa, 3_000, 9);
+        // Data drift forces re-annotation through the faulty path.
+        let setup = DriftSetup::Data {
+            workload: "w1".into(),
+            kind: DataDriftKind::SortTruncate { col: 1 },
+        };
+        let mut cfg = quick_cfg();
+        cfg.arrivals_labeled = false;
+        cfg.faults = Some(FaultConfig {
+            failure_rate: 0.2,
+            seed: 21,
+            ..Default::default()
+        });
+        cfg.annotate_budget_rows = Some(60_000);
+        cfg.supervisor = Some(SupervisorConfig::default());
+        let res =
+            run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg).unwrap();
+        // Every checkpoint completed despite 20% injected failures + deadline.
+        assert_eq!(res.curve.points().len(), 4);
+        assert!(
+            res.degraded.any(),
+            "20% failures must trip the ladder: {:?}",
+            res.degraded
+        );
+        assert!(res.degraded.retried > 0, "{:?}", res.degraded);
+        assert!(res.rollbacks <= 3);
     }
 }

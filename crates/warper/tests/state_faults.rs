@@ -1,0 +1,179 @@
+//! Chaos/property suite (`--features faults`): snapshot corruption.
+//!
+//! Property: take a healthy [`WarperState`] snapshot, corrupt exactly one
+//! field, and restore. The restore must either fail with a clean typed
+//! error or produce a controller whose own re-snapshot still validates and
+//! whose next invocation stays finite. It must never panic and never serve
+//! non-finite numbers.
+#![cfg(feature = "faults")]
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use warper_core::detect::DataTelemetry;
+use warper_core::{ArrivedQuery, WarperConfig, WarperController, WarperState};
+use warper_repro_ce_shim::ToyModel;
+
+/// Minimal estimator so the restored controller can run an invocation.
+mod warper_repro_ce_shim {
+    use warper_ce::{CardinalityEstimator, LabeledExample, UpdateKind};
+
+    pub struct ToyModel;
+    impl CardinalityEstimator for ToyModel {
+        fn feature_dim(&self) -> usize {
+            4
+        }
+        fn estimate(&self, f: &[f64]) -> f64 {
+            1000.0 * (0.1 + f[0])
+        }
+        fn fit(&mut self, _e: &[LabeledExample]) {}
+        fn update(&mut self, _e: &[LabeledExample]) {}
+        fn update_kind(&self) -> UpdateKind {
+            UpdateKind::FineTune
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+}
+
+/// One healthy snapshot, built once: controller construction pre-trains the
+/// GAN, which is far too slow to repeat per proptest case.
+fn base_state() -> &'static WarperState {
+    static STATE: OnceLock<WarperState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let cfg = WarperConfig {
+            embed_dim: 6,
+            hidden: 16,
+            n_i: 8,
+            pretrain_epochs: 2,
+            gamma: 100,
+            ..Default::default()
+        };
+        let train: Vec<(Vec<f64>, f64)> = (0..40)
+            .map(|i| (vec![0.2 + 0.001 * (i % 7) as f64; 4], 300.0))
+            .collect();
+        let mut ctl = WarperController::new(4, &train, 1.5, cfg, 42);
+        // One invocation so the pool holds new + generated records and the
+        // runtime window is non-empty — more state for corruption to hit.
+        let arrived: Vec<ArrivedQuery> = (0..30)
+            .map(|i| ArrivedQuery {
+                features: vec![0.8 + 0.001 * (i % 5) as f64; 4],
+                gt: Some(90_000.0),
+            })
+            .collect();
+        ctl.invoke(
+            &mut ToyModel,
+            &arrived,
+            &DataTelemetry::default(),
+            &mut |qs| vec![Some(90_000.0); qs.len()],
+        );
+        ctl.to_state()
+    })
+}
+
+/// Applies corruption #`which` (with poison value #`poison`) to the state.
+/// Returns `false` when the mutation is benign by construction (the restore
+/// is then required to succeed).
+fn corrupt(state: &mut WarperState, which: usize, poison: usize) -> bool {
+    let bad = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][poison % 3];
+    match which {
+        0 => state.baseline_gmq = bad,
+        1 => state.baseline_gmq = -3.0,
+        2 => state.gamma = 0,
+        3 => state.cfg.pi = bad,
+        4 => state.encoder.net_mut().layers_mut()[0].w.row_mut(0)[0] = bad,
+        5 => state.generator.layers_mut()[0].w.row_mut(0)[0] = bad,
+        6 => state.discriminator.layers_mut()[0].b[0] = bad,
+        7 => {
+            let r = &mut state.pool.records_mut()[0];
+            r.features.pop();
+        }
+        8 => state.pool.records_mut()[0].features[0] = bad,
+        9 => state.pool.records_mut()[0].gt = Some(bad),
+        10 => {
+            if let Some(rt) = state.runtime.as_mut() {
+                rt.pi = bad;
+            }
+        }
+        11 => {
+            if let Some(rt) = state.runtime.as_mut() {
+                rt.recent_eval.push((vec![bad; 4], 1.0));
+            }
+        }
+        12 => {
+            if let Some(rt) = state.runtime.as_mut() {
+                rt.prev_eval_gmq = Some(bad);
+            }
+        }
+        // Benign mutations: restoring must still work.
+        13 => {
+            state.seed = state.seed.wrapping_add(1);
+            return false;
+        }
+        _ => {
+            state.runtime = None;
+            return false;
+        }
+    }
+    true
+}
+
+/// The restored controller must stay numerically sane end to end.
+fn assert_serves_finitely(mut ctl: WarperController) {
+    let arrived: Vec<ArrivedQuery> = (0..10)
+        .map(|_| ArrivedQuery {
+            features: vec![0.9; 4],
+            gt: Some(50_000.0),
+        })
+        .collect();
+    let report = ctl.invoke(
+        &mut ToyModel,
+        &arrived,
+        &DataTelemetry::default(),
+        &mut |qs| vec![Some(50_000.0); qs.len()],
+    );
+    if let Some(g) = report.eval_gmq {
+        assert!(g.is_finite(), "restored controller served GMQ {g}");
+    }
+    assert!(
+        ctl.to_state().validate().is_ok(),
+        "restored controller re-snapshots into an invalid state"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Corrupt one field → clean error or a validated, finite controller.
+    #[test]
+    fn corrupted_snapshot_never_panics_or_serves_nan(
+        which in 0usize..15,
+        poison in 0usize..3,
+    ) {
+        let mut state = base_state().clone();
+        let definitely_bad = corrupt(&mut state, which, poison);
+        match WarperController::from_state(state) {
+            Err(e) => {
+                // The typed error formats without panicking.
+                prop_assert!(!format!("{e}").is_empty());
+            }
+            Ok(ctl) => {
+                prop_assert!(
+                    !definitely_bad,
+                    "corruption {which}/{poison} restored without an error"
+                );
+                assert_serves_finitely(ctl);
+            }
+        }
+    }
+
+    /// Truncated snapshot JSON must be a parse error, never a panic.
+    #[test]
+    fn truncated_snapshot_json_is_a_clean_parse_error(cut in 1usize..4096) {
+        let json = serde_json::to_string(base_state()).expect("serialize");
+        let cut = cut.min(json.len().saturating_sub(1));
+        let truncated = &json[..cut];
+        prop_assert!(serde_json::from_str::<WarperState>(truncated).is_err());
+    }
+}

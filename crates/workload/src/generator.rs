@@ -89,6 +89,25 @@ impl Mix {
     }
 }
 
+/// A workload-mixture notation string that [`Mix::parse`] rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotationError {
+    /// The offending notation string.
+    pub notation: String,
+}
+
+impl std::fmt::Display for NotationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bad workload notation {:?} (expected e.g. \"w12\" or \"345\")",
+            self.notation
+        )
+    }
+}
+
+impl std::error::Error for NotationError {}
+
 /// How many columns each generated predicate constrains.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadSpec {
@@ -139,10 +158,23 @@ impl<'t> QueryGenerator<'t> {
     }
 
     /// Convenience constructor parsing the paper's `"w12"` notation.
+    ///
+    /// # Panics
+    /// Panics on malformed notation; use [`QueryGenerator::try_from_notation`]
+    /// to handle that case.
     pub fn from_notation(table: &'t Table, notation: &str) -> Self {
-        let mix =
-            Mix::parse(notation).unwrap_or_else(|| panic!("bad workload notation {notation:?}"));
-        Self::new(table, mix, WorkloadSpec::default())
+        match Self::try_from_notation(table, notation) {
+            Ok(gen) => gen,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`QueryGenerator::from_notation`].
+    pub fn try_from_notation(table: &'t Table, notation: &str) -> Result<Self, NotationError> {
+        let mix = Mix::parse(notation).ok_or_else(|| NotationError {
+            notation: notation.to_string(),
+        })?;
+        Ok(Self::new(table, mix, WorkloadSpec::default()))
     }
 
     /// The mixture in use.

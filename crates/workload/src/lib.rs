@@ -13,5 +13,5 @@ pub mod generator;
 pub mod scenario;
 
 pub use arrival::ArrivalProcess;
-pub use generator::{Method, Mix, QueryGenerator, WorkloadSpec};
+pub use generator::{Method, Mix, NotationError, QueryGenerator, WorkloadSpec};
 pub use scenario::{DriftEvent, Period, Scenario};

@@ -49,7 +49,7 @@ fn main() {
             gen: GenKind::Noise,
         },
     ] {
-        let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
+        let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg).expect("run");
         let pts: Vec<String> = res
             .curve
             .points()

@@ -70,7 +70,7 @@ fn main() {
         ..Default::default()
     };
     for strategy in [StrategyKind::Ft, StrategyKind::Warper] {
-        let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
+        let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg).expect("run");
         let pts: Vec<String> = res
             .curve
             .points()

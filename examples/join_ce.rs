@@ -189,8 +189,11 @@ fn main() {
                     }
                 })
                 .collect();
-            let mut annotate =
-                |qs: &[Vec<f64>]| qs.iter().map(|f| annotate_features(&mf, &db, f)).collect();
+            let mut annotate = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
+                qs.iter()
+                    .map(|f| Some(annotate_features(&mf, &db, f)))
+                    .collect()
+            };
             match &mut warper_ctl {
                 Some(ctl) => {
                     ctl.invoke(

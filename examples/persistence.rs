@@ -59,7 +59,7 @@ fn main() {
     let arrived = arrive(50, &mut rng, &mut new_gen);
     let rep = ctl.invoke(&mut model, &arrived, &DataTelemetry::default(), &mut |qs| {
         qs.iter()
-            .map(|q| a.count(&table, &f.defeaturize(q)) as f64)
+            .map(|q| Some(a.count(&table, &f.defeaturize(q)) as f64))
             .collect()
     });
     println!(
@@ -77,10 +77,12 @@ fn main() {
     );
 
     // --- "second process": restore and continue adapting.
-    let mut model2 = LmMlp::from_state(serde_json::from_str(&model_json).unwrap());
+    let mut model2 = LmMlp::from_state(serde_json::from_str(&model_json).unwrap())
+        .expect("validated model snapshot restores");
     let f2 = f.clone();
     let mut ctl2 =
         WarperController::from_state(serde_json::from_str::<WarperState>(&warper_json).unwrap())
+            .expect("validated snapshot restores")
             .with_canonicalizer(Box::new(move |q: &[f64]| {
                 f2.featurize(&f2.defeaturize(q).keep_most_selective(f2.domains(), 3))
             }));
@@ -97,7 +99,7 @@ fn main() {
         &DataTelemetry::default(),
         &mut |qs| {
             qs.iter()
-                .map(|q| a.count(&table, &f.defeaturize(q)) as f64)
+                .map(|q| Some(a.count(&table, &f.defeaturize(q)) as f64))
                 .collect()
         },
     );

@@ -33,7 +33,7 @@ fn main() {
     println!("\nadapting LM-mlp to the drift:");
     let mut results = Vec::new();
     for strategy in [StrategyKind::Ft, StrategyKind::Warper] {
-        let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg);
+        let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &cfg).expect("run");
         println!(
             "  {:<8} δ_m={:>5.2} δ_js={:.2}  curve: {}",
             res.strategy,

@@ -160,10 +160,22 @@ fn cmd_adapt(flags: &HashMap<String, String>) -> ExitCode {
         strategy.name()
     );
 
-    let res = run_single_table(&table, &setup, model, strategy, &cfg);
+    let res = match run_single_table(&table, &setup, model, strategy, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     print_run(&res);
     if flags.contains_key("compare-ft") && strategy != StrategyKind::Ft {
-        let ft = run_single_table(&table, &setup, model, StrategyKind::Ft, &cfg);
+        let ft = match run_single_table(&table, &setup, model, StrategyKind::Ft, &cfg) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FT comparison run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         print_run(&ft);
         let alpha = ft.curve.initial_gmq().unwrap_or(1.0);
         let beta = ft

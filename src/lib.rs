@@ -35,7 +35,8 @@
 //!     ModelKind::LmMlp,
 //!     StrategyKind::Warper,
 //!     &cfg,
-//! );
+//! )
+//! .expect("valid workload notation");
 //! println!("GMQ curve: {:?}", result.curve.points());
 //! ```
 

@@ -99,7 +99,7 @@ impl Env {
         let a = &self.annotator;
         ctl.invoke(model, arrived, telemetry, &mut |qs| {
             qs.iter()
-                .map(|q| a.count(table, &f.defeaturize(q)) as f64)
+                .map(|q| Some(a.count(table, &f.defeaturize(q)) as f64))
                 .collect()
         })
     }

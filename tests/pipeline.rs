@@ -29,6 +29,7 @@ fn tiny_cfg(seed: u64) -> RunnerConfig {
             n_p: 60,
             ..Default::default()
         },
+        ..Default::default()
     }
 }
 
@@ -46,7 +47,8 @@ fn every_strategy_completes_a_run() {
         StrategyKind::Hem,
         StrategyKind::Warper,
     ] {
-        let res = run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &tiny_cfg(31));
+        let res =
+            run_single_table(&table, &setup, ModelKind::LmMlp, strategy, &tiny_cfg(31)).unwrap();
         assert_eq!(res.curve.points().len(), 4, "{}", res.strategy);
         assert!(res
             .curve
@@ -71,7 +73,8 @@ fn every_model_kind_completes_a_run() {
         ModelKind::LmRbf,
         ModelKind::Mscn,
     ] {
-        let res = run_single_table(&table, &setup, model, StrategyKind::Warper, &tiny_cfg(33));
+        let res =
+            run_single_table(&table, &setup, model, StrategyKind::Warper, &tiny_cfg(33)).unwrap();
         assert_eq!(res.model, model.name());
         assert!(res.curve.best_gmq().unwrap().is_finite(), "{}", res.model);
     }
@@ -87,7 +90,8 @@ fn combined_drift_runs() {
     };
     let mut cfg = tiny_cfg(35);
     cfg.arrivals_labeled = false;
-    let res = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
+    let res =
+        run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg).unwrap();
     // Combined drift: both data telemetry and the workload change act.
     assert!(
         res.annotated_total > 0,
@@ -138,14 +142,16 @@ fn runner_is_deterministic_across_processes() {
         ModelKind::LmMlp,
         StrategyKind::Warper,
         &tiny_cfg(43),
-    );
+    )
+    .unwrap();
     let b = run_single_table(
         &table,
         &setup,
         ModelKind::LmMlp,
         StrategyKind::Warper,
         &tiny_cfg(43),
-    );
+    )
+    .unwrap();
     assert_eq!(a.curve.points(), b.curve.points());
     assert_eq!(a.generated_total, b.generated_total);
     assert_eq!(a.annotated_total, b.annotated_total);
@@ -159,8 +165,9 @@ fn speedup_report_vs_ft_is_computable() {
         new: "w345".into(),
     };
     let cfg = tiny_cfg(47);
-    let ft = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg);
-    let warper = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg);
+    let ft = run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Ft, &cfg).unwrap();
+    let warper =
+        run_single_table(&table, &setup, ModelKind::LmMlp, StrategyKind::Warper, &cfg).unwrap();
     let alpha = ft.curve.initial_gmq().unwrap();
     let beta = ft
         .curve

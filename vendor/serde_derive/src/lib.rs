@@ -7,14 +7,22 @@
 //! Supported shapes (everything the workspace derives on): non-generic
 //! structs with named fields, and non-generic enums whose variants are unit,
 //! newtype/tuple, or struct-like. Encodings match upstream serde's
-//! externally-tagged JSON.
+//! externally-tagged JSON. The only field attribute understood is
+//! `#[serde(default)]` / `#[serde(default = "path")]`: a field missing from
+//! the input is filled from `Default::default()` (or `path()`) instead of
+//! erroring, which lets snapshot formats grow fields without breaking old
+//! files. Any other `#[serde(...)]` field attribute is a hard error — better
+//! than silently producing a wrong encoding.
+
+// A proc macro's only error channel is a compile-time panic.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Item {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
@@ -27,15 +35,40 @@ struct Variant {
     kind: VariantKind,
 }
 
+struct Field {
+    name: String,
+    default: FieldDefault,
+}
+
+enum FieldDefault {
+    /// No `#[serde(default)]`: the field must appear in the input.
+    Required,
+    /// `#[serde(default)]`: a missing field becomes `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]`: a missing field becomes `path()`.
+    Path(String),
+}
+
+impl FieldDefault {
+    /// The expression substituted for a missing field, if any.
+    fn missing_expr(&self) -> Option<String> {
+        match self {
+            FieldDefault::Required => None,
+            FieldDefault::Trait => Some("::std::default::Default::default()".to_string()),
+            FieldDefault::Path(p) => Some(format!("{p}()")),
+        }
+    }
+}
+
 enum VariantKind {
     Unit,
     /// Parenthesised payload with this many fields (1 = newtype).
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Derives `serde::Serialize` (JSON writer).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -44,7 +77,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (JSON reader).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -120,15 +153,23 @@ fn parse_item(input: TokenStream) -> Item {
 /// has none, but `HashMap<K, V>` would) are skipped by depth tracking;
 /// commas inside any bracketed group (e.g. `[usize; 2]`) are invisible here
 /// because the group is a single token tree.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        // Skip field attributes and visibility.
+        // Skip field attributes and visibility, noting `#[serde(default)]`.
+        let mut default = FieldDefault::Required;
         loop {
             match tokens.get(i) {
-                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        if let Some(d) = parse_serde_field_attr(g.stream()) {
+                            default = d;
+                        }
+                    }
+                    i += 2;
+                }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     i += 1;
                     if let Some(TokenTree::Group(g)) = tokens.get(i) {
@@ -143,7 +184,10 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         let Some(TokenTree::Ident(id)) = tokens.get(i) else {
             break;
         };
-        fields.push(id.to_string());
+        fields.push(Field {
+            name: id.to_string(),
+            default,
+        });
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -167,6 +211,32 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         }
     }
     fields
+}
+
+/// Recognizes a `serde(...)` field attribute's bracket-group contents.
+/// Returns `None` for non-serde attributes (doc comments etc.); panics on
+/// serde attributes other than `default`, which this stub cannot honor.
+fn parse_serde_field_attr(attr: TokenStream) -> Option<FieldDefault> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+        (tokens.first(), tokens.get(1))
+    else {
+        return None;
+    };
+    if id.to_string() != "serde" || args.delimiter() != Delimiter::Parenthesis {
+        return None;
+    }
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    match inner.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => match inner.get(2) {
+            Some(TokenTree::Literal(lit)) => {
+                let path = lit.to_string().trim_matches('"').to_string();
+                Some(FieldDefault::Path(path))
+            }
+            _ => Some(FieldDefault::Trait),
+        },
+        other => panic!("serde_derive: unsupported serde field attribute {other:?}"),
+    }
 }
 
 fn parse_variants(body: TokenStream) -> Vec<Variant> {
@@ -236,6 +306,7 @@ fn gen_serialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             body.push_str("out.push('{');\n");
             for (i, f) in fields.iter().enumerate() {
+                let f = &f.name;
                 if i > 0 {
                     body.push_str("out.push(',');\n");
                 }
@@ -280,12 +351,13 @@ fn gen_serialize(item: &Item) -> String {
                         body.push_str("out.push_str(\"]}\");\n}\n");
                     }
                     VariantKind::Struct(fields) => {
+                        let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         body.push_str(&format!(
                             "Self::{vn} {{ {} }} => {{\n\
                              out.push_str(\"{{\\\"{vn}\\\":{{\");\n",
-                            fields.join(", ")
+                            names.join(", ")
                         ));
-                        for (k, f) in fields.iter().enumerate() {
+                        for (k, f) in names.iter().enumerate() {
                             if k > 0 {
                                 body.push_str("out.push(',');\n");
                             }
@@ -413,10 +485,11 @@ fn gen_deserialize(item: &Item) -> String {
 /// Emits an expression-position block that parses `{ "field": value, ... }`
 /// and evaluates to `<ctor> { ... }` (wrapped in `Ok` when `wrap_ok`).
 /// Missing-field errors `return` out of the enclosing `deserialize` fn.
-fn gen_named_fields_reader(ctor: &str, fields: &[String], wrap_ok: bool) -> String {
+fn gen_named_fields_reader(ctor: &str, fields: &[Field], wrap_ok: bool) -> String {
     let mut s = String::new();
     s.push_str("p.begin_object()?;\n");
     for f in fields {
+        let f = &f.name;
         s.push_str(&format!(
             "let mut __field_{f} = ::std::option::Option::None;\n"
         ));
@@ -427,6 +500,7 @@ fn gen_named_fields_reader(ctor: &str, fields: &[String], wrap_ok: bool) -> Stri
          match __key.as_str() {\n",
     );
     for f in fields {
+        let f = &f.name;
         s.push_str(&format!(
             "\"{f}\" => __field_{f} = ::std::option::Option::Some(::serde::Deserialize::deserialize(p)?),\n"
         ));
@@ -442,11 +516,18 @@ fn gen_named_fields_reader(ctor: &str, fields: &[String], wrap_ok: bool) -> Stri
         s.push_str(&format!("{ctor} {{\n"));
     }
     for f in fields {
+        let missing = f.default.missing_expr().unwrap_or_else(|| {
+            format!(
+                "return ::std::result::Result::Err(p.error(\"missing field `{}`\"))",
+                f.name
+            )
+        });
         s.push_str(&format!(
             "{f}: match __field_{f} {{\n\
              ::std::option::Option::Some(v) => v,\n\
-             ::std::option::Option::None => return ::std::result::Result::Err(p.error(\"missing field `{f}`\")),\n\
-             }},\n"
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            f = f.name,
         ));
     }
     if wrap_ok {
