@@ -18,6 +18,11 @@ cargo clippy -q --offline --no-deps --lib \
     -p warper-core -p warper-query -p warper-storage \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
 
+# Benches are excluded from `cargo test` runs; make sure the perf harnesses
+# (annotator, gemm, figure/table benches) at least compile.
+echo "== cargo check --benches"
+cargo check -q --offline --benches -p warper-bench
+
 echo "== cargo test -q"
 cargo test -q --offline --workspace
 

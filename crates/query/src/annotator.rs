@@ -1,15 +1,20 @@
 //! The ground-truth annotator `A` (paper Figure 4 / §3.5).
 //!
 //! "The annotator A computes ground truth for query predicates and can be a
-//! DBMS query or custom code." Here it is custom code: an exact columnar
-//! scan. Column pruning (only constrained columns are checked) plus a
-//! selection-vector pipeline keeps single-query latency low; batches are
-//! parallelized across queries with crossbeam scoped threads, mirroring the
+//! DBMS query or custom code." Here it is custom code: the vectorized,
+//! zone-map-pruned engine in [`crate::engine`]. Whole predicate batches are
+//! evaluated with one cache-resident pass per column per block, blocks are
+//! skipped or counted outright from their zone maps, sorted columns answer
+//! by binary search, and parallelism is work-stealing over blocks — so the
 //! paper's observation that annotation "scans the underlying table at least
-//! once" and is the dominant adaptation cost (`c_gt` in §4.3).
+//! once" (the dominant adaptation cost, `c_gt` in §4.3) becomes a worst
+//! case rather than the rule. [`count_naive`] remains the oracle: every
+//! engine answer is bit-identical to a row-at-a-time scan.
 
-use crate::predicate::RangePredicate;
 use warper_storage::Table;
+
+use crate::engine::{self, CountOutcome};
+use crate::predicate::RangePredicate;
 
 /// Exact cardinality annotator over columnar tables.
 #[derive(Debug, Clone)]
@@ -24,7 +29,7 @@ impl Default for Annotator {
 }
 
 impl Annotator {
-    /// An annotator using all available parallelism for batches.
+    /// An annotator using all available parallelism.
     pub fn new() -> Self {
         let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
         Self { threads }
@@ -40,56 +45,14 @@ impl Annotator {
 
     /// Exact `COUNT(*)` of rows in `table` matching `pred`.
     pub fn count(&self, table: &Table, pred: &RangePredicate) -> u64 {
-        assert_eq!(pred.dim(), table.num_cols(), "predicate dimension mismatch");
-        if pred.is_empty_range() {
-            return 0;
-        }
-        let domains = table.domains();
-        let mut cols = pred.constrained_columns(&domains);
-        if cols.is_empty() {
-            return table.num_rows() as u64;
-        }
-        // Evaluate the most selective column first (narrowest range/domain
-        // ratio, a uniformity assumption): the selection vector shrinks as
-        // early as possible, so later columns probe far fewer rows. Ties
-        // (and zero-width domains) keep the original column order, so this
-        // is a pure reordering of the same per-column filters — the result
-        // is unchanged and `count_naive` stays the oracle.
-        let est = |c: usize| -> f64 {
-            let (dlo, dhi) = domains[c];
-            let width = dhi - dlo;
-            if width <= 0.0 {
-                return 1.0;
-            }
-            let lo = pred.lows[c].max(dlo);
-            let hi = pred.highs[c].min(dhi);
-            ((hi - lo) / width).clamp(0.0, 1.0)
-        };
-        cols.sort_by(|&a, &b| est(a).total_cmp(&est(b)));
+        self.count_with_cost(table, pred).count
+    }
 
-        // First constrained column: scan everything, collect survivors.
-        let c0 = cols[0];
-        let (lo, hi) = (pred.lows[c0], pred.highs[c0]);
-        let values = table.column(c0).values();
-        let mut selection: Vec<u32> = Vec::with_capacity(values.len() / 4);
-        for (i, &v) in values.iter().enumerate() {
-            if v >= lo && v <= hi {
-                selection.push(i as u32);
-            }
-        }
-        // Remaining columns: shrink the selection vector.
-        for &c in &cols[1..] {
-            if selection.is_empty() {
-                break;
-            }
-            let (lo, hi) = (pred.lows[c], pred.highs[c]);
-            let values = table.column(c).values();
-            selection.retain(|&i| {
-                let v = values[i as usize];
-                v >= lo && v <= hi
-            });
-        }
-        selection.len() as u64
+    /// Exact count plus the rows the engine actually evaluated — the
+    /// latency proxy the fault ladder budgets against.
+    pub fn count_with_cost(&self, table: &Table, pred: &RangePredicate) -> CountOutcome {
+        let got = engine::count_batch_with_cost(table, std::slice::from_ref(pred), self.threads);
+        got[0]
     }
 
     /// Selectivity of `pred` in [0, 1].
@@ -100,28 +63,22 @@ impl Annotator {
         self.count(table, pred) as f64 / table.num_rows() as f64
     }
 
-    /// Annotates a batch of predicates, parallelized across queries.
+    /// Annotates a batch of predicates with one shared, zone-map-pruned
+    /// sweep over the table's blocks.
     pub fn count_batch(&self, table: &Table, preds: &[RangePredicate]) -> Vec<u64> {
-        if preds.len() < 4 || self.threads == 1 {
-            return preds.iter().map(|p| self.count(table, p)).collect();
-        }
-        let chunk = preds.len().div_ceil(self.threads);
-        let mut out = vec![0u64; preds.len()];
-        let scope_result = crossbeam::scope(|s| {
-            for (preds_chunk, out_chunk) in preds.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move |_| {
-                    for (p, o) in preds_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *o = self.count(table, p);
-                    }
-                });
-            }
-        });
-        if let Err(payload) = scope_result {
-            // A worker panicked; re-raise the original panic on this thread
-            // instead of masking it behind a second, less informative one.
-            std::panic::resume_unwind(payload);
-        }
-        out
+        self.count_batch_with_cost(table, preds)
+            .into_iter()
+            .map(|o| o.count)
+            .collect()
+    }
+
+    /// Batch annotation with per-predicate evaluation costs.
+    pub fn count_batch_with_cost(
+        &self,
+        table: &Table,
+        preds: &[RangePredicate],
+    ) -> Vec<CountOutcome> {
+        engine::count_batch_with_cost(table, preds, self.threads)
     }
 }
 
@@ -227,5 +184,24 @@ mod tests {
         let count = a.count(&table, &p);
         // Suits are uniform over 4 values.
         assert!((count as f64 - 1250.0).abs() < 150.0, "count {count}");
+    }
+
+    #[test]
+    fn cost_reflects_pruning() {
+        let table = generate(DatasetKind::Higgs, 20_000, 8);
+        let a = Annotator::with_threads(1);
+        let domains = table.domains();
+        // A full-width scan predicate touches about one column's worth of
+        // rows; an unconstrained one touches none.
+        let (lo, hi) = domains[4];
+        let scan = RangePredicate::unconstrained(&domains).with_range(
+            4,
+            lo + 0.3 * (hi - lo),
+            lo + 0.6 * (hi - lo),
+        );
+        let cost = a.count_with_cost(&table, &scan).rows_scanned;
+        assert!(cost > 0 && cost <= table.num_rows(), "cost {cost}");
+        let free = RangePredicate::unconstrained(&domains);
+        assert_eq!(a.count_with_cost(&table, &free).rows_scanned, 0);
     }
 }

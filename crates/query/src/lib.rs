@@ -9,14 +9,16 @@
 //! the GAN generator emits.
 //!
 //! [`Annotator`] plays the role of the paper's C++ annotator `A` (§3.5): it
-//! computes exact ground-truth cardinalities with a multithreaded columnar
-//! scan, and exact PK–FK join cardinalities via hash join for the MSCN join
-//! experiments.
+//! computes exact ground-truth cardinalities through the vectorized,
+//! zone-map-pruned engine in [`engine`] (batch-shared block scans, sorted
+//! binary-search fast path, work-stealing block parallelism), and exact
+//! PK–FK join cardinalities via hash join for the MSCN join experiments.
 
 // Index-based loops are the clearer idiom for the numerical kernels here.
 #![allow(clippy::needless_range_loop)]
 
 pub mod annotator;
+pub mod engine;
 pub mod faults;
 pub mod featurize;
 pub mod join;
@@ -24,6 +26,7 @@ pub mod predicate;
 pub mod sampling_annotator;
 
 pub use annotator::{count_naive, Annotator};
+pub use engine::CountOutcome;
 pub use faults::{
     AnnotateError, CountAnswer, CountService, DegradedStats, FaultConfig, FaultInjector,
     ResilientAnnotator,

@@ -1,0 +1,122 @@
+//! Drift-then-query equivalence: the zone-map-pruned, batch-shared,
+//! sorted-fast-path engine must be bit-identical to the row-at-a-time
+//! oracle `count_naive` on every `DatasetKind` — and must stay identical
+//! across every drift mutator applied *after* the index was built. A stale
+//! zone map (a block whose min/max no longer bound its values, a sorted
+//! flag that survived a shuffle) shows up here as a count mismatch.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_query::{count_naive, Annotator, RangePredicate};
+use warper_storage::drift::{append_rows, delete_rows, sort_and_truncate_half, update_rows};
+use warper_storage::{generate, DatasetKind, Table};
+
+fn kind_of(code: usize) -> DatasetKind {
+    match code % 3 {
+        0 => DatasetKind::Higgs,
+        1 => DatasetKind::Prsa,
+        _ => DatasetKind::Poker,
+    }
+}
+
+/// A probe batch that exercises every plan the engine has: one range per
+/// column (hits the sorted fast path on any sorted column), multi-column
+/// conjunctions, an equality, an unconstrained and an empty-range
+/// predicate, and an out-of-domain range (pure zone-map skip).
+fn probe_preds(table: &Table, seed: u64) -> Vec<RangePredicate> {
+    use rand::Rng;
+    let domains = table.domains();
+    let d = domains.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut preds = Vec::new();
+    let range_on = |rng: &mut StdRng, p: RangePredicate, c: usize| {
+        let (lo, hi) = domains[c];
+        let a = rng.random_range(lo..=hi);
+        let b = rng.random_range(lo..=hi);
+        p.with_range(c, a.min(b), a.max(b))
+    };
+    for c in 0..d {
+        let p = RangePredicate::unconstrained(&domains);
+        preds.push(range_on(&mut rng, p, c));
+    }
+    for _ in 0..4 {
+        let mut p = RangePredicate::unconstrained(&domains);
+        for _ in 0..rng.random_range(2..=3usize) {
+            let c = rng.random_range(0..d);
+            p = range_on(&mut rng, p, c);
+        }
+        preds.push(p);
+    }
+    let (lo0, hi0) = domains[0];
+    preds.push(RangePredicate::unconstrained(&domains).with_eq(0, (lo0 + hi0) / 2.0));
+    preds.push(RangePredicate::unconstrained(&domains));
+    preds.push(RangePredicate::unconstrained(&domains).with_range(0, hi0, lo0 - 1.0));
+    preds.push(RangePredicate::unconstrained(&domains).with_range(0, hi0 + 1.0, hi0 + 2.0));
+    preds
+}
+
+fn assert_engine_matches_naive(table: &Table, seed: u64) -> Result<(), String> {
+    let preds = probe_preds(table, seed);
+    let single = Annotator::with_threads(1);
+    let multi = Annotator::with_threads(4);
+    let batch = multi.count_batch(table, &preds);
+    for (i, p) in preds.iter().enumerate() {
+        let oracle = count_naive(table, p);
+        prop_assert_eq!(batch[i], oracle, "batch pred {} diverged", i);
+        prop_assert_eq!(single.count(table, p), oracle, "single pred {} diverged", i);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Build index → mutate → query must never read a stale zone map, for
+    /// any dataset and any sequence of drift mutators.
+    #[test]
+    fn drifted_zone_maps_never_go_stale(
+        kind_code in 0usize..3,
+        rows in 600usize..1_600,
+        seed in 0u64..1_000,
+        ops in prop::collection::vec(0usize..4, 1..4),
+        pred_seed in 0u64..1_000,
+    ) {
+        let kind = kind_of(kind_code);
+        let mut table = generate(kind, rows, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD81F7);
+        // Query once so the zone-map index is built *before* any drift.
+        assert_engine_matches_naive(&table, pred_seed)?;
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                0 => append_rows(&mut table, rows / 5 + 1, 0.1, &mut rng),
+                1 => update_rows(&mut table, 0.3, 0.25, &mut rng),
+                2 => delete_rows(&mut table, 0.2, &mut rng),
+                _ => {
+                    let col = i % table.num_cols().max(1);
+                    sort_and_truncate_half(&mut table, col);
+                }
+            }
+            // Re-query mid-stream: the incremental refresh must agree with
+            // the oracle after every single mutation.
+            assert_engine_matches_naive(&table, pred_seed.wrapping_add(i as u64 + 1))?;
+        }
+    }
+
+    /// The sort-and-truncate drift arms the binary-search path on the sort
+    /// column; its answers must still be exact.
+    #[test]
+    fn sorted_fast_path_is_exact(
+        kind_code in 0usize..3,
+        rows in 600usize..1_600,
+        seed in 0u64..1_000,
+        col_code in 0usize..16,
+    ) {
+        let kind = kind_of(kind_code);
+        let mut table = generate(kind, rows, seed);
+        let col = col_code % table.num_cols();
+        sort_and_truncate_half(&mut table, col);
+        prop_assert!(table.zone_index().column_sorted(col));
+        assert_engine_matches_naive(&table, seed ^ 0x50F7ED)?;
+    }
+}

@@ -67,6 +67,9 @@ pub fn append_rows(table: &mut Table, extra: usize, noise_frac: f64, rng: &mut S
         }
     }
     table.rows_changed += extra as u64;
+    // Appends only extend the tail: the last (possibly partial) old block
+    // and the new blocks are dirtied; everything before is untouched.
+    table.index_mark_from_row(n);
 }
 
 /// Updates a `frac` fraction of rows in place by re-centering each selected
@@ -95,6 +98,8 @@ pub fn update_rows(table: &mut Table, frac: f64, shift_frac: f64, rng: &mut StdR
         }
     }
     table.rows_changed += k as u64;
+    // In-place updates dirty only the blocks that contain touched rows.
+    table.index_mark_rows(&rows);
 }
 
 /// Deletes a uniformly random `frac` fraction of rows.
@@ -126,6 +131,11 @@ pub fn delete_rows(table: &mut Table, frac: f64, rng: &mut StdRng) {
         values.truncate(w);
     }
     table.rows_changed += removed as u64;
+    // Compaction shifts every row from the first victim onward; blocks
+    // before it are byte-identical and keep their zone maps.
+    if let Some(first) = keep.iter().position(|&k| !k) {
+        table.index_mark_from_row(first);
+    }
 }
 
 /// The paper's §4.1.2 data-drift: sorts by column `col` and truncates the
@@ -152,6 +162,9 @@ pub fn sort_and_truncate_half(table: &mut Table, col: usize) {
         values.extend(order[..half].iter().map(|&i| old[i as usize]));
     }
     table.rows_changed += (n - half) as u64;
+    // Every row moved: full zone-map rebuild (after which the sort column
+    // reads back as sorted, arming the annotator's binary-search path).
+    table.index_mark_all();
 }
 
 #[cfg(test)]

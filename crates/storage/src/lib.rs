@@ -23,9 +23,11 @@ pub mod drift;
 pub mod imdb;
 pub mod table;
 pub mod tpch;
+pub mod zonemap;
 
 pub use column::{Column, ColumnType};
 pub use csv::{read_csv_file, read_csv_str, CsvError};
 pub use datasets::{generate, DatasetKind};
 pub use drift::ChangeLog;
 pub use table::Table;
+pub use zonemap::{BlockStats, ColumnZones, TableIndex, BLOCK_ROWS};

@@ -1,19 +1,52 @@
 //! Row-count-consistent collections of columns.
 
+use std::sync::{Arc, Mutex, PoisonError};
+
 use crate::column::{Column, ColumnType};
+use crate::zonemap::{DirtySet, TableIndex};
+
+/// The zone-map cache: a built index plus the invalidation marks recorded
+/// against it since it was built. Guarded by a `Mutex` so `zone_index` can
+/// build lazily behind a `&Table`; mutators reach it lock-free via
+/// `Mutex::get_mut` (they hold `&mut Table`).
+#[derive(Debug, Default)]
+struct IndexCache {
+    built: Option<Arc<TableIndex>>,
+    dirty: DirtySet,
+}
 
 /// An in-memory columnar table.
 ///
 /// Invariant: all columns have the same length. Mutation goes through the
 /// drift mutators in [`crate::drift`], which maintain the change counters
-/// that Warper's data-drift telemetry reads.
-#[derive(Debug, Clone)]
+/// that Warper's data-drift telemetry reads and the zone-map invalidation
+/// marks that keep [`Table::zone_index`] honest.
+#[derive(Debug)]
 pub struct Table {
     name: String,
     columns: Vec<Column>,
     /// Monotone counter of rows appended/updated/deleted since creation;
     /// read by [`crate::drift::ChangeLog`].
     pub(crate) rows_changed: u64,
+    /// Lazily-built zone-map index with pending invalidation marks.
+    index: Mutex<IndexCache>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        let cache = self.index.lock().unwrap_or_else(PoisonError::into_inner);
+        let cloned = IndexCache {
+            built: cache.built.clone(),
+            dirty: cache.dirty.clone(),
+        };
+        drop(cache);
+        Self {
+            name: self.name.clone(),
+            columns: self.columns.clone(),
+            rows_changed: self.rows_changed,
+            index: Mutex::new(cloned),
+        }
+    }
 }
 
 impl Table {
@@ -31,6 +64,7 @@ impl Table {
             name: name.into(),
             columns,
             rows_changed: 0,
+            index: Mutex::new(IndexCache::default()),
         }
     }
 
@@ -95,10 +129,57 @@ impl Table {
 
     /// Mutable access to the columns for the drift mutators.
     ///
-    /// Callers must preserve the equal-length invariant and bump
-    /// `rows_changed`; this is `pub(crate)` so only [`crate::drift`] can.
+    /// Callers must preserve the equal-length invariant, bump
+    /// `rows_changed`, and record zone-map invalidation via the
+    /// `index_mark_*` hooks; this is `pub(crate)` so only [`crate::drift`]
+    /// can.
     pub(crate) fn columns_mut(&mut self) -> &mut Vec<Column> {
         &mut self.columns
+    }
+
+    /// The table's block zone-map index (see [`crate::zonemap`]), built
+    /// lazily on first use and refreshed incrementally when drift mutators
+    /// have dirtied blocks since the last call. The returned `Arc` is a
+    /// consistent snapshot: later mutations refresh the cache but never
+    /// mutate an index a reader already holds.
+    pub fn zone_index(&self) -> Arc<TableIndex> {
+        let mut cache = self.index.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(built) = &cache.built {
+            if cache.dirty.is_clean() {
+                return Arc::clone(built);
+            }
+            let refreshed = Arc::new(built.refresh(&self.columns, &cache.dirty));
+            cache.built = Some(Arc::clone(&refreshed));
+            cache.dirty = DirtySet::default();
+            return refreshed;
+        }
+        let built = Arc::new(TableIndex::build(&self.columns));
+        cache.built = Some(Arc::clone(&built));
+        cache.dirty = DirtySet::default();
+        built
+    }
+
+    fn index_cache_mut(&mut self) -> &mut IndexCache {
+        self.index.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Marks every block from the one containing `row` onward dirty
+    /// (appends extend the tail; deletes compact the suffix).
+    pub(crate) fn index_mark_from_row(&mut self, row: usize) {
+        self.index_cache_mut().dirty.mark_from_row(row);
+    }
+
+    /// Marks the blocks containing `rows` dirty (in-place updates).
+    pub(crate) fn index_mark_rows(&mut self, rows: &[usize]) {
+        let cache = self.index_cache_mut();
+        for &r in rows {
+            cache.dirty.mark_row(r);
+        }
+    }
+
+    /// Marks the whole index dirty (whole-table rewrites).
+    pub(crate) fn index_mark_all(&mut self) {
+        self.index_cache_mut().dirty.mark_all();
     }
 
     /// Summary line in the spirit of paper Table 4 (name, type counts,
@@ -192,6 +273,20 @@ mod tests {
                 Column::new("b", ColumnType::Real, vec![1.0, 2.0]),
             ],
         );
+    }
+
+    #[test]
+    fn zone_index_is_cached_and_cloned() {
+        let t = table();
+        let a = t.zone_index();
+        let b = t.zone_index();
+        assert!(Arc::ptr_eq(&a, &b), "clean cache must be reused");
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.domains(), t.domains());
+        // A clone shares the built snapshot (cheap Arc clone) but refreshes
+        // independently afterwards.
+        let c = t.clone();
+        assert!(Arc::ptr_eq(&a, &c.zone_index()));
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! Block zone maps: the data-skipping index under the annotation engine.
+//!
+//! Annotation is the dominant adaptation cost (`c_gt` in paper §4.3: every
+//! ground-truth label "scans the underlying table at least once"). A zone
+//! map — per-column min/max over fixed-size row blocks, the standard
+//! data-skipping structure of columnar stores — lets the annotator decide
+//! per `(predicate, block)` whether the block can be skipped outright
+//! (disjoint range), counted without touching values (containing range), or
+//! must be scanned, before any value is loaded.
+//!
+//! The index is built lazily by [`crate::table::Table::zone_index`] and
+//! invalidated *incrementally* by the drift mutators in [`crate::drift`]:
+//! appends dirty only the tail, updates dirty only the touched blocks,
+//! deletes dirty the compacted suffix, and sort-truncate rebuilds. A
+//! [`DirtySet`] accumulates those marks between queries; [`TableIndex::refresh`]
+//! recomputes exactly the dirty blocks and copies every clean one.
+//!
+//! Beyond min/max, each block records:
+//! * a **sorted** flag (non-decreasing run) — a column whose blocks are all
+//!   sorted and whose block boundaries are non-decreasing is globally
+//!   sorted, which the annotator exploits with a binary-search fast path
+//!   (drift telemetry: the paper's §4.1.2 sort-and-truncate drift produces
+//!   exactly such a column);
+//! * a **presence mask** and exact **distinct count** for dictionary-like
+//!   blocks (all values integral, span < 64 ids): equality and narrow range
+//!   predicates on categorical columns can then skip blocks whose min/max
+//!   straddle the range but which contain none of the requested ids.
+
+use std::collections::BTreeSet;
+
+use crate::column::Column;
+
+/// Rows per zone-map block. 4096 `f64`s = 32 KiB per column per block, so a
+/// block's column slice is L1/L2-resident while a predicate batch evaluates
+/// against it.
+pub const BLOCK_ROWS: usize = 4096;
+
+/// Zone-map statistics for one block of one column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockStats {
+    /// Smallest value in the block (ignores non-finite values).
+    pub min: f64,
+    /// Largest value in the block (ignores non-finite values).
+    pub max: f64,
+    /// `true` when the block's values are non-decreasing.
+    pub sorted: bool,
+    /// `true` when every value in the block is finite. Non-finite blocks are
+    /// never pruned — min/max would lie about them.
+    pub finite: bool,
+    /// `true` when `mask`/`distinct` are valid: every value is an integer in
+    /// `[min, min + 63]`, i.e. the block is dictionary-like.
+    pub masked: bool,
+    /// Presence bitmap over the ids `min .. min + 63` (valid iff `masked`).
+    pub mask: u64,
+    /// Exact distinct count of the block (valid iff `masked`, else 0).
+    pub distinct: u32,
+}
+
+impl BlockStats {
+    fn compute(values: &[f64]) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sorted = true;
+        let mut finite = true;
+        let mut prev = f64::NEG_INFINITY;
+        for &v in values {
+            finite &= v.is_finite();
+            sorted &= v >= prev;
+            prev = v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        // Dictionary-likeness: integral values spanning < 64 distinct ids.
+        let mut masked = finite && !values.is_empty() && (max - min) < 64.0;
+        let mut mask = 0u64;
+        if masked {
+            for &v in values {
+                let off = v - min;
+                if off.fract() != 0.0 {
+                    masked = false;
+                    break;
+                }
+                mask |= 1u64 << (off as u32);
+            }
+        }
+        if !masked {
+            mask = 0;
+        }
+        let distinct = mask.count_ones();
+        Self {
+            min,
+            max,
+            sorted,
+            finite,
+            masked,
+            mask,
+            distinct,
+        }
+    }
+}
+
+/// Zone maps for one column: per-block stats plus column-level aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnZones {
+    /// Per-block statistics, in block order.
+    pub blocks: Vec<BlockStats>,
+    /// Column-level minimum (over finite values).
+    pub min: f64,
+    /// Column-level maximum (over finite values).
+    pub max: f64,
+    /// `true` when the whole column is non-decreasing (and finite): every
+    /// block is sorted and block boundaries are non-decreasing. This is the
+    /// flag the annotator's binary-search fast path keys on.
+    pub sorted: bool,
+}
+
+impl ColumnZones {
+    fn from_blocks(blocks: Vec<BlockStats>) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sorted = true;
+        for (i, b) in blocks.iter().enumerate() {
+            min = min.min(b.min);
+            max = max.max(b.max);
+            sorted &= b.sorted && b.finite;
+            if i + 1 < blocks.len() {
+                // A sorted block's last value is its max and the next
+                // block's first value is its min.
+                sorted &= b.max <= blocks[i + 1].min;
+            }
+        }
+        Self {
+            blocks,
+            min,
+            max,
+            sorted,
+        }
+    }
+}
+
+/// Block-granular invalidation marks accumulated between index refreshes.
+///
+/// Mutators holding `&mut Table` record marks here with zero synchronization
+/// cost; the next [`crate::table::Table::zone_index`] call folds them into
+/// an incremental [`TableIndex::refresh`].
+#[derive(Debug, Clone, Default)]
+pub struct DirtySet {
+    all: bool,
+    from_block: Option<usize>,
+    blocks: BTreeSet<usize>,
+}
+
+impl DirtySet {
+    /// `true` when no marks are pending and a built index is still valid.
+    pub fn is_clean(&self) -> bool {
+        !self.all && self.from_block.is_none() && self.blocks.is_empty()
+    }
+
+    /// Invalidates everything (sort-truncate and other whole-table rewrites).
+    pub fn mark_all(&mut self) {
+        self.all = true;
+    }
+
+    /// Invalidates every block from the one containing `row` to the end of
+    /// the table (appends extend the tail; deletes compact the suffix).
+    pub fn mark_from_row(&mut self, row: usize) {
+        let b = row / BLOCK_ROWS;
+        self.from_block = Some(self.from_block.map_or(b, |f| f.min(b)));
+    }
+
+    /// Invalidates the single block containing `row` (in-place updates).
+    pub fn mark_row(&mut self, row: usize) {
+        self.blocks.insert(row / BLOCK_ROWS);
+    }
+
+    fn covers(&self, block: usize) -> bool {
+        self.all || self.from_block.is_some_and(|f| block >= f) || self.blocks.contains(&block)
+    }
+}
+
+/// The lazily-built, incrementally-refreshed zone-map index of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableIndex {
+    rows: usize,
+    cols: Vec<ColumnZones>,
+}
+
+impl TableIndex {
+    /// Builds the index from scratch over `columns`.
+    pub fn build(columns: &[Column]) -> Self {
+        let rows = columns.first().map_or(0, Column::len);
+        let nb = rows.div_ceil(BLOCK_ROWS);
+        let cols = columns
+            .iter()
+            .map(|c| {
+                let values = c.values();
+                let blocks = (0..nb)
+                    .map(|b| {
+                        let (s, e) = block_range(b, rows);
+                        BlockStats::compute(&values[s..e])
+                    })
+                    .collect();
+                ColumnZones::from_blocks(blocks)
+            })
+            .collect();
+        Self { rows, cols }
+    }
+
+    /// Recomputes only the blocks `dirty` covers (plus any block whose row
+    /// range differs from this index's — growth, shrinkage, tail blocks) and
+    /// copies every clean block's stats. Equivalent to [`TableIndex::build`]
+    /// on the current columns, at the cost of the changed blocks only.
+    pub fn refresh(&self, columns: &[Column], dirty: &DirtySet) -> Self {
+        let rows = columns.first().map_or(0, Column::len);
+        let nb = rows.div_ceil(BLOCK_ROWS);
+        let prev_nb = self.rows.div_ceil(BLOCK_ROWS);
+        let cols = columns
+            .iter()
+            .enumerate()
+            .map(|(ci, c)| {
+                let values = c.values();
+                let blocks = (0..nb)
+                    .map(|b| {
+                        let (s, e) = block_range(b, rows);
+                        // Reuse iff the block is unmarked, existed before,
+                        // and spans the same rows it spanned at build time.
+                        let (ps, pe) = block_range(b, self.rows);
+                        let reusable = !dirty.covers(b)
+                            && b < prev_nb
+                            && self.cols.len() == columns.len()
+                            && (ps, pe) == (s, e);
+                        if reusable {
+                            self.cols[ci].blocks[b]
+                        } else {
+                            BlockStats::compute(&values[s..e])
+                        }
+                    })
+                    .collect();
+                ColumnZones::from_blocks(blocks)
+            })
+            .collect();
+        Self { rows, cols }
+    }
+
+    /// Rows covered by the index (the table's row count at build time).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.rows.div_ceil(BLOCK_ROWS)
+    }
+
+    /// Half-open row range `[start, end)` of block `b`.
+    pub fn block_range(&self, b: usize) -> (usize, usize) {
+        block_range(b, self.rows)
+    }
+
+    /// Zone maps of column `c`.
+    pub fn column(&self, c: usize) -> &ColumnZones {
+        &self.cols[c]
+    }
+
+    /// `true` when column `c` is globally non-decreasing (binary-search
+    /// counts are valid).
+    pub fn column_sorted(&self, c: usize) -> bool {
+        self.cols[c].sorted
+    }
+
+    /// Per-column `(min, max)` domains derived from the zone maps — the
+    /// zero-scan equivalent of [`crate::table::Table::domains`]. Empty
+    /// tables yield `(0, 0)` per column, matching `Table::domains`.
+    pub fn domains(&self) -> Vec<(f64, f64)> {
+        self.cols
+            .iter()
+            .map(|c| {
+                if self.rows == 0 {
+                    (0.0, 0.0)
+                } else {
+                    (c.min, c.max)
+                }
+            })
+            .collect()
+    }
+}
+
+#[inline]
+fn block_range(b: usize, rows: usize) -> (usize, usize) {
+    let s = b * BLOCK_ROWS;
+    (s.min(rows), ((b + 1) * BLOCK_ROWS).min(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnType;
+
+    fn col(values: Vec<f64>) -> Column {
+        Column::new("c", ColumnType::Real, values)
+    }
+
+    #[test]
+    fn block_stats_min_max_sorted() {
+        let s = BlockStats::compute(&[1.0, 2.0, 2.0, 5.0]);
+        assert_eq!((s.min, s.max), (1.0, 5.0));
+        assert!(s.sorted && s.finite);
+        let u = BlockStats::compute(&[3.0, 1.0, 2.0]);
+        assert!(!u.sorted);
+    }
+
+    #[test]
+    fn dictionary_blocks_get_masks() {
+        let s = BlockStats::compute(&[2.0, 4.0, 2.0, 7.0]);
+        assert!(s.masked);
+        assert_eq!(s.distinct, 3);
+        // ids relative to min=2: {0, 2, 5}
+        assert_eq!(s.mask, 0b100101);
+        // Fractional values disable the mask.
+        let f = BlockStats::compute(&[2.0, 4.5]);
+        assert!(!f.masked);
+        assert_eq!(f.distinct, 0);
+        // Wide integer spans disable it too.
+        let w = BlockStats::compute(&[0.0, 100.0]);
+        assert!(!w.masked);
+    }
+
+    #[test]
+    fn non_finite_blocks_marked() {
+        let s = BlockStats::compute(&[1.0, f64::NAN, 2.0]);
+        assert!(!s.finite);
+        assert!(!s.sorted);
+    }
+
+    #[test]
+    fn multi_block_index_and_sortedness() {
+        let n = BLOCK_ROWS + 100;
+        let sorted: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let idx = TableIndex::build(&[col(sorted)]);
+        assert_eq!(idx.n_blocks(), 2);
+        assert!(idx.column_sorted(0));
+        assert_eq!(idx.domains(), vec![(0.0, (n - 1) as f64)]);
+
+        // Per-block sorted but boundaries decreasing → not globally sorted.
+        let mut saw: Vec<f64> = (0..BLOCK_ROWS).map(|i| 1000.0 + i as f64).collect();
+        saw.extend((0..100).map(|i| i as f64));
+        let idx = TableIndex::build(&[col(saw)]);
+        assert!(idx.column(0).blocks.iter().all(|b| b.sorted));
+        assert!(!idx.column_sorted(0));
+    }
+
+    #[test]
+    fn refresh_matches_rebuild_after_tail_growth() {
+        let mut values: Vec<f64> = (0..BLOCK_ROWS + 10).map(|i| (i % 97) as f64).collect();
+        let c0 = col(values.clone());
+        let idx = TableIndex::build(std::slice::from_ref(&c0));
+        let old_rows = values.len();
+        values.extend((0..500).map(|i| (i % 13) as f64));
+        let c1 = col(values);
+        let mut dirty = DirtySet::default();
+        dirty.mark_from_row(old_rows);
+        let refreshed = idx.refresh(std::slice::from_ref(&c1), &dirty);
+        assert_eq!(refreshed, TableIndex::build(std::slice::from_ref(&c1)));
+    }
+
+    #[test]
+    fn refresh_matches_rebuild_after_shrink() {
+        let values: Vec<f64> = (0..2 * BLOCK_ROWS).map(|i| (i as f64).sin()).collect();
+        let c0 = col(values.clone());
+        let idx = TableIndex::build(std::slice::from_ref(&c0));
+        let c1 = col(values[..BLOCK_ROWS / 2].to_vec());
+        let mut dirty = DirtySet::default();
+        dirty.mark_from_row(0);
+        let refreshed = idx.refresh(std::slice::from_ref(&c1), &dirty);
+        assert_eq!(refreshed, TableIndex::build(std::slice::from_ref(&c1)));
+    }
+
+    #[test]
+    fn empty_table_index() {
+        let idx = TableIndex::build(&[]);
+        assert_eq!(idx.n_blocks(), 0);
+        assert_eq!(idx.rows(), 0);
+        let idx = TableIndex::build(&[col(vec![])]);
+        assert_eq!(idx.n_blocks(), 0);
+        assert_eq!(idx.domains(), vec![(0.0, 0.0)]);
+    }
+}

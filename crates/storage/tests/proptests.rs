@@ -100,6 +100,34 @@ proptest! {
     }
 
     #[test]
+    fn incremental_zone_map_refresh_matches_full_rebuild(
+        values in prop::collection::vec(-100.0f64..100.0, 4..300),
+        seed in 0u64..500,
+        ops in prop::collection::vec(0usize..4, 1..5),
+    ) {
+        use warper_storage::TableIndex;
+        let cats: Vec<f64> = (0..values.len()).map(|i| (i % 5) as f64).collect();
+        let mut t = table_from(values, cats);
+        // Force the initial build so subsequent queries go through the
+        // incremental refresh path.
+        let _ = t.zone_index();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                0 => append_rows(&mut t, 20 + i, 0.1, &mut rng),
+                1 => update_rows(&mut t, 0.4, 0.2, &mut rng),
+                2 => delete_rows(&mut t, 0.3, &mut rng),
+                _ => sort_and_truncate_half(&mut t, i % 2),
+            }
+            // The incrementally refreshed index must equal a from-scratch
+            // build, block for block.
+            let refreshed = t.zone_index();
+            let rebuilt = TableIndex::build(t.columns());
+            prop_assert_eq!(refreshed.as_ref(), &rebuilt);
+        }
+    }
+
+    #[test]
     fn profile_distinct_counts_ordered(
         values in prop::collection::vec(0.0f64..20.0, 1..100),
     ) {

@@ -551,16 +551,17 @@ pub fn run_single_table(
         prev_arrived = total_arrived;
 
         let preds = new_gen.generate_many(batch, &mut rng);
+        // Pre-labeled arrivals go through the batch engine: one shared,
+        // zone-map-pruned sweep instead of a rescan per arrival.
+        let arrival_gts = cfg
+            .arrivals_labeled
+            .then(|| annotator.count_batch(&table, &preds));
         let arrived: Vec<ArrivedQuery> = preds
             .iter()
-            .map(|p| {
-                let gt = cfg
-                    .arrivals_labeled
-                    .then(|| annotator.count(&table, p) as f64);
-                ArrivedQuery {
-                    features: fmap.featurize(p),
-                    gt,
-                }
+            .enumerate()
+            .map(|(i, p)| ArrivedQuery {
+                features: fmap.featurize(p),
+                gt: arrival_gts.as_ref().map(|g| g[i] as f64),
             })
             .collect();
 
