@@ -30,4 +30,17 @@ cargo test -q --offline --workspace
 echo "== cargo test -q --features faults"
 cargo test -q --offline --workspace --features faults
 
+# Serving smoke: 1k queries at a fixed seed with mid-run drift and
+# background adaptation. --smoke fails the run on any served error, any
+# shed at idle load, a p99 above the generous 250 ms bound, or an
+# adaptation loop that never ran.
+echo "== serve smoke (1k queries, drift + background adaptation)"
+cargo run -q --release --offline --bin warper -- serve \
+    --queries 1000 --seed 7 --drift-at 500 --smoke
+
+# Serving benchmark: asserts the >=3x micro-batching speedup and the
+# no-stall drift/adaptation run, and publishes BENCH_serve.json.
+echo "== cargo bench --bench serve (publishes BENCH_serve.json)"
+cargo bench -q --offline -p warper-bench --bench serve
+
 echo "CI OK"

@@ -1,0 +1,268 @@
+//! Serving-layer benchmark: micro-batched estimation throughput and
+//! hot-swap behavior under drift with background adaptation.
+//!
+//! Two claims are measured (and asserted):
+//!
+//! 1. **Micro-batching pays.** The same closed-loop replay served with
+//!    `max_batch = 64` must push ≥ 3× the throughput of one-at-a-time
+//!    service (`max_batch = 1`, no linger): batching collapses per-request
+//!    queue/wake overhead and turns per-query matrix-vector products into
+//!    one GEMM per layer.
+//! 2. **Adaptation never stalls serving.** A replay with a mid-run workload
+//!    drift and a free-running background adaptation worker must serve with
+//!    zero errors, publish at least one hot-swapped generation, and keep
+//!    p99 latency *below the duration of a single retraining step* — the
+//!    direct evidence that no request ever waited behind retraining.
+//!
+//! Run with `cargo bench --bench serve` (release profile). Writes
+//! `BENCH_serve.json` at the workspace root in addition to printing.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use warper_ce::lm::{LmMlp, LmMlpParams};
+use warper_ce::CardinalityEstimator;
+use warper_core::WarperConfig;
+use warper_metrics::LatencyHistogram;
+use warper_serve::{
+    run_replay, AdaptConfig, AdaptMode, DriftEvent, DriftKind, EstimationService, ModelSnapshot,
+    ReplayReport, ReplaySpec, ServiceConfig, SnapshotCell,
+};
+use warper_storage::{generate, DatasetKind};
+
+fn hist_json(hist: &LatencyHistogram) -> serde_json::Value {
+    let (p50, p95, p99, max) = hist.summary_scaled(1_000.0);
+    serde_json::json!({
+        "p50_us": p50,
+        "p95_us": p95,
+        "p99_us": p99,
+        "max_us": max,
+        "mean_us": hist.mean() / 1_000.0,
+    })
+}
+
+fn latency_json(rep: &ReplayReport) -> serde_json::Value {
+    hist_json(&rep.latency)
+}
+
+/// Closed-loop throughput of the service alone: `clients` threads replay
+/// `feats` against a fixed model under the given batching policy.
+fn service_throughput(
+    model: &dyn CardinalityEstimator,
+    cfg: ServiceConfig,
+    clients: usize,
+    feats: &[Vec<f64>],
+) -> (f64, LatencyHistogram) {
+    let cell = Arc::new(SnapshotCell::new(ModelSnapshot::initial(
+        model.snapshot().expect("LmMlp snapshots"),
+    )));
+    let service = EstimationService::start(Arc::clone(&cell), cfg);
+    let handle = service.handle();
+
+    let t0 = Instant::now();
+    let mut latency = LatencyHistogram::new();
+    std::thread::scope(|s| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let h = handle.clone();
+                s.spawn(move || {
+                    let mut hist = LatencyHistogram::new();
+                    for f in feats.iter().skip(c).step_by(clients) {
+                        let sent = Instant::now();
+                        h.estimate(f.clone()).expect("closed loop never sheds");
+                        hist.record_duration(sent.elapsed());
+                    }
+                    hist
+                })
+            })
+            .collect();
+        for w in workers {
+            latency.merge(&w.join().expect("client thread"));
+        }
+    });
+    let qps = feats.len() as f64 / t0.elapsed().as_secs_f64();
+    service.shutdown();
+    (qps, latency)
+}
+
+fn main() {
+    let table = generate(DatasetKind::Prsa, 6_000, 17);
+    let mut root = serde_json::Map::new();
+    root.insert(
+        "bench".into(),
+        serde_json::Value::String("crates/bench/benches/serve.rs".into()),
+    );
+
+    // -----------------------------------------------------------------
+    // 1. Micro-batching: one-at-a-time vs batch-64 on the same service.
+    // -----------------------------------------------------------------
+    // A production-sized MLP (where a per-query forward pass re-reads the
+    // whole weight matrix) served to more clients than the batch size, so
+    // batches fill without lingering. Same model, same queries, same
+    // worker count — only the batching policy differs.
+    const DIM: usize = 32;
+    const CLIENTS: usize = 96;
+    const QUERIES: usize = 24_000;
+    let model = LmMlp::new(
+        DIM,
+        LmMlpParams {
+            hidden: [512, 256],
+            ..Default::default()
+        },
+        17,
+    );
+    let mut rng = StdRng::seed_from_u64(17);
+    let feats: Vec<Vec<f64>> = (0..QUERIES)
+        .map(|_| (0..DIM).map(|_| rng.random_f64()).collect())
+        .collect();
+
+    let (batch1_qps, batch1_lat) = service_throughput(
+        &model,
+        ServiceConfig {
+            workers: 2,
+            max_batch: 1,
+            batch_linger: Duration::ZERO,
+            queue_capacity: 1024,
+        },
+        CLIENTS,
+        &feats,
+    );
+    let (batch64_qps, batch64_lat) = service_throughput(
+        &model,
+        ServiceConfig {
+            workers: 2,
+            max_batch: 64,
+            batch_linger: Duration::from_micros(200),
+            queue_capacity: 1024,
+        },
+        CLIENTS,
+        &feats,
+    );
+
+    let speedup = batch64_qps / batch1_qps;
+    println!(
+        "micro-batching: {batch1_qps:.0} qps (batch 1) -> {batch64_qps:.0} qps (batch 64) \
+         = {speedup:.1}x"
+    );
+    assert!(
+        speedup >= 3.0,
+        "micro-batching speedup {speedup:.2}x below the 3x bar \
+         ({batch1_qps:.0} -> {batch64_qps:.0} qps)"
+    );
+    root.insert(
+        "micro_batching".into(),
+        serde_json::json!({
+            "queries": QUERIES,
+            "clients": CLIENTS,
+            "workers": 2,
+            "model": "lm-mlp 32->512->256->1",
+            "batch1_qps": batch1_qps,
+            "batch64_qps": batch64_qps,
+            "speedup": speedup,
+            "batch1_latency": hist_json(&batch1_lat),
+            "batch64_latency": hist_json(&batch64_lat),
+        }),
+    );
+
+    // -----------------------------------------------------------------
+    // 2. Drift + background adaptation: hot swap without stalling.
+    // -----------------------------------------------------------------
+    let spec = ReplaySpec {
+        n_train: 400,
+        n_queries: 6_000,
+        clients: 8,
+        drift: Some(DriftEvent {
+            at_query: 2_000,
+            kind: DriftKind::Workload {
+                new_mix: "w4".into(),
+            },
+        }),
+        adapt: AdaptMode::Background(AdaptConfig {
+            invoke_every: 150,
+            max_wait: Duration::from_millis(10),
+            ..Default::default()
+        }),
+        warper: WarperConfig {
+            embed_dim: 8,
+            hidden: 32,
+            n_i: 6,
+            pretrain_epochs: 3,
+            gamma: 200,
+            n_p: 60,
+            ..Default::default()
+        },
+        seed: 29,
+        spot_checks: 40,
+        ..Default::default()
+    };
+    let rep = run_replay(&table, &spec).expect("adaptation replay");
+    let adapt = rep.adapt.expect("background mode reports stats");
+    let (p50, _, p99, max) = rep.latency.summary_scaled(1_000.0);
+    let mean_invoke_ms = if adapt.invocations == 0 {
+        0.0
+    } else {
+        adapt.adapt_secs * 1e3 / adapt.invocations as f64
+    };
+    println!(
+        "drift+adapt: served={} shed={} errors={} | {:.0} qps | \
+         p50={p50:.0}us p99={p99:.0}us max={max:.0}us | \
+         {} generations, max staleness {} | retrain mean {mean_invoke_ms:.1} ms x{}",
+        rep.served,
+        rep.shed,
+        rep.errors,
+        rep.throughput_qps,
+        rep.generations_published,
+        rep.max_staleness,
+        adapt.invocations,
+    );
+
+    assert_eq!(rep.errors, 0, "drift replay served errors");
+    assert!(
+        rep.generations_published >= 1,
+        "adaptation never hot-swapped a generation"
+    );
+    assert_eq!(adapt.publish_failures, 0, "commits failed to publish");
+    // The stall check: if any request had waited behind a retraining step,
+    // p99 would be at least one invocation long.
+    assert!(
+        p99 / 1e3 < mean_invoke_ms,
+        "p99 {:.1} ms not below mean retraining step {mean_invoke_ms:.1} ms — \
+         requests stalled behind adaptation",
+        p99 / 1e3
+    );
+    root.insert(
+        "drift_adaptation".into(),
+        serde_json::json!({
+            "queries": 6_000,
+            "clients": 8,
+            "drift_at": 2_000,
+            "served": rep.served,
+            "shed": rep.shed,
+            "errors": rep.errors,
+            "throughput_qps": rep.throughput_qps,
+            "latency": latency_json(&rep),
+            "generations_published": rep.generations_published,
+            "max_staleness": rep.max_staleness,
+            "adapt_invocations": adapt.invocations,
+            "adapt_commits": adapt.commits,
+            "adapt_rollbacks": adapt.rollbacks,
+            "adapt_annotated": adapt.annotated,
+            "mean_retrain_ms": mean_invoke_ms,
+            "spot_gmq_pre": rep.spot_gmq_pre,
+            "spot_gmq_post": rep.spot_gmq_post,
+        }),
+    );
+
+    let json = serde_json::to_string_pretty(&serde_json::Value::Object(root)).unwrap();
+    let mut dir = std::env::current_dir().unwrap();
+    while !dir.join("Cargo.lock").exists() {
+        if !dir.pop() {
+            break;
+        }
+    }
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, json).unwrap();
+    println!("wrote {}", path.display());
+}

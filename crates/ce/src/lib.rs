@@ -61,13 +61,24 @@ pub enum UpdateKind {
 /// The `Any` supertrait exists for [`CardinalityEstimator::snapshot`] /
 /// [`CardinalityEstimator::restore`]: a checkpointing supervisor holds models
 /// as `dyn CardinalityEstimator` and needs a type-safe way to copy state back
-/// into the serving instance.
-pub trait CardinalityEstimator: Send + std::any::Any {
+/// into the serving instance. `Send + Sync` because a committed model
+/// snapshot is served concurrently from many estimation threads (estimation
+/// is `&self`; training happens on a separate owned copy).
+pub trait CardinalityEstimator: Send + Sync + std::any::Any {
     /// Expected feature-vector length `m`.
     fn feature_dim(&self) -> usize;
 
     /// Estimated cardinality for a featurized query.
     fn estimate(&self, features: &[f64]) -> f64;
+
+    /// Estimates a batch of featurized queries at once. The default loops
+    /// over [`CardinalityEstimator::estimate`]; network-backed models
+    /// override it with one batched forward pass (a single GEMM per layer
+    /// instead of per-query matrix-vector products), which is what the
+    /// serving layer's micro-batching queue amortizes against.
+    fn estimate_many(&self, queries: &[&[f64]]) -> Vec<f64> {
+        queries.iter().map(|q| self.estimate(q)).collect()
+    }
 
     /// Initial training from scratch.
     fn fit(&mut self, examples: &[LabeledExample]);

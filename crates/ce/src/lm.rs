@@ -147,6 +147,23 @@ impl CardinalityEstimator for LmMlp {
         from_target(self.net.forward_one(features)[0])
     }
 
+    fn estimate_many(&self, queries: &[&[f64]]) -> Vec<f64> {
+        // One batched forward pass: a single GEMM per layer instead of a
+        // matrix-vector product per query.
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let mut data = Vec::with_capacity(queries.len() * self.feature_dim);
+        for q in queries {
+            data.extend_from_slice(q);
+        }
+        let x = Matrix::from_vec(queries.len(), self.feature_dim, data);
+        let out = self.net.forward(&x);
+        (0..queries.len())
+            .map(|i| from_target(out.get(i, 0)))
+            .collect()
+    }
+
     fn fit(&mut self, examples: &[LabeledExample]) {
         self.opt.reset();
         self.train(examples, self.params.fit_epochs);
@@ -532,6 +549,24 @@ mod tests {
             .map(|e| (model.estimate(&e.features), e.card))
             .collect();
         gmq_of(&pairs)
+    }
+
+    #[test]
+    fn estimate_many_matches_per_query_estimates() {
+        let (train, test, dim) = make_training(300, 13);
+        let mut m = LmMlp::new(dim, LmMlpParams::default(), 7);
+        m.fit(&train);
+        let queries: Vec<&[f64]> = test.iter().map(|e| e.features.as_slice()).collect();
+        let batched = m.estimate_many(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batched) {
+            let single = m.estimate(q);
+            assert!(
+                (single - b).abs() <= 1e-9 * single.abs().max(1.0),
+                "batched {b} vs single {single}"
+            );
+        }
+        assert!(m.estimate_many(&[]).is_empty());
     }
 
     #[test]

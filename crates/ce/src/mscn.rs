@@ -358,6 +358,22 @@ impl CardinalityEstimator for Mscn {
         from_target(self.forward_batch(&x).get(0, 0))
     }
 
+    fn estimate_many(&self, queries: &[&[f64]]) -> Vec<f64> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let d = self.cfg.feature_dim();
+        let mut data = Vec::with_capacity(queries.len() * d);
+        for q in queries {
+            data.extend_from_slice(q);
+        }
+        let x = Matrix::from_vec(queries.len(), d, data);
+        let out = self.forward_batch(&x);
+        (0..queries.len())
+            .map(|i| from_target(out.get(i, 0)))
+            .collect()
+    }
+
     fn fit(&mut self, examples: &[LabeledExample]) {
         self.opt_pred.reset();
         self.opt_join.reset();

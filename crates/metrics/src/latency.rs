@@ -1,0 +1,283 @@
+//! Log-linear (HDR-style) latency histogram.
+//!
+//! The serving benches need tail percentiles (p50/p95/p99/max) over millions
+//! of per-request latencies without keeping every sample. A log-linear
+//! histogram gives bounded relative error with O(1) recording: values below
+//! [`SUBBUCKETS`] nanoseconds land in exact unit buckets, and every octave
+//! above that is split into [`SUBBUCKETS`] linear sub-buckets, so any
+//! recorded value is off by at most `1/SUBBUCKETS` (≤ 0.8%) from its bucket
+//! representative. Histograms from different client threads [`merge`] into
+//! one; the replay harness and `benches/serve.rs` use that instead of
+//! collecting ad-hoc `Vec<f64>`s and sorting.
+//!
+//! [`merge`]: LatencyHistogram::merge
+
+/// Linear sub-buckets per octave (128 → ≤ 0.8% relative bucket error).
+pub const SUBBUCKETS: u64 = 1 << SUB_BITS;
+const SUB_BITS: u32 = 7;
+
+/// A mergeable log-linear histogram of non-negative `u64` values
+/// (nanoseconds by convention; the unit is the caller's).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Bucket counts, grown lazily to the highest recorded index.
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+/// Bucket index of a value: exact below [`SUBBUCKETS`], log-linear above.
+fn index_of(v: u64) -> usize {
+    if v < SUBBUCKETS {
+        return v as usize;
+    }
+    let e = 63 - u64::from(v.leading_zeros());
+    let shift = e - u64::from(SUB_BITS);
+    (SUBBUCKETS + shift * SUBBUCKETS + ((v >> shift) - SUBBUCKETS)) as usize
+}
+
+/// Inverse of [`index_of`]: the lowest value mapping to `idx`, plus the
+/// bucket width.
+fn bucket_low_width(idx: usize) -> (u64, u64) {
+    let idx = idx as u64;
+    if idx < SUBBUCKETS {
+        return (idx, 1);
+    }
+    let shift = (idx - SUBBUCKETS) / SUBBUCKETS;
+    let sub = (idx - SUBBUCKETS) % SUBBUCKETS;
+    ((SUBBUCKETS + sub) << shift, 1u64 << shift)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = index_of(v);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        if self.total == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.total += 1;
+        self.sum += u128::from(v);
+    }
+
+    /// Records a duration in nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&mut self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        if other.total == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i] += c;
+        }
+        if self.total == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the representative (midpoint) of
+    /// the bucket containing the `⌈q·count⌉`-th smallest sample, clamped to
+    /// the exact observed min/max. Bucket resolution bounds the error at
+    /// ≤ `1/SUBBUCKETS`. Returns 0 when empty.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (low, width) = bucket_low_width(idx);
+                return (low + width / 2).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.value_at_quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// `(p50, p95, p99, max)` scaled by `1/scale` — e.g. `scale = 1000.0`
+    /// turns nanosecond recordings into microseconds for reporting.
+    pub fn summary_scaled(&self, scale: f64) -> (f64, f64, f64, f64) {
+        (
+            self.p50() as f64 / scale,
+            self.p95() as f64 / scale,
+            self.p99() as f64 / scale,
+            self.max() as f64 / scale,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrips_within_bucket() {
+        for v in (0u64..100_000).step_by(37).chain([1 << 40, u64::MAX / 2]) {
+            let idx = index_of(v);
+            let (low, width) = bucket_low_width(idx);
+            assert!(low <= v && v < low + width, "v {v} low {low} width {width}");
+        }
+    }
+
+    #[test]
+    fn linear_and_log_regions_are_contiguous() {
+        // Every value maps to an index no smaller than its predecessor's,
+        // and bucket boundaries tile without gaps across the linear→log seam.
+        let mut prev = 0;
+        for v in 0u64..10_000 {
+            let idx = index_of(v);
+            assert!(idx >= prev, "index regressed at {v}");
+            prev = idx;
+        }
+        assert_eq!(index_of(SUBBUCKETS - 1) + 1, index_of(SUBBUCKETS));
+    }
+
+    #[test]
+    fn quantiles_on_uniform_distribution() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100_000);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100_000);
+        for (q, expect) in [(0.5, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let got = h.value_at_quantile(q) as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.01,
+                "q{q}: got {got}, want ~{expect}"
+            );
+        }
+        assert!((h.mean() - 50_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_on_bimodal_distribution() {
+        // 90 fast requests at ~1ms, 10 slow at ~100ms: p50 must sit in the
+        // fast mode, p95 and p99 in the slow mode.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(1_000_000);
+        }
+        for _ in 0..10 {
+            h.record(100_000_000);
+        }
+        let p50 = h.p50() as f64;
+        let p95 = h.p95() as f64;
+        assert!((p50 - 1e6).abs() / 1e6 < 0.01, "p50 {p50}");
+        assert!((p95 - 1e8).abs() / 1e8 < 0.01, "p95 {p95}");
+        assert_eq!(h.max(), 100_000_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let values: Vec<u64> = (0..5_000u64).map(|i| i * i % 777_777 + 1).collect();
+        let mut whole = LatencyHistogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.p99(), whole.p99());
+        let empty = LatencyHistogram::new();
+        merged.merge(&empty);
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_value_is_exact_at_every_quantile() {
+        for v in [0u64, 5, 127, 128, 129, 1_000_003, 1 << 33] {
+            let mut h = LatencyHistogram::new();
+            h.record(v);
+            assert_eq!(h.value_at_quantile(0.0), v);
+            assert_eq!(h.value_at_quantile(0.5), v);
+            assert_eq!(h.value_at_quantile(1.0), v);
+        }
+    }
+}

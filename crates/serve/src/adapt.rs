@@ -1,0 +1,366 @@
+//! The background adaptation worker.
+//!
+//! A serving deployment keeps two copies of the model: the frozen
+//! [`ModelSnapshot`] the workers answer from, and a private copy this
+//! worker retrains. Arrived queries stream into a bounded inbox
+//! ([`AdaptWorker::observe`] — never blocking the serving path; a full
+//! inbox drops the *observation*, never the request). Once `invoke_every`
+//! observations accumulate (or `max_wait` elapses with at least one), the
+//! worker runs one supervised adaptation step — checkpoint → invoke →
+//! validate → commit or roll back — and, only on the commit path, snapshots
+//! the updated model and publishes it to the [`SnapshotCell`]. Rolled-back
+//! steps publish nothing: the serving side keeps answering from the last
+//! good generation.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_ce::CardinalityEstimator;
+use warper_core::detect::{CanarySet, DataTelemetry};
+use warper_core::{
+    derive_seed, seed_stream, ArrivedQuery, CommitHook, FeatureMap, Supervisor, SupervisorConfig,
+    WarperController,
+};
+use warper_query::{Annotator, RangePredicate};
+use warper_storage::drift::ChangeLog;
+use warper_storage::Table;
+
+use crate::queue::BatchQueue;
+use crate::snapshot::{ModelSnapshot, SnapshotCell};
+
+/// Adaptation-loop knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptConfig {
+    /// Supervisor policy for the checkpoint/validate/commit cycle.
+    pub supervisor: SupervisorConfig,
+    /// Observations per invocation (n_t): the worker batches this many
+    /// arrivals into one adaptation step.
+    pub invoke_every: usize,
+    /// Invoke with a partial batch after this long with ≥ 1 observation
+    /// queued (bounds staleness under a trickle of arrivals).
+    pub max_wait: Duration,
+    /// Inbox bound; observations beyond it are dropped, not queued.
+    pub inbox_capacity: usize,
+    /// Canary predicates for data-drift telemetry.
+    pub canaries: usize,
+    /// Master seed (the worker draws from its [`seed_stream::ADAPT`]
+    /// stream).
+    pub seed: u64,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        Self {
+            supervisor: SupervisorConfig::default(),
+            invoke_every: 40,
+            max_wait: Duration::from_millis(50),
+            inbox_capacity: 4096,
+            canaries: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// What the worker did over its lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptStats {
+    /// Supervised invocations run.
+    pub invocations: usize,
+    /// Invocations that committed.
+    pub commits: usize,
+    /// Invocations rolled back to their checkpoint.
+    pub rollbacks: usize,
+    /// Snapshots published to the cell (= commits unless the model cannot
+    /// snapshot or a committed state failed re-validation).
+    pub published: usize,
+    /// Committed steps that could not be published.
+    pub publish_failures: usize,
+    /// Observations dropped by the full inbox.
+    pub dropped_observations: usize,
+    /// Queries annotated by the adaptation loop.
+    pub annotated: usize,
+    /// Synthetic queries generated.
+    pub generated: usize,
+    /// Wall-clock seconds inside supervised invocations.
+    pub adapt_secs: f64,
+}
+
+/// Handle to the running worker thread.
+pub struct AdaptWorker {
+    inbox: Arc<BatchQueue<ArrivedQuery>>,
+    dropped: Arc<AtomicUsize>,
+    handle: JoinHandle<AdaptStats>,
+}
+
+impl AdaptWorker {
+    /// Spawns the worker. `ctl` and `model` are the adaptation-side copies;
+    /// committed updates are snapshotted into `cell`. The worker reads
+    /// `table` (telemetry + annotation) under short-lived read locks, so a
+    /// drift mutator holding the write lock never waits on a whole
+    /// retraining step.
+    pub fn spawn(
+        ctl: WarperController,
+        model: Box<dyn CardinalityEstimator>,
+        cell: Arc<SnapshotCell<ModelSnapshot>>,
+        table: Arc<RwLock<Table>>,
+        fmap: FeatureMap,
+        cfg: AdaptConfig,
+    ) -> Self {
+        let inbox = Arc::new(BatchQueue::new(cfg.inbox_capacity.max(1)));
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let worker_inbox = Arc::clone(&inbox);
+        let worker_dropped = Arc::clone(&dropped);
+        let handle = std::thread::Builder::new()
+            .name("serve-adapt".into())
+            .spawn(move || {
+                worker_main(
+                    ctl,
+                    model,
+                    cell,
+                    table,
+                    fmap,
+                    cfg,
+                    worker_inbox,
+                    worker_dropped,
+                )
+            })
+            .expect("spawn adaptation worker");
+        Self {
+            inbox,
+            dropped,
+            handle,
+        }
+    }
+
+    /// Feeds one arrived query to the loop. Never blocks: a full inbox
+    /// drops the observation and the serving path moves on.
+    pub fn observe(&self, q: ArrivedQuery) {
+        if self.inbox.try_push(q).is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Closes the inbox, lets the worker drain it, and returns its stats.
+    pub fn finish(self) -> AdaptStats {
+        self.inbox.close();
+        match self.handle.join() {
+            Ok(stats) => stats,
+            Err(e) => std::panic::resume_unwind(e),
+        }
+    }
+}
+
+/// Builds the publication hook: on every commit, snapshot the model,
+/// re-validate the controller state, and swap the cell.
+fn publish_hook(
+    cell: Arc<SnapshotCell<ModelSnapshot>>,
+    published: Arc<AtomicUsize>,
+    failures: Arc<AtomicUsize>,
+) -> CommitHook {
+    Box::new(move |state, model| {
+        let next_gen = cell.version() + 1;
+        let ok = model
+            .snapshot()
+            .and_then(|m| ModelSnapshot::committed(next_gen, m, state).ok())
+            .map(|snap| cell.publish(snap));
+        match ok {
+            Some(_) => published.fetch_add(1, Ordering::Relaxed),
+            None => failures.fetch_add(1, Ordering::Relaxed),
+        };
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    mut ctl: WarperController,
+    mut model: Box<dyn CardinalityEstimator>,
+    cell: Arc<SnapshotCell<ModelSnapshot>>,
+    table: Arc<RwLock<Table>>,
+    fmap: FeatureMap,
+    cfg: AdaptConfig,
+    inbox: Arc<BatchQueue<ArrivedQuery>>,
+    dropped: Arc<AtomicUsize>,
+) -> AdaptStats {
+    let published = Arc::new(AtomicUsize::new(0));
+    let publish_failures = Arc::new(AtomicUsize::new(0));
+    let mut sup = Supervisor::new(cfg.supervisor).with_commit_hook(publish_hook(
+        Arc::clone(&cell),
+        Arc::clone(&published),
+        Arc::clone(&publish_failures),
+    ));
+
+    let annotator = Annotator::new();
+    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, seed_stream::ADAPT));
+    // Telemetry baselines against the table as it stands at spawn.
+    let (changelog, mut canaries) = {
+        let t = table.read().unwrap_or_else(PoisonError::into_inner);
+        (
+            ChangeLog::mark(&t),
+            CanarySet::new(&t, cfg.canaries, &mut rng),
+        )
+    };
+
+    let mut stats = AdaptStats::default();
+    let mut batch: Vec<ArrivedQuery> = Vec::new();
+    while inbox.pop_batch(cfg.invoke_every.max(1), cfg.max_wait, &mut batch) {
+        let telemetry = {
+            let t = table.read().unwrap_or_else(PoisonError::into_inner);
+            DataTelemetry {
+                changed_fraction: changelog.changed_fraction(&t),
+                canary_max_change: canaries.max_relative_change(&t),
+            }
+        };
+        let mut annotate = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
+            let preds: Vec<RangePredicate> = qs.iter().map(|f| fmap.defeaturize(f)).collect();
+            let t = table.read().unwrap_or_else(PoisonError::into_inner);
+            annotator
+                .count_batch(&t, &preds)
+                .into_iter()
+                .map(|c| Some(c as f64))
+                .collect()
+        };
+        let t0 = Instant::now();
+        let report = sup.invoke(&mut ctl, model.as_mut(), &batch, &telemetry, &mut annotate);
+        stats.adapt_secs += t0.elapsed().as_secs_f64();
+        stats.invocations += 1;
+        stats.annotated += report.annotated;
+        stats.generated += report.generated;
+        if report.rollback.is_some() {
+            stats.rollbacks += 1;
+        } else {
+            stats.commits += 1;
+        }
+    }
+    // Fully handled whatever drift occurred; canaries could rebaseline for a
+    // successor worker (informative only — this worker is exiting).
+    {
+        let t = table.read().unwrap_or_else(PoisonError::into_inner);
+        canaries.rebaseline(&t);
+    }
+    stats.published = published.load(Ordering::Relaxed);
+    stats.publish_failures = publish_failures.load(Ordering::Relaxed);
+    stats.dropped_observations = dropped.load(Ordering::Relaxed);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use warper_core::runner::ModelKind;
+    use warper_core::{prepare_single_table, WarperConfig};
+    use warper_storage::{generate, DatasetKind};
+    use warper_workload::QueryGenerator;
+
+    fn small_warper_cfg() -> WarperConfig {
+        WarperConfig {
+            embed_dim: 6,
+            hidden: 24,
+            n_i: 5,
+            pretrain_epochs: 2,
+            gamma: 80,
+            n_p: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn worker_publishes_only_committed_generations() {
+        let table = generate(DatasetKind::Prsa, 2_000, 5);
+        let prepared = prepare_single_table(&table, "w1", ModelKind::LmMlp, 250, 11).unwrap();
+        let ctl = WarperController::new(
+            prepared.fmap.dim(),
+            &prepared.training_set,
+            prepared.baseline_gmq,
+            small_warper_cfg(),
+            derive_seed(11, seed_stream::STRATEGY),
+        )
+        .with_canonicalizer(prepared.fmap.make_canonicalizer());
+
+        let serving = prepared.model.snapshot().expect("LmMlp snapshots");
+        let cell = Arc::new(SnapshotCell::new(ModelSnapshot::initial(serving)));
+        let shared = Arc::new(RwLock::new(table.clone()));
+        let worker = AdaptWorker::spawn(
+            ctl,
+            prepared.model,
+            Arc::clone(&cell),
+            shared,
+            prepared.fmap.clone(),
+            AdaptConfig {
+                invoke_every: 30,
+                max_wait: Duration::from_millis(5),
+                seed: 11,
+                ..Default::default()
+            },
+        );
+
+        // Feed two invocations' worth of drifted-workload arrivals.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gen = QueryGenerator::try_from_notation(&table, "w4").unwrap();
+        for p in gen.generate_many(60, &mut rng) {
+            worker.observe(ArrivedQuery {
+                features: prepared.fmap.featurize(&p),
+                gt: Some(rng.random_range(1.0..500.0)),
+            });
+        }
+        let stats = worker.finish();
+        assert!(stats.invocations >= 1, "{stats:?}");
+        assert_eq!(stats.invocations, stats.commits + stats.rollbacks);
+        assert_eq!(stats.published + stats.publish_failures, stats.commits);
+        assert_eq!(stats.publish_failures, 0, "LmMlp snapshots must publish");
+        // The cell advanced exactly once per published commit, and the
+        // published model answers.
+        assert_eq!(cell.version(), stats.published as u64);
+        let (v, snap) = cell.load();
+        assert_eq!(snap.generation, v);
+        let q = vec![0.5; snap.model.feature_dim()];
+        assert!(snap.model.estimate(&q).is_finite());
+        assert_eq!(stats.dropped_observations, 0);
+    }
+
+    #[test]
+    fn full_inbox_drops_observations_instead_of_blocking() {
+        let table = generate(DatasetKind::Prsa, 1_200, 6);
+        let prepared = prepare_single_table(&table, "w1", ModelKind::LmMlp, 150, 5).unwrap();
+        let ctl = WarperController::new(
+            prepared.fmap.dim(),
+            &prepared.training_set,
+            prepared.baseline_gmq,
+            small_warper_cfg(),
+            derive_seed(5, seed_stream::STRATEGY),
+        );
+        let serving = prepared.model.snapshot().expect("LmMlp snapshots");
+        let cell = Arc::new(SnapshotCell::new(ModelSnapshot::initial(serving)));
+        let shared = Arc::new(RwLock::new(table.clone()));
+        let worker = AdaptWorker::spawn(
+            ctl,
+            prepared.model,
+            cell,
+            shared,
+            prepared.fmap.clone(),
+            AdaptConfig {
+                invoke_every: 1_000_000, // never invoke: everything queues
+                max_wait: Duration::from_secs(60),
+                inbox_capacity: 8,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let dim = prepared.fmap.dim();
+        let t0 = Instant::now();
+        for i in 0..100 {
+            worker.observe(ArrivedQuery {
+                features: vec![(i % 7) as f64; dim],
+                gt: None,
+            });
+        }
+        // 92 drops, zero waiting.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        let stats = worker.finish();
+        assert_eq!(stats.dropped_observations, 92);
+    }
+}

@@ -1,0 +1,40 @@
+//! The serving layer: a concurrent cardinality-estimation service with
+//! hot-swappable model snapshots and an online adaptation loop.
+//!
+//! The paper evaluates Warper as an offline replay; a deployment has to
+//! answer estimation requests *while* adapting. This crate closes that gap
+//! with four pieces, all plain `std` threads (no async runtime):
+//!
+//! * [`snapshot`] — epoch-style publication: workers answer from an
+//!   immutable [`ModelSnapshot`] behind a [`SnapshotCell`]; the adaptation
+//!   loop publishes a new generation with one atomic version bump, and
+//!   readers revalidate their cached `Arc` with a single `Acquire` load.
+//! * [`queue`] — the bounded micro-batching request queue: producers shed
+//!   instead of blocking (admission control), consumers linger briefly to
+//!   accumulate a batch for the model's one-GEMM-per-layer
+//!   `estimate_many` path.
+//! * [`service`] — the worker pool gluing the two together, with per-request
+//!   response slots and lock-free counters.
+//! * [`adapt`] — the background worker running the supervised checkpoint →
+//!   invoke → validate → commit cycle; only *committed* steps are ever
+//!   published (the supervisor's commit hook is the single publication
+//!   point), so a rolled-back update can never serve a request.
+//!
+//! [`replay`] is the measurement harness over all of it: pre-generated
+//! query streams, mid-run drift events, per-client latency histograms, and
+//! an order-independent estimate checksum that makes replays comparable
+//! bit-for-bit (see its module docs for the determinism argument).
+
+pub mod adapt;
+pub mod queue;
+pub mod replay;
+pub mod service;
+pub mod snapshot;
+
+pub use adapt::{AdaptConfig, AdaptStats, AdaptWorker};
+pub use queue::{BatchQueue, PushError};
+pub use replay::{run_replay, AdaptMode, DriftEvent, DriftKind, ReplayReport, ReplaySpec};
+pub use service::{
+    Estimate, EstimationService, ServeError, ServiceConfig, ServiceHandle, ServiceStats,
+};
+pub use snapshot::{ModelSnapshot, SnapshotCell, SnapshotReader};

@@ -1,0 +1,226 @@
+//! Bounded micro-batching request queue.
+//!
+//! Producers [`try_push`](BatchQueue::try_push) and are *never* blocked: a
+//! full queue sheds the request back to the caller (admission control —
+//! callers turn that into a fast "shed" response instead of queueing
+//! unbounded work). Consumers [`pop_batch`](BatchQueue::pop_batch): block
+//! for the first item, then linger briefly to let a batch accumulate, then
+//! drain up to `max_n` items in one lock acquisition. That linger is what
+//! converts a stream of single requests into the batched inference the
+//! model's `estimate_many` path is fast at, while bounding the latency a
+//! lone request pays to at most the linger.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused. The item comes back to the caller in both cases.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity — shed the request.
+    Full(T),
+    /// The queue was closed — the service is shutting down.
+    Closed(T),
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue with batched, lingering consumption.
+pub struct BatchQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BatchQueue<T> {
+    /// A queue admitting at most `capacity` items ≥ 1.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item` unless the queue is full or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops a batch of up to `max_n` items into `out` (cleared first).
+    ///
+    /// Blocks until at least one item is available, then waits up to
+    /// `linger` for more to arrive (returning early once `max_n` are
+    /// ready). Returns `false` only when the queue is closed *and* drained
+    /// — the consumer's signal to exit.
+    pub fn pop_batch(&self, max_n: usize, linger: Duration, out: &mut Vec<T>) -> bool {
+        out.clear();
+        let max_n = max_n.max(1);
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        // Phase 1: block for the first item.
+        while inner.items.is_empty() {
+            if inner.closed {
+                return false;
+            }
+            inner = self
+                .not_empty
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        // Phase 2: linger for a fuller batch.
+        if !linger.is_zero() {
+            let deadline = Instant::now() + linger;
+            while inner.items.len() < max_n && !inner.closed {
+                let now = Instant::now();
+                let Some(left) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (guard, timeout) = self
+                    .not_empty
+                    .wait_timeout(inner, left)
+                    .unwrap_or_else(PoisonError::into_inner);
+                inner = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        let take = inner.items.len().min(max_n);
+        out.extend(inner.items.drain(..take));
+        // More items than we took: wake a sibling consumer.
+        let leftovers = !inner.items.is_empty();
+        drop(inner);
+        if leftovers {
+            self.not_empty.notify_one();
+        }
+        true
+    }
+
+    /// Closes the queue: future pushes fail, consumers drain what is left
+    /// and then see `false` from [`pop_batch`](Self::pop_batch).
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.closed = true;
+        drop(inner);
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let q = BatchQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_caps_at_max_n_and_leaves_the_rest() {
+        let q = BatchQueue::new(16);
+        for i in 0..10 {
+            q.try_push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(4, Duration::ZERO, &mut out));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BatchQueue::new(16);
+        q.try_push(7).unwrap();
+        q.close();
+        match q.try_push(8) {
+            Err(PushError::Closed(8)) => {}
+            other => panic!("expected Closed(8), got {other:?}"),
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(64, Duration::ZERO, &mut out));
+        assert_eq!(out, vec![7]);
+        assert!(!q.pop_batch(64, Duration::ZERO, &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn linger_accumulates_a_batch_from_a_trickle() {
+        let q = Arc::new(BatchQueue::new(64));
+        let producer = Arc::clone(&q);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..8 {
+                    producer.try_push(i).unwrap();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+            let mut out = Vec::new();
+            let mut total = 0;
+            let mut pops = 0;
+            while total < 8 {
+                assert!(q.pop_batch(8, Duration::from_millis(100), &mut out));
+                total += out.len();
+                pops += 1;
+            }
+            // The 100 ms linger should have glued the 1 ms trickle into far
+            // fewer batches than items (usually exactly one).
+            assert!(pops <= 4, "{pops} pops for 8 items");
+        });
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q = Arc::new(BatchQueue::<u32>::new(4));
+        let closer = Arc::clone(&q);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                closer.close();
+            });
+            let mut out = Vec::new();
+            // Blocks on empty, then the close wakes it with `false`.
+            assert!(!q.pop_batch(8, Duration::from_secs(10), &mut out));
+        });
+    }
+}

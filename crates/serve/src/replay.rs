@@ -1,0 +1,667 @@
+//! Load-generator / replay harness.
+//!
+//! One replay: train a model offline ([`prepare_single_table`]), start the
+//! estimation service over its snapshot, then have `clients` threads replay
+//! a pre-generated query stream against it — optionally paced by an
+//! [`ArrivalProcess`], optionally hitting a mid-run [`DriftEvent`], and
+//! optionally adapting online ([`AdaptMode`]). Per-request latency lands in
+//! per-client [`LatencyHistogram`]s (merged at the end), and every served
+//! estimate is folded into an order-independent checksum so two replays can
+//! be compared bit-for-bit.
+//!
+//! # Determinism
+//!
+//! Query streams are generated *before* the run from the
+//! [`seed_stream::LOADGEN`] and [`seed_stream::DRIFT`] streams of the
+//! master seed, so what arrives never depends on thread timing. Batched
+//! inference is bit-identical to per-query inference (the GEMM accumulates
+//! each output row in the same order regardless of batch size), so *which*
+//! micro-batch a request lands in cannot change its answer — only the model
+//! generation serving it can. [`AdaptMode::Synchronous`] therefore pins the
+//! whole replay: adaptation runs only at segment barriers (every
+//! `invoke_every` queries and at the drift point), where every in-flight
+//! request has drained, so each query is answered by a deterministic
+//! generation and [`ReplayReport::estimates_checksum`] reproduces exactly —
+//! for any client count. [`AdaptMode::Background`] trades that for
+//! free-running adaptation (the latency-realistic mode).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use warper_ce::CardinalityEstimator;
+use warper_core::detect::{CanarySet, DataTelemetry};
+use warper_core::runner::{DataDriftKind, ModelKind};
+use warper_core::{
+    derive_seed, prepare_single_table, seed_stream, ArrivedQuery, FeatureMap, Supervisor,
+    SupervisorConfig, WarperConfig, WarperController, WarperError,
+};
+use warper_metrics::{gmq, LatencyHistogram, PAPER_THETA};
+use warper_query::{Annotator, RangePredicate};
+use warper_storage::drift::ChangeLog;
+use warper_storage::Table;
+use warper_workload::{ArrivalProcess, QueryGenerator};
+
+use crate::adapt::{AdaptConfig, AdaptStats, AdaptWorker};
+use crate::service::{EstimationService, ServeError, ServiceConfig, ServiceStats};
+use crate::snapshot::{ModelSnapshot, SnapshotCell};
+
+/// What changes mid-run.
+#[derive(Debug, Clone)]
+pub enum DriftKind {
+    /// The table is mutated (c1).
+    Data(DataDriftKind),
+    /// Later queries come from a different workload mix (c2/c3).
+    Workload {
+        /// Post-drift workload notation, e.g. `"w45"`.
+        new_mix: String,
+    },
+}
+
+/// A drift injected after `at_query` requests have been served.
+#[derive(Debug, Clone)]
+pub struct DriftEvent {
+    /// Request index at which the drift lands (a segment barrier).
+    pub at_query: usize,
+    /// What drifts.
+    pub kind: DriftKind,
+}
+
+/// How the model adapts during the replay.
+pub enum AdaptMode {
+    /// No adaptation: the initial snapshot serves everything.
+    None,
+    /// Free-running background worker (the deployment shape): arrivals
+    /// stream into its inbox and committed updates hot-swap mid-traffic.
+    Background(AdaptConfig),
+    /// Adaptation only at segment barriers, every `invoke_every` queries —
+    /// the bit-deterministic mode.
+    Synchronous {
+        /// Supervisor policy.
+        supervisor: SupervisorConfig,
+        /// Barrier spacing in queries.
+        invoke_every: usize,
+    },
+}
+
+/// A full replay specification.
+pub struct ReplaySpec {
+    /// CE model to serve.
+    pub model: ModelKind,
+    /// Training/pre-drift workload notation.
+    pub mix: String,
+    /// Offline training-set size.
+    pub n_train: usize,
+    /// Requests to replay.
+    pub n_queries: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Mid-run drift, if any.
+    pub drift: Option<DriftEvent>,
+    /// Adaptation mode.
+    pub adapt: AdaptMode,
+    /// Service shape.
+    pub service: ServiceConfig,
+    /// Warper controller configuration (adaptation modes only).
+    pub warper: WarperConfig,
+    /// Master seed; all randomness derives from its named streams.
+    pub seed: u64,
+    /// Open-loop pacing. `None` replays closed-loop at full speed.
+    pub pace: Option<ArrivalProcess>,
+    /// Ground-truth spot checks per phase (0 disables).
+    pub spot_checks: usize,
+}
+
+impl Default for ReplaySpec {
+    fn default() -> Self {
+        Self {
+            model: ModelKind::LmMlp,
+            mix: "w1".into(),
+            n_train: 400,
+            n_queries: 1_000,
+            clients: 4,
+            drift: None,
+            adapt: AdaptMode::None,
+            service: ServiceConfig::default(),
+            warper: WarperConfig::default(),
+            seed: 7,
+            pace: None,
+            spot_checks: 0,
+        }
+    }
+}
+
+/// Everything a replay measured.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Requests answered with an estimate.
+    pub served: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Requests that failed for any other reason.
+    pub errors: usize,
+    /// Merged per-request latency (nanoseconds).
+    pub latency: LatencyHistogram,
+    /// Wall-clock seconds for the serving phase (excludes offline
+    /// preparation).
+    pub wall_secs: f64,
+    /// Served requests per wall-clock second.
+    pub throughput_qps: f64,
+    /// Model generations published during the run.
+    pub generations_published: u64,
+    /// Largest `cell version − serving generation` any response observed.
+    pub max_staleness: u64,
+    /// Order-independent FNV checksum over `(index, estimate bits)` of all
+    /// served requests — equal checksums mean bit-identical estimate
+    /// streams.
+    pub estimates_checksum: u64,
+    /// GMQ of served estimates vs fresh ground truth, pre-drift phase.
+    pub spot_gmq_pre: Option<f64>,
+    /// Same for the post-drift phase.
+    pub spot_gmq_post: Option<f64>,
+    /// Service counters (batching, shed, rejects).
+    pub service: ServiceStats,
+    /// Adaptation stats (adaptation modes only).
+    pub adapt: Option<AdaptStats>,
+}
+
+/// What one client thread collected.
+#[derive(Default)]
+struct ClientLog {
+    hist: LatencyHistogram,
+    results: Vec<(usize, u64)>,
+    shed: usize,
+    errors: usize,
+    max_staleness: u64,
+}
+
+/// FNV-1a over the served `(index, bits)` pairs, sorted by index first so
+/// the digest is independent of client interleaving.
+fn checksum(results: &[(usize, u64)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &(idx, bits) in results {
+        fold(idx as u64);
+        fold(bits);
+    }
+    h
+}
+
+/// The synchronous-mode adaptation state (controller + supervisor + the
+/// telemetry probes), driven at segment barriers.
+struct SyncAdapter {
+    ctl: WarperController,
+    model: Box<dyn CardinalityEstimator>,
+    sup: Supervisor,
+    changelog: ChangeLog,
+    canaries: CanarySet,
+    stats: AdaptStats,
+    published: Arc<AtomicU64>,
+}
+
+impl SyncAdapter {
+    fn step(
+        &mut self,
+        arrived: &[ArrivedQuery],
+        table: &RwLock<Table>,
+        fmap: &FeatureMap,
+        annotator: &Annotator,
+    ) {
+        if arrived.is_empty() {
+            return;
+        }
+        let telemetry = {
+            let t = table.read().unwrap_or_else(PoisonError::into_inner);
+            DataTelemetry {
+                changed_fraction: self.changelog.changed_fraction(&t),
+                canary_max_change: self.canaries.max_relative_change(&t),
+            }
+        };
+        let mut annotate = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
+            let preds: Vec<RangePredicate> = qs.iter().map(|f| fmap.defeaturize(f)).collect();
+            let t = table.read().unwrap_or_else(PoisonError::into_inner);
+            annotator
+                .count_batch(&t, &preds)
+                .into_iter()
+                .map(|c| Some(c as f64))
+                .collect()
+        };
+        let t0 = Instant::now();
+        let report = self.sup.invoke(
+            &mut self.ctl,
+            self.model.as_mut(),
+            arrived,
+            &telemetry,
+            &mut annotate,
+        );
+        self.stats.adapt_secs += t0.elapsed().as_secs_f64();
+        self.stats.invocations += 1;
+        self.stats.annotated += report.annotated;
+        self.stats.generated += report.generated;
+        if report.rollback.is_some() {
+            self.stats.rollbacks += 1;
+        } else {
+            self.stats.commits += 1;
+        }
+    }
+
+    fn into_stats(self) -> AdaptStats {
+        let mut stats = self.stats;
+        stats.published = self.published.load(Ordering::Relaxed) as usize;
+        stats
+    }
+}
+
+fn build_controller(
+    fmap: &FeatureMap,
+    training_set: &[(Vec<f64>, f64)],
+    baseline_gmq: f64,
+    warper: WarperConfig,
+    seed: u64,
+) -> WarperController {
+    WarperController::new(
+        fmap.dim(),
+        training_set,
+        baseline_gmq,
+        warper,
+        derive_seed(seed, seed_stream::STRATEGY),
+    )
+    .with_canonicalizer(fmap.make_canonicalizer())
+}
+
+/// Runs one replay against `table`.
+///
+/// Errors on invalid workload notation or a model that cannot snapshot
+/// (serving requires an immutable copy to publish).
+pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, WarperError> {
+    let n = spec.n_queries;
+    let drift_at = spec.drift.as_ref().map(|d| d.at_query.min(n)).unwrap_or(n);
+
+    // ---- Offline phase: train the model, pre-generate the query streams.
+    let prepared = prepare_single_table(table, &spec.mix, spec.model, spec.n_train, spec.seed)?;
+    let fmap = prepared.fmap.clone();
+
+    let mut loadgen = StdRng::seed_from_u64(derive_seed(spec.seed, seed_stream::LOADGEN));
+    let mut gen1 = QueryGenerator::try_from_notation(table, &spec.mix)?;
+    let mut preds: Vec<RangePredicate> = gen1.generate_many(drift_at, &mut loadgen);
+
+    // The post-drift table is materialized up front (same DRIFT-stream RNG
+    // the live swap uses), so phase-2 queries can be pre-generated against
+    // the exact data they will run on.
+    let drifted_table: Option<Table> = match spec.drift.as_ref().map(|d| &d.kind) {
+        Some(DriftKind::Data(kind)) => {
+            let mut t = table.clone();
+            let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, seed_stream::DRIFT));
+            kind.apply(&mut t, &mut rng);
+            Some(t)
+        }
+        Some(DriftKind::Workload { .. }) => Some(table.clone()),
+        None => None,
+    };
+    if let (Some(drift), Some(post)) = (spec.drift.as_ref(), drifted_table.as_ref()) {
+        let mix2 = match &drift.kind {
+            DriftKind::Workload { new_mix } => new_mix.as_str(),
+            DriftKind::Data(_) => spec.mix.as_str(),
+        };
+        let mut gen2 = QueryGenerator::try_from_notation(post, mix2)?;
+        preds.extend(gen2.generate_many(n - drift_at, &mut loadgen));
+    }
+    let feats: Vec<Vec<f64>> = preds.iter().map(|p| fmap.featurize(p)).collect();
+
+    // ---- Serving state: snapshot for the workers, original for adaptation.
+    let serving = prepared.model.snapshot().ok_or_else(|| {
+        WarperError::InvalidState(format!(
+            "{} cannot snapshot; serving requires an immutable copy",
+            prepared.model.name()
+        ))
+    })?;
+    let cell = Arc::new(SnapshotCell::new(ModelSnapshot::initial(serving)));
+    let shared = Arc::new(RwLock::new(table.clone()));
+    let annotator = Annotator::new();
+
+    enum Adapter {
+        None,
+        Background(AdaptWorker),
+        Sync(Box<SyncAdapter>),
+    }
+
+    let mut adapter = match &spec.adapt {
+        AdaptMode::None => Adapter::None,
+        AdaptMode::Background(cfg) => {
+            let cfg = AdaptConfig {
+                seed: spec.seed,
+                ..*cfg
+            };
+            let ctl = build_controller(
+                &fmap,
+                &prepared.training_set,
+                prepared.baseline_gmq,
+                spec.warper,
+                spec.seed,
+            );
+            Adapter::Background(AdaptWorker::spawn(
+                ctl,
+                prepared.model,
+                Arc::clone(&cell),
+                Arc::clone(&shared),
+                fmap.clone(),
+                cfg,
+            ))
+        }
+        AdaptMode::Synchronous { supervisor, .. } => {
+            let ctl = build_controller(
+                &fmap,
+                &prepared.training_set,
+                prepared.baseline_gmq,
+                spec.warper,
+                spec.seed,
+            );
+            let published = Arc::new(AtomicU64::new(0));
+            let hook_cell = Arc::clone(&cell);
+            let hook_published = Arc::clone(&published);
+            let sup =
+                Supervisor::new(*supervisor).with_commit_hook(Box::new(move |state, model| {
+                    let next = hook_cell.version() + 1;
+                    if let Some(m) = model.snapshot() {
+                        if let Ok(snap) = ModelSnapshot::committed(next, m, state) {
+                            hook_cell.publish(snap);
+                            hook_published.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }));
+            let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, seed_stream::ADAPT));
+            let (changelog, canaries) = {
+                let t = shared.read().unwrap_or_else(PoisonError::into_inner);
+                (
+                    ChangeLog::mark(&t),
+                    CanarySet::new(&t, spec.warper.canaries, &mut rng),
+                )
+            };
+            Adapter::Sync(Box::new(SyncAdapter {
+                ctl,
+                model: prepared.model,
+                sup,
+                changelog,
+                canaries,
+                stats: AdaptStats::default(),
+                published,
+            }))
+        }
+    };
+
+    // ---- Segment plan: barriers at the drift point and (synchronous mode)
+    // every `invoke_every` queries.
+    let mut boundaries: Vec<usize> = vec![0, drift_at, n];
+    if let AdaptMode::Synchronous { invoke_every, .. } = &spec.adapt {
+        let step = (*invoke_every).max(1);
+        boundaries.extend((1..).map(|k| k * step).take_while(|&b| b < n));
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    let service = EstimationService::start(Arc::clone(&cell), spec.service);
+    let handle = service.handle();
+    let clients = spec.clients.max(1);
+    let start = Instant::now();
+    let mut logs: Vec<ClientLog> = Vec::with_capacity(clients);
+    let mut pending: Vec<ArrivedQuery> = Vec::new();
+
+    for w in boundaries.windows(2) {
+        let (seg_start, seg_end) = (w[0], w[1]);
+        if seg_start == seg_end {
+            continue;
+        }
+        // Serve the segment from `clients` threads, striped by index.
+        let seg_logs: Vec<ClientLog> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let handle = handle.clone();
+                    let cell = &cell;
+                    let feats = &feats;
+                    let adapter_ref = match &adapter {
+                        Adapter::Background(w) => Some(w),
+                        _ => None,
+                    };
+                    s.spawn(move || {
+                        let mut log = ClientLog::default();
+                        for idx in (seg_start..seg_end).filter(|i| i % clients == c) {
+                            if let Some(p) = &spec.pace {
+                                let due =
+                                    Duration::from_secs_f64(idx as f64 / p.rate_per_sec.max(1e-9));
+                                if let Some(wait) = due.checked_sub(start.elapsed()) {
+                                    std::thread::sleep(wait);
+                                }
+                            }
+                            let t0 = Instant::now();
+                            match handle.estimate(feats[idx].clone()) {
+                                Ok(est) => {
+                                    log.hist.record_duration(t0.elapsed());
+                                    log.results.push((idx, est.value.to_bits()));
+                                    let stale = cell.version().saturating_sub(est.generation);
+                                    log.max_staleness = log.max_staleness.max(stale);
+                                    if let Some(worker) = adapter_ref {
+                                        worker.observe(ArrivedQuery {
+                                            features: feats[idx].clone(),
+                                            gt: None,
+                                        });
+                                    }
+                                }
+                                Err(ServeError::Shed) => log.shed += 1,
+                                Err(_) => log.errors += 1,
+                            }
+                        }
+                        log
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client"))
+                .collect()
+        });
+        logs.extend(seg_logs);
+
+        // Barrier work: drift lands, then synchronous adaptation runs.
+        if seg_end == drift_at {
+            if let Some(post) = drifted_table.as_ref() {
+                let mut t = shared.write().unwrap_or_else(PoisonError::into_inner);
+                *t = post.clone();
+            }
+        }
+        if let Adapter::Sync(sync) = &mut adapter {
+            pending.extend((seg_start..seg_end).map(|idx| ArrivedQuery {
+                features: feats[idx].clone(),
+                gt: None,
+            }));
+            sync.step(&pending, &shared, &fmap, &annotator);
+            pending.clear();
+        }
+    }
+
+    let wall_secs = start.elapsed().as_secs_f64();
+    let service_stats = service.shutdown();
+    let adapt_stats = match adapter {
+        Adapter::None => None,
+        Adapter::Background(worker) => Some(worker.finish()),
+        Adapter::Sync(sync) => Some(sync.into_stats()),
+    };
+
+    // ---- Merge client logs.
+    let mut latency = LatencyHistogram::new();
+    let mut results: Vec<(usize, u64)> = Vec::with_capacity(n);
+    let (mut shed, mut errors, mut max_staleness) = (0usize, 0usize, 0u64);
+    for log in logs {
+        latency.merge(&log.hist);
+        results.extend(log.results);
+        shed += log.shed;
+        errors += log.errors;
+        max_staleness = max_staleness.max(log.max_staleness);
+    }
+    results.sort_unstable_by_key(|&(idx, _)| idx);
+
+    // ---- Ground-truth spot checks: GMQ of what was actually served vs
+    // fresh counts on the table of each phase.
+    let spot = |lo: usize, hi: usize, t: &Table| -> Option<f64> {
+        if spec.spot_checks == 0 || lo >= hi {
+            return None;
+        }
+        let slice: Vec<&(usize, u64)> = results
+            .iter()
+            .filter(|(idx, _)| (lo..hi).contains(idx))
+            .collect();
+        if slice.is_empty() {
+            return None;
+        }
+        let stride = (slice.len() / spec.spot_checks).max(1);
+        let picked: Vec<&(usize, u64)> = slice.iter().step_by(stride).copied().collect();
+        let checked: Vec<RangePredicate> =
+            picked.iter().map(|(idx, _)| preds[*idx].clone()).collect();
+        let actuals: Vec<f64> = annotator
+            .count_batch(t, &checked)
+            .into_iter()
+            .map(|c| c as f64)
+            .collect();
+        let ests: Vec<f64> = picked
+            .iter()
+            .map(|(_, bits)| f64::from_bits(*bits))
+            .collect();
+        Some(gmq(&ests, &actuals, PAPER_THETA))
+    };
+    let spot_gmq_pre = spot(0, drift_at, table);
+    let spot_gmq_post = drifted_table
+        .as_ref()
+        .and_then(|post| spot(drift_at, n, post));
+
+    let served = results.len();
+    Ok(ReplayReport {
+        served,
+        shed,
+        errors,
+        estimates_checksum: checksum(&results),
+        latency,
+        wall_secs,
+        throughput_qps: served as f64 / wall_secs.max(1e-9),
+        generations_published: cell.version(),
+        max_staleness,
+        spot_gmq_pre,
+        spot_gmq_post,
+        service: service_stats,
+        adapt: adapt_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warper_storage::{generate, DatasetKind};
+
+    fn small_warper() -> WarperConfig {
+        WarperConfig {
+            embed_dim: 6,
+            hidden: 24,
+            n_i: 5,
+            pretrain_epochs: 2,
+            gamma: 80,
+            n_p: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn plain_replay_serves_everything() {
+        let table = generate(DatasetKind::Prsa, 1_500, 5);
+        let spec = ReplaySpec {
+            n_train: 200,
+            n_queries: 300,
+            clients: 3,
+            spot_checks: 20,
+            seed: 13,
+            ..Default::default()
+        };
+        let rep = run_replay(&table, &spec).unwrap();
+        assert_eq!(rep.served, 300);
+        assert_eq!(rep.shed, 0);
+        assert_eq!(rep.errors, 0);
+        assert_eq!(rep.generations_published, 0);
+        assert_eq!(rep.max_staleness, 0);
+        assert_eq!(rep.latency.count(), 300);
+        assert!(rep.throughput_qps > 0.0);
+        let pre = rep.spot_gmq_pre.unwrap();
+        assert!(pre >= 1.0 && pre.is_finite());
+        assert!(rep.spot_gmq_post.is_none(), "no drift, no post phase");
+    }
+
+    #[test]
+    fn drift_with_background_adaptation_hot_swaps_without_errors() {
+        let table = generate(DatasetKind::Prsa, 2_000, 6);
+        let spec = ReplaySpec {
+            n_train: 250,
+            n_queries: 400,
+            clients: 4,
+            drift: Some(DriftEvent {
+                at_query: 200,
+                kind: DriftKind::Workload {
+                    new_mix: "w4".into(),
+                },
+            }),
+            adapt: AdaptMode::Background(AdaptConfig {
+                invoke_every: 60,
+                max_wait: Duration::from_millis(10),
+                ..Default::default()
+            }),
+            warper: small_warper(),
+            seed: 17,
+            ..Default::default()
+        };
+        let rep = run_replay(&table, &spec).unwrap();
+        assert_eq!(rep.errors, 0);
+        assert_eq!(rep.served + rep.shed, 400);
+        let adapt = rep.adapt.unwrap();
+        assert!(adapt.invocations >= 1, "{adapt:?}");
+        assert_eq!(adapt.publish_failures, 0);
+        assert_eq!(rep.generations_published, adapt.published as u64);
+    }
+
+    #[test]
+    fn synchronous_replay_is_bit_deterministic_across_runs_and_client_counts() {
+        let table = generate(DatasetKind::Prsa, 1_500, 7);
+        let spec = |clients: usize| ReplaySpec {
+            n_train: 200,
+            n_queries: 240,
+            clients,
+            drift: Some(DriftEvent {
+                at_query: 120,
+                kind: DriftKind::Data(DataDriftKind::SortTruncate { col: 1 }),
+            }),
+            adapt: AdaptMode::Synchronous {
+                supervisor: SupervisorConfig::default(),
+                invoke_every: 80,
+            },
+            warper: small_warper(),
+            seed: 23,
+            ..Default::default()
+        };
+        let a = run_replay(&table, &spec(1)).unwrap();
+        let b = run_replay(&table, &spec(1)).unwrap();
+        let c = run_replay(&table, &spec(3)).unwrap();
+        assert_eq!(a.served, 240);
+        assert_eq!(a.shed + a.errors, 0);
+        assert_eq!(
+            a.estimates_checksum, b.estimates_checksum,
+            "same spec must replay bit-identically"
+        );
+        assert_eq!(
+            a.estimates_checksum, c.estimates_checksum,
+            "client count must not change the estimate stream"
+        );
+        let adapt = a.adapt.unwrap();
+        assert!(adapt.invocations >= 2, "{adapt:?}");
+    }
+}

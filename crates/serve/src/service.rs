@@ -1,0 +1,459 @@
+//! The multithreaded estimation service.
+//!
+//! Requests enter through a clonable [`ServiceHandle`], wait in the bounded
+//! [`BatchQueue`], and are answered by a pool of worker threads that pop a
+//! micro-batch, resolve the current [`ModelSnapshot`] once, and run the
+//! model's batched `estimate_many` path — one GEMM per layer for the whole
+//! batch instead of a matrix-vector product per request. Admission control
+//! is the queue bound: a full queue sheds the request immediately
+//! ([`ServeError::Shed`]) rather than letting latency grow without bound.
+//!
+//! No async runtime: everything is `std` threads, a condvar-backed queue,
+//! and a condvar-backed response slot per request.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::queue::{BatchQueue, PushError};
+use crate::snapshot::{ModelSnapshot, SnapshotCell, SnapshotReader};
+
+/// Service shape knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Queue bound: requests beyond this are shed.
+    pub queue_capacity: usize,
+    /// Largest micro-batch a worker hands to the model at once.
+    pub max_batch: usize,
+    /// How long a worker lingers for a fuller batch after the first
+    /// request arrives. Zero disables batching-by-waiting (batches still
+    /// form from whatever is already queued).
+    pub batch_linger: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 1024,
+            max_batch: 64,
+            batch_linger: Duration::from_micros(200),
+        }
+    }
+}
+
+/// A successful estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The model's cardinality estimate.
+    pub value: f64,
+    /// Generation of the snapshot that served it (staleness = current cell
+    /// version minus this).
+    pub generation: u64,
+    /// Size of the micro-batch this request rode in.
+    pub batch_size: usize,
+}
+
+/// Why a request was not answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: the queue was full.
+    Shed,
+    /// The service is shutting down.
+    Closed,
+    /// The request's feature vector does not match the model.
+    FeatureDim {
+        /// The serving model's feature dimension.
+        expected: usize,
+        /// The request's feature count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Shed => write!(f, "request shed (queue full)"),
+            ServeError::Closed => write!(f, "service closed"),
+            ServeError::FeatureDim { expected, got } => {
+                write!(
+                    f,
+                    "feature dim mismatch: model expects {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A one-shot rendezvous the worker fills and the requester waits on.
+struct ResponseSlot {
+    result: Mutex<Option<Result<Estimate, ServeError>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, value: Result<Estimate, ServeError>) {
+        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(value);
+        drop(slot);
+        self.ready.notify_one();
+    }
+
+    fn wait(&self) -> Result<Estimate, ServeError> {
+        let mut slot = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(res) = slot.take() {
+                return res;
+            }
+            slot = self
+                .ready
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+struct Request {
+    features: Vec<f64>,
+    slot: Arc<ResponseSlot>,
+}
+
+/// Lifetime counters, updated lock-free by workers and handles.
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests answered with an estimate.
+    pub served: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests rejected for a feature-dimension mismatch.
+    pub rejected: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests that rode in those batches (mean batch size =
+    /// `batched_requests / batches`).
+    pub batched_requests: u64,
+}
+
+impl ServiceStats {
+    /// Mean micro-batch size over the service lifetime.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The running service: worker threads + the queue they drain.
+///
+/// Dropping the service closes the queue and joins the workers; in-flight
+/// requests are answered first (drain-then-exit).
+pub struct EstimationService {
+    queue: Arc<BatchQueue<Request>>,
+    counters: Arc<Counters>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl EstimationService {
+    /// Starts `cfg.workers` threads serving from `cell`.
+    pub fn start(cell: Arc<SnapshotCell<ModelSnapshot>>, cfg: ServiceConfig) -> Self {
+        let queue = Arc::new(BatchQueue::new(cfg.queue_capacity));
+        let counters = Arc::new(Counters::default());
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let counters = Arc::clone(&counters);
+                let reader = SnapshotReader::new(Arc::clone(&cell));
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(queue, reader, counters, cfg))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            queue,
+            counters,
+            workers,
+        }
+    }
+
+    /// A clonable handle for submitting requests.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            queue: Arc::clone(&self.queue),
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            served: self.counters.served.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Closes the queue, drains in-flight requests, and joins the workers.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_inner();
+        self.stats()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            // A worker that panicked already poisoned nothing we rely on;
+            // surface the panic to the caller.
+            if let Err(e) = w.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+impl Drop for EstimationService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(
+    queue: Arc<BatchQueue<Request>>,
+    mut reader: SnapshotReader<ModelSnapshot>,
+    counters: Arc<Counters>,
+    cfg: ServiceConfig,
+) {
+    let mut batch: Vec<Request> = Vec::with_capacity(cfg.max_batch);
+    while queue.pop_batch(cfg.max_batch, cfg.batch_linger, &mut batch) {
+        let (_, snap) = reader.current();
+        let generation = snap.generation;
+        let expected = snap.model.feature_dim();
+        // Reject dimension mismatches individually; batch the rest.
+        let mut ok: Vec<Request> = Vec::with_capacity(batch.len());
+        for req in batch.drain(..) {
+            if req.features.len() == expected {
+                ok.push(req);
+            } else {
+                counters.rejected.fetch_add(1, Ordering::Relaxed);
+                req.slot.fill(Err(ServeError::FeatureDim {
+                    expected,
+                    got: req.features.len(),
+                }));
+            }
+        }
+        if ok.is_empty() {
+            continue;
+        }
+        let refs: Vec<&[f64]> = ok.iter().map(|r| r.features.as_slice()).collect();
+        let values = snap.model.estimate_many(&refs);
+        let batch_size = ok.len();
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        counters
+            .batched_requests
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        counters
+            .served
+            .fetch_add(batch_size as u64, Ordering::Relaxed);
+        for (req, value) in ok.into_iter().zip(values) {
+            req.slot.fill(Ok(Estimate {
+                value,
+                generation,
+                batch_size,
+            }));
+        }
+    }
+}
+
+/// A clonable submission handle. `estimate` blocks the calling thread until
+/// the answer arrives (or the request is shed/rejected immediately).
+#[derive(Clone)]
+pub struct ServiceHandle {
+    queue: Arc<BatchQueue<Request>>,
+    counters: Arc<Counters>,
+}
+
+impl ServiceHandle {
+    /// Submits one request and waits for its estimate.
+    pub fn estimate(&self, features: Vec<f64>) -> Result<Estimate, ServeError> {
+        let slot = Arc::new(ResponseSlot::new());
+        let req = Request {
+            features,
+            slot: Arc::clone(&slot),
+        };
+        match self.queue.try_push(req) {
+            Ok(()) => slot.wait(),
+            Err(PushError::Full(_)) => {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Shed)
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warper_ce::{CardinalityEstimator, LabeledExample, UpdateKind};
+
+    /// `estimate = scale · (1 + Σf)` — cheap, deterministic, snapshotable.
+    #[derive(Clone)]
+    struct ToyModel {
+        dim: usize,
+        scale: f64,
+    }
+
+    impl CardinalityEstimator for ToyModel {
+        fn feature_dim(&self) -> usize {
+            self.dim
+        }
+        fn estimate(&self, f: &[f64]) -> f64 {
+            self.scale * (1.0 + f.iter().sum::<f64>())
+        }
+        fn fit(&mut self, _e: &[LabeledExample]) {}
+        fn update(&mut self, _e: &[LabeledExample]) {}
+        fn update_kind(&self) -> UpdateKind {
+            UpdateKind::FineTune
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+
+    fn toy_cell(scale: f64) -> Arc<SnapshotCell<ModelSnapshot>> {
+        Arc::new(SnapshotCell::new(ModelSnapshot::initial(Box::new(
+            ToyModel { dim: 3, scale },
+        ))))
+    }
+
+    #[test]
+    fn serves_correct_estimates_from_many_threads() {
+        let cell = toy_cell(10.0);
+        let service = EstimationService::start(Arc::clone(&cell), ServiceConfig::default());
+        let handle = service.handle();
+        std::thread::scope(|s| {
+            for c in 0..4 {
+                let h = handle.clone();
+                s.spawn(move || {
+                    for i in 0..200 {
+                        let f = vec![(c * 200 + i) as f64, 0.0, 1.0];
+                        let want = 10.0 * (1.0 + f.iter().sum::<f64>());
+                        let est = h.estimate(f).unwrap();
+                        assert_eq!(est.value, want);
+                        assert_eq!(est.generation, 0);
+                        assert!(est.batch_size >= 1);
+                    }
+                });
+            }
+        });
+        let stats = service.shutdown();
+        assert_eq!(stats.served, 800);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.batched_requests, 800);
+    }
+
+    #[test]
+    fn feature_dim_mismatch_is_rejected_per_request() {
+        let cell = toy_cell(1.0);
+        let service = EstimationService::start(cell, ServiceConfig::default());
+        let handle = service.handle();
+        assert_eq!(
+            handle.estimate(vec![0.0; 5]),
+            Err(ServeError::FeatureDim {
+                expected: 3,
+                got: 5
+            })
+        );
+        assert!(handle.estimate(vec![0.0; 3]).is_ok());
+        let stats = service.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.served, 1);
+    }
+
+    #[test]
+    fn requests_after_shutdown_are_closed_not_hung() {
+        let cell = toy_cell(1.0);
+        let service = EstimationService::start(cell, ServiceConfig::default());
+        let handle = service.handle();
+        drop(service);
+        assert_eq!(handle.estimate(vec![0.0; 3]), Err(ServeError::Closed));
+    }
+
+    #[test]
+    fn published_snapshot_takes_over_new_requests() {
+        let cell = toy_cell(1.0);
+        let service = EstimationService::start(Arc::clone(&cell), ServiceConfig::default());
+        let handle = service.handle();
+        assert_eq!(handle.estimate(vec![0.0; 3]).unwrap().value, 1.0);
+        cell.publish(ModelSnapshot {
+            generation: 1,
+            model: Box::new(ToyModel { dim: 3, scale: 5.0 }),
+        });
+        let est = handle.estimate(vec![0.0; 3]).unwrap();
+        assert_eq!(est.value, 5.0);
+        assert_eq!(est.generation, 1);
+    }
+
+    #[test]
+    fn tiny_queue_sheds_under_burst_but_never_errors() {
+        let cell = toy_cell(1.0);
+        let service = EstimationService::start(
+            cell,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 2,
+                batch_linger: Duration::from_millis(2),
+            },
+        );
+        let handle = service.handle();
+        let shed = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = handle.clone();
+                let shed = &shed;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        match h.estimate(vec![0.5; 3]) {
+                            Ok(est) => assert!(est.value.is_finite()),
+                            Err(ServeError::Shed) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                });
+            }
+        });
+        let stats = service.shutdown();
+        assert_eq!(stats.served + stats.shed, 400);
+        assert_eq!(stats.shed, shed.load(Ordering::Relaxed));
+    }
+}

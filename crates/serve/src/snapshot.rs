@@ -1,0 +1,178 @@
+//! Hot-swappable model snapshots.
+//!
+//! The serving workers answer every request from an immutable
+//! [`ModelSnapshot`] while the adaptation loop retrains a private copy of
+//! the model in the background. Publication is a version bump on a
+//! [`SnapshotCell`]: readers keep serving the `Arc` they already hold until
+//! they notice the new version, so a swap never blocks an in-flight
+//! estimate and a reader can never observe a half-written model.
+//!
+//! The cell is deliberately built from `std` primitives only (one atomic,
+//! one mutex): the fast path — the version check every request performs —
+//! is a single `Acquire` load, and the mutex is touched only on publish and
+//! on the first read after a publish.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use warper_ce::CardinalityEstimator;
+use warper_core::{WarperError, WarperState};
+
+/// A single-publisher, many-reader cell holding the current snapshot.
+///
+/// Writers go through [`SnapshotCell::publish`]; readers either call
+/// [`SnapshotCell::load`] directly or, on hot paths, cache the `Arc` in a
+/// [`SnapshotReader`] and revalidate it with one atomic load per access.
+pub struct SnapshotCell<T> {
+    /// Published version, bumped *after* the slot holds the new value
+    /// (`Release`); readers pair it with an `Acquire` load so a version
+    /// observation implies visibility of the slot update.
+    version: AtomicU64,
+    slot: Mutex<(u64, Arc<T>)>,
+}
+
+impl<T> SnapshotCell<T> {
+    /// A cell serving `initial` as version 0.
+    pub fn new(initial: T) -> Self {
+        Self {
+            version: AtomicU64::new(0),
+            slot: Mutex::new((0, Arc::new(initial))),
+        }
+    }
+
+    /// The currently published version.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Publishes `value`, returning its version. Single-publisher: the
+    /// adaptation worker is the only writer, so versions are dense.
+    pub fn publish(&self, value: T) -> u64 {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        let next = slot.0 + 1;
+        *slot = (next, Arc::new(value));
+        // Bump only after the slot holds the new value; readers that see
+        // `next` are guaranteed to load the new Arc.
+        self.version.store(next, Ordering::Release);
+        next
+    }
+
+    /// The current `(version, snapshot)` pair.
+    pub fn load(&self) -> (u64, Arc<T>) {
+        let slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        (slot.0, Arc::clone(&slot.1))
+    }
+}
+
+/// A reader-side cache over a [`SnapshotCell`]: the common case (no publish
+/// since the last access) costs one atomic load and returns the cached
+/// `Arc` without touching the mutex.
+pub struct SnapshotReader<T> {
+    cell: Arc<SnapshotCell<T>>,
+    seen: u64,
+    cached: Arc<T>,
+}
+
+impl<T> SnapshotReader<T> {
+    /// A reader over `cell`, primed with the current snapshot.
+    pub fn new(cell: Arc<SnapshotCell<T>>) -> Self {
+        let (seen, cached) = cell.load();
+        Self { cell, seen, cached }
+    }
+
+    /// The current snapshot and its version, revalidating the cache with a
+    /// single atomic load.
+    pub fn current(&mut self) -> (u64, &Arc<T>) {
+        let v = self.cell.version.load(Ordering::Acquire);
+        if v != self.seen {
+            let (seen, cached) = self.cell.load();
+            self.seen = seen;
+            self.cached = cached;
+        }
+        (self.seen, &self.cached)
+    }
+}
+
+/// What the serving workers answer from: an immutable, validated model
+/// behind a generation number.
+pub struct ModelSnapshot {
+    /// Publication generation (0 = the offline-trained initial model).
+    pub generation: u64,
+    /// The frozen model.
+    pub model: Box<dyn CardinalityEstimator>,
+}
+
+impl ModelSnapshot {
+    /// The initial snapshot a service starts from (generation 0, the
+    /// offline-trained model).
+    pub fn initial(model: Box<dyn CardinalityEstimator>) -> Self {
+        Self {
+            generation: 0,
+            model,
+        }
+    }
+
+    /// A snapshot of a *committed* adaptation step. The controller state is
+    /// re-validated here so nothing structurally inconsistent can be
+    /// published even if a caller bypasses the supervisor.
+    pub fn committed(
+        generation: u64,
+        model: Box<dyn CardinalityEstimator>,
+        state: &WarperState,
+    ) -> Result<Self, WarperError> {
+        state.validate()?;
+        Ok(Self { generation, model })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_bumps_version_and_readers_catch_up() {
+        let cell = Arc::new(SnapshotCell::new(10u32));
+        let mut reader = SnapshotReader::new(Arc::clone(&cell));
+        assert_eq!(cell.version(), 0);
+        let (v, snap) = reader.current();
+        assert_eq!((v, **snap), (0, 10));
+
+        assert_eq!(cell.publish(11), 1);
+        assert_eq!(cell.publish(12), 2);
+        assert_eq!(cell.version(), 2);
+        let (v, snap) = reader.current();
+        assert_eq!((v, **snap), (2, 12));
+    }
+
+    #[test]
+    fn reader_cache_survives_no_publish() {
+        let cell = Arc::new(SnapshotCell::new(String::from("a")));
+        let mut reader = SnapshotReader::new(Arc::clone(&cell));
+        let first = Arc::as_ptr(reader.current().1);
+        // No publish in between: the very same Arc comes back.
+        assert_eq!(Arc::as_ptr(reader.current().1), first);
+    }
+
+    #[test]
+    fn concurrent_readers_always_see_a_consistent_pair() {
+        // The (version, value) pair must swap atomically: with values equal
+        // to their versions, any mismatch is a torn read.
+        let cell = Arc::new(SnapshotCell::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    let mut reader = SnapshotReader::new(cell);
+                    for _ in 0..20_000 {
+                        let (v, snap) = reader.current();
+                        assert_eq!(v, **snap);
+                    }
+                });
+            }
+            for i in 1..=500u64 {
+                cell.publish(i);
+            }
+        });
+        assert_eq!(cell.version(), 500);
+    }
+}

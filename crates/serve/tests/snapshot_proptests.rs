@@ -1,0 +1,244 @@
+//! Property: readers can never observe a partially committed snapshot.
+//!
+//! Concurrent clients hammer the estimation service while the adaptation
+//! side runs supervised commit/rollback cycles — some deliberately
+//! sabotaged so they *must* roll back. The publication hook records every
+//! value a committed model can produce *before* it swaps the cell, so the
+//! invariant is directly checkable: each served estimate equals a value
+//! some committed generation produces, each published state passes
+//! `validate()`, and sabotaged (rolled-back) models are never served —
+//! neither mid-swap, mid-rollback, nor after.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use proptest::prelude::*;
+use warper_ce::{CardinalityEstimator, LabeledExample, UpdateKind};
+use warper_core::detect::DataTelemetry;
+use warper_core::{ArrivedQuery, Supervisor, SupervisorConfig, WarperConfig, WarperController};
+use warper_serve::{EstimationService, ModelSnapshot, ServeError, ServiceConfig, SnapshotCell};
+
+/// The probe every reader sends; a model's identity is its answer to it.
+const PROBE: [f64; 4] = [0.5; 4];
+
+/// Snapshot-capable linear model; `sabotage` poisons the next update so the
+/// supervisor's GMQ check must reject it.
+#[derive(Clone)]
+struct ToyModel {
+    scale: f64,
+    sabotage: Option<f64>,
+}
+
+impl CardinalityEstimator for ToyModel {
+    fn feature_dim(&self) -> usize {
+        4
+    }
+    fn estimate(&self, f: &[f64]) -> f64 {
+        self.scale * (0.1 + f[0])
+    }
+    fn fit(&mut self, e: &[LabeledExample]) {
+        self.update(e);
+    }
+    fn update(&mut self, e: &[LabeledExample]) {
+        if let Some(factor) = self.sabotage {
+            self.scale *= factor;
+            return;
+        }
+        if e.is_empty() {
+            return;
+        }
+        let target: f64 = e
+            .iter()
+            .map(|ex| ex.card / (0.1 + ex.features[0]))
+            .sum::<f64>()
+            / e.len() as f64;
+        self.scale = 0.5 * self.scale + 0.5 * target;
+    }
+    fn update_kind(&self) -> UpdateKind {
+        UpdateKind::FineTune
+    }
+    fn name(&self) -> &'static str {
+        "toy"
+    }
+    fn snapshot(&self) -> Option<Box<dyn CardinalityEstimator>> {
+        Some(Box::new(self.clone()))
+    }
+    fn restore(&mut self, snapshot: &dyn CardinalityEstimator) -> bool {
+        match (snapshot as &dyn std::any::Any).downcast_ref::<Self>() {
+            Some(s) => {
+                *self = s.clone();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+fn training_set() -> Vec<(Vec<f64>, f64)> {
+    (0..60)
+        .map(|i| {
+            let f = vec![0.2 + 0.001 * (i % 10) as f64; 4];
+            let card = 1000.0 * (0.1 + f[0]);
+            (f, card)
+        })
+        .collect()
+}
+
+fn arrived_shifted(n: usize, jitter: usize) -> Vec<ArrivedQuery> {
+    (0..n)
+        .map(|i| {
+            let f = vec![0.8 + 0.001 * ((i + jitter) % 5) as f64; 4];
+            ArrivedQuery {
+                gt: Some(90_000.0 * (0.1 + f[0])),
+                features: f,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `sabotage_plan[k] != 0` poisons adaptation step k+1 (step 0 is always
+    /// healthy so the supervisor's evaluation window is warm).
+    #[test]
+    fn readers_never_observe_uncommitted_snapshots(
+        sabotage_plan in prop::collection::vec(0u8..2, 1..4usize),
+        readers in 2usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = WarperConfig {
+            embed_dim: 6,
+            hidden: 16,
+            n_i: 4,
+            batch: 16,
+            pretrain_epochs: 2,
+            gamma: 100,
+            n_p: 40,
+            ..Default::default()
+        };
+        let mut ctl = WarperController::new(4, &training_set(), 1.2, cfg, 40 + seed);
+        let mut model = ToyModel {
+            scale: 1000.0,
+            sabotage: None,
+        };
+
+        // Every value a committed model may answer the probe with. Entries
+        // are added BEFORE the swap, so an estimate from a generation is
+        // only ever served after its value is in the set.
+        let committed: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        committed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(model.estimate(&PROBE).to_bits());
+
+        let cell = Arc::new(SnapshotCell::new(ModelSnapshot::initial(
+            model.snapshot().expect("toy snapshots"),
+        )));
+        let hook_cell = Arc::clone(&cell);
+        let hook_committed = Arc::clone(&committed);
+        let mut sup = Supervisor::new(SupervisorConfig::default()).with_commit_hook(Box::new(
+            move |state, committed_model| {
+                // Published state must be fully valid…
+                assert!(state.validate().is_ok(), "invalid state at publication");
+                let snap = committed_model.snapshot().expect("toy snapshots");
+                // …and its probe answer registered before the swap.
+                hook_committed
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(snap.estimate(&PROBE).to_bits());
+                let next = hook_cell.version() + 1;
+                hook_cell.publish(
+                    ModelSnapshot::committed(next, snap, state).expect("validated state"),
+                );
+            },
+        ));
+
+        let service = EstimationService::start(Arc::clone(&cell), ServiceConfig {
+            workers: 2,
+            queue_capacity: 256,
+            max_batch: 16,
+            batch_linger: std::time::Duration::from_micros(50),
+        });
+        let handle = service.handle();
+        let stop = AtomicBool::new(false);
+
+        let mut expected_commits = 1usize; // warm-up step
+        let mut expected_rollbacks = 0usize;
+        std::thread::scope(|s| {
+            for _ in 0..readers {
+                let h = handle.clone();
+                let committed = Arc::clone(&committed);
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut seen = 0u32;
+                    while !stop.load(Ordering::Relaxed) || seen == 0 {
+                        match h.estimate(PROBE.to_vec()) {
+                            Ok(est) => {
+                                seen += 1;
+                                let ok = committed
+                                    .lock()
+                                    .unwrap_or_else(PoisonError::into_inner)
+                                    .contains(&est.value.to_bits());
+                                assert!(
+                                    ok,
+                                    "served {} (gen {}) from an uncommitted model",
+                                    est.value, est.generation
+                                );
+                            }
+                            Err(ServeError::Shed) => {}
+                            Err(e) => panic!("reader error: {e}"),
+                        }
+                    }
+                });
+            }
+
+            // Warm-up (healthy, fills the eval window), then the plan.
+            let rep = sup.invoke(
+                &mut ctl,
+                &mut model,
+                &arrived_shifted(40, 0),
+                &DataTelemetry::default(),
+                &mut |qs: &[Vec<f64>]| qs.iter().map(|f| Some(90_000.0 * (0.1 + f[0]))).collect(),
+            );
+            assert!(rep.rollback.is_none(), "warm-up rolled back: {:?}", rep.rollback);
+            for (k, &sab) in sabotage_plan.iter().enumerate() {
+                model.sabotage = (sab != 0).then_some(50.0);
+                let rep = sup.invoke(
+                    &mut ctl,
+                    &mut model,
+                    &arrived_shifted(30, k + 1),
+                    &DataTelemetry::default(),
+                    &mut |qs: &[Vec<f64>]| {
+                        qs.iter().map(|f| Some(90_000.0 * (0.1 + f[0]))).collect()
+                    },
+                );
+                if sab != 0 {
+                    assert!(rep.rollback.is_some(), "sabotaged step {k} committed");
+                    expected_rollbacks += 1;
+                } else {
+                    assert!(rep.rollback.is_none(), "healthy step {k} rolled back");
+                    expected_commits += 1;
+                }
+                model.sabotage = None;
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let stats = service.shutdown();
+
+        // Exactly one generation per commit; rollbacks published nothing.
+        prop_assert_eq!(cell.version(), expected_commits as u64);
+        prop_assert_eq!(
+            sup.stats().commits + sup.stats().rollbacks,
+            expected_commits + expected_rollbacks
+        );
+        prop_assert_eq!(sup.stats().rollbacks, expected_rollbacks);
+        // The cell ends on the last committed model, which still validates.
+        let (v, snap) = cell.load();
+        prop_assert_eq!(v, snap.generation);
+        prop_assert!(snap.model.estimate(&PROBE).is_finite());
+        prop_assert!(stats.served > 0);
+        prop_assert_eq!(stats.rejected, 0);
+    }
+}

@@ -54,6 +54,8 @@ pub use controller::WarperController;
 pub use detect::{DriftDetector, DriftMode, WorkloadDriftTracker};
 pub use error::WarperError;
 pub use gamma::{estimate_gamma, GammaEstimate};
-pub use persist::{RuntimeState, WarperState};
+pub use parallel::{derive_seed, seed_stream};
+pub use persist::{RuntimeState, WarperState, MIN_SNAPSHOT_VERSION, SNAPSHOT_VERSION};
 pub use pool::{QueryPool, Source};
-pub use supervisor::{RollbackReason, Supervisor, SupervisorConfig, SupervisorStats};
+pub use runner::{prepare_single_table, FeatureMap, PreparedModel};
+pub use supervisor::{CommitHook, RollbackReason, Supervisor, SupervisorConfig, SupervisorStats};

@@ -38,9 +38,25 @@ pub struct RuntimeState {
     pub recent_eval: Vec<(Vec<f64>, f64)>,
 }
 
+/// Current snapshot format version, written by [`WarperController::to_state`].
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest snapshot format this build still loads. Version 1 is the
+/// pre-versioning format: those snapshots carry no `version` field and
+/// deserialize to 1 via the serde default.
+pub const MIN_SNAPSHOT_VERSION: u32 = 1;
+
+fn legacy_version() -> u32 {
+    1
+}
+
 /// A snapshot of a [`WarperController`].
 #[derive(Serialize, Deserialize, Clone)]
 pub struct WarperState {
+    /// Snapshot format version (see [`SNAPSHOT_VERSION`]). Absent in
+    /// pre-versioning snapshots, which deserialize as version 1.
+    #[serde(default = "legacy_version")]
+    pub version: u32,
     /// Configuration.
     pub cfg: WarperConfig,
     /// The query pool, including labels and source tags.
@@ -69,6 +85,12 @@ impl WarperState {
     /// with a typed error instead of poisoning a serving controller.
     pub fn validate(&self) -> Result<(), WarperError> {
         let invalid = |msg: String| Err(WarperError::InvalidState(msg));
+        if self.version < MIN_SNAPSHOT_VERSION || self.version > SNAPSHOT_VERSION {
+            return invalid(format!(
+                "snapshot version {} unsupported (this build loads {MIN_SNAPSHOT_VERSION}..={SNAPSHOT_VERSION})",
+                self.version
+            ));
+        }
         if !self.baseline_gmq.is_finite() || self.baseline_gmq <= 0.0 {
             return invalid(format!("baseline_gmq {} is not usable", self.baseline_gmq));
         }
@@ -92,6 +114,36 @@ impl WarperState {
             return invalid(format!(
                 "generator emits {} features but the encoder expects {m}",
                 self.generator.out_dim()
+            ));
+        }
+        // Shape agreement across the E/G/D triple: G and D both consume the
+        // encoder's embedding space, and D scores the three source classes.
+        // A snapshot whose header (cfg) disagrees with its payload networks
+        // would otherwise rebuild a controller that multiplies mismatched
+        // matrices or silently embeds into the wrong space.
+        let z = self.encoder.embed_dim();
+        if self.cfg.embed_dim != z {
+            return invalid(format!(
+                "cfg.embed_dim {} does not match the encoder's embedding dim {z}",
+                self.cfg.embed_dim
+            ));
+        }
+        if self.generator.in_dim() != z {
+            return invalid(format!(
+                "generator consumes {} dims but the encoder embeds into {z}",
+                self.generator.in_dim()
+            ));
+        }
+        if self.discriminator.in_dim() != z {
+            return invalid(format!(
+                "discriminator consumes {} dims but the encoder embeds into {z}",
+                self.discriminator.in_dim()
+            ));
+        }
+        if self.discriminator.out_dim() != 3 {
+            return invalid(format!(
+                "discriminator emits {} classes, expected 3 (gen/new/train)",
+                self.discriminator.out_dim()
             ));
         }
         for (i, r) in self.pool.records().iter().enumerate() {
@@ -137,6 +189,7 @@ impl WarperController {
     pub fn to_state(&self) -> WarperState {
         let (generator, discriminator) = self.gan_parts();
         WarperState {
+            version: SNAPSHOT_VERSION,
             cfg: *self.config(),
             pool: self.pool().clone(),
             encoder: self.encoder_snapshot(),
@@ -239,6 +292,77 @@ mod tests {
         assert_eq!(
             restored.encoder_snapshot().embed(&q, Some(10.0)),
             ctl.encoder_snapshot().embed(&q, Some(10.0))
+        );
+    }
+
+    fn small_state() -> WarperState {
+        let cfg = WarperConfig {
+            embed_dim: 6,
+            hidden: 24,
+            n_i: 8,
+            pretrain_epochs: 3,
+            ..Default::default()
+        };
+        WarperController::new(4, &training_set(), 1.5, cfg, 42).to_state()
+    }
+
+    #[test]
+    fn snapshot_carries_current_version_through_roundtrip() {
+        let state = small_state();
+        assert_eq!(state.version, SNAPSHOT_VERSION);
+        let json = serde_json::to_string(&state).unwrap();
+        let back: WarperState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.version, SNAPSHOT_VERSION);
+        assert!(WarperController::from_state(back).is_ok());
+    }
+
+    /// `from_state` error, panicking on unexpected success (the controller
+    /// itself has no `Debug` impl, so `unwrap_err` is unavailable).
+    fn load_err(state: WarperState) -> WarperError {
+        match WarperController::from_state(state) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupted state loaded successfully"),
+        }
+    }
+
+    #[test]
+    fn corrupted_version_header_is_rejected() {
+        let json = serde_json::to_string(&small_state()).unwrap();
+        let marker = format!("\"version\":{SNAPSHOT_VERSION}");
+        assert!(json.contains(&marker), "snapshot header missing {marker}");
+        for bad in [0u32, SNAPSHOT_VERSION + 97] {
+            let tampered = json.replace(&marker, &format!("\"version\":{bad}"));
+            let state: WarperState = serde_json::from_str(&tampered).unwrap();
+            let err = load_err(state);
+            assert!(
+                matches!(&err, WarperError::InvalidState(m) if m.contains("version")),
+                "version {bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_snapshot_without_version_field_still_loads() {
+        let json = serde_json::to_string(&small_state()).unwrap();
+        let marker = format!("\"version\":{SNAPSHOT_VERSION},");
+        assert!(json.contains(&marker), "snapshot header missing {marker}");
+        let legacy = json.replacen(&marker, "", 1);
+        let state: WarperState = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(state.version, 1);
+        assert!(WarperController::from_state(state).is_ok());
+    }
+
+    #[test]
+    fn shape_mismatched_snapshot_is_rejected_not_loaded() {
+        // A header/payload disagreement (cfg claims a different embedding
+        // width than the serialized networks use) must be a typed error —
+        // previously this rebuilt a controller around mismatched matrices.
+        let mut state = small_state();
+        state.cfg.embed_dim += 1;
+        let err = load_err(state);
+        assert!(
+            matches!(&err, WarperError::InvalidState(m) if m.contains("embed")),
+            "{err}"
         );
     }
 

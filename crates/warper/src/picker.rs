@@ -248,9 +248,11 @@ fn knn_bucket(
     for &(_, r) in dists.iter().take(knn) {
         *votes.entry(bucket_of_ref[&r]).or_insert(0usize) += 1;
     }
+    // Tie-break on the bucket id: `max_by_key` alone would resolve ties by
+    // HashMap iteration order, which differs run to run.
     votes
         .into_iter()
-        .max_by_key(|&(_, v)| v)
+        .max_by_key(|&(b, v)| (v, std::cmp::Reverse(b)))
         .map(|(b, _)| b)
         .unwrap_or(0)
 }

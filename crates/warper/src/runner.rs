@@ -35,6 +35,7 @@ use crate::config::WarperConfig;
 use crate::controller::{CanonicalizeFn, GenKind, WarperController, WarperStrategy};
 use crate::detect::{CanarySet, DataTelemetry};
 use crate::error::WarperError;
+use crate::parallel::{derive_seed, seed_stream};
 use crate::picker::PickerKind;
 use crate::supervisor::SupervisorConfig;
 
@@ -300,7 +301,7 @@ pub fn build_strategy(
     cfg: &RunnerConfig,
     make_canon: &dyn Fn() -> CanonicalizeFn,
 ) -> Box<dyn AdaptStrategy> {
-    let seed = cfg.seed ^ 0xABCD;
+    let seed = derive_seed(cfg.seed, seed_stream::STRATEGY);
     match kind {
         StrategyKind::Ft => Box::new(FineTuneStrategy::new(
             training_set,
@@ -340,28 +341,40 @@ pub fn build_strategy(
 }
 
 /// The feature mapping used by a run: predicate → model features, and the
-/// inverse needed to annotate generated feature vectors.
-struct FeatureMap {
+/// inverse needed to annotate generated feature vectors. Public because the
+/// serving layer needs the same mapping online: featurize incoming
+/// predicates for the model, defeaturize generated vectors for the
+/// annotator's ground-truth counts.
+#[derive(Clone)]
+pub struct FeatureMap {
     featurizer: Featurizer,
     mscn: Option<MscnFeaturizer>,
 }
 
 impl FeatureMap {
-    fn new(table: &Table, model: ModelKind) -> Self {
+    /// Builds the mapping for a table/model pairing.
+    pub fn new(table: &Table, model: ModelKind) -> Self {
         let featurizer = Featurizer::from_table(table);
         let mscn =
             (model == ModelKind::Mscn).then(|| MscnFeaturizer::new(vec![featurizer.clone()], 0));
         Self { featurizer, mscn }
     }
 
-    fn dim(&self) -> usize {
+    /// Model feature dimension `m`.
+    pub fn dim(&self) -> usize {
         match &self.mscn {
             Some(m) => m.config().feature_dim(),
             None => self.featurizer.dim(),
         }
     }
 
-    fn featurize(&self, p: &RangePredicate) -> Vec<f64> {
+    /// The underlying LM featurizer.
+    pub fn featurizer(&self) -> &Featurizer {
+        &self.featurizer
+    }
+
+    /// Maps a predicate to model features.
+    pub fn featurize(&self, p: &RangePredicate) -> Vec<f64> {
         match &self.mscn {
             Some(m) => m.featurize_single(p),
             None => self.featurizer.featurize(p),
@@ -371,7 +384,7 @@ impl FeatureMap {
     /// Canonicalizer factory: maps a raw generated/perturbed feature vector
     /// to the featurization of the sparse predicate nearest to it (keep the
     /// ≤3 most selective columns — the structure of the live workloads).
-    fn make_canonicalizer(&self) -> CanonicalizeFn {
+    pub fn make_canonicalizer(&self) -> CanonicalizeFn {
         let featurizer = self.featurizer.clone();
         let mscn = self.mscn.clone();
         Box::new(move |feat: &[f64]| {
@@ -394,7 +407,7 @@ impl FeatureMap {
 
     /// Inverse: recover the predicate from a (possibly generated) feature
     /// vector so the annotator can count it.
-    fn defeaturize(&self, features: &[f64]) -> RangePredicate {
+    pub fn defeaturize(&self, features: &[f64]) -> RangePredicate {
         match &self.mscn {
             Some(m) => {
                 // Single-table layout: [presence, onehot(1), feats..].
@@ -406,6 +419,80 @@ impl FeatureMap {
             None => self.featurizer.defeaturize(features),
         }
     }
+}
+
+/// The offline phase of a deployment, reusable by the serving layer: a
+/// trained CE model over a table plus everything needed to keep adapting it
+/// online (feature mapping, training set, pre-drift baseline GMQ).
+pub struct PreparedModel {
+    /// Predicate ↔ feature mapping for the table/model pairing.
+    pub fmap: FeatureMap,
+    /// The trained model.
+    pub model: Box<dyn CardinalityEstimator>,
+    /// `I_train` as (features, cardinality) pairs.
+    pub training_set: Vec<(Vec<f64>, f64)>,
+    /// GMQ on held-out queries from the training workload.
+    pub baseline_gmq: f64,
+}
+
+/// Trains a CE model on `n_train` queries drawn from `train_mix` over
+/// `table` — the offline phase a serving deployment starts from. All RNG
+/// consumption runs on the [`seed_stream::PREPARE`] and
+/// [`seed_stream::MODEL`] streams of `seed`, so preparation is bit-stable
+/// regardless of what else a process does with the master seed.
+pub fn prepare_single_table(
+    table: &Table,
+    train_mix: &str,
+    model_kind: ModelKind,
+    n_train: usize,
+    seed: u64,
+) -> Result<PreparedModel, WarperError> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, seed_stream::PREPARE));
+    let fmap = FeatureMap::new(table, model_kind);
+    let annotator = Annotator::new();
+
+    let mut train_gen = QueryGenerator::try_from_notation(table, train_mix)?;
+    let train_preds = train_gen.generate_many(n_train, &mut rng);
+    let train_cards = annotator.count_batch(table, &train_preds);
+    let training_set: Vec<(Vec<f64>, f64)> = train_preds
+        .iter()
+        .zip(&train_cards)
+        .map(|(p, &c)| (fmap.featurize(p), c as f64))
+        .collect();
+
+    let model_seed = derive_seed(seed, seed_stream::MODEL);
+    let mut model: Box<dyn CardinalityEstimator> = match model_kind {
+        ModelKind::Mscn => {
+            let Some(mscn) = fmap.mscn.as_ref() else {
+                return Err(WarperError::InvalidState(
+                    "MSCN run without an MSCN featurizer".into(),
+                ));
+            };
+            Box::new(Mscn::new(mscn.config(), model_seed))
+        }
+        other => build_model(other, fmap.dim(), model_seed),
+    };
+    let examples: Vec<LabeledExample> = training_set
+        .iter()
+        .map(|(f, c)| LabeledExample::new(f.clone(), *c))
+        .collect();
+    model.fit(&examples);
+
+    let base_preds = train_gen.generate_many((n_train / 8).clamp(50, 150), &mut rng);
+    let base_cards = annotator.count_batch(table, &base_preds);
+    let ests: Vec<f64> = base_preds
+        .iter()
+        .map(|p| model.estimate(&fmap.featurize(p)))
+        .collect();
+    let actuals: Vec<f64> = base_cards.iter().map(|&c| c as f64).collect();
+    let baseline_gmq = gmq(&ests, &actuals, PAPER_THETA);
+
+    Ok(PreparedModel {
+        fmap,
+        model,
+        training_set,
+        baseline_gmq,
+    })
 }
 
 /// Runs one (strategy × model × drift) experiment.
@@ -448,9 +535,12 @@ pub fn run_single_table(
                     "MSCN run without an MSCN featurizer".into(),
                 ));
             };
-            Box::new(Mscn::new(mscn.config(), cfg.seed ^ 0x5150))
+            Box::new(Mscn::new(
+                mscn.config(),
+                derive_seed(cfg.seed, seed_stream::MODEL),
+            ))
         }
-        other => build_model(other, fmap.dim(), cfg.seed ^ 0x5150),
+        other => build_model(other, fmap.dim(), derive_seed(cfg.seed, seed_stream::MODEL)),
     };
     let examples: Vec<LabeledExample> = training_set
         .iter()

@@ -91,10 +91,19 @@ pub struct SupervisorStats {
     pub rollbacks: usize,
 }
 
+/// Called after every *committed* invocation with the controller state and
+/// model as they will be served. This is the snapshot-publication point: a
+/// serving layer installs a hook that copies the committed model into a
+/// hot-swappable snapshot cell, and because the supervisor only fires it on
+/// the commit path, rolled-back or partially-applied updates can never be
+/// published.
+pub type CommitHook = Box<dyn FnMut(&WarperState, &dyn CardinalityEstimator) + Send>;
+
 /// The transactional wrapper around [`WarperController::invoke`].
 pub struct Supervisor {
     cfg: SupervisorConfig,
     stats: SupervisorStats,
+    on_commit: Option<CommitHook>,
 }
 
 impl Supervisor {
@@ -103,7 +112,14 @@ impl Supervisor {
         Self {
             cfg,
             stats: SupervisorStats::default(),
+            on_commit: None,
         }
+    }
+
+    /// Installs a [`CommitHook`] fired after each committed invocation.
+    pub fn with_commit_hook(mut self, hook: CommitHook) -> Self {
+        self.on_commit = Some(hook);
+        self
     }
 
     /// The policy in use.
@@ -149,6 +165,9 @@ impl Supervisor {
             }
             None => {
                 self.stats.commits += 1;
+                if let Some(hook) = self.on_commit.as_mut() {
+                    hook(&ctl.to_state(), &*model);
+                }
             }
         }
         report
@@ -385,6 +404,43 @@ mod tests {
         assert_eq!(model.scale, pre_scale);
         assert_eq!(ctl.eval_gmq(&model), pre_gmq);
         assert_eq!(rep.eval_gmq, pre_gmq);
+    }
+
+    #[test]
+    fn commit_hook_fires_only_on_commits_with_validated_state() {
+        use std::sync::{Arc, Mutex};
+        let mut ctl = WarperController::new(4, &training_set(), 1.2, small_cfg(), 42);
+        let mut model = ToyModel::good(1000.0);
+        let published: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&published);
+        let mut sup = Supervisor::new(SupervisorConfig::default()).with_commit_hook(Box::new(
+            move |state, model| {
+                // Publication precondition: only fully valid state reaches
+                // the hook.
+                assert!(state.validate().is_ok());
+                sink.lock().unwrap().push(model.estimate(&[0.5; 4]));
+            },
+        ));
+        // Healthy step: commits, hook fires once.
+        sup.invoke(
+            &mut ctl,
+            &mut model,
+            &arrived_shifted(40),
+            &DataTelemetry::default(),
+            &mut annotate_true,
+        );
+        assert_eq!(published.lock().unwrap().len(), 1);
+        // Sabotaged step: rolls back, hook must NOT fire again.
+        model.sabotage = Some(50.0);
+        let rep = sup.invoke(
+            &mut ctl,
+            &mut model,
+            &arrived_shifted(30),
+            &DataTelemetry::default(),
+            &mut annotate_true,
+        );
+        assert!(rep.rollback.is_some());
+        assert_eq!(published.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //!                --strategy warper [--rows N] [--seed S] [--compare-ft]
 //! warper gamma   --dataset prsa [--rows N] [--seed S]
 //! warper gaps    [--orders N] [--seed S]
+//! warper serve   --dataset prsa --mix w1 --queries 1000 --clients 4 \
+//!                [--drift-at N] [--new w4] [--sync] [--smoke] [--seed S]
+//! warper loadgen --dataset prsa --queries 2000 [--rate QPS] [--seed S]
 //! warper datasets
 //! ```
 //!
@@ -32,6 +35,8 @@ fn main() -> ExitCode {
         "adapt" => cmd_adapt(&flags),
         "gamma" => cmd_gamma(&flags),
         "gaps" => cmd_gaps(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         "datasets" => cmd_datasets(),
         _ => {
             eprintln!("unknown command {cmd:?}\n{USAGE}");
@@ -47,6 +52,11 @@ const USAGE: &str = "usage:
                  [--compare-ft]
   warper gamma   [--dataset prsa|poker|higgs] [--rows N] [--seed S]
   warper gaps    [--orders N] [--seed S]
+  warper serve   [--dataset prsa|poker|higgs] [--mix w1] [--queries N]
+                 [--clients N] [--drift-at N] [--new w4 | --data-drift]
+                 [--sync] [--invoke-every N] [--smoke] [--rows N] [--seed S]
+  warper loadgen [--dataset prsa|poker|higgs] [--mix w1] [--queries N]
+                 [--clients N] [--rate QPS] [--batch N] [--rows N] [--seed S]
   warper datasets";
 
 /// Splits `[cmd, --k, v, --flag, ...]` into the command and a flag map
@@ -282,6 +292,231 @@ fn cmd_gaps(flags: &HashMap<String, String>) -> ExitCode {
             .fold(0.0, f64::max);
         println!("  {:<22} {gap:.1}x", scenario.name());
     }
+    ExitCode::SUCCESS
+}
+
+/// Shared replay-report printer for `serve` / `loadgen`.
+fn print_replay(rep: &warper_repro::serve::ReplayReport) {
+    let (p50, p95, p99, max) = rep.latency.summary_scaled(1_000.0);
+    println!(
+        "served={} shed={} errors={} throughput={:.0} qps  mean_batch={:.1}",
+        rep.served,
+        rep.shed,
+        rep.errors,
+        rep.throughput_qps,
+        rep.service.mean_batch()
+    );
+    println!("latency µs: p50={p50:.0} p95={p95:.0} p99={p99:.0} max={max:.0}");
+    println!(
+        "generations={} max_staleness={}",
+        rep.generations_published, rep.max_staleness
+    );
+    if let Some(g) = rep.spot_gmq_pre {
+        println!("spot GMQ pre-drift:  {g:.2}");
+    }
+    if let Some(g) = rep.spot_gmq_post {
+        println!("spot GMQ post-drift: {g:.2}");
+    }
+    if let Some(a) = &rep.adapt {
+        println!(
+            "adaptation: invocations={} commits={} rollbacks={} published={} \
+             annotated={} generated={} ({:.1}s)",
+            a.invocations,
+            a.commits,
+            a.rollbacks,
+            a.published,
+            a.annotated,
+            a.generated,
+            a.adapt_secs
+        );
+    }
+    println!("estimates checksum: {:016x}", rep.estimates_checksum);
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
+    use warper_repro::serve::{
+        run_replay, AdaptConfig, AdaptMode, DriftEvent, DriftKind, ReplaySpec,
+    };
+    use warper_repro::warper::supervisor::SupervisorConfig;
+
+    let Some(kind) = dataset_of(flags) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(rows) = num(flags, "rows", kind.default_rows().min(10_000)) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(seed) = num(flags, "seed", 7u64) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(queries) = num(flags, "queries", 1_000usize) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(clients) = num(flags, "clients", 4usize) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(invoke_every) = num(flags, "invoke-every", 100usize) else {
+        return ExitCode::FAILURE;
+    };
+    let mix = flags.get("mix").cloned().unwrap_or_else(|| "w1".into());
+    let drift_at = match num(flags, "drift-at", 0usize) {
+        Some(n) => n,
+        None => return ExitCode::FAILURE,
+    };
+    let drift = (drift_at > 0).then(|| DriftEvent {
+        at_query: drift_at,
+        kind: if flags.contains_key("data-drift") {
+            DriftKind::Data(DataDriftKind::SortTruncate { col: 1 })
+        } else {
+            DriftKind::Workload {
+                new_mix: flags.get("new").cloned().unwrap_or_else(|| "w4".into()),
+            }
+        },
+    });
+    let adapt = if flags.contains_key("sync") {
+        AdaptMode::Synchronous {
+            supervisor: SupervisorConfig::default(),
+            invoke_every,
+        }
+    } else {
+        AdaptMode::Background(AdaptConfig {
+            invoke_every,
+            ..Default::default()
+        })
+    };
+    // Serving-scale controller: small modules keep retraining steps short.
+    let warper_cfg = WarperConfig {
+        embed_dim: 8,
+        hidden: 32,
+        n_i: 6,
+        pretrain_epochs: 3,
+        gamma: 200,
+        n_p: 60,
+        ..Default::default()
+    };
+    let spec = ReplaySpec {
+        mix,
+        n_train: 400,
+        n_queries: queries,
+        clients,
+        drift,
+        adapt,
+        warper: warper_cfg,
+        seed,
+        spot_checks: 25,
+        ..Default::default()
+    };
+
+    println!(
+        "{} ({rows} rows), serving {queries} queries from {clients} clients ({})",
+        kind.name(),
+        if flags.contains_key("sync") {
+            "synchronous adaptation"
+        } else {
+            "background adaptation"
+        },
+    );
+    let table = generate(kind, rows, seed);
+    let rep = match run_replay(&table, &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_replay(&rep);
+
+    if flags.contains_key("smoke") {
+        // CI smoke gate: everything answered, nothing shed at this load,
+        // nothing errored, and tail latency within a generous bound.
+        let (_, _, p99, _) = rep.latency.summary_scaled(1_000.0);
+        let mut failures = Vec::new();
+        if rep.errors != 0 {
+            failures.push(format!("{} serve errors", rep.errors));
+        }
+        if rep.shed != 0 {
+            failures.push(format!("{} requests shed at idle load", rep.shed));
+        }
+        if rep.served != queries {
+            failures.push(format!("served {}/{queries}", rep.served));
+        }
+        if p99 > 250_000.0 {
+            failures.push(format!("p99 {p99:.0}µs above generous 250ms bound"));
+        }
+        if let Some(a) = &rep.adapt {
+            if a.invocations == 0 {
+                failures.push("adaptation never ran".into());
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("SMOKE FAILED: {}", failures.join("; "));
+            return ExitCode::FAILURE;
+        }
+        println!("smoke OK");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
+    use warper_repro::serve::{run_replay, ReplaySpec, ServiceConfig};
+
+    let Some(kind) = dataset_of(flags) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(rows) = num(flags, "rows", kind.default_rows().min(10_000)) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(seed) = num(flags, "seed", 7u64) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(queries) = num(flags, "queries", 2_000usize) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(clients) = num(flags, "clients", 4usize) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(batch) = num(flags, "batch", 64usize) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(rate) = num(flags, "rate", 0.0f64) else {
+        return ExitCode::FAILURE;
+    };
+    let mix = flags.get("mix").cloned().unwrap_or_else(|| "w1".into());
+
+    let spec = ReplaySpec {
+        mix,
+        n_train: 400,
+        n_queries: queries,
+        clients,
+        service: ServiceConfig {
+            max_batch: batch,
+            ..Default::default()
+        },
+        seed,
+        pace: (rate > 0.0).then(|| ArrivalProcess {
+            rate_per_sec: rate,
+            period_secs: queries as f64 / rate,
+        }),
+        ..Default::default()
+    };
+
+    println!(
+        "{} ({rows} rows), load-generating {queries} queries from {clients} clients{}",
+        kind.name(),
+        if rate > 0.0 {
+            format!(" at {rate} qps")
+        } else {
+            " (closed loop)".into()
+        },
+    );
+    let table = generate(kind, rows, seed);
+    let rep = match run_replay(&table, &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print_replay(&rep);
     ExitCode::SUCCESS
 }
 

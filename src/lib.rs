@@ -17,7 +17,10 @@
 //! * [`workload`] — the Table-5 workload generators w1–w5 and drift
 //!   scenarios;
 //! * [`qo`] — the simulated query optimizer for the §4.2 end-to-end study;
-//! * [`metrics`] — q-error/GMQ, Δ-speedups, δ_js;
+//! * [`metrics`] — q-error/GMQ, Δ-speedups, δ_js, latency histograms;
+//! * [`serve`] — the concurrent estimation service: hot-swappable model
+//!   snapshots, micro-batched inference, background adaptation, and the
+//!   replay/load-generation harness;
 //! * [`nn`] and [`linalg`] — the ML and numerics substrates.
 //!
 //! ## Quickstart
@@ -47,12 +50,13 @@ pub use warper_metrics as metrics;
 pub use warper_nn as nn;
 pub use warper_qo as qo;
 pub use warper_query as query;
+pub use warper_serve as serve;
 pub use warper_storage as storage;
 pub use warper_workload as workload;
 
 /// Convenient glob imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::{ce, linalg, metrics, nn, qo, query, storage, warper, workload};
+    pub use crate::{ce, linalg, metrics, nn, qo, query, serve, storage, warper, workload};
     pub use warper_ce::{CardinalityEstimator, LabeledExample, UpdateKind};
     pub use warper_core::runner::{
         run_single_table, DataDriftKind, DriftSetup, ModelKind, RunResult, RunnerConfig,
