@@ -15,8 +15,19 @@ cargo clippy -q --offline --workspace --all-targets -- -D warnings
 # storage crates' libraries (tests, benches, and binaries are exempt).
 echo "== cargo clippy --lib (no unwrap/expect in library code)"
 cargo clippy -q --offline --no-deps --lib \
-    -p warper-core -p warper-query -p warper-storage \
+    -p warper-core -p warper-query -p warper-storage -p warper-durable \
     -- -D warnings -D clippy::unwrap-used -D clippy::expect-used
+
+# Durability discipline: every file operation in the warper, serve, and
+# durable libraries must go through the `Vfs` trait so the failpoint/power-cut
+# harness sees it. Direct std::fs use is allowed only in the Vfs
+# implementation module itself.
+echo "== lint: no direct std::fs outside the Vfs module"
+if grep -rn "std::fs" crates/warper/src crates/serve/src crates/durable/src \
+    | grep -v "^crates/durable/src/vfs.rs:"; then
+    echo "direct std::fs use found outside crates/durable/src/vfs.rs" >&2
+    exit 1
+fi
 
 # Benches are excluded from `cargo test` runs; make sure the perf harnesses
 # (annotator, gemm, figure/table benches) at least compile.
@@ -29,6 +40,12 @@ cargo test -q --offline --workspace
 # Chaos/property suites: fault injection and snapshot corruption.
 echo "== cargo test -q --features faults"
 cargo test -q --offline --workspace --features faults
+
+# Crash-recovery proptests: kill the store at every schedulable failpoint
+# (power cut, torn write, short write, op error) and prove every
+# acknowledged label survives recovery.
+echo "== crash-recovery proptests (warper-durable, faults feature)"
+cargo test -q --offline -p warper-durable --features faults --test crash_recovery
 
 # Serving smoke: 1k queries at a fixed seed with mid-run drift and
 # background adaptation. --smoke fails the run on any served error, any

@@ -1,0 +1,519 @@
+//! The durable store: atomic checkpoints + WAL rotation + recovery.
+//!
+//! ## On-disk layout (flat, inside one state directory)
+//!
+//! ```text
+//! snap-00000007.ckpt   magic "WARPSNP1" + frame(WarperState) + frame(Option<ModelBlob>)
+//! snap-00000008.ckpt   newest snapshot (last-known-good is the one before)
+//! wal-00000007.log     magic "WARPWAL1" + frames of labels since snap 7
+//! wal-00000008.log     labels since snap 8 (the live WAL)
+//! tmp-snap-*.ckpt      in-flight checkpoint; removed/overwritten on open
+//! ```
+//!
+//! ## Checkpoint protocol (fsync ordering)
+//!
+//! 1. write `tmp-snap-<n+1>.ckpt` fully, `fsync` it;
+//! 2. `rename` it to `snap-<n+1>.ckpt` (atomic replace);
+//! 3. create `wal-<n+1>.log` and append the *carry-forward*: every
+//!    acknowledged label from the previous WAL that the snapshot's pool did
+//!    not absorb (each append fsyncs);
+//! 4. one `sync_dir` barrier publishes the rename and the new WAL together;
+//! 5. only then does the in-memory store switch to the new sequence, and
+//!    snapshots/WALs older than `<n>` are deleted (best-effort).
+//!
+//! A crash anywhere before step 4 leaves the previous `(snap, wal)` pair
+//! durable and complete; a failed checkpoint is retried at the *same*
+//! sequence number, so a half-published pair is always rewritten before it
+//! can become the recovery source. This is what makes the acked ⇒ durable
+//! invariant hold without ever blocking acknowledgements.
+//!
+//! ## Recovery algorithm
+//!
+//! 1. delete `tmp-*` strays;
+//! 2. walk snapshots newest-first; the first one whose magic, frames,
+//!    checksums, deserialization, *and* `WarperState::validate` all pass is
+//!    the base (its predecessor existing is what "last-known-good retained"
+//!    buys);
+//! 3. read its WAL, truncating at the first corrupt record, and replay the
+//!    labels into the pool (deduplicating against labels the snapshot
+//!    already holds, enforcing `cfg.pool_cap` by the pool's eviction
+//!    policy);
+//! 4. re-validate and hand the state (plus the deserialized serving model,
+//!    when present) to the caller.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use warper_ce::CardinalityEstimator;
+use warper_core::WarperState;
+
+use crate::frame::{decode_frame, encode_frame, FrameDecode};
+use crate::model_blob::ModelBlob;
+use crate::vfs::Vfs;
+use crate::wal::{is_not_found, read_wal, WalRecord, WalWriter};
+use crate::DurabilityError;
+
+/// Magic prefix of every snapshot file ("WARPSNP" + format version 1).
+pub const SNAP_MAGIC: &[u8; 8] = b"WARPSNP1";
+
+fn snap_name(seq: u64) -> String {
+    format!("snap-{seq:08}.ckpt")
+}
+
+fn tmp_snap_name(seq: u64) -> String {
+    format!("tmp-snap-{seq:08}.ckpt")
+}
+
+fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:08}.log")
+}
+
+fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Durability tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct DurabilityConfig {
+    /// Supervisor commits between checkpoints (1 = checkpoint every commit).
+    pub checkpoint_every: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            checkpoint_every: 4,
+        }
+    }
+}
+
+/// Counters accumulated over a store's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DurabilityStats {
+    /// Checkpoints successfully published.
+    pub checkpoints: usize,
+    /// Checkpoint attempts that failed (retried at the next commit).
+    pub checkpoint_failures: usize,
+    /// Labels acknowledged (durable in the WAL).
+    pub wal_appends: usize,
+    /// Label appends that failed (not acknowledged).
+    pub wal_append_failures: usize,
+    /// Labels re-appended into a rotated WAL because the snapshot's pool
+    /// had not absorbed them.
+    pub carried_forward: usize,
+    /// Wall-clock seconds spent writing checkpoints.
+    pub checkpoint_secs: f64,
+    /// Wall-clock seconds spent appending to the WAL.
+    pub wal_secs: f64,
+}
+
+/// What recovery found.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Sequence number of the snapshot recovery restored from.
+    pub snapshot_seq: u64,
+    /// Snapshots that failed checksum/deserialization/validation and were
+    /// skipped (newest-first) before a good one was found.
+    pub corrupt_snapshots: usize,
+    /// WAL records replayed into the pool on top of the snapshot.
+    pub wal_records_replayed: usize,
+    /// Whether the WAL had a corrupt tail that was truncated away.
+    pub wal_truncated: bool,
+    /// Wall-clock seconds the whole recovery took.
+    pub recovery_secs: f64,
+    /// Pool size after replay.
+    pub pool_len: usize,
+    /// Usable labels in the pool after replay.
+    pub pool_labeled: usize,
+}
+
+/// A successfully recovered durable image.
+pub struct Recovered {
+    /// Validated controller state, WAL tail already replayed.
+    pub state: WarperState,
+    /// The serving CE model, when the snapshot carried one.
+    pub model: Option<Box<dyn CardinalityEstimator>>,
+    /// What recovery did.
+    pub report: RecoveryReport,
+}
+
+/// Crash-safe persistence for one Warper instance's adaptation state.
+pub struct DurableStore {
+    vfs: Arc<dyn Vfs>,
+    cfg: DurabilityConfig,
+    /// Sequence of the newest published checkpoint (0 = none yet).
+    seq: u64,
+    wal: WalWriter,
+    /// In-memory mirror of the live WAL's records, for carry-forward.
+    tail: Vec<WalRecord>,
+    commits_since_checkpoint: usize,
+    stats: DurabilityStats,
+}
+
+impl DurableStore {
+    /// Open a state directory: recover the newest valid durable image if
+    /// one exists, and position the store to continue appending.
+    ///
+    /// A fresh (empty) directory yields `None` for the recovery half;
+    /// labels appended before the first checkpoint become recoverable once
+    /// that checkpoint provides a base state, so callers should checkpoint
+    /// the initial state promptly. A directory whose *every* snapshot is
+    /// corrupt is an error — silently starting fresh would clobber state
+    /// the operator may still want to salvage.
+    pub fn open(
+        vfs: Arc<dyn Vfs>,
+        cfg: DurabilityConfig,
+    ) -> Result<(DurableStore, Option<Recovered>), DurabilityError> {
+        let t0 = Instant::now();
+        let names = vfs.list()?;
+        for name in &names {
+            if name.starts_with("tmp-") {
+                let _ = vfs.remove(name);
+            }
+        }
+
+        let mut seqs: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_seq(n, "snap-", ".ckpt"))
+            .collect();
+        seqs.sort_unstable();
+        seqs.reverse();
+
+        let mut corrupt_snapshots = 0usize;
+        let mut base: Option<(u64, LoadedSnapshot)> = None;
+        for &seq in &seqs {
+            match load_snapshot(vfs.as_ref(), &snap_name(seq)) {
+                Ok((state, model)) => {
+                    base = Some((seq, (state, model)));
+                    break;
+                }
+                Err(_) => corrupt_snapshots += 1,
+            }
+        }
+
+        let Some((seq, (mut state, model))) = base else {
+            if corrupt_snapshots > 0 {
+                return Err(DurabilityError::Corrupt(format!(
+                    "all {corrupt_snapshots} snapshots in the state directory are corrupt"
+                )));
+            }
+            let wal = WalWriter::create(vfs.as_ref(), &wal_name(0))?;
+            vfs.sync_dir()?;
+            let store = DurableStore {
+                vfs,
+                cfg,
+                seq: 0,
+                wal,
+                tail: Vec::new(),
+                commits_since_checkpoint: 0,
+                stats: DurabilityStats::default(),
+            };
+            return Ok((store, None));
+        };
+
+        // Replay WAL tails. The base snapshot's own WAL holds labels acked
+        // since it was published — but when the *newest* snapshot was
+        // corrupt and recovery fell back to its predecessor, the labels
+        // acked after the newer checkpoint live only in the newer WAL (the
+        // rotation carried anything older forward). So every WAL at or
+        // above the base sequence is replayed, ascending; deduplication
+        // against the pool makes re-reading absorbed records a no-op.
+        let mut wal_records_replayed = 0usize;
+        let mut wal_truncated = false;
+        let mut later_wals: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_seq(n, "wal-", ".log"))
+            .filter(|&s| s > seq)
+            .collect();
+        later_wals.sort_unstable();
+
+        // The live WAL (the base's own). A missing one is possible when
+        // directory entries persisted independently (real filesystems may
+        // durably publish the snapshot rename without the WAL creation);
+        // recreate it empty.
+        let wname = wal_name(seq);
+        let mut tail = Vec::new();
+        let wal = match read_wal(vfs.as_ref(), &wname) {
+            Ok(readout) => {
+                wal_records_replayed += apply_wal_records(&mut state, &readout.records);
+                wal_truncated |= readout.truncated;
+                tail = readout.records.clone();
+                WalWriter::resume(vfs.as_ref(), &wname, &readout)?
+            }
+            Err(ref e) if is_not_found(e) => {
+                let w = WalWriter::create(vfs.as_ref(), &wname)?;
+                vfs.sync_dir()?;
+                w
+            }
+            Err(e) => return Err(e),
+        };
+        for later in later_wals {
+            match read_wal(vfs.as_ref(), &wal_name(later)) {
+                Ok(readout) => {
+                    wal_records_replayed += apply_wal_records(&mut state, &readout.records);
+                    wal_truncated |= readout.truncated;
+                    // Replayed-but-unabsorbed labels must survive the next
+                    // rotation from this (older) base, so they join the
+                    // carry-forward mirror.
+                    tail.extend(readout.records);
+                }
+                Err(ref e) if is_not_found(e) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        state.validate().map_err(DurabilityError::State)?;
+
+        let report = RecoveryReport {
+            snapshot_seq: seq,
+            corrupt_snapshots,
+            wal_records_replayed,
+            wal_truncated,
+            recovery_secs: t0.elapsed().as_secs_f64(),
+            pool_len: state.pool.len(),
+            pool_labeled: state.pool.labeled_count(None),
+        };
+        let store = DurableStore {
+            vfs,
+            cfg,
+            seq,
+            wal,
+            tail,
+            commits_since_checkpoint: 0,
+            stats: DurabilityStats::default(),
+        };
+        Ok((
+            store,
+            Some(Recovered {
+                state,
+                model,
+                report,
+            }),
+        ))
+    }
+
+    /// Sequence of the newest published checkpoint (0 = none yet).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> DurabilityStats {
+        self.stats
+    }
+
+    /// Records in the live WAL (not yet absorbed by a checkpoint).
+    pub fn tail_len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Durably log one ground-truth label. `Ok` *acknowledges* the label:
+    /// it is in the WAL and fsynced, and will survive any crash from this
+    /// point on. `Err` means the label is NOT durable (the caller may keep
+    /// using it in memory; it is simply not crash-protected).
+    pub fn append_label(
+        &mut self,
+        features: &[f64],
+        gt: f64,
+        arrival: bool,
+    ) -> Result<(), DurabilityError> {
+        let t0 = Instant::now();
+        let rec = WalRecord::Label {
+            features: features.to_vec(),
+            gt,
+            arrival,
+        };
+        let res = self.wal.append(self.vfs.as_ref(), &rec);
+        self.stats.wal_secs += t0.elapsed().as_secs_f64();
+        match res {
+            Ok(()) => {
+                self.stats.wal_appends += 1;
+                self.tail.push(rec);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.wal_append_failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Count one supervisor commit; checkpoints every
+    /// [`DurabilityConfig::checkpoint_every`] commits. Returns whether a
+    /// checkpoint was published. A failed checkpoint leaves the commit
+    /// counter above the threshold, so the very next commit retries.
+    pub fn note_commit(
+        &mut self,
+        state: &WarperState,
+        model: Option<&dyn CardinalityEstimator>,
+    ) -> Result<bool, DurabilityError> {
+        self.commits_since_checkpoint += 1;
+        if self.commits_since_checkpoint >= self.cfg.checkpoint_every.max(1) {
+            self.checkpoint(state, model)?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Publish an atomic checkpoint of `state` (and the serving model, when
+    /// given) and rotate the WAL. See the module docs for the protocol.
+    pub fn checkpoint(
+        &mut self,
+        state: &WarperState,
+        model: Option<&dyn CardinalityEstimator>,
+    ) -> Result<(), DurabilityError> {
+        let t0 = Instant::now();
+        let res = self.checkpoint_inner(state, model);
+        self.stats.checkpoint_secs += t0.elapsed().as_secs_f64();
+        match &res {
+            Ok(()) => self.stats.checkpoints += 1,
+            Err(_) => self.stats.checkpoint_failures += 1,
+        }
+        res
+    }
+
+    fn checkpoint_inner(
+        &mut self,
+        state: &WarperState,
+        model: Option<&dyn CardinalityEstimator>,
+    ) -> Result<(), DurabilityError> {
+        let next = self.seq + 1;
+        let tmp = tmp_snap_name(next);
+        let snap = snap_name(next);
+
+        let mut bytes = SNAP_MAGIC.to_vec();
+        let state_json = crate::json_to_bytes(state).map_err(DurabilityError::Encode)?;
+        bytes.extend_from_slice(&encode_frame(&state_json));
+        let blob = model.and_then(ModelBlob::capture);
+        let blob_json = crate::json_to_bytes(&blob).map_err(DurabilityError::Encode)?;
+        bytes.extend_from_slice(&encode_frame(&blob_json));
+
+        self.vfs.create(&tmp)?;
+        self.vfs.append(&tmp, &bytes)?;
+        self.vfs.fsync(&tmp)?;
+        self.vfs.rename(&tmp, &snap)?;
+
+        // Rotate the WAL, carrying forward every acked label the snapshot's
+        // pool did not absorb — acked ⇒ durable must hold unconditionally,
+        // even for labels the controller chose to evict.
+        let absorbed: HashSet<LabelKey> = state
+            .pool
+            .records()
+            .iter()
+            .filter_map(|r| r.gt.map(|g| label_key(&r.features, g)))
+            .collect();
+        let carry: Vec<WalRecord> = self
+            .tail
+            .iter()
+            .filter(|rec| {
+                let WalRecord::Label { features, gt, .. } = rec;
+                !absorbed.contains(&label_key(features, *gt))
+            })
+            .cloned()
+            .collect();
+        let mut wal = WalWriter::create(self.vfs.as_ref(), &wal_name(next))?;
+        for rec in &carry {
+            wal.append(self.vfs.as_ref(), rec)?;
+        }
+
+        // One barrier publishes the snapshot rename and the new WAL entry.
+        self.vfs.sync_dir()?;
+
+        self.stats.carried_forward += carry.len();
+        self.seq = next;
+        self.wal = wal;
+        self.tail = carry;
+        self.commits_since_checkpoint = 0;
+
+        // Retention: keep <next> and its last-known-good predecessor;
+        // everything older goes (best-effort — strays are harmless and
+        // re-collected on the next open or checkpoint).
+        let keep_from = next.saturating_sub(1);
+        if let Ok(names) = self.vfs.list() {
+            for name in names {
+                let old = parse_seq(&name, "snap-", ".ckpt")
+                    .or_else(|| parse_seq(&name, "wal-", ".log"))
+                    .is_some_and(|s| s < keep_from);
+                if old {
+                    let _ = self.vfs.remove(&name);
+                }
+            }
+            let _ = self.vfs.sync_dir();
+        }
+        Ok(())
+    }
+}
+
+type LabelKey = (Vec<u64>, u64);
+
+/// A decoded checkpoint: the validated state plus the optional serving
+/// model restored from its blob frame.
+type LoadedSnapshot = (WarperState, Option<Box<dyn CardinalityEstimator>>);
+
+fn label_key(features: &[f64], gt: f64) -> LabelKey {
+    (features.iter().map(|v| v.to_bits()).collect(), gt.to_bits())
+}
+
+/// Replay WAL labels into a recovered state's pool: finite, dimensionally
+/// sane labels only, deduplicated against what the snapshot already holds,
+/// with `cfg.pool_cap` enforced through the pool's own eviction policy.
+fn apply_wal_records(state: &mut WarperState, records: &[WalRecord]) -> usize {
+    let dim = state.encoder.feature_dim();
+    let mut seen: HashSet<LabelKey> = state
+        .pool
+        .records()
+        .iter()
+        .filter_map(|r| r.gt.map(|g| label_key(&r.features, g)))
+        .collect();
+    let mut applied = 0usize;
+    for rec in records {
+        let WalRecord::Label { features, gt, .. } = rec;
+        if features.len() != dim || !gt.is_finite() || features.iter().any(|v| !v.is_finite()) {
+            continue;
+        }
+        if seen.insert(label_key(features, *gt)) {
+            state.pool.append_new(&[(features.clone(), Some(*gt))]);
+            applied += 1;
+        }
+    }
+    state.pool.evict_to_cap(state.cfg.pool_cap);
+    applied
+}
+
+fn load_snapshot(vfs: &dyn Vfs, name: &str) -> Result<LoadedSnapshot, DurabilityError> {
+    let data = vfs.read(name)?;
+    if data.len() < SNAP_MAGIC.len() || &data[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(DurabilityError::Corrupt("bad snapshot magic".into()));
+    }
+    let rest = &data[SNAP_MAGIC.len()..];
+    let FrameDecode::Frame { payload, consumed } = decode_frame(rest) else {
+        return Err(DurabilityError::Corrupt(
+            "snapshot state frame damaged".into(),
+        ));
+    };
+    let state: WarperState = crate::json_from_bytes(payload)
+        .map_err(|e| DurabilityError::Corrupt(format!("snapshot state undecodable: {e}")))?;
+    state.validate().map_err(DurabilityError::State)?;
+    let model = match decode_frame(&rest[consumed..]) {
+        FrameDecode::Frame { payload, .. } => {
+            let blob: Option<ModelBlob> = crate::json_from_bytes(payload)
+                .map_err(|e| DurabilityError::Corrupt(format!("model blob undecodable: {e}")))?;
+            match blob {
+                Some(blob) => Some(blob.restore()?),
+                None => None,
+            }
+        }
+        // Tolerated: a snapshot written without a model frame still has a
+        // fully usable state; resume rebuilds the model instead.
+        FrameDecode::CleanEof => None,
+        FrameDecode::Corrupt(msg) => {
+            return Err(DurabilityError::Corrupt(format!(
+                "model frame damaged: {msg}"
+            )))
+        }
+    };
+    Ok((state, model))
+}

@@ -1,0 +1,712 @@
+//! Virtual file system abstraction for the durability layer.
+//!
+//! Every byte the durability layer persists flows through the [`Vfs`] trait:
+//! a flat namespace of files inside one state directory, with explicit
+//! `fsync` (file-content barrier) and `sync_dir` (directory-entry barrier)
+//! operations. Keeping the surface this small buys two things:
+//!
+//! 1. [`StdVfs`] maps it onto a real directory with the exact syscall
+//!    sequence the checkpoint protocol needs (`write` → `fsync` → `rename`
+//!    → directory `fsync`);
+//! 2. [`MemVfs`] models the crash semantics of that sequence — data that was
+//!    never fsynced vanishes on a power cut, renamed entries revert unless
+//!    the directory was synced — and [`FailpointVfs`] layers deterministic
+//!    fault injection (short writes, torn writes, failed fsyncs, power cuts)
+//!    on top, indexed by a global operation counter so a test can kill the
+//!    process at *every* reachable I/O operation.
+//!
+//! The namespace is flat on purpose: snapshots and WALs live side by side in
+//! one state directory, so one `sync_dir` barrier covers every entry
+//! mutation and no nested-directory ordering games are possible.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Why a VFS operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// Underlying I/O error from the real filesystem.
+    Io(String),
+    /// The named file does not exist.
+    NotFound(String),
+    /// A fault injected by [`FailpointVfs`]; the process is still alive.
+    Injected(&'static str),
+    /// The simulated process has lost power; every subsequent operation on
+    /// this handle fails with the same error.
+    Crashed,
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::Io(msg) => write!(f, "i/o error: {msg}"),
+            VfsError::NotFound(name) => write!(f, "file not found: {name}"),
+            VfsError::Injected(what) => write!(f, "injected fault: {what}"),
+            VfsError::Crashed => write!(f, "simulated power loss"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// Abstract file I/O over a flat state directory.
+///
+/// Durability contract implementations must honour:
+/// * `append`/`create`/`truncate` affect file *contents*, which become
+///   durable only after `fsync` on that file;
+/// * `create`/`rename`/`remove` affect directory *entries*, which become
+///   durable only after `sync_dir`;
+/// * `rename` atomically replaces the destination entry.
+pub trait Vfs: Send + Sync {
+    /// Names of all files currently visible in the directory.
+    fn list(&self) -> Result<Vec<String>, VfsError>;
+    /// Full contents of `name`.
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError>;
+    /// Create `name` empty, truncating any existing file.
+    fn create(&self, name: &str) -> Result<(), VfsError>;
+    /// Append `data` to `name`.
+    fn append(&self, name: &str, data: &[u8]) -> Result<(), VfsError>;
+    /// Cut `name` down to `len` bytes (no-op if already shorter).
+    fn truncate(&self, name: &str, len: u64) -> Result<(), VfsError>;
+    /// Make the current contents of `name` durable.
+    fn fsync(&self, name: &str) -> Result<(), VfsError>;
+    /// Atomically rename `from` to `to`, replacing `to` if present.
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError>;
+    /// Remove the directory entry for `name`.
+    fn remove(&self, name: &str) -> Result<(), VfsError>;
+    /// Make the current set of directory entries durable.
+    fn sync_dir(&self) -> Result<(), VfsError>;
+    /// Current size of `name` in bytes.
+    fn size(&self, name: &str) -> Result<u64, VfsError>;
+}
+
+fn check_name(name: &str) -> Result<(), VfsError> {
+    if name.is_empty() || name.contains('/') || name.contains('\\') || name.contains("..") {
+        return Err(VfsError::Io(format!(
+            "invalid flat-namespace file name: {name:?}"
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem
+// ---------------------------------------------------------------------------
+
+/// [`Vfs`] over a real directory on disk.
+pub struct StdVfs {
+    root: PathBuf,
+}
+
+impl StdVfs {
+    /// Open (creating if necessary) `root` as a state directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, VfsError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(io_err)?;
+        Ok(StdVfs { root })
+    }
+
+    fn path(&self, name: &str) -> Result<PathBuf, VfsError> {
+        check_name(name)?;
+        Ok(self.root.join(name))
+    }
+}
+
+fn io_err(e: std::io::Error) -> VfsError {
+    VfsError::Io(e.to_string())
+}
+
+impl Vfs for StdVfs {
+    fn list(&self) -> Result<Vec<String>, VfsError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root).map_err(io_err)? {
+            let entry = entry.map_err(io_err)?;
+            if entry.file_type().map_err(io_err)?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError> {
+        let path = self.path(name)?;
+        match std::fs::read(&path) {
+            Ok(data) => Ok(data),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(VfsError::NotFound(name.to_string()))
+            }
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn create(&self, name: &str) -> Result<(), VfsError> {
+        std::fs::File::create(self.path(name)?).map_err(io_err)?;
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<(), VfsError> {
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(self.path(name)?)
+            .map_err(io_err)?;
+        file.write_all(data).map_err(io_err)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), VfsError> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name)?)
+            .map_err(io_err)?;
+        if file.metadata().map_err(io_err)?.len() > len {
+            file.set_len(len).map_err(io_err)?;
+            file.sync_all().map_err(io_err)?;
+        }
+        Ok(())
+    }
+
+    fn fsync(&self, name: &str) -> Result<(), VfsError> {
+        std::fs::File::open(self.path(name)?)
+            .map_err(io_err)?
+            .sync_all()
+            .map_err(io_err)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        std::fs::rename(self.path(from)?, self.path(to)?).map_err(io_err)
+    }
+
+    fn remove(&self, name: &str) -> Result<(), VfsError> {
+        std::fs::remove_file(self.path(name)?).map_err(io_err)
+    }
+
+    fn sync_dir(&self) -> Result<(), VfsError> {
+        // On unix, fsync on the directory fd persists its entries. Some
+        // platforms refuse to open a directory for syncing; a missing
+        // directory barrier degrades durability, not correctness, so only
+        // genuine open failures are surfaced.
+        match std::fs::File::open(&self.root) {
+            Ok(dir) => dir.sync_all().map_err(io_err),
+            Err(e) => Err(io_err(e)),
+        }
+    }
+
+    fn size(&self, name: &str) -> Result<u64, VfsError> {
+        match std::fs::metadata(self.path(name)?) {
+            Ok(meta) => Ok(meta.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(VfsError::NotFound(name.to_string()))
+            }
+            Err(e) => Err(io_err(e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory crash-modeling filesystem
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Default)]
+struct FileData {
+    data: Vec<u8>,
+    /// Prefix of `data` known durable (covered by the last fsync).
+    synced: usize,
+}
+
+#[derive(Default)]
+struct MemInner {
+    /// Inode table; directory maps index into it.
+    inodes: Vec<FileData>,
+    /// Volatile view of the directory (what `list`/`read` see).
+    current: HashMap<String, usize>,
+    /// Durable view of the directory (what survives a power cut).
+    durable: HashMap<String, usize>,
+}
+
+/// In-memory [`Vfs`] with an explicit durable-vs-volatile state split, in
+/// the style of crash-consistency checkers (ALICE, CrashMonkey).
+///
+/// * File contents past the last `fsync` are volatile.
+/// * Directory entry changes (`create`, `rename`, `remove`) are volatile
+///   until `sync_dir`.
+/// * [`MemVfs::power_cut`] drops all volatile state: files shrink to their
+///   synced prefix and the directory reverts to its durable view. Clones
+///   share state, so a "recovered process" is just a fresh clone of the same
+///   `MemVfs` used after `power_cut`.
+#[derive(Clone, Default)]
+pub struct MemVfs {
+    inner: Arc<Mutex<MemInner>>,
+}
+
+impl MemVfs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Simulate losing power: volatile file tails and directory-entry
+    /// changes are discarded.
+    pub fn power_cut(&self) {
+        let mut inner = self.lock();
+        for file in &mut inner.inodes {
+            let synced = file.synced;
+            file.data.truncate(synced);
+        }
+        inner.current = inner.durable.clone();
+    }
+
+    /// Force the full current contents of `name` durable without an fsync
+    /// call. Used by [`FailpointVfs`] to model a torn write whose partial
+    /// bytes did reach the platter before power was lost.
+    fn force_durable(&self, name: &str) {
+        let mut inner = self.lock();
+        if let Some(&ino) = inner.current.get(name) {
+            if let Some(file) = inner.inodes.get_mut(ino) {
+                file.synced = file.data.len();
+            }
+        }
+    }
+
+    fn inode_of(&self, name: &str) -> Result<usize, VfsError> {
+        self.lock()
+            .current
+            .get(name)
+            .copied()
+            .ok_or_else(|| VfsError::NotFound(name.to_string()))
+    }
+}
+
+impl Vfs for MemVfs {
+    fn list(&self) -> Result<Vec<String>, VfsError> {
+        let mut names: Vec<String> = self.lock().current.keys().cloned().collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError> {
+        let ino = self.inode_of(name)?;
+        let inner = self.lock();
+        inner
+            .inodes
+            .get(ino)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| VfsError::NotFound(name.to_string()))
+    }
+
+    fn create(&self, name: &str) -> Result<(), VfsError> {
+        check_name(name)?;
+        let mut inner = self.lock();
+        // A fresh inode: if the durable directory still points at the old
+        // one, a power cut correctly resurrects the old contents.
+        inner.inodes.push(FileData::default());
+        let ino = inner.inodes.len() - 1;
+        inner.current.insert(name.to_string(), ino);
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<(), VfsError> {
+        let ino = self.inode_of(name)?;
+        let mut inner = self.lock();
+        match inner.inodes.get_mut(ino) {
+            Some(file) => {
+                file.data.extend_from_slice(data);
+                Ok(())
+            }
+            None => Err(VfsError::NotFound(name.to_string())),
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), VfsError> {
+        let ino = self.inode_of(name)?;
+        let mut inner = self.lock();
+        match inner.inodes.get_mut(ino) {
+            Some(file) => {
+                let len = len as usize;
+                if file.data.len() > len {
+                    file.data.truncate(len);
+                    file.synced = file.synced.min(len);
+                }
+                Ok(())
+            }
+            None => Err(VfsError::NotFound(name.to_string())),
+        }
+    }
+
+    fn fsync(&self, name: &str) -> Result<(), VfsError> {
+        let ino = self.inode_of(name)?;
+        let mut inner = self.lock();
+        match inner.inodes.get_mut(ino) {
+            Some(file) => {
+                file.synced = file.data.len();
+                Ok(())
+            }
+            None => Err(VfsError::NotFound(name.to_string())),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        check_name(to)?;
+        let mut inner = self.lock();
+        match inner.current.remove(from) {
+            Some(ino) => {
+                inner.current.insert(to.to_string(), ino);
+                Ok(())
+            }
+            None => Err(VfsError::NotFound(from.to_string())),
+        }
+    }
+
+    fn remove(&self, name: &str) -> Result<(), VfsError> {
+        let mut inner = self.lock();
+        match inner.current.remove(name) {
+            Some(_) => Ok(()),
+            None => Err(VfsError::NotFound(name.to_string())),
+        }
+    }
+
+    fn sync_dir(&self) -> Result<(), VfsError> {
+        let mut inner = self.lock();
+        inner.durable = inner.current.clone();
+        Ok(())
+    }
+
+    fn size(&self, name: &str) -> Result<u64, VfsError> {
+        let ino = self.inode_of(name)?;
+        let inner = self.lock();
+        inner
+            .inodes
+            .get(ino)
+            .map(|f| f.data.len() as u64)
+            .ok_or_else(|| VfsError::NotFound(name.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic failpoint injection
+// ---------------------------------------------------------------------------
+
+/// What happens when the failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// Power is lost at this operation: volatile state vanishes and every
+    /// later operation on this handle fails with [`VfsError::Crashed`].
+    PowerCut,
+    /// An `append` persists only the first half of its bytes (they *do*
+    /// reach the platter) and then power is lost — the adversarial
+    /// garbage-tail case. On non-append operations this degrades to
+    /// [`FailKind::PowerCut`].
+    TornWrite,
+    /// An `append` writes only half its bytes and reports an error; the
+    /// process survives and must repair. On non-append operations this
+    /// degrades to [`FailKind::OpError`].
+    ShortWrite,
+    /// The operation fails transiently (e.g. a failed fsync); the process
+    /// survives.
+    OpError,
+}
+
+/// A single scheduled fault: fire `kind` at the `at_op`-th VFS operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailPlan {
+    pub at_op: u64,
+    pub kind: FailKind,
+}
+
+struct FpState {
+    op: u64,
+    plan: Option<FailPlan>,
+    crashed: bool,
+}
+
+/// Wraps a [`MemVfs`] and injects one scheduled fault, addressed by a
+/// global operation counter.
+///
+/// Run once with no plan to learn how many operations a workload performs
+/// ([`FailpointVfs::ops`]), then re-run with `FailPlan { at_op: k, .. }` for
+/// every `k` to kill the workload at each reachable I/O point. After a
+/// crash, recover through a plain clone of the underlying [`MemVfs`] — the
+/// durable state is shared.
+pub struct FailpointVfs {
+    inner: MemVfs,
+    state: Mutex<FpState>,
+}
+
+impl FailpointVfs {
+    /// Counting mode: no fault, every operation succeeds.
+    pub fn new(inner: MemVfs) -> Self {
+        FailpointVfs {
+            inner,
+            state: Mutex::new(FpState {
+                op: 0,
+                plan: None,
+                crashed: false,
+            }),
+        }
+    }
+
+    pub fn with_plan(inner: MemVfs, plan: FailPlan) -> Self {
+        FailpointVfs {
+            inner,
+            state: Mutex::new(FpState {
+                op: 0,
+                plan: Some(plan),
+                crashed: false,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FpState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Total operations attempted so far (including the faulted one).
+    pub fn ops(&self) -> u64 {
+        self.lock().op
+    }
+
+    /// Whether the simulated power cut has happened.
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// The shared underlying store, for post-crash recovery.
+    pub fn mem(&self) -> MemVfs {
+        self.inner.clone()
+    }
+
+    /// Advance the op counter; `Ok(Some(kind))` means the fault fires now.
+    fn gate(&self) -> Result<Option<FailKind>, VfsError> {
+        let mut s = self.lock();
+        if s.crashed {
+            return Err(VfsError::Crashed);
+        }
+        let op = s.op;
+        s.op += 1;
+        if let Some(plan) = s.plan {
+            if plan.at_op == op {
+                return Ok(Some(plan.kind));
+            }
+        }
+        Ok(None)
+    }
+
+    fn crash(&self) -> VfsError {
+        self.lock().crashed = true;
+        self.inner.power_cut();
+        VfsError::Crashed
+    }
+
+    /// Handle a fired fault on a non-append operation.
+    fn fire_simple(&self, kind: FailKind) -> VfsError {
+        match kind {
+            FailKind::PowerCut | FailKind::TornWrite => self.crash(),
+            FailKind::ShortWrite | FailKind::OpError => VfsError::Injected("operation failed"),
+        }
+    }
+}
+
+impl Vfs for FailpointVfs {
+    fn list(&self) -> Result<Vec<String>, VfsError> {
+        match self.gate()? {
+            None => self.inner.list(),
+            Some(kind) => Err(self.fire_simple(kind)),
+        }
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, VfsError> {
+        match self.gate()? {
+            None => self.inner.read(name),
+            Some(kind) => Err(self.fire_simple(kind)),
+        }
+    }
+
+    fn create(&self, name: &str) -> Result<(), VfsError> {
+        match self.gate()? {
+            None => self.inner.create(name),
+            Some(kind) => Err(self.fire_simple(kind)),
+        }
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<(), VfsError> {
+        match self.gate()? {
+            None => self.inner.append(name, data),
+            Some(FailKind::PowerCut) => Err(self.crash()),
+            Some(FailKind::TornWrite) => {
+                // Half the bytes land and are already on the platter when
+                // power drops: recovery sees a garbage tail.
+                let _ = self.inner.append(name, &data[..data.len() / 2]);
+                self.inner.force_durable(name);
+                Err(self.crash())
+            }
+            Some(FailKind::ShortWrite) => {
+                // Half the bytes land (volatile) and the write errors; the
+                // process lives and must truncate-repair.
+                let _ = self.inner.append(name, &data[..data.len() / 2]);
+                Err(VfsError::Injected("short write"))
+            }
+            Some(FailKind::OpError) => Err(VfsError::Injected("append failed")),
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), VfsError> {
+        match self.gate()? {
+            None => self.inner.truncate(name, len),
+            Some(kind) => Err(self.fire_simple(kind)),
+        }
+    }
+
+    fn fsync(&self, name: &str) -> Result<(), VfsError> {
+        match self.gate()? {
+            None => self.inner.fsync(name),
+            Some(kind) => Err(self.fire_simple(kind)),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), VfsError> {
+        match self.gate()? {
+            None => self.inner.rename(from, to),
+            Some(kind) => Err(self.fire_simple(kind)),
+        }
+    }
+
+    fn remove(&self, name: &str) -> Result<(), VfsError> {
+        match self.gate()? {
+            None => self.inner.remove(name),
+            Some(kind) => Err(self.fire_simple(kind)),
+        }
+    }
+
+    fn sync_dir(&self) -> Result<(), VfsError> {
+        match self.gate()? {
+            None => self.inner.sync_dir(),
+            Some(kind) => Err(self.fire_simple(kind)),
+        }
+    }
+
+    fn size(&self, name: &str) -> Result<u64, VfsError> {
+        match self.gate()? {
+            None => self.inner.size(name),
+            Some(kind) => Err(self.fire_simple(kind)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_power_cut_drops_unsynced_tail() {
+        let vfs = MemVfs::new();
+        vfs.create("f").unwrap();
+        vfs.append("f", b"durable").unwrap();
+        vfs.fsync("f").unwrap();
+        vfs.sync_dir().unwrap();
+        vfs.append("f", b"+volatile").unwrap();
+        vfs.power_cut();
+        assert_eq!(vfs.read("f").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn mem_vfs_power_cut_reverts_unsynced_rename() {
+        let vfs = MemVfs::new();
+        vfs.create("old").unwrap();
+        vfs.append("old", b"v1").unwrap();
+        vfs.fsync("old").unwrap();
+        vfs.sync_dir().unwrap();
+
+        vfs.create("tmp").unwrap();
+        vfs.append("tmp", b"v2").unwrap();
+        vfs.fsync("tmp").unwrap();
+        vfs.rename("tmp", "old").unwrap();
+        // No sync_dir: the rename is volatile.
+        vfs.power_cut();
+        assert_eq!(vfs.read("old").unwrap(), b"v1");
+
+        // And with the barrier, the rename sticks.
+        vfs.create("tmp").unwrap();
+        vfs.append("tmp", b"v3").unwrap();
+        vfs.fsync("tmp").unwrap();
+        vfs.rename("tmp", "old").unwrap();
+        vfs.sync_dir().unwrap();
+        vfs.power_cut();
+        assert_eq!(vfs.read("old").unwrap(), b"v3");
+    }
+
+    #[test]
+    fn failpoint_torn_write_leaves_partial_durable_bytes() {
+        let mem = MemVfs::new();
+        {
+            let fp = FailpointVfs::new(mem.clone());
+            fp.create("w").unwrap();
+            fp.fsync("w").unwrap();
+            fp.sync_dir().unwrap();
+        }
+        // Ops 0..3 consumed above in a separate handle; new handle restarts
+        // the counter, so op 0 is the append below.
+        let fp = FailpointVfs::with_plan(
+            mem.clone(),
+            FailPlan {
+                at_op: 0,
+                kind: FailKind::TornWrite,
+            },
+        );
+        let err = fp.append("w", b"0123456789").unwrap_err();
+        assert_eq!(err, VfsError::Crashed);
+        assert!(fp.crashed());
+        assert_eq!(fp.append("w", b"more").unwrap_err(), VfsError::Crashed);
+        // Recovery through the shared MemVfs sees the torn half.
+        assert_eq!(mem.read("w").unwrap(), b"01234");
+    }
+
+    #[test]
+    fn failpoint_counting_mode_counts_every_op() {
+        let fp = FailpointVfs::new(MemVfs::new());
+        fp.create("a").unwrap();
+        fp.append("a", b"x").unwrap();
+        fp.fsync("a").unwrap();
+        fp.sync_dir().unwrap();
+        let _ = fp.list().unwrap();
+        assert_eq!(fp.ops(), 5);
+    }
+
+    #[test]
+    fn std_vfs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("warper-vfs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let vfs = StdVfs::open(&dir).unwrap();
+        vfs.create("snap").unwrap();
+        vfs.append("snap", b"hello").unwrap();
+        vfs.fsync("snap").unwrap();
+        vfs.sync_dir().unwrap();
+        assert_eq!(vfs.read("snap").unwrap(), b"hello");
+        assert_eq!(vfs.size("snap").unwrap(), 5);
+        vfs.truncate("snap", 2).unwrap();
+        assert_eq!(vfs.read("snap").unwrap(), b"he");
+        vfs.rename("snap", "snap2").unwrap();
+        assert!(matches!(vfs.read("snap"), Err(VfsError::NotFound(_))));
+        assert_eq!(vfs.list().unwrap(), vec!["snap2".to_string()]);
+        vfs.remove("snap2").unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flat_namespace_rejects_path_traversal() {
+        let vfs = MemVfs::new();
+        assert!(vfs.create("../escape").is_err());
+        assert!(vfs.create("a/b").is_err());
+        assert!(vfs.create("").is_err());
+    }
+}

@@ -1,0 +1,481 @@
+//! Crash-recovery suite for the durability layer.
+//!
+//! The durability invariant under test: once `DurableStore::append_label`
+//! returns `Ok` (the label is *acknowledged*), that label survives any
+//! subsequent crash, and recovery always yields a `WarperState` that passes
+//! `validate()` and rebuilds a controller.
+//!
+//! The deterministic tests below always run. The headline
+//! kill-at-every-failpoint sweep — re-running an adaptation-shaped workload
+//! with a crash injected at every reachable VFS operation, for every fault
+//! kind — plus the randomized proptest schedules are behind
+//! `--features faults` (they are heavy).
+
+use std::collections::HashSet;
+use std::sync::{Arc, OnceLock};
+
+use warper_core::detect::DataTelemetry;
+use warper_core::{ArrivedQuery, WarperConfig, WarperController, WarperState};
+use warper_durable::{
+    DurabilityConfig, DurableStore, FailKind, FailPlan, FailpointVfs, MemVfs, Vfs,
+};
+
+mod toy {
+    use warper_ce::{CardinalityEstimator, LabeledExample, UpdateKind};
+
+    pub struct ToyModel;
+    impl CardinalityEstimator for ToyModel {
+        fn feature_dim(&self) -> usize {
+            4
+        }
+        fn estimate(&self, f: &[f64]) -> f64 {
+            1000.0 * (0.1 + f[0])
+        }
+        fn fit(&mut self, _e: &[LabeledExample]) {}
+        fn update(&mut self, _e: &[LabeledExample]) {}
+        fn update_kind(&self) -> UpdateKind {
+            UpdateKind::FineTune
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+}
+use toy::ToyModel;
+
+/// One healthy controller state, built once: controller construction
+/// pre-trains the GAN, far too slow to repeat per crash schedule.
+fn base_state() -> &'static WarperState {
+    static STATE: OnceLock<WarperState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let cfg = WarperConfig {
+            embed_dim: 6,
+            hidden: 16,
+            n_i: 8,
+            pretrain_epochs: 2,
+            gamma: 100,
+            ..Default::default()
+        };
+        let train: Vec<(Vec<f64>, f64)> = (0..40)
+            .map(|i| (vec![0.2 + 0.001 * (i % 7) as f64; 4], 300.0))
+            .collect();
+        let mut ctl = WarperController::new(4, &train, 1.5, cfg, 42);
+        let arrived: Vec<ArrivedQuery> = (0..30)
+            .map(|i| ArrivedQuery {
+                features: vec![0.8 + 0.001 * (i % 5) as f64; 4],
+                gt: Some(90_000.0),
+            })
+            .collect();
+        ctl.invoke(
+            &mut ToyModel,
+            &arrived,
+            &DataTelemetry::default(),
+            &mut |qs| vec![Some(90_000.0); qs.len()],
+        );
+        ctl.to_state()
+    })
+}
+
+type Label = (Vec<f64>, f64);
+
+fn label_for(step: usize) -> Label {
+    (
+        vec![
+            0.30 + 0.002 * (step % 50) as f64,
+            0.40,
+            0.50,
+            0.60 + 0.001 * (step / 50) as f64,
+        ],
+        1_000.0 + step as f64,
+    )
+}
+
+fn label_key(features: &[f64], gt: f64) -> (Vec<u64>, u64) {
+    (features.iter().map(|v| v.to_bits()).collect(), gt.to_bits())
+}
+
+const STEPS: usize = 24;
+const CHECKPOINT_EVERY_STEPS: usize = 7;
+
+/// Drive an adaptation-shaped workload against a store: open (possibly
+/// resuming), write an initial checkpoint if the directory is fresh, then
+/// interleave label appends with periodic checkpoints whose state mirrors
+/// the appended labels (exactly what the serve wiring does through the
+/// supervisor commit hook). Returns the labels acknowledged before any
+/// crash cut the run short.
+fn drive(vfs: Arc<dyn Vfs>) -> Vec<Label> {
+    let mut acked = Vec::new();
+    let Ok((mut store, recovered)) = DurableStore::open(vfs, DurabilityConfig::default()) else {
+        return acked;
+    };
+    let mut state = match recovered {
+        Some(r) => r.state,
+        None => base_state().clone(),
+    };
+    if store.seq() == 0 && store.checkpoint(&state, None).is_err() {
+        // No durable base: nothing can be acknowledged.
+        return acked;
+    }
+    for step in 0..STEPS {
+        let (features, gt) = label_for(step);
+        if store.append_label(&features, gt, false).is_ok() {
+            acked.push((features.clone(), gt));
+        }
+        // The serving side applies the label to its in-memory pool
+        // regardless of ack status; checkpointed state reflects that.
+        state.pool.append_new(&[(features, Some(gt))]);
+        if (step + 1) % CHECKPOINT_EVERY_STEPS == 0 {
+            let _ = store.checkpoint(&state, None);
+        }
+    }
+    acked
+}
+
+/// Recover from whatever survived in `mem` and assert the invariant:
+/// recovery succeeds, the state validates and rebuilds a controller, and
+/// every acknowledged label is present in the recovered pool.
+fn recover_and_check(mem: &MemVfs, acked: &[Label], context: &str) {
+    let (_, recovered) = DurableStore::open(Arc::new(mem.clone()), DurabilityConfig::default())
+        .unwrap_or_else(|e| panic!("{context}: recovery failed: {e}"));
+    let Some(rec) = recovered else {
+        assert!(
+            acked.is_empty(),
+            "{context}: {} acked labels but no recoverable image",
+            acked.len()
+        );
+        return;
+    };
+    rec.state
+        .validate()
+        .unwrap_or_else(|e| panic!("{context}: recovered state invalid: {e}"));
+    let have: HashSet<(Vec<u64>, u64)> = rec
+        .state
+        .pool
+        .records()
+        .iter()
+        .filter_map(|r| r.gt.map(|g| label_key(&r.features, g)))
+        .collect();
+    for (features, gt) in acked {
+        assert!(
+            have.contains(&label_key(features, *gt)),
+            "{context}: acked label gt={gt} lost (recovered from snap {}, {} wal records)",
+            rec.report.snapshot_seq,
+            rec.report.wal_records_replayed
+        );
+    }
+    assert!(
+        WarperController::from_state(rec.state).is_ok(),
+        "{context}: recovered state does not rebuild a controller"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic tests (always run)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clean_run_roundtrips_every_acked_label() {
+    let mem = MemVfs::new();
+    let acked = drive(Arc::new(mem.clone()));
+    assert_eq!(acked.len(), STEPS, "clean run must ack every label");
+    mem.power_cut();
+    recover_and_check(&mem, &acked, "clean run + power cut");
+}
+
+#[test]
+fn resume_continues_from_recovered_state() {
+    let mem = MemVfs::new();
+    let first = drive(Arc::new(mem.clone()));
+    mem.power_cut();
+    // Second run resumes from the durable image and keeps appending.
+    let second = drive(Arc::new(mem.clone()));
+    assert_eq!(second.len(), STEPS);
+    mem.power_cut();
+    let mut all = first;
+    all.extend(second);
+    all.sort_by(|a, b| a.1.total_cmp(&b.1));
+    all.dedup_by(|a, b| a == b);
+    recover_and_check(&mem, &all, "two-run resume");
+}
+
+#[test]
+fn corrupt_wal_tail_is_truncated_and_earlier_records_survive() {
+    let mem = MemVfs::new();
+    let acked = drive(Arc::new(mem.clone()));
+    // Scribble garbage onto the live WAL, then lose power.
+    let wals: Vec<String> = mem
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("wal-"))
+        .collect();
+    let live = wals.last().expect("live wal exists").clone();
+    mem.append(&live, &[0xFF, 0x00, 0xAB, 0xCD, 0x12]).unwrap();
+    mem.fsync(&live).unwrap();
+    mem.power_cut();
+
+    // First open reports (and repairs) the corrupt tail...
+    let (_, recovered) =
+        DurableStore::open(Arc::new(mem.clone()), DurabilityConfig::default()).unwrap();
+    let rec = recovered.unwrap();
+    assert!(rec.report.wal_truncated, "tail corruption must be reported");
+    // ...and the full invariant holds on the repaired directory.
+    recover_and_check(&mem, &acked, "garbage wal tail");
+}
+
+#[test]
+fn corrupt_newest_snapshot_falls_back_to_last_known_good() {
+    let mem = MemVfs::new();
+    let acked = drive(Arc::new(mem.clone()));
+    let snaps: Vec<String> = mem
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("snap-"))
+        .collect();
+    assert!(
+        snaps.len() >= 2,
+        "retention keeps last-known-good: {snaps:?}"
+    );
+    // Flip one payload byte of the newest snapshot: its CRC check must
+    // reject it and recovery must restore from the predecessor, replaying
+    // both WALs so no acked label is lost.
+    let newest = snaps.last().unwrap().clone();
+    let mut bytes = mem.read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    mem.create(&newest).unwrap();
+    mem.append(&newest, &bytes).unwrap();
+    mem.fsync(&newest).unwrap();
+    mem.sync_dir().unwrap();
+    mem.power_cut();
+
+    let (_, recovered) =
+        DurableStore::open(Arc::new(mem.clone()), DurabilityConfig::default()).unwrap();
+    let rec = recovered.expect("fallback image exists");
+    assert_eq!(rec.report.corrupt_snapshots, 1);
+    recover_and_check(&mem, &acked, "newest snapshot corrupt");
+}
+
+#[test]
+fn model_blob_rides_the_checkpoint() {
+    use warper_ce::lm::LmMlp;
+    use warper_ce::{CardinalityEstimator, LabeledExample};
+
+    let mut model = LmMlp::new(4, Default::default(), 17);
+    let examples: Vec<LabeledExample> = (0..80)
+        .map(|i| {
+            LabeledExample::new(
+                (0..4).map(|c| ((i + c) % 9) as f64 / 9.0).collect(),
+                100.0 + (i % 10) as f64 * 25.0,
+            )
+        })
+        .collect();
+    model.fit(&examples);
+
+    let mem = MemVfs::new();
+    {
+        let (mut store, _) =
+            DurableStore::open(Arc::new(mem.clone()), DurabilityConfig::default()).unwrap();
+        store.checkpoint(base_state(), Some(&model)).unwrap();
+    }
+    mem.power_cut();
+    let (_, recovered) =
+        DurableStore::open(Arc::new(mem.clone()), DurabilityConfig::default()).unwrap();
+    let restored = recovered
+        .unwrap()
+        .model
+        .expect("model blob survives the checkpoint");
+    assert_eq!(restored.name(), model.name());
+    let q = vec![0.25; 4];
+    assert!((restored.estimate(&q) - model.estimate(&q)).abs() < 1e-9);
+}
+
+/// Satellite: a WAL tail that replays past `cfg.pool_cap` must evict by the
+/// pool's policy — never panic, never silently grow — and the capped state
+/// must still rebuild a controller through `from_state`.
+#[test]
+fn wal_replay_past_pool_cap_evicts_by_policy() {
+    let mem = MemVfs::new();
+    let mut state = base_state().clone();
+    let cap = state.pool.len() + 10;
+    state.cfg.pool_cap = cap;
+
+    let appended = 30usize;
+    {
+        let (mut store, _) =
+            DurableStore::open(Arc::new(mem.clone()), DurabilityConfig::default()).unwrap();
+        store.checkpoint(&state, None).unwrap();
+        for step in 0..appended {
+            let (features, gt) = label_for(step);
+            store.append_label(&features, gt, false).unwrap();
+        }
+    }
+    mem.power_cut();
+
+    let (_, recovered) =
+        DurableStore::open(Arc::new(mem.clone()), DurabilityConfig::default()).unwrap();
+    let rec = recovered.unwrap();
+    assert_eq!(
+        rec.state.pool.len(),
+        cap,
+        "overflowing replay must evict down to pool_cap, not grow"
+    );
+    assert_eq!(rec.report.wal_records_replayed, appended);
+    rec.state.validate().unwrap();
+    let ctl = WarperController::from_state(rec.state).expect("capped state rebuilds");
+    assert_eq!(ctl.pool().len(), cap);
+    // The eviction policy protects fresh ground-truth labels: the replayed
+    // WAL labels (all fresh, labeled, `New`) must be the survivors over the
+    // snapshot's unlabeled/generated records.
+    let replayed_present = (0..appended)
+        .filter(|&step| {
+            let (features, gt) = label_for(step);
+            ctl.pool()
+                .records()
+                .iter()
+                .any(|r| r.features == features && r.gt == Some(gt))
+        })
+        .count();
+    assert_eq!(
+        replayed_present, appended,
+        "fresh labels evicted before cheap records"
+    );
+}
+
+#[test]
+fn fresh_directory_recovers_nothing_and_opens_clean() {
+    let mem = MemVfs::new();
+    let (store, recovered) =
+        DurableStore::open(Arc::new(mem.clone()), DurabilityConfig::default()).unwrap();
+    assert!(recovered.is_none());
+    assert_eq!(store.seq(), 0);
+}
+
+#[test]
+fn all_snapshots_corrupt_is_an_error_not_a_silent_fresh_start() {
+    let mem = MemVfs::new();
+    drive(Arc::new(mem.clone()));
+    for name in mem.list().unwrap() {
+        if name.starts_with("snap-") {
+            let mut bytes = mem.read(&name).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xFF;
+            mem.create(&name).unwrap();
+            mem.append(&name, &bytes).unwrap();
+        }
+    }
+    assert!(
+        DurableStore::open(Arc::new(mem.clone()), DurabilityConfig::default()).is_err(),
+        "clobbering a directory of corrupt snapshots must be refused"
+    );
+}
+
+/// A cheap ungated slice of the failpoint sweep: the first operations cover
+/// open, the initial checkpoint (temp write, fsync, rename, WAL creation,
+/// dir sync) and the first appends — the protocol's most delicate window.
+#[test]
+fn kill_within_first_forty_ops_never_loses_acked_labels() {
+    for kind in [FailKind::PowerCut, FailKind::TornWrite] {
+        for at_op in 0..40 {
+            let mem = MemVfs::new();
+            let fp = Arc::new(FailpointVfs::with_plan(
+                mem.clone(),
+                FailPlan { at_op, kind },
+            ));
+            let acked = drive(fp);
+            mem.power_cut();
+            recover_and_check(&mem, &acked, &format!("{kind:?}@{at_op}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heavy suites (--features faults)
+// ---------------------------------------------------------------------------
+
+/// The headline sweep: learn the total operation count from a probe run,
+/// then kill the workload at *every* reachable VFS operation, once per
+/// fault kind, and require full recovery each time.
+#[cfg(feature = "faults")]
+#[test]
+fn kill_at_every_failpoint_preserves_every_acked_label() {
+    let probe_mem = MemVfs::new();
+    let probe = Arc::new(FailpointVfs::new(probe_mem.clone()));
+    let acked = drive(probe.clone());
+    let total_ops = probe.ops();
+    assert_eq!(acked.len(), STEPS, "probe run must ack everything");
+    assert!(
+        total_ops > 60,
+        "probe too small to be interesting: {total_ops} ops"
+    );
+
+    for kind in [
+        FailKind::PowerCut,
+        FailKind::TornWrite,
+        FailKind::ShortWrite,
+        FailKind::OpError,
+    ] {
+        for at_op in 0..total_ops {
+            let mem = MemVfs::new();
+            let fp = Arc::new(FailpointVfs::with_plan(
+                mem.clone(),
+                FailPlan { at_op, kind },
+            ));
+            let acked = drive(fp.clone());
+            // Whatever the fault kind, the process eventually dies; only
+            // durable state may be consulted.
+            mem.power_cut();
+            recover_and_check(&mem, &acked, &format!("{kind:?}@{at_op}"));
+        }
+    }
+}
+
+#[cfg(feature = "faults")]
+mod random_schedules {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 48,
+            ..ProptestConfig::default()
+        })]
+
+        /// Randomized crash schedules, including double faults across two
+        /// successive process lifetimes on the same directory.
+        #[test]
+        fn double_fault_across_restarts_preserves_acked_labels(
+            first_op in 0u64..160,
+            second_op in 0u64..160,
+            kind_a in 0usize..4,
+            kind_b in 0usize..4,
+        ) {
+            let kinds = [
+                FailKind::PowerCut,
+                FailKind::TornWrite,
+                FailKind::ShortWrite,
+                FailKind::OpError,
+            ];
+            let mem = MemVfs::new();
+            let fp = Arc::new(FailpointVfs::with_plan(
+                mem.clone(),
+                FailPlan { at_op: first_op, kind: kinds[kind_a] },
+            ));
+            let mut acked = drive(fp);
+            mem.power_cut();
+            recover_and_check(&mem, &acked, "first fault");
+
+            // Second lifetime on the same directory, second fault.
+            let fp = Arc::new(FailpointVfs::with_plan(
+                mem.clone(),
+                FailPlan { at_op: second_op, kind: kinds[kind_b] },
+            ));
+            acked.extend(drive(fp));
+            mem.power_cut();
+            acked.sort_by(|a, b| a.1.total_cmp(&b.1));
+            acked.dedup_by(|a, b| a == b);
+            recover_and_check(&mem, &acked, "second fault");
+        }
+    }
+}

@@ -15,6 +15,8 @@
 //!   (the deadline proxy; rows scanned is what annotation latency is made
 //!   of, `c_gt` in §4.3).
 
+use std::time::{Duration, Instant};
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use warper_storage::Table;
@@ -159,6 +161,9 @@ pub struct FaultConfig {
     /// Multiplicative label noise: answers are scaled by a uniform factor in
     /// `[1 − noise, 1 + noise]`. `0` disables.
     pub label_noise: f64,
+    /// Simulated hang: every request sleeps this long before answering (a
+    /// stuck replica or saturated DBMS). `None` disables.
+    pub stall: Option<Duration>,
     /// Seed for the injection RNG.
     pub seed: u64,
 }
@@ -169,6 +174,7 @@ impl Default for FaultConfig {
             failure_rate: 0.0,
             timeout_rows: None,
             label_noise: 0.0,
+            stall: None,
             seed: 0,
         }
     }
@@ -196,6 +202,9 @@ impl CountService for FaultInjector {
         table: &Table,
         pred: &RangePredicate,
     ) -> Result<CountAnswer, AnnotateError> {
+        if let Some(stall) = self.cfg.stall {
+            std::thread::sleep(stall);
+        }
         if self.cfg.failure_rate > 0.0 && self.rng.random_range(0.0..1.0) < self.cfg.failure_rate {
             return Err(AnnotateError::Failed { injected: true });
         }
@@ -230,6 +239,9 @@ pub struct DegradedStats {
     pub fallback: usize,
     /// Queries skipped because the per-invocation row budget ran out.
     pub deadline_skips: usize,
+    /// Queries routed around the primary service because the invocation's
+    /// wall-clock deadline had already expired (a hung primary call).
+    pub deadline_trips: usize,
 }
 
 impl DegradedStats {
@@ -239,11 +251,12 @@ impl DegradedStats {
         self.retried += other.retried;
         self.fallback += other.fallback;
         self.deadline_skips += other.deadline_skips;
+        self.deadline_trips += other.deadline_trips;
     }
 
     /// `true` when any degraded-mode event occurred.
     pub fn any(&self) -> bool {
-        self.skipped + self.retried + self.fallback + self.deadline_skips > 0
+        self.skipped + self.retried + self.fallback + self.deadline_skips + self.deadline_trips > 0
     }
 }
 
@@ -259,11 +272,22 @@ impl DegradedStats {
 /// A per-invocation row budget acts as the deadline: once the invocation has
 /// spent its rows, the rest of the batch is skipped (batch shrinking) rather
 /// than blocking the control loop.
+///
+/// A wall-clock deadline complements the row budget: rows model the *cost*
+/// of scans the annotator performed, but a hung primary (stuck replica,
+/// saturated DBMS) burns time without scanning anything. Once the deadline
+/// elapses, the remaining queries bypass the primary entirely and go
+/// straight to the sampling rung (cheap and local, so it cannot hang the
+/// same way); each bypass is counted as a `deadline_trip`. The check is
+/// cooperative — it runs between calls, so the call that overran is kept,
+/// and everything after it is rerouted.
 pub struct ResilientAnnotator {
     primary: Box<dyn CountService>,
     fallback: Option<Box<dyn CountService>>,
     budget_rows: Option<usize>,
     spent_rows: usize,
+    deadline: Option<Duration>,
+    invocation_start: Instant,
     stats: DegradedStats,
 }
 
@@ -275,6 +299,8 @@ impl ResilientAnnotator {
             fallback: None,
             budget_rows: None,
             spent_rows: 0,
+            deadline: None,
+            invocation_start: Instant::now(),
             stats: DegradedStats::default(),
         }
     }
@@ -291,10 +317,18 @@ impl ResilientAnnotator {
         self
     }
 
-    /// Resets the per-invocation budget. Call at the start of each
-    /// controller invocation.
+    /// Caps the wall-clock time one invocation may spend in the primary
+    /// service; past it, remaining queries go straight to the sampling rung.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Resets the per-invocation budget and deadline clock. Call at the
+    /// start of each controller invocation.
     pub fn begin_invocation(&mut self) {
         self.spent_rows = 0;
+        self.invocation_start = Instant::now();
     }
 
     /// Cumulative degraded-mode counters across all invocations so far.
@@ -306,6 +340,11 @@ impl ResilientAnnotator {
         self.budget_rows.is_none_or(|b| self.spent_rows < b)
     }
 
+    fn deadline_expired(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| self.invocation_start.elapsed() >= d)
+    }
+
     /// Annotates one batch; `None` entries carry no label (failed or
     /// skipped) and should stay unlabeled in the caller's pool.
     ///
@@ -315,7 +354,7 @@ impl ResilientAnnotator {
     /// engine's actual evaluation costs — zone-map skips consume no budget,
     /// so a pruned batch yields strictly more labels per invocation.
     pub fn annotate_batch(&mut self, table: &Table, preds: &[RangePredicate]) -> Vec<Option<f64>> {
-        if self.primary.batch_capable() {
+        if self.primary.batch_capable() && !self.deadline_expired() {
             let answers = self.primary.count_many(table, preds);
             return answers
                 .into_iter()
@@ -345,6 +384,10 @@ impl ResilientAnnotator {
             self.stats.deadline_skips += 1;
             return None;
         }
+        if self.deadline_expired() {
+            self.stats.deadline_trips += 1;
+            return self.fallback_rung(table, pred);
+        }
         match self.primary.count(table, pred) {
             Ok(ans) => {
                 self.spent_rows += ans.rows_scanned;
@@ -358,12 +401,24 @@ impl ResilientAnnotator {
     }
 
     /// Rungs below the first failure: one retry, then the sampling
-    /// fallback, then skip-and-requeue.
+    /// fallback, then skip-and-requeue. A retry against an already-overdue
+    /// primary is pointless (the primary is what burned the clock), so an
+    /// expired deadline jumps straight to the sampling rung.
     fn descend_ladder(&mut self, table: &Table, pred: &RangePredicate) -> Option<f64> {
+        if self.deadline_expired() {
+            self.stats.deadline_trips += 1;
+            return self.fallback_rung(table, pred);
+        }
         if let Ok(ans) = self.primary.count(table, pred) {
             self.spent_rows += ans.rows_scanned;
             return Some(ans.card);
         }
+        self.fallback_rung(table, pred)
+    }
+
+    /// The bottom rungs: sampling fallback if configured, else
+    /// skip-and-requeue.
+    fn fallback_rung(&mut self, table: &Table, pred: &RangePredicate) -> Option<f64> {
         if let Some(fallback) = &mut self.fallback {
             if let Ok(ans) = fallback.count(table, pred) {
                 self.spent_rows += ans.rows_scanned;
@@ -552,6 +607,78 @@ mod tests {
         for l in labels[..8].iter() {
             assert_eq!(l, &Some(0.0));
         }
+    }
+
+    #[test]
+    fn hung_primary_trips_deadline_onto_sampling_rung() {
+        let (table, preds) = table_and_preds(6);
+        // Each primary call hangs 5 ms; the invocation deadline is 1 ms. The
+        // first query's stall is kept (the check is cooperative), and every
+        // query after it must bypass the hung primary for the sampler.
+        let hung = FaultInjector::new(
+            Box::new(Annotator::new()),
+            FaultConfig {
+                stall: Some(Duration::from_millis(5)),
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let sampler = SamplingAnnotator::build(&table, 500, 2, &mut rng);
+        let mut ladder = ResilientAnnotator::new(Box::new(hung))
+            .with_fallback(Box::new(sampler))
+            .with_deadline(Duration::from_millis(1));
+        ladder.begin_invocation();
+        let labels = ladder.annotate_batch(&table, &preds);
+        let stats = ladder.stats();
+        assert_eq!(stats.deadline_trips, preds.len() - 1, "stats {stats:?}");
+        assert_eq!(stats.fallback + stats.skipped, preds.len() - 1);
+        // Every query still resolves one way or the other; none block.
+        assert_eq!(labels.len(), preds.len());
+        assert!(labels[0].is_some(), "the overrunning call is kept");
+        // A fresh invocation resets the clock: the first call runs on the
+        // primary again (and overruns again).
+        ladder.begin_invocation();
+        let labels = ladder.annotate_batch(&table, &preds[..1]);
+        assert!(labels[0].is_some());
+        assert_eq!(ladder.stats().deadline_trips, preds.len() - 1);
+    }
+
+    #[test]
+    fn deadline_without_fallback_skips_and_requeues() {
+        let (table, preds) = table_and_preds(4);
+        let hung = FaultInjector::new(
+            Box::new(Annotator::new()),
+            FaultConfig {
+                stall: Some(Duration::from_millis(5)),
+                ..Default::default()
+            },
+        );
+        let mut ladder =
+            ResilientAnnotator::new(Box::new(hung)).with_deadline(Duration::from_millis(1));
+        ladder.begin_invocation();
+        let labels = ladder.annotate_batch(&table, &preds);
+        let stats = ladder.stats();
+        assert_eq!(stats.deadline_trips, preds.len() - 1);
+        assert_eq!(stats.skipped, preds.len() - 1, "stats {stats:?}");
+        assert_eq!(labels.iter().flatten().count(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_bypasses_the_batch_engine_too() {
+        let (table, preds) = table_and_preds(5);
+        let mut rng = StdRng::seed_from_u64(8);
+        let sampler = SamplingAnnotator::build(&table, 500, 2, &mut rng);
+        // Zero deadline: expired before the first call, so even a
+        // batch-capable primary must not be entered.
+        let mut ladder = ResilientAnnotator::new(Box::new(Annotator::new()))
+            .with_fallback(Box::new(sampler))
+            .with_deadline(Duration::ZERO);
+        ladder.begin_invocation();
+        let labels = ladder.annotate_batch(&table, &preds);
+        let stats = ladder.stats();
+        assert_eq!(stats.deadline_trips, preds.len(), "stats {stats:?}");
+        assert_eq!(stats.fallback + stats.skipped, preds.len());
+        assert_eq!(labels.len(), preds.len());
     }
 
     #[test]

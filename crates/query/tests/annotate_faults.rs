@@ -76,7 +76,7 @@ proptest! {
         let timeout = (timeout_code >= 500).then_some(timeout_code);
         let budget = (budget_code >= 1_000).then_some(budget_code);
         let with_fallback = fallback_code == 1;
-        let cfg = FaultConfig { failure_rate, timeout_rows: timeout, label_noise, seed };
+        let cfg = FaultConfig { failure_rate, timeout_rows: timeout, label_noise, seed, stall: None };
         let batch = preds(24, seed.wrapping_mul(31).wrapping_add(5));
         let (labels, stats) = run_ladder(cfg, budget, with_fallback, &batch);
 

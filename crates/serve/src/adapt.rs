@@ -13,7 +13,7 @@
 //! good generation.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -25,12 +25,39 @@ use warper_core::{
     derive_seed, seed_stream, ArrivedQuery, CommitHook, FeatureMap, Supervisor, SupervisorConfig,
     WarperController,
 };
+use warper_durable::DurableStore;
 use warper_query::{Annotator, RangePredicate};
 use warper_storage::drift::ChangeLog;
 use warper_storage::Table;
 
 use crate::queue::BatchQueue;
 use crate::snapshot::{ModelSnapshot, SnapshotCell};
+
+/// Durably log labeled arrivals before an invocation consumes them.
+/// Best-effort: a failed append keeps the label usable in memory — it is
+/// simply not crash-protected (and is counted in the store's stats).
+pub(crate) fn log_labeled_arrivals(store: &Mutex<DurableStore>, arrived: &[ArrivedQuery]) {
+    let mut s = store.lock().unwrap_or_else(PoisonError::into_inner);
+    for q in arrived {
+        if let Some(gt) = q.gt {
+            let _ = s.append_label(&q.features, gt, true);
+        }
+    }
+}
+
+/// Durably log the labels an annotation round produced.
+pub(crate) fn log_annotations(
+    store: &Mutex<DurableStore>,
+    feats: &[Vec<f64>],
+    labels: &[Option<f64>],
+) {
+    let mut s = store.lock().unwrap_or_else(PoisonError::into_inner);
+    for (f, l) in feats.iter().zip(labels) {
+        if let Some(gt) = l {
+            let _ = s.append_label(f, *gt, false);
+        }
+    }
+}
 
 /// Adaptation-loop knobs.
 #[derive(Debug, Clone, Copy)]
@@ -110,6 +137,21 @@ impl AdaptWorker {
         fmap: FeatureMap,
         cfg: AdaptConfig,
     ) -> Self {
+        Self::spawn_with_store(ctl, model, cell, table, fmap, cfg, None)
+    }
+
+    /// [`AdaptWorker::spawn`] with a durable store: annotation labels are
+    /// write-ahead logged as they are paid for, and every committed
+    /// invocation counts toward the store's checkpoint cadence.
+    pub fn spawn_with_store(
+        ctl: WarperController,
+        model: Box<dyn CardinalityEstimator>,
+        cell: Arc<SnapshotCell<ModelSnapshot>>,
+        table: Arc<RwLock<Table>>,
+        fmap: FeatureMap,
+        cfg: AdaptConfig,
+        store: Option<Arc<Mutex<DurableStore>>>,
+    ) -> Self {
         let inbox = Arc::new(BatchQueue::new(cfg.inbox_capacity.max(1)));
         let dropped = Arc::new(AtomicUsize::new(0));
         let worker_inbox = Arc::clone(&inbox);
@@ -126,6 +168,7 @@ impl AdaptWorker {
                     cfg,
                     worker_inbox,
                     worker_dropped,
+                    store,
                 )
             })
             .expect("spawn adaptation worker");
@@ -160,6 +203,7 @@ fn publish_hook(
     cell: Arc<SnapshotCell<ModelSnapshot>>,
     published: Arc<AtomicUsize>,
     failures: Arc<AtomicUsize>,
+    store: Option<Arc<Mutex<DurableStore>>>,
 ) -> CommitHook {
     Box::new(move |state, model| {
         let next_gen = cell.version() + 1;
@@ -171,6 +215,12 @@ fn publish_hook(
             Some(_) => published.fetch_add(1, Ordering::Relaxed),
             None => failures.fetch_add(1, Ordering::Relaxed),
         };
+        if let Some(store) = &store {
+            let mut s = store.lock().unwrap_or_else(PoisonError::into_inner);
+            // A failed checkpoint is retried at the next commit; the WAL
+            // keeps every acked label durable in the meantime.
+            let _ = s.note_commit(state, Some(model));
+        }
     })
 }
 
@@ -184,6 +234,7 @@ fn worker_main(
     cfg: AdaptConfig,
     inbox: Arc<BatchQueue<ArrivedQuery>>,
     dropped: Arc<AtomicUsize>,
+    store: Option<Arc<Mutex<DurableStore>>>,
 ) -> AdaptStats {
     let published = Arc::new(AtomicUsize::new(0));
     let publish_failures = Arc::new(AtomicUsize::new(0));
@@ -191,6 +242,7 @@ fn worker_main(
         Arc::clone(&cell),
         Arc::clone(&published),
         Arc::clone(&publish_failures),
+        store.clone(),
     ));
 
     let annotator = Annotator::new();
@@ -216,13 +268,22 @@ fn worker_main(
         };
         let mut annotate = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
             let preds: Vec<RangePredicate> = qs.iter().map(|f| fmap.defeaturize(f)).collect();
-            let t = table.read().unwrap_or_else(PoisonError::into_inner);
-            annotator
-                .count_batch(&t, &preds)
-                .into_iter()
-                .map(|c| Some(c as f64))
-                .collect()
+            let labels: Vec<Option<f64>> = {
+                let t = table.read().unwrap_or_else(PoisonError::into_inner);
+                annotator
+                    .count_batch(&t, &preds)
+                    .into_iter()
+                    .map(|c| Some(c as f64))
+                    .collect()
+            };
+            if let Some(store) = &store {
+                log_annotations(store, qs, &labels);
+            }
+            labels
         };
+        if let Some(store) = &store {
+            log_labeled_arrivals(store, &batch);
+        }
         let t0 = Instant::now();
         let report = sup.invoke(&mut ctl, model.as_mut(), &batch, &telemetry, &mut annotate);
         stats.adapt_secs += t0.elapsed().as_secs_f64();

@@ -23,7 +23,12 @@
 //! [`replay`] is the measurement harness over all of it: pre-generated
 //! query streams, mid-run drift events, per-client latency histograms, and
 //! an order-independent estimate checksum that makes replays comparable
-//! bit-for-bit (see its module docs for the determinism argument).
+//! bit-for-bit (see its module docs for the determinism argument). With
+//! [`replay::DurableReplay`] configured, the harness is also crash-safe:
+//! annotation labels are write-ahead logged, supervisor commits drive
+//! atomic checkpoints (via `warper-durable`), and a restarted replay over
+//! the same state directory resumes the controller, pool, and serving
+//! model with zero acknowledged-label loss.
 
 pub mod adapt;
 pub mod queue;
@@ -33,7 +38,10 @@ pub mod snapshot;
 
 pub use adapt::{AdaptConfig, AdaptStats, AdaptWorker};
 pub use queue::{BatchQueue, PushError};
-pub use replay::{run_replay, AdaptMode, DriftEvent, DriftKind, ReplayReport, ReplaySpec};
+pub use replay::{
+    run_replay, AdaptMode, DriftEvent, DriftKind, DurabilityReport, DurableReplay, ReplayReport,
+    ReplaySpec,
+};
 pub use service::{
     Estimate, EstimationService, ServeError, ServiceConfig, ServiceHandle, ServiceStats,
 };

@@ -26,7 +26,7 @@
 //! free-running adaptation (the latency-realistic mode).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
@@ -38,6 +38,7 @@ use warper_core::{
     derive_seed, prepare_single_table, seed_stream, ArrivedQuery, FeatureMap, Supervisor,
     SupervisorConfig, WarperConfig, WarperController, WarperError,
 };
+use warper_durable::{DurabilityConfig, DurableStore, RecoveryReport, Vfs};
 use warper_metrics::{gmq, LatencyHistogram, PAPER_THETA};
 use warper_query::{Annotator, RangePredicate};
 use warper_storage::drift::ChangeLog;
@@ -86,6 +87,24 @@ pub enum AdaptMode {
     },
 }
 
+/// Crash-safe persistence for a replay: where the state directory lives and
+/// how often supervisor commits checkpoint.
+///
+/// When set, the replay opens the directory before serving: a prior run's
+/// checkpoint + WAL resume the controller (and the serving model, when the
+/// snapshot carried one), every annotation label is write-ahead logged, and
+/// the supervisor's commit hook drives periodic checkpoints. The same
+/// directory handed to a later replay resumes with zero acknowledged-label
+/// loss.
+pub struct DurableReplay {
+    /// State directory (a [`warper_durable::StdVfs`] in deployments, a
+    /// [`warper_durable::MemVfs`] / [`warper_durable::FailpointVfs`] in
+    /// tests).
+    pub vfs: Arc<dyn Vfs>,
+    /// Checkpoint cadence and friends.
+    pub cfg: DurabilityConfig,
+}
+
 /// A full replay specification.
 pub struct ReplaySpec {
     /// CE model to serve.
@@ -112,6 +131,8 @@ pub struct ReplaySpec {
     pub pace: Option<ArrivalProcess>,
     /// Ground-truth spot checks per phase (0 disables).
     pub spot_checks: usize,
+    /// Crash-safe state directory. `None` runs purely in memory.
+    pub durable: Option<DurableReplay>,
 }
 
 impl Default for ReplaySpec {
@@ -129,8 +150,44 @@ impl Default for ReplaySpec {
             seed: 7,
             pace: None,
             spot_checks: 0,
+            durable: None,
         }
     }
+}
+
+/// What the durability layer did during one replay.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityReport {
+    /// Whether the state directory held a prior image the replay resumed.
+    pub resumed: bool,
+    /// Snapshot sequence recovery restored from (0 when not resumed).
+    pub resumed_from_seq: u64,
+    /// Corrupt snapshots skipped before a good one was found.
+    pub corrupt_snapshots: usize,
+    /// WAL records replayed into the pool on top of the snapshot.
+    pub wal_records_replayed: usize,
+    /// Whether recovery truncated a corrupt WAL tail.
+    pub wal_truncated: bool,
+    /// Wall-clock seconds recovery took (0 when not resumed).
+    pub recovery_secs: f64,
+    /// Pool size right after recovery.
+    pub restored_pool_len: usize,
+    /// Usable labels in the pool right after recovery.
+    pub restored_pool_labeled: usize,
+    /// Checkpoints published during this replay.
+    pub checkpoints: usize,
+    /// Checkpoint attempts that failed (retried at the next commit).
+    pub checkpoint_failures: usize,
+    /// Labels acknowledged into the WAL during this replay.
+    pub wal_appends: usize,
+    /// Label appends that failed (label kept in memory, not crash-safe).
+    pub wal_append_failures: usize,
+    /// Newest checkpoint sequence when the replay ended.
+    pub final_seq: u64,
+    /// Wall-clock seconds writing checkpoints.
+    pub checkpoint_secs: f64,
+    /// Wall-clock seconds appending to the WAL.
+    pub wal_secs: f64,
 }
 
 /// Everything a replay measured.
@@ -165,6 +222,8 @@ pub struct ReplayReport {
     pub service: ServiceStats,
     /// Adaptation stats (adaptation modes only).
     pub adapt: Option<AdaptStats>,
+    /// Durability layer activity (only with [`ReplaySpec::durable`]).
+    pub durability: Option<DurabilityReport>,
 }
 
 /// What one client thread collected.
@@ -204,6 +263,7 @@ struct SyncAdapter {
     canaries: CanarySet,
     stats: AdaptStats,
     published: Arc<AtomicU64>,
+    store: Option<Arc<Mutex<DurableStore>>>,
 }
 
 impl SyncAdapter {
@@ -224,15 +284,25 @@ impl SyncAdapter {
                 canary_max_change: self.canaries.max_relative_change(&t),
             }
         };
+        let store = self.store.clone();
         let mut annotate = |qs: &[Vec<f64>]| -> Vec<Option<f64>> {
             let preds: Vec<RangePredicate> = qs.iter().map(|f| fmap.defeaturize(f)).collect();
-            let t = table.read().unwrap_or_else(PoisonError::into_inner);
-            annotator
-                .count_batch(&t, &preds)
-                .into_iter()
-                .map(|c| Some(c as f64))
-                .collect()
+            let labels: Vec<Option<f64>> = {
+                let t = table.read().unwrap_or_else(PoisonError::into_inner);
+                annotator
+                    .count_batch(&t, &preds)
+                    .into_iter()
+                    .map(|c| Some(c as f64))
+                    .collect()
+            };
+            if let Some(store) = &store {
+                crate::adapt::log_annotations(store, qs, &labels);
+            }
+            labels
         };
+        if let Some(store) = &self.store {
+            crate::adapt::log_labeled_arrivals(store, arrived);
+        }
         let t0 = Instant::now();
         let report = self.sup.invoke(
             &mut self.ctl,
@@ -315,11 +385,37 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
     }
     let feats: Vec<Vec<f64>> = preds.iter().map(|p| fmap.featurize(p)).collect();
 
+    // ---- Durable state directory: recover a prior run's image, if any.
+    let durable_err =
+        |e: warper_durable::DurabilityError| WarperError::InvalidState(format!("durable: {e}"));
+    let mut recovery: Option<RecoveryReport> = None;
+    let mut recovered_state = None;
+    let mut recovered_model = None;
+    let store: Option<Arc<Mutex<DurableStore>>> = match &spec.durable {
+        None => None,
+        Some(d) => {
+            let (s, rec) = DurableStore::open(Arc::clone(&d.vfs), d.cfg).map_err(durable_err)?;
+            if let Some(rec) = rec {
+                recovery = Some(rec.report);
+                recovered_state = Some(rec.state);
+                recovered_model = rec.model;
+            }
+            Some(Arc::new(Mutex::new(s)))
+        }
+    };
+
     // ---- Serving state: snapshot for the workers, original for adaptation.
-    let serving = prepared.model.snapshot().ok_or_else(|| {
+    // A recovered model (same feature space) resumes serving; otherwise the
+    // freshly trained one takes over and the recovered controller state
+    // still seeds adaptation.
+    let adapt_model: Box<dyn CardinalityEstimator> = match recovered_model {
+        Some(m) if m.feature_dim() == fmap.dim() => m,
+        _ => prepared.model,
+    };
+    let serving = adapt_model.snapshot().ok_or_else(|| {
         WarperError::InvalidState(format!(
             "{} cannot snapshot; serving requires an immutable copy",
-            prepared.model.name()
+            adapt_model.name()
         ))
     })?;
     let cell = Arc::new(SnapshotCell::new(ModelSnapshot::initial(serving)));
@@ -332,6 +428,33 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
         Sync(Box<SyncAdapter>),
     }
 
+    // Adaptation-side controller: resumed from the recovered image when one
+    // exists (its pool already contains every replayed label), else fresh.
+    let mut make_ctl =
+        || -> Result<WarperController, WarperError> {
+            match recovered_state.take() {
+                Some(state) => Ok(WarperController::from_state(state)?
+                    .with_canonicalizer(fmap.make_canonicalizer())),
+                None => Ok(build_controller(
+                    &fmap,
+                    &prepared.training_set,
+                    prepared.baseline_gmq,
+                    spec.warper,
+                    spec.seed,
+                )),
+            }
+        };
+    // A fresh directory gets an immediate base checkpoint so labels logged
+    // before the first commit have a snapshot to replay onto.
+    let initial_checkpoint = |store: &Arc<Mutex<DurableStore>>,
+                              ctl: &WarperController,
+                              model: &dyn CardinalityEstimator| {
+        let mut s = store.lock().unwrap_or_else(PoisonError::into_inner);
+        if s.seq() == 0 {
+            let _ = s.checkpoint(&ctl.to_state(), Some(model));
+        }
+    };
+
     let mut adapter = match &spec.adapt {
         AdaptMode::None => Adapter::None,
         AdaptMode::Background(cfg) => {
@@ -339,33 +462,29 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
                 seed: spec.seed,
                 ..*cfg
             };
-            let ctl = build_controller(
-                &fmap,
-                &prepared.training_set,
-                prepared.baseline_gmq,
-                spec.warper,
-                spec.seed,
-            );
-            Adapter::Background(AdaptWorker::spawn(
+            let ctl = make_ctl()?;
+            if let Some(store) = &store {
+                initial_checkpoint(store, &ctl, adapt_model.as_ref());
+            }
+            Adapter::Background(AdaptWorker::spawn_with_store(
                 ctl,
-                prepared.model,
+                adapt_model,
                 Arc::clone(&cell),
                 Arc::clone(&shared),
                 fmap.clone(),
                 cfg,
+                store.clone(),
             ))
         }
         AdaptMode::Synchronous { supervisor, .. } => {
-            let ctl = build_controller(
-                &fmap,
-                &prepared.training_set,
-                prepared.baseline_gmq,
-                spec.warper,
-                spec.seed,
-            );
+            let ctl = make_ctl()?;
+            if let Some(store) = &store {
+                initial_checkpoint(store, &ctl, adapt_model.as_ref());
+            }
             let published = Arc::new(AtomicU64::new(0));
             let hook_cell = Arc::clone(&cell);
             let hook_published = Arc::clone(&published);
+            let hook_store = store.clone();
             let sup =
                 Supervisor::new(*supervisor).with_commit_hook(Box::new(move |state, model| {
                     let next = hook_cell.version() + 1;
@@ -374,6 +493,10 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
                             hook_cell.publish(snap);
                             hook_published.fetch_add(1, Ordering::Relaxed);
                         }
+                    }
+                    if let Some(store) = &hook_store {
+                        let mut s = store.lock().unwrap_or_else(PoisonError::into_inner);
+                        let _ = s.note_commit(state, Some(model));
                     }
                 }));
             let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, seed_stream::ADAPT));
@@ -386,12 +509,13 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
             };
             Adapter::Sync(Box::new(SyncAdapter {
                 ctl,
-                model: prepared.model,
+                model: adapt_model,
                 sup,
                 changelog,
                 canaries,
                 stats: AdaptStats::default(),
                 published,
+                store: store.clone(),
             }))
         }
     };
@@ -493,6 +617,33 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
         Adapter::Sync(sync) => Some(sync.into_stats()),
     };
 
+    // ---- Durability summary (the worker has joined; the store is idle).
+    let durability = store.map(|store| {
+        let s = store.lock().unwrap_or_else(PoisonError::into_inner);
+        let stats = s.stats();
+        let mut d = DurabilityReport {
+            resumed: recovery.is_some(),
+            final_seq: s.seq(),
+            checkpoints: stats.checkpoints,
+            checkpoint_failures: stats.checkpoint_failures,
+            wal_appends: stats.wal_appends,
+            wal_append_failures: stats.wal_append_failures,
+            checkpoint_secs: stats.checkpoint_secs,
+            wal_secs: stats.wal_secs,
+            ..DurabilityReport::default()
+        };
+        if let Some(rec) = recovery {
+            d.resumed_from_seq = rec.snapshot_seq;
+            d.corrupt_snapshots = rec.corrupt_snapshots;
+            d.wal_records_replayed = rec.wal_records_replayed;
+            d.wal_truncated = rec.wal_truncated;
+            d.recovery_secs = rec.recovery_secs;
+            d.restored_pool_len = rec.pool_len;
+            d.restored_pool_labeled = rec.pool_labeled;
+        }
+        d
+    });
+
     // ---- Merge client logs.
     let mut latency = LatencyHistogram::new();
     let mut results: Vec<(usize, u64)> = Vec::with_capacity(n);
@@ -554,6 +705,7 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
         spot_gmq_post,
         service: service_stats,
         adapt: adapt_stats,
+        durability,
     })
 }
 

@@ -52,10 +52,20 @@ pub struct WarperConfig {
     /// internal-module training for the invocation.
     #[serde(default = "default_gan_retries")]
     pub gan_retries: usize,
+    /// Hard cap on pool size; [`crate::pool::QueryPool::evict_to_cap`]
+    /// enforces it after every invocation and during durable WAL replay.
+    /// The default is effectively unbounded for this reproduction's scales
+    /// while keeping a runaway replay from growing without limit.
+    #[serde(default = "default_pool_cap")]
+    pub pool_cap: usize,
 }
 
 fn default_gan_retries() -> usize {
     2
+}
+
+fn default_pool_cap() -> usize {
+    1_000_000
 }
 
 impl Default for WarperConfig {
@@ -80,6 +90,7 @@ impl Default for WarperConfig {
             picker_knn: 5,
             pretrain_epochs: 20,
             gan_retries: default_gan_retries(),
+            pool_cap: default_pool_cap(),
         }
     }
 }

@@ -508,6 +508,7 @@ impl WarperController {
                     trained_on = fresh.len();
                 }
             }
+            self.pool.evict_to_cap(self.cfg.pool_cap);
             return InvocationReport {
                 mode,
                 delta_m,
@@ -797,6 +798,10 @@ impl WarperController {
             }
         }
         self.prev_eval_gmq = eval_gmq;
+
+        // Bounded memory: enforce the pool cap only after every index into
+        // the pool above is dead — eviction reorders record indices.
+        self.pool.evict_to_cap(self.cfg.pool_cap);
 
         InvocationReport {
             mode,

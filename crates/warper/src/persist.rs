@@ -97,6 +97,9 @@ impl WarperState {
         if self.gamma == 0 {
             return invalid("gamma must be positive".into());
         }
+        if self.cfg.pool_cap == 0 {
+            return invalid("cfg.pool_cap must be positive".into());
+        }
         if !self.cfg.pi.is_finite() || self.cfg.pi <= 0.0 {
             return invalid(format!("configured pi {} is not usable", self.cfg.pi));
         }

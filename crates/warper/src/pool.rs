@@ -205,6 +205,49 @@ impl QueryPool {
             }
         }
     }
+
+    /// Eviction priority class; lower classes are evicted first. Synthetic
+    /// records are cheapest to lose (the generator can remake them), then
+    /// unlabeled and stale-labeled records (little or no annotation cost
+    /// sunk), and fresh ground-truth labels — the pool's expensive asset —
+    /// go last. Within a class, older records (lower index) are dropped
+    /// before newer ones.
+    fn evict_class(r: &PoolRecord) -> u8 {
+        match (r.source, r.gt.is_some(), r.gt_stale) {
+            (Source::Gen, false, _) => 0,
+            (Source::Gen, true, _) => 1,
+            (Source::New, false, _) => 2,
+            (_, true, true) => 3,
+            (Source::Train, false, _) => 4,
+            (Source::New, true, false) => 5,
+            (Source::Train, true, false) => 6,
+        }
+    }
+
+    /// Evicts down to `cap` records, cheapest-to-rebuild first (see
+    /// [`QueryPool::evict_class`]), oldest-first within a class. Returns the
+    /// number of records dropped. This is the single bounded-memory policy:
+    /// the controller applies it after every invocation and durable recovery
+    /// applies it while replaying a WAL tail, so both paths agree.
+    pub fn evict_to_cap(&mut self, cap: usize) -> usize {
+        if self.records.len() <= cap {
+            return 0;
+        }
+        let excess = self.records.len() - cap;
+        let mut order: Vec<usize> = (0..self.records.len()).collect();
+        order.sort_by_key(|&i| (Self::evict_class(&self.records[i]), i));
+        let mut drop = vec![false; self.records.len()];
+        for &i in order.iter().take(excess) {
+            drop[i] = true;
+        }
+        let mut idx = 0;
+        self.records.retain(|_| {
+            let d = drop[idx];
+            idx += 1;
+            !d
+        });
+        excess
+    }
 }
 
 #[cfg(test)]

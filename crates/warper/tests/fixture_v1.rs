@@ -1,0 +1,94 @@
+//! Golden-fixture compatibility test for version-1 snapshots.
+//!
+//! `tests/fixtures/snapshot_v1.json` is a committed snapshot in the
+//! pre-versioning (v1) format: no `version` field, no `runtime` section, and
+//! a `cfg` without the later `gan_retries`/`pool_cap` knobs. Unlike the unit
+//! tests that synthesize legacy JSON on the fly, this file pins the exact
+//! bytes an old deployment would hand a new binary — if a schema change
+//! breaks v1 loading, this test fails even when the synthetic tests happen
+//! to keep passing.
+
+use warper_core::{WarperConfig, WarperController, WarperState, SNAPSHOT_VERSION};
+
+const FIXTURE: &str = include_str!("fixtures/snapshot_v1.json");
+
+#[test]
+fn golden_v1_snapshot_still_loads() {
+    // The committed fixture must genuinely be v1-shaped.
+    for absent in [
+        "\"version\"",
+        "\"runtime\"",
+        "\"gan_retries\"",
+        "\"pool_cap\"",
+    ] {
+        assert!(
+            !FIXTURE.contains(absent),
+            "fixture is not v1: contains {absent}"
+        );
+    }
+
+    let state: WarperState = serde_json::from_str(FIXTURE).expect("fixture parses");
+    assert_eq!(state.version, 1, "absent version field defaults to 1");
+    assert!(state.runtime.is_none(), "v1 snapshots carry no runtime");
+    // Later config knobs fall back to their defaults.
+    let defaults = WarperConfig::default();
+    assert_eq!(state.cfg.gan_retries, defaults.gan_retries);
+    assert_eq!(state.cfg.pool_cap, defaults.pool_cap);
+
+    state.validate().expect("fixture passes validation");
+    let ctl = WarperController::from_state(state).expect("v1 snapshot loads");
+    assert!(!ctl.pool().is_empty());
+    assert!(ctl.gamma() > 0);
+}
+
+/// Builds the v1 fixture bytes from the current format by stripping the
+/// fields v1 predates. Shared by the regeneration helper below.
+fn render_v1_fixture() -> String {
+    let cfg = WarperConfig {
+        embed_dim: 6,
+        hidden: 24,
+        n_i: 8,
+        pretrain_epochs: 3,
+        ..Default::default()
+    };
+    let training: Vec<(Vec<f64>, f64)> = (0..50)
+        .map(|i| (vec![0.2 + 0.001 * (i % 7) as f64; 4], 300.0))
+        .collect();
+    let ctl = WarperController::new(4, &training, 1.5, cfg, 42);
+    let mut state = ctl.to_state();
+    state.runtime = None; // v1 predates the runtime section
+    let json = serde_json::to_string(&state).expect("state serializes");
+
+    // Drop a `"key":value` pair together with whichever comma joins it to
+    // its neighbours (trailing for leading fields, leading for final ones).
+    fn strip_field(json: &str, key: &str, value: &str) -> String {
+        let trailing = format!("\"{key}\":{value},");
+        if json.contains(&trailing) {
+            return json.replacen(&trailing, "", 1);
+        }
+        let leading = format!(",\"{key}\":{value}");
+        assert!(json.contains(&leading), "expected serialized field {key}");
+        json.replacen(&leading, "", 1)
+    }
+
+    let defaults = WarperConfig::default();
+    let mut v1 = json;
+    v1 = strip_field(&v1, "version", &SNAPSHOT_VERSION.to_string());
+    v1 = strip_field(&v1, "gan_retries", &defaults.gan_retries.to_string());
+    v1 = strip_field(&v1, "pool_cap", &defaults.pool_cap.to_string());
+    v1 = strip_field(&v1, "runtime", "null");
+    v1
+}
+
+/// Regenerates the committed fixture. Run manually after an intentional
+/// format change that still supports v1:
+/// `cargo test -p warper fixture_v1 -- --ignored`
+#[test]
+#[ignore]
+fn regenerate_golden_v1_fixture() {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/snapshot_v1.json"
+    );
+    std::fs::write(path, render_v1_fixture()).expect("write fixture");
+}

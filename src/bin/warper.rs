@@ -6,7 +6,8 @@
 //! warper gamma   --dataset prsa [--rows N] [--seed S]
 //! warper gaps    [--orders N] [--seed S]
 //! warper serve   --dataset prsa --mix w1 --queries 1000 --clients 4 \
-//!                [--drift-at N] [--new w4] [--sync] [--smoke] [--seed S]
+//!                [--drift-at N] [--new w4] [--sync] [--smoke] [--seed S] \
+//!                [--state-dir DIR] [--checkpoint-every N]
 //! warper loadgen --dataset prsa --queries 2000 [--rate QPS] [--seed S]
 //! warper datasets
 //! ```
@@ -55,6 +56,7 @@ const USAGE: &str = "usage:
   warper serve   [--dataset prsa|poker|higgs] [--mix w1] [--queries N]
                  [--clients N] [--drift-at N] [--new w4 | --data-drift]
                  [--sync] [--invoke-every N] [--smoke] [--rows N] [--seed S]
+                 [--state-dir DIR] [--checkpoint-every N]
   warper loadgen [--dataset prsa|poker|higgs] [--mix w1] [--queries N]
                  [--clients N] [--rate QPS] [--batch N] [--rows N] [--seed S]
   warper datasets";
@@ -330,12 +332,45 @@ fn print_replay(rep: &warper_repro::serve::ReplayReport) {
             a.adapt_secs
         );
     }
+    if let Some(d) = &rep.durability {
+        if d.resumed {
+            println!(
+                "durability: resumed from checkpoint {} (+{} WAL labels{}) in {:.3}s, \
+                 pool={} restored",
+                d.resumed_from_seq,
+                d.wal_records_replayed,
+                if d.wal_truncated {
+                    ", corrupt tail truncated"
+                } else {
+                    ""
+                },
+                d.recovery_secs,
+                d.restored_pool_len,
+            );
+        } else {
+            println!("durability: fresh state directory");
+        }
+        println!(
+            "durability: checkpoints={} (failures={}, {:.3}s) wal_appends={} \
+             (failures={}, {:.3}s) final_seq={}",
+            d.checkpoints,
+            d.checkpoint_failures,
+            d.checkpoint_secs,
+            d.wal_appends,
+            d.wal_append_failures,
+            d.wal_secs,
+            d.final_seq,
+        );
+    }
     println!("estimates checksum: {:016x}", rep.estimates_checksum);
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
+    use std::sync::Arc;
+
+    use warper_repro::durable::{DurabilityConfig, StdVfs};
     use warper_repro::serve::{
-        run_replay, AdaptConfig, AdaptMode, DriftEvent, DriftKind, ReplaySpec,
+        run_replay, AdaptConfig, AdaptMode, DriftEvent, DriftKind, DurableReplay, ReplaySpec,
     };
     use warper_repro::warper::supervisor::SupervisorConfig;
 
@@ -393,6 +428,23 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         n_p: 60,
         ..Default::default()
     };
+    let Some(checkpoint_every) = num(flags, "checkpoint-every", 4usize) else {
+        return ExitCode::FAILURE;
+    };
+    let durable = match flags.get("state-dir") {
+        None => None,
+        Some(dir) => match StdVfs::open(dir) {
+            Ok(vfs) => Some(DurableReplay {
+                vfs: Arc::new(vfs),
+                cfg: DurabilityConfig { checkpoint_every },
+            }),
+            Err(e) => {
+                eprintln!("cannot open state dir {dir:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
     let spec = ReplaySpec {
         mix,
         n_train: 400,
@@ -403,6 +455,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         warper: warper_cfg,
         seed,
         spot_checks: 25,
+        durable,
         ..Default::default()
     };
 

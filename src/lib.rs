@@ -45,6 +45,7 @@
 
 pub use warper_ce as ce;
 pub use warper_core as warper;
+pub use warper_durable as durable;
 pub use warper_linalg as linalg;
 pub use warper_metrics as metrics;
 pub use warper_nn as nn;
@@ -56,7 +57,9 @@ pub use warper_workload as workload;
 
 /// Convenient glob imports for examples and downstream users.
 pub mod prelude {
-    pub use crate::{ce, linalg, metrics, nn, qo, query, serve, storage, warper, workload};
+    pub use crate::{
+        ce, durable, linalg, metrics, nn, qo, query, serve, storage, warper, workload,
+    };
     pub use warper_ce::{CardinalityEstimator, LabeledExample, UpdateKind};
     pub use warper_core::runner::{
         run_single_table, DataDriftKind, DriftSetup, ModelKind, RunResult, RunnerConfig,
