@@ -47,6 +47,18 @@ cargo test -q --offline --workspace --features faults
 echo "== crash-recovery proptests (warper-durable, faults feature)"
 cargo test -q --offline -p warper-durable --features faults --test crash_recovery
 
+# Portable-path kernel equivalence: the workspace builds with
+# target-cpu=native (.cargo/config.toml), so the SIMD tiers are compiled
+# in everywhere above. Re-run the kernel-equivalence and quantization-error
+# proptests with RUSTFLAGS cleared — no target-cpu=native, so the
+# runtime-dispatch fallback is what autovectorization-free builds ship —
+# in a separate target dir to keep caches apart.
+echo "== portable-path proptests (no target-cpu=native)"
+RUSTFLAGS="" CARGO_TARGET_DIR=target/portable \
+    cargo test -q --offline -p warper-linalg --test gemm32_proptests
+RUSTFLAGS="" CARGO_TARGET_DIR=target/portable \
+    cargo test -q --offline -p warper-ce --test quant_proptests
+
 # Serving smoke: 1k queries at a fixed seed with mid-run drift and
 # background adaptation. --smoke fails the run on any served error, any
 # shed at idle load, a p99 above the generous 250 ms bound, or an
@@ -55,8 +67,9 @@ echo "== serve smoke (1k queries, drift + background adaptation)"
 cargo run -q --release --offline --bin warper -- serve \
     --queries 1000 --seed 7 --drift-at 500 --smoke
 
-# Serving benchmark: asserts the >=3x micro-batching speedup and the
-# no-stall drift/adaptation run, and publishes BENCH_serve.json.
+# Serving benchmark: asserts the >=3x micro-batching speedup, the >=4x
+# f32-vs-f64 quantized-serving speedup, and the no-stall drift/adaptation
+# run, and publishes BENCH_serve.json.
 echo "== cargo bench --bench serve (publishes BENCH_serve.json)"
 cargo bench -q --offline -p warper-bench --bench serve
 

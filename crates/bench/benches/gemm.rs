@@ -1,6 +1,8 @@
 //! GEMM kernel benchmark: seed kernel vs blocked serial vs blocked+parallel,
 //! plus end-to-end `Mlp::train_epoch` (workspace path) vs the allocating
-//! cached path it replaced.
+//! cached path it replaced, plus the f32/int8 inference microkernels
+//! (`warper_linalg::gemm32`) against the f64 blocked kernel on the serving
+//! layer shape.
 //!
 //! Run with `cargo bench --bench gemm` (release profile). Writes the
 //! measured numbers to `BENCH_gemm.json` at the workspace root in addition
@@ -194,11 +196,95 @@ fn bench_train_epoch(out: &mut Vec<(String, serde_json::Value)>) {
     ));
 }
 
+fn bench_gemm32(out: &mut Vec<(String, serde_json::Value)>) {
+    use warper_linalg::{
+        active_backend_name, linear_forward_into, simd_available, Backend, Epilogue32, MatrixF32,
+        PackedWeights,
+    };
+
+    // The serving shape: one batch-64 forward through the wide hidden
+    // layer of the precision-serving benchmark model (64×2048 · 2048×1024).
+    const M: usize = 64;
+    const K: usize = 2048;
+    const N: usize = 1024;
+    let mut rng = StdRng::seed_from_u64(11);
+    let x64 = random_matrix(M, K, &mut rng);
+    let w = random_matrix(N, K, &mut rng); // row-major out×in, as nn stores it
+    let wt = w.transpose();
+    let bias: Vec<f32> = (0..N).map(|j| (j % 7) as f32 * 0.05).collect();
+
+    // f64 baseline: the blocked kernel every f64 `estimate_many` runs on.
+    let mut f64_buf = Matrix::zeros(0, 0);
+    let f64_s = time_median(9, || {
+        gemm::matmul_into_threaded(&mut f64_buf, &x64, &wt, 1);
+        black_box(&f64_buf);
+    });
+
+    let x32 = MatrixF32::from_f64(&x64);
+    let packed_f32 = PackedWeights::pack_f32(&w);
+    let packed_i8 = PackedWeights::pack_i8(&w);
+    let mut out32 = MatrixF32::zeros(M, N);
+
+    let flops = 2.0 * (M * K * N) as f64;
+    let gflops = |s: f64| flops / s / 1e9;
+    println!(
+        "gemm32 {M}x{K}x{N} (simd backend: {}): f64 blocked {:.2} ms ({:.1} Gflop/s)",
+        active_backend_name(),
+        f64_s * 1e3,
+        gflops(f64_s)
+    );
+
+    let mut section = serde_json::Map::new();
+    section.insert("shape".into(), serde_json::json!([M, K, N]));
+    section.insert(
+        "simd_backend".into(),
+        serde_json::json!(active_backend_name()),
+    );
+    section.insert("f64_blocked_ms".into(), serde_json::json!(f64_s * 1e3));
+    section.insert(
+        "f64_blocked_gflops".into(),
+        serde_json::json!(gflops(f64_s)),
+    );
+
+    let variants: [(&str, &PackedWeights, Backend); 4] = [
+        ("f32_simd", &packed_f32, Backend::Simd),
+        ("f32_portable", &packed_f32, Backend::Portable),
+        ("int8_simd", &packed_i8, Backend::Simd),
+        ("int8_portable", &packed_i8, Backend::Portable),
+    ];
+    for (label, packed, backend) in variants {
+        if matches!(backend, Backend::Simd) && !simd_available() {
+            continue;
+        }
+        let s = time_median(9, || {
+            linear_forward_into(&mut out32, &x32, packed, &bias, Epilogue32::Relu, backend);
+            black_box(&out32);
+        });
+        println!(
+            "  {label:<14} {:.2} ms ({:.1} Gflop/s, {:.2}x vs f64 blocked)",
+            s * 1e3,
+            gflops(s),
+            f64_s / s
+        );
+        section.insert(format!("{label}_ms"), serde_json::json!(s * 1e3));
+        section.insert(format!("{label}_gflops"), serde_json::json!(gflops(s)));
+        section.insert(
+            format!("{label}_speedup_vs_f64"),
+            serde_json::json!(f64_s / s),
+        );
+    }
+    out.push((
+        "gemm32_inference".into(),
+        serde_json::Value::Object(section),
+    ));
+}
+
 fn main() {
     let mut sections: Vec<(String, serde_json::Value)> = Vec::new();
     bench_gemm_512(&mut sections);
     bench_fused_transpose(&mut sections);
     bench_train_epoch(&mut sections);
+    bench_gemm32(&mut sections);
 
     let mut root = serde_json::Map::new();
     root.insert(

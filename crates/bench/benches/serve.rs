@@ -1,18 +1,24 @@
-//! Serving-layer benchmark: micro-batched estimation throughput and
-//! hot-swap behavior under drift with background adaptation.
+//! Serving-layer benchmark: micro-batched estimation throughput, quantized
+//! serving precision, and hot-swap behavior under drift with background
+//! adaptation.
 //!
-//! Two claims are measured (and asserted):
+//! Three claims are measured (and asserted):
 //!
 //! 1. **Micro-batching pays.** The same closed-loop replay served with
 //!    `max_batch = 64` must push ≥ 3× the throughput of one-at-a-time
 //!    service (`max_batch = 1`, no linger): batching collapses per-request
 //!    queue/wake overhead and turns per-query matrix-vector products into
-//!    one GEMM per layer.
-//! 2. **Adaptation never stalls serving.** A replay with a mid-run workload
-//!    drift and a free-running background adaptation worker must serve with
-//!    zero errors, publish at least one hot-swapped generation, and keep
-//!    p99 latency *below the duration of a single retraining step* — the
-//!    direct evidence that no request ever waited behind retraining.
+//!    one GEMM per layer. Worker-side `inference_nanos` splits each
+//!    batch's cost into GEMM time vs queue/wake time.
+//! 2. **Quantized serving pays ≥ 4×.** The same model, queries, and
+//!    harness served at f32 (SIMD microkernels) must push ≥ 4× the qps of
+//!    the f64 path; int8 is reported alongside.
+//! 3. **Adaptation never stalls serving.** A replay with a mid-run
+//!    workload drift and a free-running background adaptation worker must
+//!    serve with zero errors, publish at least one hot-swapped generation,
+//!    and keep p99 latency *below the duration of a single retraining
+//!    step* — the direct evidence that no request ever waited behind
+//!    retraining.
 //!
 //! Run with `cargo bench --bench serve` (release profile). Writes
 //! `BENCH_serve.json` at the workspace root in addition to printing.
@@ -23,12 +29,12 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use warper_ce::lm::{LmMlp, LmMlpParams};
-use warper_ce::CardinalityEstimator;
+use warper_ce::{CardinalityEstimator, Precision};
 use warper_core::WarperConfig;
 use warper_metrics::LatencyHistogram;
 use warper_serve::{
     run_replay, AdaptConfig, AdaptMode, DriftEvent, DriftKind, EstimationService, ModelSnapshot,
-    ReplayReport, ReplaySpec, ServiceConfig, SnapshotCell,
+    ReplayReport, ReplaySpec, ServiceConfig, ServiceStats, SnapshotCell,
 };
 use warper_storage::{generate, DatasetKind};
 
@@ -54,7 +60,7 @@ fn service_throughput(
     cfg: ServiceConfig,
     clients: usize,
     feats: &[Vec<f64>],
-) -> (f64, LatencyHistogram) {
+) -> (f64, LatencyHistogram, ServiceStats) {
     let cell = Arc::new(SnapshotCell::new(ModelSnapshot::initial(
         model.snapshot().expect("LmMlp snapshots"),
     )));
@@ -83,8 +89,22 @@ fn service_throughput(
         }
     });
     let qps = feats.len() as f64 / t0.elapsed().as_secs_f64();
-    service.shutdown();
-    (qps, latency)
+    let stats = service.shutdown();
+    (qps, latency, stats)
+}
+
+/// GEMM-vs-queue breakdown of a batching policy: per-batch model time
+/// (worker-measured) and the queue/wake remainder of the mean request
+/// latency.
+fn breakdown_json(stats: &ServiceStats, latency: &LatencyHistogram) -> serde_json::Value {
+    let gemm_per_req_us = stats.mean_inference_micros_per_request();
+    let queue_per_req_us = (latency.mean() / 1e3 - gemm_per_req_us).max(0.0);
+    serde_json::json!({
+        "mean_batch": stats.mean_batch(),
+        "gemm_us_per_batch": stats.mean_inference_micros_per_batch(),
+        "gemm_us_per_request": gemm_per_req_us,
+        "queue_us_per_request": queue_per_req_us,
+    })
 }
 
 fn main() {
@@ -118,7 +138,7 @@ fn main() {
         .map(|_| (0..DIM).map(|_| rng.random_f64()).collect())
         .collect();
 
-    let (batch1_qps, batch1_lat) = service_throughput(
+    let (batch1_qps, batch1_lat, batch1_stats) = service_throughput(
         &model,
         ServiceConfig {
             workers: 2,
@@ -129,7 +149,7 @@ fn main() {
         CLIENTS,
         &feats,
     );
-    let (batch64_qps, batch64_lat) = service_throughput(
+    let (batch64_qps, batch64_lat, batch64_stats) = service_throughput(
         &model,
         ServiceConfig {
             workers: 2,
@@ -145,6 +165,15 @@ fn main() {
     println!(
         "micro-batching: {batch1_qps:.0} qps (batch 1) -> {batch64_qps:.0} qps (batch 64) \
          = {speedup:.1}x"
+    );
+    println!(
+        "  batch 1:  gemm {:.1} us/batch, queue {:.1} us/req | batch 64: gemm {:.1} us/batch \
+         ({:.2} us/req), queue {:.1} us/req",
+        batch1_stats.mean_inference_micros_per_batch(),
+        (batch1_lat.mean() / 1e3 - batch1_stats.mean_inference_micros_per_request()).max(0.0),
+        batch64_stats.mean_inference_micros_per_batch(),
+        batch64_stats.mean_inference_micros_per_request(),
+        (batch64_lat.mean() / 1e3 - batch64_stats.mean_inference_micros_per_request()).max(0.0),
     );
     assert!(
         speedup >= 3.0,
@@ -163,11 +192,89 @@ fn main() {
             "speedup": speedup,
             "batch1_latency": hist_json(&batch1_lat),
             "batch64_latency": hist_json(&batch64_lat),
+            "batch1_breakdown": breakdown_json(&batch1_stats, &batch1_lat),
+            "batch64_breakdown": breakdown_json(&batch64_stats, &batch64_lat),
         }),
     );
 
     // -----------------------------------------------------------------
-    // 2. Drift + background adaptation: hot swap without stalling.
+    // 2. Serving precision: f64 vs f32 (SIMD microkernels) vs int8.
+    // -----------------------------------------------------------------
+    // Same harness, same queries, one worker; only the serving copy of the
+    // model differs. The f64 path runs the blocked f64 GEMM; f32/int8 run
+    // the packed-panel `gemm32` microkernels behind `QuantizedModel`. The
+    // layer shape is serving-scale so the forward pass, not queue
+    // overhead, dominates.
+    let big = LmMlp::new(
+        DIM,
+        LmMlpParams {
+            hidden: [2048, 1024],
+            ..Default::default()
+        },
+        17,
+    );
+    let pfeats = &feats[..12_000];
+    let pcfg = || ServiceConfig {
+        workers: 1,
+        max_batch: 64,
+        batch_linger: Duration::from_micros(200),
+        queue_capacity: 1024,
+    };
+    const P_CLIENTS: usize = 64;
+
+    let (f64_qps, f64_lat, f64_stats) = service_throughput(&big, pcfg(), P_CLIENTS, pfeats);
+    let quant = |p| {
+        Box::new(warper_ce::quantize_for_serving(&big, p).expect("LmMlp quantizes"))
+            as Box<dyn CardinalityEstimator>
+    };
+    let (f32_qps, f32_lat, f32_stats) =
+        service_throughput(quant(Precision::F32).as_ref(), pcfg(), P_CLIENTS, pfeats);
+    let (i8_qps, i8_lat, i8_stats) =
+        service_throughput(quant(Precision::Int8).as_ref(), pcfg(), P_CLIENTS, pfeats);
+
+    let f32_speedup = f32_qps / f64_qps;
+    let i8_speedup = i8_qps / f64_qps;
+    println!(
+        "precision (batch 64, kernel {}): f64 {f64_qps:.0} qps | f32 {f32_qps:.0} qps \
+         ({f32_speedup:.1}x) | int8 {i8_qps:.0} qps ({i8_speedup:.1}x)",
+        warper_linalg::active_backend_name(),
+    );
+    println!(
+        "  gemm us/batch: f64 {:.0} | f32 {:.0} | int8 {:.0}",
+        f64_stats.mean_inference_micros_per_batch(),
+        f32_stats.mean_inference_micros_per_batch(),
+        i8_stats.mean_inference_micros_per_batch(),
+    );
+    assert!(
+        f32_speedup >= 4.0,
+        "f32 serving speedup {f32_speedup:.2}x below the 4x bar \
+         ({f64_qps:.0} -> {f32_qps:.0} qps)"
+    );
+    root.insert(
+        "precision_serving".into(),
+        serde_json::json!({
+            "queries": pfeats.len(),
+            "clients": P_CLIENTS,
+            "workers": 1,
+            "max_batch": 64,
+            "model": "lm-mlp 32->2048->1024->1",
+            "simd_backend": warper_linalg::active_backend_name(),
+            "f64_qps": f64_qps,
+            "f32_qps": f32_qps,
+            "int8_qps": i8_qps,
+            "f32_speedup_vs_f64": f32_speedup,
+            "int8_speedup_vs_f64": i8_speedup,
+            "f64_latency": hist_json(&f64_lat),
+            "f32_latency": hist_json(&f32_lat),
+            "int8_latency": hist_json(&i8_lat),
+            "f64_breakdown": breakdown_json(&f64_stats, &f64_lat),
+            "f32_breakdown": breakdown_json(&f32_stats, &f32_lat),
+            "int8_breakdown": breakdown_json(&i8_stats, &i8_lat),
+        }),
+    );
+
+    // -----------------------------------------------------------------
+    // 3. Drift + background adaptation: hot swap without stalling.
     // -----------------------------------------------------------------
     let spec = ReplaySpec {
         n_train: 400,

@@ -24,8 +24,10 @@ pub mod histogram;
 pub mod lm;
 pub mod mscn;
 pub mod persist;
+pub mod quant;
 
 pub use persist::{PersistError, Persistable};
+pub use quant::{quantize_for_serving, Precision, QuantizedModel};
 
 /// A labeled training example: the model-specific feature vector of a query
 /// and its ground-truth cardinality.

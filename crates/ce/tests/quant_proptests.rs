@@ -1,0 +1,133 @@
+//! Property-based bounds on quantized estimate error vs the f64 reference.
+//!
+//! Acceptance contract (ISSUE 6): the f32 serving copy's per-query estimate
+//! stays within 1e-3 *relative* of the f64 model — measured scale-free as
+//! `(est_q + 1) / (est_f64 + 1) ∈ [1/(1+1e-3), 1+1e-3]`, i.e. a q-error
+//! bound with the +1 floor both models share through `ln(1+card)` space.
+//! int8 carries deliberate weight rounding (~0.4% per parameter), so it has
+//! no fixed per-query bound; instead its aggregate GMQ drift vs the f64
+//! model must stay small enough for the commit-hook gate (tested in
+//! `warper-serve`) to reason about. Both properties are checked on the
+//! SIMD and portable kernel paths.
+
+use proptest::prelude::*;
+use warper_ce::lm::{LmMlp, LmMlpParams};
+use warper_ce::mscn::{Mscn, MscnConfig};
+use warper_ce::{quantize_for_serving, CardinalityEstimator, Precision};
+use warper_linalg::{simd_available, Backend};
+
+const F32_REL: f64 = 1e-3;
+
+fn backends() -> Vec<Backend> {
+    let mut v = vec![Backend::Portable];
+    if simd_available() {
+        v.push(Backend::Simd);
+    }
+    v
+}
+
+/// Deterministic feature generator (xorshift64*): values in `[-1, 1)`, the
+/// scale of normalized query features.
+fn feature_rows(seed: u64, n: usize, dim: usize) -> Vec<Vec<f64>> {
+    let mut s = seed.max(1);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    (0..n).map(|_| (0..dim).map(|_| next()).collect()).collect()
+}
+
+/// Scale-free per-query ratio `max(r, 1/r)` with the `+1` floor.
+fn qerr(a: f64, b: f64) -> f64 {
+    let r = (a + 1.0) / (b + 1.0);
+    r.max(1.0 / r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// f32 LM-mlp estimates stay within 1e-3 relative of f64 on every
+    /// kernel path.
+    #[test]
+    fn lm_f32_estimates_within_1e3_relative(
+        seed in 1u64..1_000_000,
+        dim in 4usize..40,
+        n in 1usize..48,
+    ) {
+        let full = LmMlp::new(dim, LmMlpParams::default(), seed);
+        let feats = feature_rows(seed ^ 0x9e37_79b9, n, dim);
+        let refs: Vec<&[f64]> = feats.iter().map(Vec::as_slice).collect();
+        let want = full.estimate_many(&refs);
+        let q = quantize_for_serving(&full, Precision::F32).expect("LmMlp quantizes");
+        for backend in backends() {
+            let got = q.clone().with_backend(backend).estimate_many(&refs);
+            for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                prop_assert!(g.is_finite() && g >= 0.0, "estimate {g} not a cardinality");
+                prop_assert!(
+                    qerr(g, w) <= 1.0 + F32_REL,
+                    "{backend:?} query {i}: f32 {g} vs f64 {w} (qerr {})", qerr(g, w)
+                );
+            }
+        }
+    }
+
+    /// f32 MSCN (with join module) estimates stay within 1e-3 relative of
+    /// f64 on every kernel path.
+    #[test]
+    fn mscn_f32_estimates_within_1e3_relative(
+        seed in 1u64..1_000_000,
+        n in 1usize..32,
+    ) {
+        let cfg = MscnConfig::new(2, 6, 2);
+        let full = Mscn::new(cfg, seed);
+        let feats = feature_rows(seed ^ 0x1234_5678, n, cfg.feature_dim());
+        let refs: Vec<&[f64]> = feats.iter().map(Vec::as_slice).collect();
+        let want = full.estimate_many(&refs);
+        let q = quantize_for_serving(&full, Precision::F32).expect("Mscn quantizes");
+        for backend in backends() {
+            let got = q.clone().with_backend(backend).estimate_many(&refs);
+            for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
+                prop_assert!(
+                    qerr(g, w) <= 1.0 + F32_REL,
+                    "{backend:?} query {i}: f32 {g} vs f64 {w} (qerr {})", qerr(g, w)
+                );
+            }
+        }
+    }
+
+    /// int8 estimates are valid cardinalities whose aggregate ln-space
+    /// drift vs f64 stays in the range the GMQ gate is designed to judge —
+    /// finite and far below the paper's θ = 10 outlier cap.
+    #[test]
+    fn int8_estimates_stay_gateable(
+        seed in 1u64..1_000_000,
+        dim in 4usize..40,
+    ) {
+        let full = LmMlp::new(dim, LmMlpParams::default(), seed);
+        let feats = feature_rows(seed ^ 0xdead_beef, 32, dim);
+        let refs: Vec<&[f64]> = feats.iter().map(Vec::as_slice).collect();
+        let want = full.estimate_many(&refs);
+        let q = quantize_for_serving(&full, Precision::Int8).expect("LmMlp quantizes");
+        for backend in backends() {
+            let got = q.clone().with_backend(backend).estimate_many(&refs);
+            let mut ln_sum = 0.0;
+            for (&g, &w) in got.iter().zip(&want) {
+                prop_assert!(g.is_finite() && g >= 0.0, "estimate {g} not a cardinality");
+                ln_sum += qerr(g, w).ln();
+            }
+            let gmq = (ln_sum / want.len() as f64).exp();
+            prop_assert!(gmq.is_finite() && gmq < 1.5, "{backend:?}: int8 GMQ drift {gmq}");
+        }
+    }
+
+    /// Precision::F64 and non-quantizable models yield no quantized copy.
+    #[test]
+    fn f64_precision_has_no_quantized_copy(seed in 1u64..1_000_000) {
+        let full = LmMlp::new(8, LmMlpParams::default(), seed);
+        prop_assert!(quantize_for_serving(&full, Precision::F64).is_none());
+        let linear = warper_ce::lm::LmLinear::new(8);
+        prop_assert!(quantize_for_serving(&linear, Precision::F32).is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based equivalence tests for the serving-side f32/int8
+//! microkernels (`gemm32`).
+//!
+//! The contract under test: for every shape and input, the packed-panel
+//! kernel — on **both** the runtime-selected SIMD path and the portable
+//! fallback — matches a naive scalar reference within f32 accumulation
+//! tolerance. The int8 path is compared against a reference computed over
+//! the *dequantized* weights (`q · scale`), which isolates kernel error
+//! from deliberate quantization error.
+//!
+//! `ci.sh` runs this file twice: once with the default `target-cpu=native`
+//! flags and once with empty `RUSTFLAGS`, so the portable path is exercised
+//! as it would compile on a machine without AVX2.
+
+// Index loops mirror the (row, col) kernel layout, as in the crate itself.
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use warper_linalg::{
+    linear_forward_into, simd_available, Backend, Epilogue32, Matrix, MatrixF32, PackedWeights,
+};
+
+/// Backends to test: the portable path always, the SIMD path when the CPU
+/// has one.
+fn backends() -> Vec<Backend> {
+    let mut v = vec![Backend::Portable];
+    if simd_available() {
+        v.push(Backend::Simd);
+    }
+    v
+}
+
+/// Deterministic value generator (xorshift64*), same idiom as the gemm32
+/// unit tests: the proptest stub has no `prop_flat_map`, so shapes are
+/// sampled by the harness and the matrix payloads derive from a seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        let u = (self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)) >> 11;
+        u as f64 / (1u64 << 53) as f64 * 8.0 - 4.0
+    }
+
+    fn vec_f64(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_f64()).collect()
+    }
+
+    fn vec_f32(&mut self, n: usize) -> Vec<f32> {
+        (0..n).map(|_| self.next_f64() as f32).collect()
+    }
+}
+
+const ACTS: [Epilogue32; 5] = [
+    Epilogue32::Identity,
+    Epilogue32::Relu,
+    Epilogue32::LeakyRelu(0.01),
+    Epilogue32::Tanh,
+    Epilogue32::Sigmoid,
+];
+
+/// Naive scalar reference: `act(x · wᵀ + bias)` with f64 accumulation over
+/// f32-rounded inputs.
+fn naive_reference(
+    x: &MatrixF32,
+    w_rows: &[Vec<f32>],
+    bias: &[f32],
+    act: Epilogue32,
+) -> Vec<Vec<f32>> {
+    (0..x.rows())
+        .map(|r| {
+            w_rows
+                .iter()
+                .zip(bias)
+                .map(|(wr, &b)| {
+                    let acc: f64 = x
+                        .row(r)
+                        .iter()
+                        .zip(wr)
+                        .map(|(&a, &w)| a as f64 * w as f64)
+                        .sum();
+                    act.apply(acc as f32 + b)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Absolute-plus-relative tolerance for a k-term f32 accumulation.
+fn tol(k: usize, magnitude: f32) -> f32 {
+    2e-5 * (1.0 + k as f32).sqrt() * (1.0 + magnitude.abs())
+}
+
+/// Per-row max-abs int8 round-trip, mirroring `PackedWeights::pack_i8`.
+fn dequantized_rows(w: &Matrix) -> Vec<Vec<f32>> {
+    (0..w.rows())
+        .map(|r| {
+            let row = w.row(r);
+            let max = row.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+            let scale = if max == 0.0 { 0.0 } else { max / 127.0 };
+            row.iter()
+                .map(|&v| {
+                    if scale == 0.0 {
+                        0.0
+                    } else {
+                        ((v / scale).round().clamp(-127.0, 127.0) as f32) * scale as f32
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// f32 packed kernel ≡ naive loop, on every available backend.
+    #[test]
+    fn f32_kernel_matches_naive(
+        (m, k, n) in (1usize..24, 1usize..48, 1usize..70),
+        act_idx in 0usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        let act = ACTS[act_idx];
+        let mut g = Gen(seed);
+        let x = MatrixF32::from_vec(m, k, g.vec_f32(m * k));
+        let w64 = Matrix::from_vec(n, k, g.vec_f64(n * k));
+        let bias = g.vec_f32(n);
+        let w_rows: Vec<Vec<f32>> = (0..n)
+            .map(|r| w64.row(r).iter().map(|&v| v as f32).collect())
+            .collect();
+        let want = naive_reference(&x, &w_rows, &bias, act);
+        let packed = PackedWeights::pack_f32(&w64);
+        let mut out = MatrixF32::zeros(m, n);
+        for backend in backends() {
+            linear_forward_into(&mut out, &x, &packed, &bias, act, backend);
+            for r in 0..m {
+                for c in 0..n {
+                    let got = out.get(r, c);
+                    let expect = want[r][c];
+                    prop_assert!(
+                        (got - expect).abs() <= tol(k, expect),
+                        "backend {backend:?} ({r},{c}): got {got} want {expect} (m={m} k={k} n={n})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// int8 packed kernel ≡ naive loop over dequantized weights, on every
+    /// available backend.
+    #[test]
+    fn i8_kernel_matches_dequantized_naive(
+        (m, k, n) in (1usize..24, 1usize..48, 1usize..70),
+        act_idx in 0usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        let act = ACTS[act_idx];
+        let mut g = Gen(seed);
+        let x = MatrixF32::from_vec(m, k, g.vec_f32(m * k));
+        let w64 = Matrix::from_vec(n, k, g.vec_f64(n * k));
+        let bias = g.vec_f32(n);
+        let packed = PackedWeights::pack_i8(&w64);
+        let want = naive_reference(&x, &dequantized_rows(&w64), &bias, act);
+        let mut out = MatrixF32::zeros(m, n);
+        for backend in backends() {
+            linear_forward_into(&mut out, &x, &packed, &bias, act, backend);
+            for r in 0..m {
+                for c in 0..n {
+                    let got = out.get(r, c);
+                    let expect = want[r][c];
+                    // The kernel folds the row scale into the epilogue (one
+                    // multiply per output) while the reference scales every
+                    // weight; widen the band to cover the rounding drift.
+                    let band = tol(k, expect) + packed.max_quant_step() * 1e-4 * (1.0 + k as f32);
+                    prop_assert!(
+                        (got - expect).abs() <= band,
+                        "backend {backend:?} ({r},{c}): got {got} want {expect} (m={m} k={k} n={n})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Batch invariance: each row of a batched call equals the same row run
+    /// through a single-row call, bit-for-bit, on the same backend.
+    #[test]
+    fn batched_rows_equal_single_row_calls(
+        (m, k, n) in (1usize..16, 1usize..40, 1usize..50),
+        act_idx in 0usize..5,
+        seed in 1u64..u64::MAX,
+    ) {
+        let act = ACTS[act_idx];
+        let mut g = Gen(seed);
+        let xs = g.vec_f32(m * k);
+        let xm = MatrixF32::from_vec(m, k, xs.clone());
+        let w64 = Matrix::from_vec(n, k, g.vec_f64(n * k));
+        let bias = g.vec_f32(n);
+        for packed in [PackedWeights::pack_f32(&w64), PackedWeights::pack_i8(&w64)] {
+            for backend in backends() {
+                let mut full = MatrixF32::zeros(m, n);
+                linear_forward_into(&mut full, &xm, &packed, &bias, act, backend);
+                let mut one = MatrixF32::zeros(1, n);
+                for r in 0..m {
+                    let xr = MatrixF32::from_vec(1, k, xs[r * k..(r + 1) * k].to_vec());
+                    linear_forward_into(&mut one, &xr, &packed, &bias, act, backend);
+                    prop_assert_eq!(one.row(0), full.row(r), "row {} backend {:?}", r, backend);
+                }
+            }
+        }
+    }
+}

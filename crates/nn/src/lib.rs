@@ -26,6 +26,7 @@ pub mod layer;
 pub mod loss;
 pub mod mlp;
 pub mod optim;
+pub mod quant;
 pub mod tree;
 
 pub use gbt::{GbtParams, GradientBoostedTrees};
@@ -34,3 +35,4 @@ pub use kernel::{Kernel, KernelRidge, KernelRidgeParams};
 pub use layer::{Activation, Linear};
 pub use mlp::{Mlp, MlpGrads, Workspace};
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd};
+pub use quant::{QuantScratch, QuantizedMlp, WeightPrecision};

@@ -161,6 +161,13 @@ impl Mlp {
         &mut self.layers
     }
 
+    /// The activation applied after layer `layer_idx` (the output layer gets
+    /// `out_act`, every other layer `hidden_act`). Used by the serving-side
+    /// quantizer to mirror the network structure in f32.
+    pub fn activation_for(&self, layer_idx: usize) -> Activation {
+        self.act_for(layer_idx)
+    }
+
     fn act_for(&self, layer_idx: usize) -> Activation {
         if layer_idx + 1 == self.layers.len() {
             self.out_act

@@ -1,0 +1,273 @@
+//! Serving-side quantized networks.
+//!
+//! [`QuantizedMlp`] is a read-only f32 (or weight-only int8) mirror of a
+//! trained f64 [`Mlp`], built once when a validated model is published and
+//! used only on the estimation hot path. Each layer holds its weights in the
+//! packed-panel layout of `warper_linalg::gemm32` plus an f32 bias and a
+//! fused activation epilogue, so a forward pass is one
+//! [`linear_forward_into`] call per layer — no per-layer allocation, no
+//! separate activation sweep.
+//!
+//! Training, checkpoints, and the WAL never see this type: the f64 network
+//! remains the source of truth, and a fresh `QuantizedMlp` is derived from
+//! it at every publication.
+
+use warper_linalg::{linear_forward_into, Backend, Epilogue32, MatrixF32, PackedWeights};
+
+use crate::layer::Activation;
+use crate::mlp::Mlp;
+
+/// Weight storage precision for a quantized layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum WeightPrecision {
+    /// f32 weights: ~1e-7 relative rounding per parameter.
+    F32,
+    /// int8 weights with per-output-row max-abs scales: ~0.4% relative
+    /// rounding per parameter, 4× smaller panels.
+    Int8,
+}
+
+/// One quantized linear layer with a fused bias + activation epilogue.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    w: PackedWeights,
+    bias: Vec<f32>,
+    act: Epilogue32,
+}
+
+impl QuantizedLinear {
+    /// The layer's input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.in_dim()
+    }
+
+    /// The layer's output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.out_dim()
+    }
+}
+
+fn epilogue_for(act: Activation) -> Epilogue32 {
+    match act {
+        Activation::Identity => Epilogue32::Identity,
+        Activation::Relu => Epilogue32::Relu,
+        Activation::LeakyRelu(a) => Epilogue32::LeakyRelu(a as f32),
+        Activation::Tanh => Epilogue32::Tanh,
+        Activation::Sigmoid => Epilogue32::Sigmoid,
+    }
+}
+
+/// Reusable forward-pass scratch for [`QuantizedMlp::forward`].
+///
+/// Holds the input staging matrix and the layer ping-pong pair; a caller
+/// that keeps one scratch alive performs no allocations after the first
+/// batch at a given size.
+#[derive(Debug, Clone, Default)]
+pub struct QuantScratch {
+    input: MatrixF32,
+    ping: MatrixF32,
+    pong: MatrixF32,
+}
+
+impl QuantScratch {
+    /// The staging buffer as last shaped by [`QuantizedMlp::staged_input`].
+    /// Lets a caller append columns (e.g. MSCN's join embedding) after an
+    /// earlier fill, before [`QuantizedMlp::forward_prepared`].
+    pub fn staged_mut(&mut self) -> &mut MatrixF32 {
+        &mut self.input
+    }
+}
+
+/// A quantized feed-forward network mirroring an f64 [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedLinear>,
+    precision: WeightPrecision,
+}
+
+impl QuantizedMlp {
+    /// Quantizes the serving copy of `mlp` at the given weight precision.
+    pub fn from_mlp(mlp: &Mlp, precision: WeightPrecision) -> Self {
+        let layers = mlp
+            .layers()
+            .iter()
+            .enumerate()
+            .map(|(i, layer)| {
+                let w = match precision {
+                    WeightPrecision::F32 => PackedWeights::pack_f32(&layer.w),
+                    WeightPrecision::Int8 => PackedWeights::pack_i8(&layer.w),
+                };
+                QuantizedLinear {
+                    w,
+                    bias: layer.b.iter().map(|&b| b as f32).collect(),
+                    act: epilogue_for(mlp.activation_for(i)),
+                }
+            })
+            .collect();
+        Self { layers, precision }
+    }
+
+    /// The weight precision every layer was packed at.
+    pub fn precision(&self) -> WeightPrecision {
+        self.precision
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].out_dim()
+    }
+
+    /// Total bytes held in packed weight panels (scales and biases excluded).
+    pub fn panel_bytes(&self) -> usize {
+        self.layers.iter().map(|l| l.w.panel_bytes()).sum()
+    }
+
+    /// Forward pass over a batch of f64 feature rows; returns the output
+    /// matrix (batch × out_dim), which lives in `scratch` until the next
+    /// call.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from [`Self::in_dim`].
+    pub fn forward<'s>(
+        &self,
+        rows: &[&[f64]],
+        backend: Backend,
+        scratch: &'s mut QuantScratch,
+    ) -> &'s MatrixF32 {
+        for row in rows {
+            assert_eq!(row.len(), self.in_dim(), "feature dimension mismatch");
+        }
+        scratch.input.fill_from_f64_rows(rows);
+        self.forward_prepared(rows.len(), backend, scratch)
+    }
+
+    /// The input staging buffer, reshaped to `batch × in_dim` and zeroed.
+    /// Fill it, then call [`Self::forward_prepared`]. This two-phase entry
+    /// lets callers with non-row-major feature layouts (e.g. MSCN's table
+    /// blocks) write f32 inputs directly without an intermediate f64 copy.
+    pub fn staged_input<'s>(
+        &self,
+        batch: usize,
+        scratch: &'s mut QuantScratch,
+    ) -> &'s mut MatrixF32 {
+        scratch.input.reset(batch, self.in_dim());
+        &mut scratch.input
+    }
+
+    /// Forward pass over an already-staged f32 input in `scratch.input`
+    /// (the first `batch` rows, see [`Self::staged_input`]). Shared tail of
+    /// [`Self::forward`].
+    pub fn forward_prepared<'s>(
+        &self,
+        batch: usize,
+        backend: Backend,
+        scratch: &'s mut QuantScratch,
+    ) -> &'s MatrixF32 {
+        let QuantScratch { input, ping, pong } = scratch;
+        // `cur` is written this layer, `prev` holds the previous layer's
+        // output; swapping the two references ping-pongs the buffers.
+        let mut cur: &mut MatrixF32 = ping;
+        let mut prev: &mut MatrixF32 = pong;
+        for (i, layer) in self.layers.iter().enumerate() {
+            cur.reset(batch, layer.out_dim());
+            let x: &MatrixF32 = if i == 0 { input } else { prev };
+            linear_forward_into(cur, x, &layer.w, &layer.bias, layer.act, backend);
+            std::mem::swap(&mut cur, &mut prev);
+        }
+        prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use warper_linalg::Matrix;
+
+    fn toy_mlp(dims: &[usize]) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(42);
+        Mlp::new(dims, Activation::Relu, Activation::Identity, &mut rng)
+    }
+
+    fn rows(n: usize, d: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|r| {
+                (0..d)
+                    .map(|c| ((r * d + c) % 17) as f64 * 0.11 - 0.9)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f32_forward_matches_f64_reference() {
+        let mlp = toy_mlp(&[7, 24, 12, 1]);
+        let q = QuantizedMlp::from_mlp(&mlp, WeightPrecision::F32);
+        assert_eq!(q.in_dim(), 7);
+        assert_eq!(q.out_dim(), 1);
+        let feats = rows(9, 7);
+        let refs: Vec<&[f64]> = feats.iter().map(Vec::as_slice).collect();
+        let x = Matrix::from_rows(&feats);
+        let want = mlp.forward(&x);
+        let mut scratch = QuantScratch::default();
+        for backend in [Backend::Portable, Backend::Auto] {
+            let got = q.forward(&refs, backend, &mut scratch);
+            for r in 0..9 {
+                let diff = (got.get(r, 0) as f64 - want.get(r, 0)).abs();
+                assert!(
+                    diff < 1e-4,
+                    "row {r}: {} vs {}",
+                    got.get(r, 0),
+                    want.get(r, 0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_forward_tracks_f64_reference_loosely() {
+        let mlp = toy_mlp(&[6, 32, 1]);
+        let q = QuantizedMlp::from_mlp(&mlp, WeightPrecision::Int8);
+        assert_eq!(q.precision(), WeightPrecision::Int8);
+        let feats = rows(5, 6);
+        let refs: Vec<&[f64]> = feats.iter().map(Vec::as_slice).collect();
+        let x = Matrix::from_rows(&feats);
+        let want = mlp.forward(&x);
+        let mut scratch = QuantScratch::default();
+        let got = q.forward(&refs, Backend::Auto, &mut scratch);
+        for r in 0..5 {
+            let w = want.get(r, 0);
+            let diff = (got.get(r, 0) as f64 - w).abs();
+            assert!(
+                diff < 0.05 * (1.0 + w.abs()),
+                "row {r}: {} vs {w}",
+                got.get(r, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_batch_sizes_is_consistent() {
+        let mlp = toy_mlp(&[4, 16, 16, 2]);
+        let q = QuantizedMlp::from_mlp(&mlp, WeightPrecision::F32);
+        let feats = rows(12, 4);
+        let refs: Vec<&[f64]> = feats.iter().map(Vec::as_slice).collect();
+        let mut scratch = QuantScratch::default();
+        let full: Vec<f32> = q
+            .forward(&refs, Backend::Auto, &mut scratch)
+            .data()
+            .to_vec();
+        // Shrink then regrow the batch through the same scratch: results of
+        // a per-row pass must match the batched pass bit-for-bit.
+        for (r, row) in refs.iter().enumerate() {
+            let one = q.forward(&[row], Backend::Auto, &mut scratch);
+            assert_eq!(one.row(0), &full[r * 2..(r + 1) * 2], "row {r}");
+        }
+    }
+}

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use warper_ce::CardinalityEstimator;
+use warper_ce::{CardinalityEstimator, Precision};
 use warper_core::detect::{CanarySet, DataTelemetry};
 use warper_core::{
     derive_seed, seed_stream, ArrivedQuery, CommitHook, FeatureMap, Supervisor, SupervisorConfig,
@@ -77,6 +77,11 @@ pub struct AdaptConfig {
     /// Master seed (the worker draws from its [`seed_stream::ADAPT`]
     /// stream).
     pub seed: u64,
+    /// Serving precision requested for published snapshots. Quantized
+    /// copies are admitted per commit only after the GMQ drift gate
+    /// (`crate::quant`, budget `supervisor.quant_gmq_tolerance`) passes;
+    /// otherwise the f64 model serves.
+    pub precision: Precision,
 }
 
 impl Default for AdaptConfig {
@@ -88,6 +93,7 @@ impl Default for AdaptConfig {
             inbox_capacity: 4096,
             canaries: 8,
             seed: 7,
+            precision: Precision::F32,
         }
     }
 }
@@ -106,6 +112,9 @@ pub struct AdaptStats {
     pub published: usize,
     /// Committed steps that could not be published.
     pub publish_failures: usize,
+    /// Commits whose quantized serving copy failed the GMQ drift gate and
+    /// fell back to f64 (the commit itself still published).
+    pub quant_refusals: usize,
     /// Observations dropped by the full inbox.
     pub dropped_observations: usize,
     /// Queries annotated by the adaptation loop.
@@ -198,18 +207,39 @@ impl AdaptWorker {
 }
 
 /// Builds the publication hook: on every commit, snapshot the model,
-/// re-validate the controller state, and swap the cell.
+/// quantize-and-gate the serving copy at the requested precision,
+/// re-validate the controller state, and swap the cell. Durability always
+/// receives the full f64 model — quantization is serving-only.
 fn publish_hook(
     cell: Arc<SnapshotCell<ModelSnapshot>>,
     published: Arc<AtomicUsize>,
     failures: Arc<AtomicUsize>,
+    quant_refusals: Arc<AtomicUsize>,
     store: Option<Arc<Mutex<DurableStore>>>,
+    precision: Precision,
+    quant_tolerance: f64,
 ) -> CommitHook {
     Box::new(move |state, model| {
         let next_gen = cell.version() + 1;
         let ok = model
             .snapshot()
-            .and_then(|m| ModelSnapshot::committed(next_gen, m, state).ok())
+            .and_then(|full| {
+                let probes = crate::quant::probe_features(state);
+                let refs: Vec<&[f64]> = probes.iter().map(Vec::as_slice).collect();
+                let (serving, served, outcome) = crate::quant::prepare_serving_model(
+                    model,
+                    full,
+                    precision,
+                    &refs,
+                    quant_tolerance,
+                );
+                if matches!(outcome, crate::quant::QuantOutcome::Refused(_)) {
+                    quant_refusals.fetch_add(1, Ordering::Relaxed);
+                }
+                ModelSnapshot::committed(next_gen, serving, state)
+                    .ok()
+                    .map(|snap| snap.with_precision(served))
+            })
             .map(|snap| cell.publish(snap));
         match ok {
             Some(_) => published.fetch_add(1, Ordering::Relaxed),
@@ -238,11 +268,15 @@ fn worker_main(
 ) -> AdaptStats {
     let published = Arc::new(AtomicUsize::new(0));
     let publish_failures = Arc::new(AtomicUsize::new(0));
+    let quant_refusals = Arc::new(AtomicUsize::new(0));
     let mut sup = Supervisor::new(cfg.supervisor).with_commit_hook(publish_hook(
         Arc::clone(&cell),
         Arc::clone(&published),
         Arc::clone(&publish_failures),
+        Arc::clone(&quant_refusals),
         store.clone(),
+        cfg.precision,
+        cfg.supervisor.quant_gmq_tolerance,
     ));
 
     let annotator = Annotator::new();
@@ -304,6 +338,7 @@ fn worker_main(
     }
     stats.published = published.load(Ordering::Relaxed);
     stats.publish_failures = publish_failures.load(Ordering::Relaxed);
+    stats.quant_refusals = quant_refusals.load(Ordering::Relaxed);
     stats.dropped_observations = dropped.load(Ordering::Relaxed);
     stats
 }

@@ -19,6 +19,11 @@
 //!   invoke → validate → commit cycle; only *committed* steps are ever
 //!   published (the supervisor's commit hook is the single publication
 //!   point), so a rolled-back update can never serve a request.
+//! * [`quant`] — the dual-precision publication gate (DESIGN.md §10):
+//!   every publication quantizes the validated f64 model's serving copy
+//!   (f32 or int8 SIMD microkernels) and admits it only if its GMQ drift
+//!   vs the full model stays inside budget, falling back to f64 otherwise;
+//!   training, checkpoints, and the WAL stay f64 throughout.
 //!
 //! [`replay`] is the measurement harness over all of it: pre-generated
 //! query streams, mid-run drift events, per-client latency histograms, and
@@ -31,12 +36,14 @@
 //! model with zero acknowledged-label loss.
 
 pub mod adapt;
+pub mod quant;
 pub mod queue;
 pub mod replay;
 pub mod service;
 pub mod snapshot;
 
 pub use adapt::{AdaptConfig, AdaptStats, AdaptWorker};
+pub use quant::{gate_and_choose, prepare_serving_model, probe_features, QuantOutcome};
 pub use queue::{BatchQueue, PushError};
 pub use replay::{
     run_replay, AdaptMode, DriftEvent, DriftKind, DurabilityReport, DurableReplay, ReplayReport,
@@ -46,3 +53,4 @@ pub use service::{
     Estimate, EstimationService, ServeError, ServiceConfig, ServiceHandle, ServiceStats,
 };
 pub use snapshot::{ModelSnapshot, SnapshotCell, SnapshotReader};
+pub use warper_ce::Precision;

@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use warper_ce::CardinalityEstimator;
+use warper_ce::{CardinalityEstimator, Precision};
 use warper_core::detect::{CanarySet, DataTelemetry};
 use warper_core::runner::{DataDriftKind, ModelKind};
 use warper_core::{
@@ -133,6 +133,10 @@ pub struct ReplaySpec {
     pub spot_checks: usize,
     /// Crash-safe state directory. `None` runs purely in memory.
     pub durable: Option<DurableReplay>,
+    /// Serving precision: every published snapshot (including the initial
+    /// one) is quantized to this and GMQ-gated against its f64 source;
+    /// failures fall back to f64. Training stays f64 regardless.
+    pub precision: Precision,
 }
 
 impl Default for ReplaySpec {
@@ -151,6 +155,7 @@ impl Default for ReplaySpec {
             pace: None,
             spot_checks: 0,
             durable: None,
+            precision: Precision::F32,
         }
     }
 }
@@ -218,6 +223,11 @@ pub struct ReplayReport {
     pub spot_gmq_pre: Option<f64>,
     /// Same for the post-drift phase.
     pub spot_gmq_post: Option<f64>,
+    /// Precision the final published snapshot served at. Equals the
+    /// requested [`ReplaySpec::precision`] unless the quantized copy was
+    /// refused by the GMQ gate (or the model has no quantized path), in
+    /// which case the f64 fallback served.
+    pub precision: Precision,
     /// Service counters (batching, shed, rejects).
     pub service: ServiceStats,
     /// Adaptation stats (adaptation modes only).
@@ -263,6 +273,7 @@ struct SyncAdapter {
     canaries: CanarySet,
     stats: AdaptStats,
     published: Arc<AtomicU64>,
+    quant_refusals: Arc<AtomicU64>,
     store: Option<Arc<Mutex<DurableStore>>>,
 }
 
@@ -325,6 +336,7 @@ impl SyncAdapter {
     fn into_stats(self) -> AdaptStats {
         let mut stats = self.stats;
         stats.published = self.published.load(Ordering::Relaxed) as usize;
+        stats.quant_refusals = self.quant_refusals.load(Ordering::Relaxed) as usize;
         stats
     }
 }
@@ -418,7 +430,29 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
             adapt_model.name()
         ))
     })?;
-    let cell = Arc::new(SnapshotCell::new(ModelSnapshot::initial(serving)));
+    // Quantize-and-gate the initial snapshot at the requested precision,
+    // probing with the offline training set (the pool is not built yet).
+    let quant_tolerance = match &spec.adapt {
+        AdaptMode::Background(cfg) => cfg.supervisor.quant_gmq_tolerance,
+        AdaptMode::Synchronous { supervisor, .. } => supervisor.quant_gmq_tolerance,
+        AdaptMode::None => SupervisorConfig::default().quant_gmq_tolerance,
+    };
+    let probe_refs: Vec<&[f64]> = prepared
+        .training_set
+        .iter()
+        .map(|(f, _)| f.as_slice())
+        .collect();
+    let (serving, initial_precision, _) = crate::quant::prepare_serving_model(
+        adapt_model.as_ref(),
+        serving,
+        spec.precision,
+        &probe_refs,
+        quant_tolerance,
+    );
+    drop(probe_refs);
+    let cell = Arc::new(SnapshotCell::new(
+        ModelSnapshot::initial(serving).with_precision(initial_precision),
+    ));
     let shared = Arc::new(RwLock::new(table.clone()));
     let annotator = Annotator::new();
 
@@ -460,6 +494,7 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
         AdaptMode::Background(cfg) => {
             let cfg = AdaptConfig {
                 seed: spec.seed,
+                precision: spec.precision,
                 ..*cfg
             };
             let ctl = make_ctl()?;
@@ -482,15 +517,31 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
                 initial_checkpoint(store, &ctl, adapt_model.as_ref());
             }
             let published = Arc::new(AtomicU64::new(0));
+            let quant_refusals = Arc::new(AtomicU64::new(0));
             let hook_cell = Arc::clone(&cell);
             let hook_published = Arc::clone(&published);
+            let hook_refusals = Arc::clone(&quant_refusals);
             let hook_store = store.clone();
+            let hook_precision = spec.precision;
+            let hook_tolerance = supervisor.quant_gmq_tolerance;
             let sup =
                 Supervisor::new(*supervisor).with_commit_hook(Box::new(move |state, model| {
                     let next = hook_cell.version() + 1;
-                    if let Some(m) = model.snapshot() {
-                        if let Ok(snap) = ModelSnapshot::committed(next, m, state) {
-                            hook_cell.publish(snap);
+                    if let Some(full) = model.snapshot() {
+                        let probes = crate::quant::probe_features(state);
+                        let refs: Vec<&[f64]> = probes.iter().map(Vec::as_slice).collect();
+                        let (serving, served, outcome) = crate::quant::prepare_serving_model(
+                            model,
+                            full,
+                            hook_precision,
+                            &refs,
+                            hook_tolerance,
+                        );
+                        if matches!(outcome, crate::quant::QuantOutcome::Refused(_)) {
+                            hook_refusals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Ok(snap) = ModelSnapshot::committed(next, serving, state) {
+                            hook_cell.publish(snap.with_precision(served));
                             hook_published.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -515,6 +566,7 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
                 canaries,
                 stats: AdaptStats::default(),
                 published,
+                quant_refusals,
                 store: store.clone(),
             }))
         }
@@ -700,6 +752,7 @@ pub fn run_replay(table: &Table, spec: &ReplaySpec) -> Result<ReplayReport, Warp
         wall_secs,
         throughput_qps: served as f64 / wall_secs.max(1e-9),
         generations_published: cell.version(),
+        precision: cell.load().1.precision,
         max_staleness,
         spot_gmq_pre,
         spot_gmq_post,

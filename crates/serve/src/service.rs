@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::queue::{BatchQueue, PushError};
 use crate::snapshot::{ModelSnapshot, SnapshotCell, SnapshotReader};
@@ -138,6 +138,7 @@ struct Counters {
     rejected: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
+    inference_nanos: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters.
@@ -154,6 +155,11 @@ pub struct ServiceStats {
     /// Requests that rode in those batches (mean batch size =
     /// `batched_requests / batches`).
     pub batched_requests: u64,
+    /// Wall-clock nanoseconds workers spent inside the model's
+    /// `estimate_many` (the GEMM time). End-to-end latency minus this is
+    /// queueing + batching + response delivery, which is what makes kernel
+    /// wins attributable in the serve benchmarks.
+    pub inference_nanos: u64,
 }
 
 impl ServiceStats {
@@ -163,6 +169,25 @@ impl ServiceStats {
             0.0
         } else {
             self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean microseconds of model inference per micro-batch.
+    pub fn mean_inference_micros_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.inference_nanos as f64 / 1_000.0 / self.batches as f64
+        }
+    }
+
+    /// Mean microseconds of model inference attributed to each served
+    /// request (batch inference time divided across the batch).
+    pub fn mean_inference_micros_per_request(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.inference_nanos as f64 / 1_000.0 / self.served as f64
         }
     }
 }
@@ -216,6 +241,7 @@ impl EstimationService {
             rejected: self.counters.rejected.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
             batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
+            inference_nanos: self.counters.inference_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -271,7 +297,11 @@ fn worker_loop(
             continue;
         }
         let refs: Vec<&[f64]> = ok.iter().map(|r| r.features.as_slice()).collect();
+        let t0 = Instant::now();
         let values = snap.model.estimate_many(&refs);
+        counters
+            .inference_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let batch_size = ok.len();
         counters.batches.fetch_add(1, Ordering::Relaxed);
         counters
@@ -415,6 +445,7 @@ mod tests {
         cell.publish(ModelSnapshot {
             generation: 1,
             model: Box::new(ToyModel { dim: 3, scale: 5.0 }),
+            precision: warper_ce::Precision::F64,
         });
         let est = handle.estimate(vec![0.0; 3]).unwrap();
         assert_eq!(est.value, 5.0);

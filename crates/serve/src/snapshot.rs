@@ -15,7 +15,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
-use warper_ce::CardinalityEstimator;
+use warper_ce::{CardinalityEstimator, Precision};
 use warper_core::{WarperError, WarperState};
 
 /// A single-publisher, many-reader cell holding the current snapshot.
@@ -100,6 +100,9 @@ pub struct ModelSnapshot {
     pub generation: u64,
     /// The frozen model.
     pub model: Box<dyn CardinalityEstimator>,
+    /// Numeric precision `model` serves at. [`Precision::F64`] unless a
+    /// quantized copy passed the GMQ drift gate (see `crate::quant`).
+    pub precision: Precision,
 }
 
 impl ModelSnapshot {
@@ -109,6 +112,7 @@ impl ModelSnapshot {
         Self {
             generation: 0,
             model,
+            precision: Precision::F64,
         }
     }
 
@@ -121,7 +125,17 @@ impl ModelSnapshot {
         state: &WarperState,
     ) -> Result<Self, WarperError> {
         state.validate()?;
-        Ok(Self { generation, model })
+        Ok(Self {
+            generation,
+            model,
+            precision: Precision::F64,
+        })
+    }
+
+    /// Tags the snapshot with the precision its model serves at.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 }
 

@@ -17,7 +17,10 @@ use proptest::prelude::*;
 use warper_ce::{CardinalityEstimator, LabeledExample, UpdateKind};
 use warper_core::detect::DataTelemetry;
 use warper_core::{ArrivedQuery, Supervisor, SupervisorConfig, WarperConfig, WarperController};
-use warper_serve::{EstimationService, ModelSnapshot, ServeError, ServiceConfig, SnapshotCell};
+use warper_serve::{
+    gate_and_choose, EstimationService, ModelSnapshot, Precision, QuantOutcome, ServeError,
+    ServiceConfig, SnapshotCell, SnapshotReader,
+};
 
 /// The probe every reader sends; a model's identity is its answer to it.
 const PROBE: [f64; 4] = [0.5; 4];
@@ -240,5 +243,197 @@ proptest! {
         prop_assert!(snap.model.estimate(&PROBE).is_finite());
         prop_assert!(stats.served > 0);
         prop_assert_eq!(stats.rejected, 0);
+    }
+}
+
+/// A "quantized" serving copy whose estimates drift from the full model by
+/// a fixed factor — standing in for rounding error, with `factor` chosen by
+/// the test to be inside or outside the gate budget.
+#[derive(Clone)]
+struct DriftedQuantToy {
+    scale: f64,
+    factor: f64,
+}
+
+impl CardinalityEstimator for DriftedQuantToy {
+    fn feature_dim(&self) -> usize {
+        4
+    }
+    fn estimate(&self, f: &[f64]) -> f64 {
+        self.scale * self.factor * (0.1 + f[0])
+    }
+    fn fit(&mut self, _e: &[LabeledExample]) {}
+    fn update(&mut self, _e: &[LabeledExample]) {}
+    fn update_kind(&self) -> UpdateKind {
+        UpdateKind::FineTune
+    }
+    fn name(&self) -> &'static str {
+        "toy[f32]"
+    }
+    fn snapshot(&self) -> Option<Box<dyn CardinalityEstimator>> {
+        Some(Box::new(self.clone()))
+    }
+    fn restore(&mut self, snapshot: &dyn CardinalityEstimator) -> bool {
+        match (snapshot as &dyn std::any::Any).downcast_ref::<Self>() {
+            Some(s) => {
+                *self = s.clone();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A reader must never observe a quantized snapshot whose GMQ drift
+    /// gate failed: every publication runs its candidate through
+    /// [`gate_and_choose`], and a refused candidate's probe answer must
+    /// never be served at any precision, while a snapshot tagged quantized
+    /// must only answer with gate-passing values.
+    #[test]
+    fn readers_never_observe_gate_refused_quantized_snapshots(
+        drift_plan in prop::collection::vec(0u16..200, 2..7usize),
+        readers in 2usize..4,
+    ) {
+        const TOL: f64 = 0.05;
+        // Probe features keep every estimate far above gmq's clamp floor,
+        // so measured drift equals the injected factor exactly.
+        let probes: Vec<Vec<f64>> = (0..32).map(|i| vec![0.3 + 0.01 * i as f64; 4]).collect();
+        let refs: Vec<&[f64]> = probes.iter().map(Vec::as_slice).collect();
+
+        // Values a quantized snapshot may legally answer the probe with
+        // (inserted BEFORE the swap), and values of refused candidates
+        // (must never be served, at any precision).
+        let quant_ok: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        let full_ok: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        let refused: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+
+        let initial = ToyModel { scale: 1000.0, sabotage: None };
+        full_ok
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(initial.estimate(&PROBE).to_bits());
+        let cell = Arc::new(SnapshotCell::new(ModelSnapshot::initial(
+            initial.snapshot().expect("toy snapshots"),
+        )));
+
+        let stop = AtomicBool::new(false);
+        let mut expected_refusals = 0usize;
+        std::thread::scope(|s| {
+            for _ in 0..readers {
+                let mut reader = SnapshotReader::new(Arc::clone(&cell));
+                let quant_ok = Arc::clone(&quant_ok);
+                let full_ok = Arc::clone(&full_ok);
+                let refused = Arc::clone(&refused);
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut seen = 0u32;
+                    while !stop.load(Ordering::Relaxed) || seen == 0 {
+                        let (_, snap) = reader.current();
+                        let bits = snap.model.estimate(&PROBE).to_bits();
+                        seen += 1;
+                        assert!(
+                            !refused
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .contains(&bits),
+                            "served a gate-refused quantized model (gen {})",
+                            snap.generation
+                        );
+                        let allowed = if snap.precision == Precision::F64 {
+                            &full_ok
+                        } else {
+                            &quant_ok
+                        };
+                        assert!(
+                            allowed
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner)
+                                .contains(&bits),
+                            "precision {} served an unregistered value (gen {})",
+                            snap.precision,
+                            snap.generation
+                        );
+                    }
+                });
+            }
+
+            for (step, &pct) in drift_plan.iter().enumerate() {
+                // The full model retrains each step; its serving copy.
+                let full = ToyModel {
+                    scale: 1000.0 + 9.73 * (step + 1) as f64,
+                    sabotage: None,
+                };
+                // Candidate drift lands clearly inside or clearly outside
+                // the budget — never on the boundary.
+                let should_pass = pct < 100;
+                let factor = if should_pass {
+                    1.0 + f64::from(pct) / 2500.0 // ≤ 1.0396
+                } else {
+                    1.063 + f64::from(pct - 100) / 1000.0 // ≥ 1.063
+                };
+                let candidate = DriftedQuantToy { scale: full.scale, factor };
+                let candidate_bits = candidate.estimate(&PROBE).to_bits();
+
+                // Register legal answers BEFORE the gate decides/publishes.
+                full_ok
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(full.estimate(&PROBE).to_bits());
+                if should_pass {
+                    quant_ok
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(candidate_bits);
+                }
+
+                let (chosen, served, outcome) = gate_and_choose(
+                    full.snapshot().expect("toy snapshots"),
+                    Some(Box::new(candidate)),
+                    Precision::F32,
+                    &refs,
+                    TOL,
+                );
+                if should_pass {
+                    assert!(
+                        matches!(outcome, QuantOutcome::Quantized(d) if d <= 1.0 + TOL),
+                        "in-budget candidate refused: {outcome:?}"
+                    );
+                    assert_eq!(served, Precision::F32);
+                } else {
+                    assert!(
+                        matches!(outcome, QuantOutcome::Refused(d) if d > 1.0 + TOL),
+                        "out-of-budget candidate admitted: {outcome:?}"
+                    );
+                    assert_eq!(served, Precision::F64);
+                    expected_refusals += 1;
+                    refused
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .insert(candidate_bits);
+                }
+                cell.publish(ModelSnapshot {
+                    generation: step as u64 + 1,
+                    model: chosen,
+                    precision: served,
+                });
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        // The cell ends on the last step's choice, tagged consistently.
+        let (v, snap) = cell.load();
+        prop_assert_eq!(v, drift_plan.len() as u64);
+        let last_pass = *drift_plan.last().expect("non-empty plan") < 100;
+        prop_assert_eq!(
+            snap.precision,
+            if last_pass { Precision::F32 } else { Precision::F64 }
+        );
+        prop_assert_eq!(
+            expected_refusals,
+            drift_plan.iter().filter(|&&p| p >= 100).count()
+        );
     }
 }

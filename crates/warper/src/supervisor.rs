@@ -71,6 +71,13 @@ pub struct SupervisorConfig {
     /// (`true` keeps the serving stack at the checkpoint; `false` accepts
     /// the degraded-but-validated result).
     pub rollback_on_training_failure: bool,
+    /// Allowed GMQ drift of a quantized serving copy against the full-
+    /// precision model it was derived from (`gmq ≤ 1 + tolerance` over the
+    /// probe set). A candidate exceeding it is refused and the f64 model is
+    /// published instead. Tighter than [`Self::gmq_tolerance`] because the
+    /// two models answer the *same* queries — drift here is pure numeric
+    /// error, not workload shift.
+    pub quant_gmq_tolerance: f64,
 }
 
 impl Default for SupervisorConfig {
@@ -78,6 +85,7 @@ impl Default for SupervisorConfig {
         Self {
             gmq_tolerance: 0.10,
             rollback_on_training_failure: true,
+            quant_gmq_tolerance: 0.05,
         }
     }
 }

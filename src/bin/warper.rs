@@ -7,7 +7,8 @@
 //! warper gaps    [--orders N] [--seed S]
 //! warper serve   --dataset prsa --mix w1 --queries 1000 --clients 4 \
 //!                [--drift-at N] [--new w4] [--sync] [--smoke] [--seed S] \
-//!                [--state-dir DIR] [--checkpoint-every N]
+//!                [--precision f64|f32|int8] [--state-dir DIR] \
+//!                [--checkpoint-every N]
 //! warper loadgen --dataset prsa --queries 2000 [--rate QPS] [--seed S]
 //! warper datasets
 //! ```
@@ -56,9 +57,11 @@ const USAGE: &str = "usage:
   warper serve   [--dataset prsa|poker|higgs] [--mix w1] [--queries N]
                  [--clients N] [--drift-at N] [--new w4 | --data-drift]
                  [--sync] [--invoke-every N] [--smoke] [--rows N] [--seed S]
-                 [--state-dir DIR] [--checkpoint-every N]
+                 [--precision f64|f32|int8] [--state-dir DIR]
+                 [--checkpoint-every N]
   warper loadgen [--dataset prsa|poker|higgs] [--mix w1] [--queries N]
                  [--clients N] [--rate QPS] [--batch N] [--rows N] [--seed S]
+                 [--precision f64|f32|int8]
   warper datasets";
 
 /// Splits `[cmd, --k, v, --flag, ...]` into the command and a flag map
@@ -96,6 +99,20 @@ fn dataset_of(flags: &HashMap<String, String>) -> Option<DatasetKind> {
             eprintln!("unknown dataset {other:?} (prsa|poker|higgs)");
             None
         }
+    }
+}
+
+/// Parses `--precision` (default f32 — the gated SIMD serving path).
+fn precision_of(flags: &HashMap<String, String>) -> Option<warper_repro::serve::Precision> {
+    match flags.get("precision") {
+        None => Some(warper_repro::serve::Precision::F32),
+        Some(v) => match v.parse() {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("{e}");
+                None
+            }
+        },
     }
 }
 
@@ -310,8 +327,8 @@ fn print_replay(rep: &warper_repro::serve::ReplayReport) {
     );
     println!("latency µs: p50={p50:.0} p95={p95:.0} p99={p99:.0} max={max:.0}");
     println!(
-        "generations={} max_staleness={}",
-        rep.generations_published, rep.max_staleness
+        "generations={} max_staleness={} precision={}",
+        rep.generations_published, rep.max_staleness, rep.precision
     );
     if let Some(g) = rep.spot_gmq_pre {
         println!("spot GMQ pre-drift:  {g:.2}");
@@ -322,11 +339,12 @@ fn print_replay(rep: &warper_repro::serve::ReplayReport) {
     if let Some(a) = &rep.adapt {
         println!(
             "adaptation: invocations={} commits={} rollbacks={} published={} \
-             annotated={} generated={} ({:.1}s)",
+             quant_refusals={} annotated={} generated={} ({:.1}s)",
             a.invocations,
             a.commits,
             a.rollbacks,
             a.published,
+            a.quant_refusals,
             a.annotated,
             a.generated,
             a.adapt_secs
@@ -390,6 +408,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let Some(invoke_every) = num(flags, "invoke-every", 100usize) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(precision) = precision_of(flags) else {
         return ExitCode::FAILURE;
     };
     let mix = flags.get("mix").cloned().unwrap_or_else(|| "w1".into());
@@ -456,6 +477,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         seed,
         spot_checks: 25,
         durable,
+        precision,
         ..Default::default()
     };
 
@@ -533,6 +555,9 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
     let Some(rate) = num(flags, "rate", 0.0f64) else {
         return ExitCode::FAILURE;
     };
+    let Some(precision) = precision_of(flags) else {
+        return ExitCode::FAILURE;
+    };
     let mix = flags.get("mix").cloned().unwrap_or_else(|| "w1".into());
 
     let spec = ReplaySpec {
@@ -544,6 +569,7 @@ fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
             max_batch: batch,
             ..Default::default()
         },
+        precision,
         seed,
         pace: (rate > 0.0).then(|| ArrivalProcess {
             rate_per_sec: rate,
