@@ -29,6 +29,17 @@ if grep -rn "std::fs" crates/warper/src crates/serve/src crates/durable/src \
     exit 1
 fi
 
+# Transport discipline: raw sockets are confined to the TCP transport
+# module — everything else speaks through the `ByteStream` seam so the
+# link-fault injector (`FailpointNet`) sees every byte. Direct std::net
+# use anywhere else bypasses fault injection.
+echo "== lint: no direct std::net outside the TCP transport module"
+if grep -rn "std::net" crates/warper/src crates/serve/src crates/durable/src \
+    | grep -v "^crates/serve/src/net/tcp.rs:"; then
+    echo "direct std::net use found outside crates/serve/src/net/tcp.rs" >&2
+    exit 1
+fi
+
 # Benches are excluded from `cargo test` runs; make sure the perf harnesses
 # (annotator, gemm, figure/table benches) at least compile.
 echo "== cargo check --benches"
@@ -46,6 +57,14 @@ cargo test -q --offline --workspace --features faults
 # acknowledged label survives recovery.
 echo "== crash-recovery proptests (warper-durable, faults feature)"
 cargo test -q --offline -p warper-durable --features faults --test crash_recovery
+
+# Network failover proptests: cut / delay / torn-write / garbage the
+# replication link at every op for every fault kind and prove every
+# replicated-acked label survives failover from the standby's directory,
+# promotion stays gated on a validated checkpoint, and clients get typed
+# errors (never hangs) across link faults.
+echo "== network failover proptests (warper-serve, faults feature)"
+cargo test -q --offline -p warper-serve --features faults --test net_failover
 
 # Portable-path kernel equivalence: the workspace builds with
 # target-cpu=native (.cargo/config.toml), so the SIMD tiers are compiled

@@ -33,9 +33,12 @@ pub mod vfs;
 pub mod wal;
 
 pub use model_blob::ModelBlob;
-pub use store::{DurabilityConfig, DurabilityStats, DurableStore, Recovered, RecoveryReport};
+pub use store::{
+    decode_snapshot, snap_file_name, wal_file_name, DurabilityConfig, DurabilityStats,
+    DurableEvent, DurableStore, DurableTap, LoadedSnapshot, Recovered, RecoveryReport,
+};
 pub use vfs::{FailKind, FailPlan, FailpointVfs, MemVfs, StdVfs, Vfs, VfsError};
-pub use wal::{WalRecord, WalWriter};
+pub use wal::{validate_wal_frame, WalRecord, WalWriter};
 
 use std::fmt;
 

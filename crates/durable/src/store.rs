@@ -69,6 +69,18 @@ fn wal_name(seq: u64) -> String {
     format!("wal-{seq:08}.log")
 }
 
+/// File name of the checkpoint at `seq` — public so a replication standby
+/// can mirror the primary's on-disk layout exactly (promotion then reuses
+/// the unmodified [`DurableStore::open`] recovery path).
+pub fn snap_file_name(seq: u64) -> String {
+    snap_name(seq)
+}
+
+/// File name of the WAL rotated at checkpoint `seq` (see [`snap_file_name`]).
+pub fn wal_file_name(seq: u64) -> String {
+    wal_name(seq)
+}
+
 fn parse_seq(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
     name.strip_prefix(prefix)?
         .strip_suffix(suffix)?
@@ -111,6 +123,37 @@ pub struct DurabilityStats {
     pub wal_secs: f64,
 }
 
+/// One durable mutation, observed *after* it is locally durable (fsynced).
+/// A replication tap receives these in commit order; the byte payloads are
+/// exactly what hit the primary's disk, so a standby that writes them under
+/// the same file names reconstructs a byte-identical state directory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurableEvent {
+    /// One label frame appended to `wal-<wal_seq>.log`. `frame` is the
+    /// CRC32-framed record as written (length + checksum + JSON payload).
+    WalAppend {
+        /// Sequence of the live WAL the frame went into.
+        wal_seq: u64,
+        /// The framed bytes appended to that WAL.
+        frame: Vec<u8>,
+    },
+    /// Checkpoint `snap-<seq>.ckpt` published and the WAL rotated to
+    /// `wal-<seq>.log`, whose initial contents (after the magic) are the
+    /// framed carry-forward records in `carry`.
+    Checkpoint {
+        /// Sequence of the published snapshot.
+        seq: u64,
+        /// Full contents of the snapshot file.
+        snapshot: Vec<u8>,
+        /// Framed carry-forward records seeding the rotated WAL.
+        carry: Vec<u8>,
+    },
+}
+
+/// A replication tap: called synchronously after each durable mutation,
+/// while the store's internal order is still the call order.
+pub type DurableTap = Box<dyn FnMut(&DurableEvent) + Send>;
+
 /// What recovery found.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
@@ -152,6 +195,7 @@ pub struct DurableStore {
     tail: Vec<WalRecord>,
     commits_since_checkpoint: usize,
     stats: DurabilityStats,
+    tap: Option<DurableTap>,
 }
 
 impl DurableStore {
@@ -211,6 +255,7 @@ impl DurableStore {
                 tail: Vec::new(),
                 commits_since_checkpoint: 0,
                 stats: DurabilityStats::default(),
+                tap: None,
             };
             return Ok((store, None));
         };
@@ -284,6 +329,7 @@ impl DurableStore {
             tail,
             commits_since_checkpoint: 0,
             stats: DurabilityStats::default(),
+            tap: None,
         };
         Ok((
             store,
@@ -298,6 +344,20 @@ impl DurableStore {
     /// Sequence of the newest published checkpoint (0 = none yet).
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Install a replication tap. The tap observes every durable mutation
+    /// *after* its local fsync succeeds, in commit order, while the caller
+    /// still holds whatever lock serializes the store — so the event order
+    /// the tap sees is exactly the on-disk order.
+    pub fn set_tap(&mut self, tap: DurableTap) {
+        self.tap = Some(tap);
+    }
+
+    fn emit(&mut self, ev: DurableEvent) {
+        if let Some(tap) = self.tap.as_mut() {
+            tap(&ev);
+        }
     }
 
     /// Lifetime counters.
@@ -331,6 +391,16 @@ impl DurableStore {
         match res {
             Ok(()) => {
                 self.stats.wal_appends += 1;
+                if self.tap.is_some() {
+                    // Re-encode the record for the tap; serde_json is
+                    // deterministic, so these bytes match the WAL's.
+                    let frame =
+                        encode_frame(&crate::json_to_bytes(&rec).map_err(DurabilityError::Encode)?);
+                    self.emit(DurableEvent::WalAppend {
+                        wal_seq: self.seq,
+                        frame,
+                    });
+                }
                 self.tail.push(rec);
                 Ok(())
             }
@@ -422,6 +492,19 @@ impl DurableStore {
         // One barrier publishes the snapshot rename and the new WAL entry.
         self.vfs.sync_dir()?;
 
+        if self.tap.is_some() {
+            let mut carry_bytes = Vec::new();
+            for rec in &carry {
+                let payload = crate::json_to_bytes(rec).map_err(DurabilityError::Encode)?;
+                carry_bytes.extend_from_slice(&encode_frame(&payload));
+            }
+            self.emit(DurableEvent::Checkpoint {
+                seq: next,
+                snapshot: bytes,
+                carry: carry_bytes,
+            });
+        }
+
         self.stats.carried_forward += carry.len();
         self.seq = next;
         self.wal = wal;
@@ -451,7 +534,7 @@ type LabelKey = (Vec<u64>, u64);
 
 /// A decoded checkpoint: the validated state plus the optional serving
 /// model restored from its blob frame.
-type LoadedSnapshot = (WarperState, Option<Box<dyn CardinalityEstimator>>);
+pub type LoadedSnapshot = (WarperState, Option<Box<dyn CardinalityEstimator>>);
 
 fn label_key(features: &[f64], gt: f64) -> LabelKey {
     (features.iter().map(|v| v.to_bits()).collect(), gt.to_bits())
@@ -485,6 +568,13 @@ fn apply_wal_records(state: &mut WarperState, records: &[WalRecord]) -> usize {
 
 fn load_snapshot(vfs: &dyn Vfs, name: &str) -> Result<LoadedSnapshot, DurabilityError> {
     let data = vfs.read(name)?;
+    decode_snapshot(&data)
+}
+
+/// Decode and validate a full snapshot image from bytes (magic + state
+/// frame + model frame). Public so a replication standby can vet a shipped
+/// checkpoint — including `WarperState::validate` — *before* installing it.
+pub fn decode_snapshot(data: &[u8]) -> Result<LoadedSnapshot, DurabilityError> {
     if data.len() < SNAP_MAGIC.len() || &data[..SNAP_MAGIC.len()] != SNAP_MAGIC {
         return Err(DurabilityError::Corrupt("bad snapshot magic".into()));
     }

@@ -165,6 +165,25 @@ impl WalWriter {
     }
 }
 
+/// Decode exactly one framed WAL record from `frame` (as shipped by a
+/// replication tap). The frame must carry a checksum-valid, fully decodable
+/// record and nothing else — a standby uses this to vet a shipped frame
+/// *before* appending it to its local WAL, so a corrupted ship can never
+/// poison the replica's tail.
+pub fn validate_wal_frame(frame: &[u8]) -> Result<WalRecord, DurabilityError> {
+    match decode_frame(frame) {
+        FrameDecode::Frame { payload, consumed } if consumed == frame.len() => {
+            crate::json_from_bytes::<WalRecord>(payload)
+                .map_err(|e| DurabilityError::Corrupt(format!("wal frame undecodable: {e}")))
+        }
+        FrameDecode::Frame { .. } => Err(DurabilityError::Corrupt(
+            "wal frame has trailing bytes".into(),
+        )),
+        FrameDecode::CleanEof => Err(DurabilityError::Corrupt("empty wal frame".into())),
+        FrameDecode::Corrupt(msg) => Err(DurabilityError::Corrupt(format!("wal frame: {msg}"))),
+    }
+}
+
 /// True if `err` is a missing-file error.
 pub fn is_not_found(err: &DurabilityError) -> bool {
     matches!(err, DurabilityError::Vfs(VfsError::NotFound(_)))

@@ -25,6 +25,13 @@
 //!   vs the full model stays inside budget, falling back to f64 otherwise;
 //!   training, checkpoints, and the WAL stay f64 throughout.
 //!
+//! * [`net`] — the networked front-end and replicated durability:
+//!   a length-prefixed CRC-framed binary protocol over a `ByteStream` seam
+//!   (TCP, in-memory pipes, or fault injection), streaming WAL/checkpoint
+//!   shipping to a warm standby that validates everything before install
+//!   and promotes only through the full recovery path, and a bounded-retry
+//!   client that can fail but never hang (DESIGN.md §11).
+//!
 //! [`replay`] is the measurement harness over all of it: pre-generated
 //! query streams, mid-run drift events, per-client latency histograms, and
 //! an order-independent estimate checksum that makes replays comparable
@@ -36,6 +43,7 @@
 //! model with zero acknowledged-label loss.
 
 pub mod adapt;
+pub mod net;
 pub mod quant;
 pub mod queue;
 pub mod replay;
@@ -43,6 +51,11 @@ pub mod service;
 pub mod snapshot;
 
 pub use adapt::{AdaptConfig, AdaptStats, AdaptWorker};
+pub use net::{
+    AckLevel, AckMode, EstimateClient, NetError, NetLoadReport, NetLoadSpec, NetServer,
+    NetServerConfig, PrimaryNode, PrimarySpec, ReplHub, ReplicatedStore, RetryPolicy,
+    StandbyApplier, StandbyConfig, StandbyNode,
+};
 pub use quant::{gate_and_choose, prepare_serving_model, probe_features, QuantOutcome};
 pub use queue::{BatchQueue, PushError};
 pub use replay::{

@@ -1,0 +1,421 @@
+//! The v1 binary message set and its hand-rolled codec.
+//!
+//! Every message travels as one CRC32 frame (see [`super::conn::FrameConn`]);
+//! this module encodes/decodes the frame *payload*: a tag byte followed by
+//! little-endian fields. Variable-length fields carry a `u32` count that is
+//! validated against both a hard cap and the bytes actually remaining in
+//! the payload **before** any allocation, so a hostile length field can
+//! neither panic the decoder nor balloon memory.
+//!
+//! The format is pinned by the golden fixture in
+//! `tests/fixtures/wire_v1.hex` — change it only with a version bump.
+
+use warper_durable::DurableEvent;
+
+/// Wire protocol version, carried in every [`Msg::Hello`].
+pub const NET_PROTO: u16 = 1;
+
+/// Upper bound on a frame payload. Checkpoints with serialized model blobs
+/// ride this protocol, so the cap is generous — but it is enforced before
+/// `Vec::with_capacity` everywhere a length is read off the wire.
+pub const MAX_NET_FRAME: u32 = 1 << 26; // 64 MiB
+
+/// Upper bound on a feature vector's length.
+pub const MAX_FEATURES: u32 = 1 << 16;
+
+/// What a connection is for, declared in its first message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Estimate request/response traffic.
+    Client,
+    /// A warm standby subscribing to the replication stream.
+    Standby,
+}
+
+/// Why the server refused to answer a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// This node is a standby that has not been promoted.
+    NotPrimary,
+    /// The service is draining for shutdown.
+    ShuttingDown,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// First message on every connection, client → server.
+    Hello { role: Role, proto: u16 },
+    /// An estimation request; `id` correlates the response.
+    EstimateReq { id: u64, features: Vec<f64> },
+    /// The estimate (`value_bits` = `f64::to_bits`), plus the snapshot
+    /// generation that served it and the micro-batch size it rode in.
+    EstimateOk {
+        id: u64,
+        value_bits: u64,
+        generation: u64,
+        batch: u32,
+    },
+    /// Admission control shed the request (`BatchQueue` full). This is the
+    /// *only* backpressure path — the server never buffers beyond the queue.
+    Shed { id: u64 },
+    /// Feature-dimension mismatch.
+    Rejected { id: u64, expected: u32, got: u32 },
+    /// The server cannot serve right now (see [`Refusal`]).
+    Unavailable { id: u64, reason: Refusal },
+    /// Replication, primary → standby: one durable mutation with its ship
+    /// index (monotonic; the standby acks cumulatively by index).
+    Repl { idx: u64, event: DurableEvent },
+    /// Replication, standby → primary: everything up to and including
+    /// `watermark` is applied and fsynced on the standby.
+    ReplAck { watermark: u64 },
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_ESTIMATE_REQ: u8 = 2;
+const TAG_ESTIMATE_OK: u8 = 3;
+const TAG_SHED: u8 = 4;
+const TAG_REJECTED: u8 = 5;
+const TAG_UNAVAILABLE: u8 = 6;
+const TAG_REPL_WAL: u8 = 7;
+const TAG_REPL_CKPT: u8 = 8;
+const TAG_REPL_ACK: u8 = 9;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn put_f64s(out: &mut Vec<u8>, fs: &[f64]) {
+    put_u32(out, fs.len() as u32);
+    for f in fs {
+        put_u64(out, f.to_bits());
+    }
+}
+
+/// Encode a message to a frame payload.
+pub fn encode(msg: &Msg) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        Msg::Hello { role, proto } => {
+            out.push(TAG_HELLO);
+            out.push(match role {
+                Role::Client => 0,
+                Role::Standby => 1,
+            });
+            put_u16(&mut out, *proto);
+        }
+        Msg::EstimateReq { id, features } => {
+            out.push(TAG_ESTIMATE_REQ);
+            put_u64(&mut out, *id);
+            put_f64s(&mut out, features);
+        }
+        Msg::EstimateOk {
+            id,
+            value_bits,
+            generation,
+            batch,
+        } => {
+            out.push(TAG_ESTIMATE_OK);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *value_bits);
+            put_u64(&mut out, *generation);
+            put_u32(&mut out, *batch);
+        }
+        Msg::Shed { id } => {
+            out.push(TAG_SHED);
+            put_u64(&mut out, *id);
+        }
+        Msg::Rejected { id, expected, got } => {
+            out.push(TAG_REJECTED);
+            put_u64(&mut out, *id);
+            put_u32(&mut out, *expected);
+            put_u32(&mut out, *got);
+        }
+        Msg::Unavailable { id, reason } => {
+            out.push(TAG_UNAVAILABLE);
+            put_u64(&mut out, *id);
+            out.push(match reason {
+                Refusal::NotPrimary => 0,
+                Refusal::ShuttingDown => 1,
+            });
+        }
+        Msg::Repl { idx, event } => match event {
+            DurableEvent::WalAppend { wal_seq, frame } => {
+                out.push(TAG_REPL_WAL);
+                put_u64(&mut out, *idx);
+                put_u64(&mut out, *wal_seq);
+                put_bytes(&mut out, frame);
+            }
+            DurableEvent::Checkpoint {
+                seq,
+                snapshot,
+                carry,
+            } => {
+                out.push(TAG_REPL_CKPT);
+                put_u64(&mut out, *idx);
+                put_u64(&mut out, *seq);
+                put_bytes(&mut out, snapshot);
+                put_bytes(&mut out, carry);
+            }
+        },
+        Msg::ReplAck { watermark } => {
+            out.push(TAG_REPL_ACK);
+            put_u64(&mut out, *watermark);
+        }
+    }
+    out
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], &'static str> {
+        if self.remaining() < n {
+            return Err("payload truncated");
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, &'static str> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, &'static str> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, &'static str> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, &'static str> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Length-prefixed byte field. The count is checked against the bytes
+    /// actually present before the copy allocates.
+    fn bytes(&mut self) -> Result<Vec<u8>, &'static str> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return Err("byte field longer than payload");
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Length-prefixed f64 vector, count capped by [`MAX_FEATURES`] and by
+    /// the bytes actually present before allocation.
+    fn f64s(&mut self) -> Result<Vec<f64>, &'static str> {
+        let n = self.u32()?;
+        if n > MAX_FEATURES {
+            return Err("feature vector too long");
+        }
+        let n = n as usize;
+        if n.saturating_mul(8) > self.remaining() {
+            return Err("feature field longer than payload");
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f64::from_bits(self.u64()?));
+        }
+        Ok(out)
+    }
+
+    fn done(&self) -> Result<(), &'static str> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err("trailing bytes after message")
+        }
+    }
+}
+
+/// Decode one frame payload. Any input — truncated, bit-flipped, hostile —
+/// yields a typed error; the decoder never panics and never allocates past
+/// the payload it was handed.
+pub fn decode(payload: &[u8]) -> Result<Msg, &'static str> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let msg = match r.u8()? {
+        TAG_HELLO => {
+            let role = match r.u8()? {
+                0 => Role::Client,
+                1 => Role::Standby,
+                _ => return Err("unknown role"),
+            };
+            Msg::Hello {
+                role,
+                proto: r.u16()?,
+            }
+        }
+        TAG_ESTIMATE_REQ => Msg::EstimateReq {
+            id: r.u64()?,
+            features: r.f64s()?,
+        },
+        TAG_ESTIMATE_OK => Msg::EstimateOk {
+            id: r.u64()?,
+            value_bits: r.u64()?,
+            generation: r.u64()?,
+            batch: r.u32()?,
+        },
+        TAG_SHED => Msg::Shed { id: r.u64()? },
+        TAG_REJECTED => Msg::Rejected {
+            id: r.u64()?,
+            expected: r.u32()?,
+            got: r.u32()?,
+        },
+        TAG_UNAVAILABLE => {
+            let id = r.u64()?;
+            let reason = match r.u8()? {
+                0 => Refusal::NotPrimary,
+                1 => Refusal::ShuttingDown,
+                _ => return Err("unknown refusal"),
+            };
+            Msg::Unavailable { id, reason }
+        }
+        TAG_REPL_WAL => Msg::Repl {
+            idx: r.u64()?,
+            event: DurableEvent::WalAppend {
+                wal_seq: r.u64()?,
+                frame: r.bytes()?,
+            },
+        },
+        TAG_REPL_CKPT => Msg::Repl {
+            idx: r.u64()?,
+            event: DurableEvent::Checkpoint {
+                seq: r.u64()?,
+                snapshot: r.bytes()?,
+                carry: r.bytes()?,
+            },
+        },
+        TAG_REPL_ACK => Msg::ReplAck {
+            watermark: r.u64()?,
+        },
+        _ => return Err("unknown message tag"),
+    };
+    r.done()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_msgs() -> Vec<Msg> {
+        vec![
+            Msg::Hello {
+                role: Role::Client,
+                proto: NET_PROTO,
+            },
+            Msg::Hello {
+                role: Role::Standby,
+                proto: NET_PROTO,
+            },
+            Msg::EstimateReq {
+                id: 42,
+                features: vec![0.25, -1.5, f64::MAX],
+            },
+            Msg::EstimateOk {
+                id: 42,
+                value_bits: 123.456f64.to_bits(),
+                generation: 7,
+                batch: 16,
+            },
+            Msg::Shed { id: 9 },
+            Msg::Rejected {
+                id: 10,
+                expected: 12,
+                got: 3,
+            },
+            Msg::Unavailable {
+                id: 11,
+                reason: Refusal::NotPrimary,
+            },
+            Msg::Repl {
+                idx: 5,
+                event: DurableEvent::WalAppend {
+                    wal_seq: 2,
+                    frame: vec![1, 2, 3, 4],
+                },
+            },
+            Msg::Repl {
+                idx: 6,
+                event: DurableEvent::Checkpoint {
+                    seq: 3,
+                    snapshot: vec![9; 32],
+                    carry: vec![],
+                },
+            },
+            Msg::ReplAck { watermark: 6 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_variant() {
+        for msg in all_msgs() {
+            let enc = encode(&msg);
+            assert_eq!(decode(&enc).as_ref(), Ok(&msg), "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for msg in all_msgs() {
+            let enc = encode(&msg);
+            for cut in 0..enc.len() {
+                assert!(decode(&enc[..cut]).is_err(), "{msg:?} cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut enc = encode(&Msg::Shed { id: 1 });
+        enc.push(0);
+        assert_eq!(decode(&enc), Err("trailing bytes after message"));
+    }
+
+    #[test]
+    fn hostile_length_fields_do_not_allocate() {
+        // EstimateReq claiming u32::MAX features in a 13-byte payload.
+        let mut buf = vec![TAG_ESTIMATE_REQ];
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&buf).is_err());
+        // Repl wal frame claiming 4 GiB of bytes.
+        let mut buf = vec![TAG_REPL_WAL];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode(&buf).is_err());
+    }
+}

@@ -1,0 +1,550 @@
+//! Transport abstraction and CRC framing.
+//!
+//! [`ByteStream`] is the narrow waist every byte on the wire goes through —
+//! TCP sockets ([`super::tcp`]), in-memory pipes ([`mem_pair`]), and the
+//! [`FailpointNet`] fault injector all implement it, so the whole protocol
+//! stack (framing, server handler, client retry loop, replication shipper)
+//! is exercised identically under real sockets and injected faults.
+//!
+//! [`FrameConn`] speaks the same `[len u32][crc32 u32][payload]` framing as
+//! the durability layer (`warper_durable::frame`), with the length field
+//! checked against [`MAX_NET_FRAME`] *before* the payload buffer is
+//! allocated — a hostile header cannot balloon memory.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use warper_durable::frame::crc32;
+
+use super::codec::{self, Msg, MAX_NET_FRAME};
+use super::NetError;
+
+/// A bidirectional byte pipe with deadlines. `read_some` returning `Ok(0)`
+/// is clean EOF; errors are already mapped to [`NetError`].
+pub trait ByteStream: Send {
+    /// Write the whole buffer (or fail).
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), NetError>;
+    /// Read up to `buf.len()` bytes; `Ok(0)` means the peer closed.
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, NetError>;
+    /// Deadline applied to each subsequent read (`None` = wait forever).
+    fn set_read_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError>;
+    /// Deadline applied to each subsequent write.
+    fn set_write_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError>;
+    /// An independently usable handle to the same connection (for
+    /// concurrent read/write halves). Clones share the underlying link.
+    fn try_clone(&self) -> Result<Box<dyn ByteStream>, NetError>;
+    /// Best-effort immediate teardown; the peer sees EOF/reset.
+    fn shutdown(&self);
+}
+
+impl ByteStream for Box<dyn ByteStream> {
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), NetError> {
+        (**self).write_all(buf)
+    }
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, NetError> {
+        (**self).read_some(buf)
+    }
+    fn set_read_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError> {
+        (**self).set_read_deadline(d)
+    }
+    fn set_write_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError> {
+        (**self).set_write_deadline(d)
+    }
+    fn try_clone(&self) -> Result<Box<dyn ByteStream>, NetError> {
+        (**self).try_clone()
+    }
+    fn shutdown(&self) {
+        (**self).shutdown()
+    }
+}
+
+/// Framed message transport over any [`ByteStream`].
+pub struct FrameConn<S: ByteStream> {
+    stream: S,
+}
+
+impl<S: ByteStream> FrameConn<S> {
+    pub fn new(stream: S) -> Self {
+        Self { stream }
+    }
+
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Encode and send one message as a single frame (one write).
+    pub fn send(&mut self, msg: &Msg) -> Result<(), NetError> {
+        let payload = codec::encode(msg);
+        if payload.len() as u64 > u64::from(MAX_NET_FRAME) {
+            return Err(NetError::Corrupt("outgoing frame over cap"));
+        }
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.stream.write_all(&frame)
+    }
+
+    /// Receive one message. EOF at a frame boundary is [`NetError::Closed`];
+    /// EOF mid-frame is a [`NetError::Cut`]; a length over
+    /// [`MAX_NET_FRAME`] or a checksum/decode failure is
+    /// [`NetError::Corrupt`] — checked before the payload is allocated.
+    pub fn recv(&mut self) -> Result<Msg, NetError> {
+        let mut header = [0u8; 8];
+        self.read_exact(&mut header, true)?;
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+        let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+        if len > MAX_NET_FRAME {
+            return Err(NetError::Corrupt("frame length over cap"));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.read_exact(&mut payload, false)?;
+        if crc32(&payload) != crc {
+            return Err(NetError::Corrupt("frame checksum mismatch"));
+        }
+        codec::decode(&payload).map_err(NetError::Corrupt)
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8], at_boundary: bool) -> Result<(), NetError> {
+        let mut got = 0;
+        while got < buf.len() {
+            match self.stream.read_some(&mut buf[got..])? {
+                0 => {
+                    return Err(if at_boundary && got == 0 {
+                        NetError::Closed
+                    } else {
+                        NetError::Cut("eof mid-frame".into())
+                    })
+                }
+                n => got += n,
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory duplex pipe
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct PipeBuf {
+    data: VecDeque<u8>,
+    closed: bool,
+}
+
+type Pipe = Arc<(Mutex<PipeBuf>, Condvar)>;
+
+fn close_pipe(p: &Pipe) {
+    let mut g = p.0.lock().unwrap_or_else(PoisonError::into_inner);
+    g.closed = true;
+    p.1.notify_all();
+}
+
+/// Closes both directions when the last clone of an endpoint drops, so the
+/// peer sees EOF just like a dropped socket.
+struct EndpointAlive {
+    tx: Pipe,
+    rx: Pipe,
+}
+
+impl Drop for EndpointAlive {
+    fn drop(&mut self) {
+        close_pipe(&self.tx);
+        close_pipe(&self.rx);
+    }
+}
+
+/// One endpoint of an in-memory duplex byte pipe (see [`mem_pair`]).
+/// Deterministic and allocation-bounded; used by the protocol tests so the
+/// whole server/client/replication stack runs without sockets.
+pub struct MemStream {
+    tx: Pipe,
+    rx: Pipe,
+    read_deadline: Option<Duration>,
+    write_deadline: Option<Duration>,
+    alive: Arc<EndpointAlive>,
+}
+
+/// A connected pair of in-memory streams: bytes written to one are read
+/// from the other.
+pub fn mem_pair() -> (MemStream, MemStream) {
+    let ab: Pipe = Arc::default();
+    let ba: Pipe = Arc::default();
+    let a = MemStream {
+        tx: Arc::clone(&ab),
+        rx: Arc::clone(&ba),
+        read_deadline: None,
+        write_deadline: None,
+        alive: Arc::new(EndpointAlive {
+            tx: Arc::clone(&ab),
+            rx: Arc::clone(&ba),
+        }),
+    };
+    let b = MemStream {
+        tx: ba.clone(),
+        rx: ab.clone(),
+        read_deadline: None,
+        write_deadline: None,
+        alive: Arc::new(EndpointAlive { tx: ba, rx: ab }),
+    };
+    (a, b)
+}
+
+impl ByteStream for MemStream {
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), NetError> {
+        let _ = self.write_deadline; // writes to memory never block
+        let mut g = self.tx.0.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.closed {
+            return Err(NetError::Cut("peer closed".into()));
+        }
+        g.data.extend(buf);
+        self.tx.1.notify_all();
+        Ok(())
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, NetError> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let deadline = self.read_deadline.map(|d| Instant::now() + d);
+        let mut g = self.rx.0.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !g.data.is_empty() {
+                let n = buf.len().min(g.data.len());
+                for slot in buf.iter_mut().take(n) {
+                    *slot = g.data.pop_front().unwrap_or_default();
+                }
+                return Ok(n);
+            }
+            if g.closed {
+                return Ok(0);
+            }
+            g = match deadline {
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return Err(NetError::TimedOut);
+                    }
+                    let (g2, timeout) = self
+                        .rx
+                        .1
+                        .wait_timeout(g, dl - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if timeout.timed_out() && g2.data.is_empty() && !g2.closed {
+                        return Err(NetError::TimedOut);
+                    }
+                    g2
+                }
+                None => self.rx.1.wait(g).unwrap_or_else(PoisonError::into_inner),
+            };
+        }
+    }
+
+    fn set_read_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError> {
+        self.read_deadline = d;
+        Ok(())
+    }
+
+    fn set_write_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError> {
+        self.write_deadline = d;
+        Ok(())
+    }
+
+    fn try_clone(&self) -> Result<Box<dyn ByteStream>, NetError> {
+        Ok(Box::new(MemStream {
+            tx: Arc::clone(&self.tx),
+            rx: Arc::clone(&self.rx),
+            read_deadline: self.read_deadline,
+            write_deadline: self.write_deadline,
+            alive: Arc::clone(&self.alive),
+        }))
+    }
+
+    fn shutdown(&self) {
+        close_pipe(&self.tx);
+        close_pipe(&self.rx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Link fault injection
+// ---------------------------------------------------------------------------
+
+/// What goes wrong at the scheduled operation (mirrors `FailKind` in
+/// `warper_durable::vfs` for the link instead of the disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The link dies: this op and every later one fails, the peer sees EOF.
+    Cut,
+    /// The op stalls past its deadline (surfaces as [`NetError::TimedOut`];
+    /// the link stays up).
+    Delay,
+    /// A write transmits only half its bytes, then the link dies — the peer
+    /// sees a torn frame. On a read op this degrades to a cut.
+    Torn,
+    /// The op's bytes are bit-flipped in flight; the link stays up and the
+    /// receiver's CRC must catch it.
+    Garbage,
+}
+
+/// Fire `kind` at the `at_op`-th byte-stream operation (0-based, reads and
+/// writes both count; clones share the counter).
+#[derive(Debug, Clone, Copy)]
+pub struct NetFailPlan {
+    pub at_op: u64,
+    pub kind: NetFaultKind,
+}
+
+struct FpState {
+    ops: u64,
+    plan: Option<NetFailPlan>,
+    cut: bool,
+}
+
+/// Deterministic link-fault injector wrapping any [`ByteStream`] — the
+/// network mirror of `FailpointVfs`. Without a plan it just counts ops, so
+/// a passing run's op count becomes the sweep bound for kill-at-every-op
+/// tests (`tests/net_failover.rs`).
+pub struct FailpointNet<S: ByteStream> {
+    inner: S,
+    state: Arc<Mutex<FpState>>,
+}
+
+impl<S: ByteStream> FailpointNet<S> {
+    /// Counting mode: no fault, just tally ops.
+    pub fn new(inner: S) -> Self {
+        Self::with_state(inner, None)
+    }
+
+    /// Fire `plan` when its op comes up.
+    pub fn with_plan(inner: S, plan: NetFailPlan) -> Self {
+        Self::with_state(inner, Some(plan))
+    }
+
+    fn with_state(inner: S, plan: Option<NetFailPlan>) -> Self {
+        Self {
+            inner,
+            state: Arc::new(Mutex::new(FpState {
+                ops: 0,
+                plan,
+                cut: false,
+            })),
+        }
+    }
+
+    /// Operations observed so far (shared across clones).
+    pub fn ops(&self) -> u64 {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ops
+    }
+
+    /// Whether the injected fault has already fired a cut.
+    pub fn is_cut(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .cut
+    }
+
+    /// Check the gate for the next op: `None` = proceed, `Some(kind)` =
+    /// this op is the scheduled fault.
+    fn gate(&self) -> Result<Option<NetFaultKind>, NetError> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.cut {
+            return Err(NetError::Cut("link cut by failpoint".into()));
+        }
+        let op = st.ops;
+        st.ops += 1;
+        match st.plan {
+            Some(plan) if plan.at_op == op => {
+                if matches!(plan.kind, NetFaultKind::Cut | NetFaultKind::Torn) {
+                    st.cut = true;
+                }
+                Ok(Some(plan.kind))
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+impl<S: ByteStream> ByteStream for FailpointNet<S> {
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), NetError> {
+        match self.gate()? {
+            None => self.inner.write_all(buf),
+            Some(NetFaultKind::Cut) => {
+                self.inner.shutdown();
+                Err(NetError::Cut("link cut by failpoint".into()))
+            }
+            Some(NetFaultKind::Delay) => Err(NetError::TimedOut),
+            Some(NetFaultKind::Torn) => {
+                let _ = self.inner.write_all(&buf[..buf.len() / 2]);
+                self.inner.shutdown();
+                Err(NetError::Cut("torn write by failpoint".into()))
+            }
+            Some(NetFaultKind::Garbage) => {
+                let mut garbled = buf.to_vec();
+                if let Some(b) = garbled.get_mut(buf.len() / 2) {
+                    *b ^= 0x40;
+                }
+                self.inner.write_all(&garbled)
+            }
+        }
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, NetError> {
+        match self.gate()? {
+            None => self.inner.read_some(buf),
+            Some(NetFaultKind::Cut) | Some(NetFaultKind::Torn) => {
+                self.inner.shutdown();
+                Err(NetError::Cut("link cut by failpoint".into()))
+            }
+            Some(NetFaultKind::Delay) => Err(NetError::TimedOut),
+            Some(NetFaultKind::Garbage) => {
+                let n = self.inner.read_some(buf)?;
+                if n > 0 {
+                    buf[n / 2] ^= 0x40;
+                }
+                Ok(n)
+            }
+        }
+    }
+
+    fn set_read_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError> {
+        self.inner.set_read_deadline(d)
+    }
+
+    fn set_write_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError> {
+        self.inner.set_write_deadline(d)
+    }
+
+    fn try_clone(&self) -> Result<Box<dyn ByteStream>, NetError> {
+        Ok(Box::new(FailpointNet {
+            inner: self.inner.try_clone()?,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::codec::Role;
+
+    #[test]
+    fn mem_pipe_frames_roundtrip() {
+        let (a, b) = mem_pair();
+        let mut ca = FrameConn::new(a);
+        let mut cb = FrameConn::new(b);
+        let msg = Msg::EstimateReq {
+            id: 1,
+            features: vec![0.5; 8],
+        };
+        ca.send(&msg).unwrap();
+        assert_eq!(cb.recv().unwrap(), msg);
+        // Clean close at a boundary surfaces as Closed.
+        drop(ca);
+        assert_eq!(cb.recv(), Err(NetError::Closed));
+    }
+
+    #[test]
+    fn mem_pipe_read_deadline_fires() {
+        let (a, mut b) = mem_pair();
+        b.set_read_deadline(Some(Duration::from_millis(20)))
+            .unwrap();
+        let mut buf = [0u8; 4];
+        let t0 = Instant::now();
+        assert_eq!(b.read_some(&mut buf), Err(NetError::TimedOut));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        drop(a);
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let (mut a, b) = mem_pair();
+        let mut header = Vec::new();
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        a.write_all(&header).unwrap();
+        let mut cb = FrameConn::new(b);
+        assert_eq!(cb.recv(), Err(NetError::Corrupt("frame length over cap")));
+    }
+
+    #[test]
+    fn garbage_fault_is_caught_by_crc() {
+        let (a, b) = mem_pair();
+        let mut ca = FrameConn::new(FailpointNet::with_plan(
+            a,
+            NetFailPlan {
+                at_op: 0,
+                kind: NetFaultKind::Garbage,
+            },
+        ));
+        let mut cb = FrameConn::new(b);
+        ca.send(&Msg::Shed { id: 3 }).unwrap(); // sender sees success
+        match cb.recv() {
+            Err(NetError::Corrupt(_)) => {}
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_write_surfaces_as_cut_frame_on_peer() {
+        let (a, b) = mem_pair();
+        let mut ca = FrameConn::new(FailpointNet::with_plan(
+            a,
+            NetFailPlan {
+                at_op: 0,
+                kind: NetFaultKind::Torn,
+            },
+        ));
+        let mut cb = FrameConn::new(b);
+        assert!(ca.send(&Msg::Shed { id: 3 }).is_err());
+        match cb.recv() {
+            Err(NetError::Cut(_)) | Err(NetError::Closed) => {}
+            other => panic!("expected cut/closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cut_fault_poisons_all_later_ops() {
+        let (a, _b) = mem_pair();
+        let mut fp = FailpointNet::with_plan(
+            a,
+            NetFailPlan {
+                at_op: 0,
+                kind: NetFaultKind::Cut,
+            },
+        );
+        assert!(fp.write_all(&[1]).is_err());
+        assert!(fp.write_all(&[2]).is_err());
+        let mut buf = [0u8; 1];
+        assert!(fp.read_some(&mut buf).is_err());
+        assert!(fp.is_cut());
+    }
+
+    #[test]
+    fn counting_mode_tallies_ops() {
+        let (a, b) = mem_pair();
+        let mut ca = FrameConn::new(FailpointNet::new(a));
+        let mut cb = FrameConn::new(b);
+        ca.send(&Msg::Hello {
+            role: Role::Client,
+            proto: 1,
+        })
+        .unwrap();
+        cb.recv().unwrap();
+        assert!(ca.stream().ops() >= 1);
+    }
+}

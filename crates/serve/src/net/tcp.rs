@@ -1,0 +1,141 @@
+//! Real-socket transport. This is the **only** module in the workspace
+//! allowed to open raw sockets (enforced by a grep lint in `ci.sh`, the
+//! same way direct filesystem access is confined to the Vfs module) —
+//! everything above it speaks [`ByteStream`], so the protocol stack cannot
+//! bypass the deadline and fault-injection seams.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use super::client::Dialer;
+use super::conn::ByteStream;
+use super::NetError;
+
+fn map_io(e: std::io::Error) -> NetError {
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => NetError::TimedOut,
+        ErrorKind::BrokenPipe
+        | ErrorKind::ConnectionReset
+        | ErrorKind::ConnectionAborted
+        | ErrorKind::UnexpectedEof
+        | ErrorKind::NotConnected => NetError::Cut(e.to_string()),
+        _ => NetError::Io(e.to_string()),
+    }
+}
+
+/// A connected TCP socket behind the [`ByteStream`] seam.
+pub struct TcpByteStream {
+    stream: TcpStream,
+}
+
+impl TcpByteStream {
+    fn new(stream: TcpStream) -> Result<Self, NetError> {
+        // Frames are single writes; Nagle only adds latency here.
+        stream.set_nodelay(true).map_err(map_io)?;
+        Ok(Self { stream })
+    }
+}
+
+impl ByteStream for TcpByteStream {
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), NetError> {
+        self.stream.write_all(buf).map_err(map_io)
+    }
+
+    fn read_some(&mut self, buf: &mut [u8]) -> Result<usize, NetError> {
+        self.stream.read(buf).map_err(map_io)
+    }
+
+    fn set_read_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(d).map_err(map_io)
+    }
+
+    fn set_write_deadline(&mut self, d: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_write_timeout(d).map_err(map_io)
+    }
+
+    fn try_clone(&self) -> Result<Box<dyn ByteStream>, NetError> {
+        let stream = self.stream.try_clone().map_err(map_io)?;
+        Ok(Box::new(TcpByteStream { stream }))
+    }
+
+    fn shutdown(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// Dial `addr` with a connect timeout.
+pub fn dial(addr: &str, timeout: Duration) -> Result<TcpByteStream, NetError> {
+    let sockaddr = addr
+        .to_socket_addrs()
+        .map_err(map_io)?
+        .next()
+        .ok_or_else(|| NetError::Io(format!("unresolvable address {addr}")))?;
+    let stream = TcpStream::connect_timeout(&sockaddr, timeout).map_err(map_io)?;
+    TcpByteStream::new(stream)
+}
+
+/// [`Dialer`] over a fixed endpoint list (primary first, then standbys).
+pub struct TcpDialer {
+    pub endpoints: Vec<String>,
+    pub connect_timeout: Duration,
+}
+
+impl Dialer for TcpDialer {
+    fn endpoints(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn dial(&mut self, endpoint: usize) -> Result<Box<dyn ByteStream>, NetError> {
+        let addr = self
+            .endpoints
+            .get(endpoint)
+            .ok_or_else(|| NetError::Io("endpoint index out of range".into()))?;
+        Ok(Box::new(dial(addr, self.connect_timeout)?))
+    }
+}
+
+/// A polling accept loop: non-blocking listener checked every few
+/// milliseconds so the server's stop flag is honored without needing a
+/// self-connect wakeup.
+pub struct Listener {
+    inner: TcpListener,
+    addr: String,
+}
+
+impl Listener {
+    pub fn bind(addr: &str) -> Result<Self, NetError> {
+        let inner = TcpListener::bind(addr).map_err(map_io)?;
+        inner.set_nonblocking(true).map_err(map_io)?;
+        let addr = inner
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string());
+        Ok(Self { inner, addr })
+    }
+
+    /// The bound address (with the OS-assigned port when `addr` had `:0`).
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Wait up to `timeout` for one connection; `Ok(None)` on timeout.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Option<TcpByteStream>, NetError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.inner.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).map_err(map_io)?;
+                    return Ok(Some(TcpByteStream::new(stream)?));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(map_io(e)),
+            }
+        }
+    }
+}

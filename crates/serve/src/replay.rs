@@ -248,7 +248,7 @@ struct ClientLog {
 
 /// FNV-1a over the served `(index, bits)` pairs, sorted by index first so
 /// the digest is independent of client interleaving.
-fn checksum(results: &[(usize, u64)]) -> u64 {
+pub(crate) fn checksum(results: &[(usize, u64)]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut fold = |x: u64| {
         for b in x.to_le_bytes() {

@@ -139,6 +139,7 @@ struct Counters {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     inference_nanos: AtomicU64,
+    deadline_trips: AtomicU64,
 }
 
 /// A point-in-time copy of the service counters.
@@ -160,6 +161,9 @@ pub struct ServiceStats {
     /// queueing + batching + response delivery, which is what makes kernel
     /// wins attributable in the serve benchmarks.
     pub inference_nanos: u64,
+    /// Connection-level read/write deadline expiries recorded by the
+    /// network front-end (see `net::server`). Zero for in-process serving.
+    pub deadline_trips: u64,
 }
 
 impl ServiceStats {
@@ -242,6 +246,7 @@ impl EstimationService {
             batches: self.counters.batches.load(Ordering::Relaxed),
             batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
             inference_nanos: self.counters.inference_nanos.load(Ordering::Relaxed),
+            deadline_trips: self.counters.deadline_trips.load(Ordering::Relaxed),
         }
     }
 
@@ -343,6 +348,27 @@ impl ServiceHandle {
                 Err(ServeError::Shed)
             }
             Err(PushError::Closed(_)) => Err(ServeError::Closed),
+        }
+    }
+
+    /// Records one connection-level deadline expiry. The network front-end
+    /// calls this so transport-induced drops show up next to shed/rejected
+    /// in [`ServiceStats`] instead of vanishing with the connection.
+    pub fn note_deadline_trip(&self) {
+        self.counters.deadline_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time counters (same snapshot [`EstimationService::stats`]
+    /// takes; exposed on the handle for components that only hold one).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            served: self.counters.served.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
+            inference_nanos: self.counters.inference_nanos.load(Ordering::Relaxed),
+            deadline_trips: self.counters.deadline_trips.load(Ordering::Relaxed),
         }
     }
 }

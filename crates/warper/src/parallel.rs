@@ -33,6 +33,10 @@ pub mod seed_stream {
     pub const PREPARE: u64 = 6;
     /// Dataset synthesis.
     pub const TABLE: u64 = 7;
+    /// Network clients: per-connection retry jitter and query striping.
+    /// Each connection `c` re-derives `derive_seed(derive_seed(master, NET), c)`
+    /// so multi-client runs stay deterministic regardless of client count.
+    pub const NET: u64 = 8;
 }
 
 /// Derives a per-component seed from a master seed and a [`seed_stream`]

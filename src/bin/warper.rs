@@ -9,7 +9,12 @@
 //!                [--drift-at N] [--new w4] [--sync] [--smoke] [--seed S] \
 //!                [--precision f64|f32|int8] [--state-dir DIR] \
 //!                [--checkpoint-every N]
+//! warper serve   --listen 127.0.0.1:7071 [--state-dir DIR] [--duration S]
+//! warper serve   --standby-of 127.0.0.1:7071 [--listen ADDR] \
+//!                [--state-dir DIR] [--duration S]
 //! warper loadgen --dataset prsa --queries 2000 [--rate QPS] [--seed S]
+//! warper loadgen --connect 127.0.0.1:7071[,ADDR2] --queries 2000 \
+//!                [--clients N] [--seed S]
 //! warper datasets
 //! ```
 //!
@@ -59,9 +64,18 @@ const USAGE: &str = "usage:
                  [--sync] [--invoke-every N] [--smoke] [--rows N] [--seed S]
                  [--precision f64|f32|int8] [--state-dir DIR]
                  [--checkpoint-every N]
+  warper serve   --listen ADDR [--state-dir DIR] [--duration SECS]
+                 [--dataset ...] [--mix w1] [--rows N] [--seed S]
+                   networked primary: replicated durability + TCP front-end
+  warper serve   --standby-of ADDR [--listen ADDR] [--state-dir DIR]
+                 [--duration SECS] [--no-auto-promote]
+                   warm standby: replicates, promotes when the primary dies
   warper loadgen [--dataset prsa|poker|higgs] [--mix w1] [--queries N]
                  [--clients N] [--rate QPS] [--batch N] [--rows N] [--seed S]
                  [--precision f64|f32|int8]
+  warper loadgen --connect ADDR[,ADDR2...] [--queries N] [--clients N]
+                 [--dataset ...] [--mix w1] [--rows N] [--seed S]
+                   networked clients with bounded retry + endpoint rotation
   warper datasets";
 
 /// Splits `[cmd, --k, v, --flag, ...]` into the command and a flag map
@@ -383,6 +397,158 @@ fn print_replay(rep: &warper_repro::serve::ReplayReport) {
     println!("estimates checksum: {:016x}", rep.estimates_checksum);
 }
 
+/// Opens `--state-dir` as a [`StdVfs`], or a fresh in-memory Vfs when the
+/// flag is absent (ephemeral node).
+fn vfs_of(
+    flags: &HashMap<String, String>,
+) -> Option<std::sync::Arc<dyn warper_repro::durable::Vfs>> {
+    use warper_repro::durable::{MemVfs, StdVfs};
+    match flags.get("state-dir") {
+        None => Some(std::sync::Arc::new(MemVfs::new())),
+        Some(dir) => match StdVfs::open(dir) {
+            Ok(vfs) => Some(std::sync::Arc::new(vfs)),
+            Err(e) => {
+                eprintln!("cannot open state dir {dir:?}: {e}");
+                None
+            }
+        },
+    }
+}
+
+/// `warper serve --listen ADDR`: a networked primary — trained model,
+/// background adaptation, replicated durable store, TCP front-end.
+fn cmd_serve_primary(flags: &HashMap<String, String>) -> ExitCode {
+    use warper_repro::durable::DurabilityConfig;
+    use warper_repro::serve::net::{PrimaryNode, PrimarySpec};
+
+    let Some(kind) = dataset_of(flags) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(rows) = num(flags, "rows", kind.default_rows().min(10_000)) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(seed) = num(flags, "seed", 7u64) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(duration) = num(flags, "duration", 0u64) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(checkpoint_every) = num(flags, "checkpoint-every", 4usize) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(vfs) = vfs_of(flags) else {
+        return ExitCode::FAILURE;
+    };
+    let listen = flags.get("listen").cloned().unwrap_or_default();
+    let mix = flags.get("mix").cloned().unwrap_or_else(|| "w1".into());
+
+    let table = generate(kind, rows, seed);
+    let spec = PrimarySpec {
+        mix,
+        seed,
+        durability: DurabilityConfig { checkpoint_every },
+        ..Default::default()
+    };
+    let node = match PrimaryNode::start(&table, vfs, &listen, spec) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("primary failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "primary serving {} ({rows} rows) on {}",
+        kind.name(),
+        node.addr()
+    );
+    let t0 = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let lag = node.lag();
+        if lag.published > 0 {
+            println!(
+                "repl: published={} acked={} ops_behind={} secs_behind={:.3}",
+                lag.published, lag.acked, lag.ops_behind, lag.secs_behind
+            );
+        }
+        if duration > 0 && t0.elapsed().as_secs() >= duration {
+            break;
+        }
+    }
+    let rep = node.shutdown();
+    println!(
+        "primary done: {} requests, {} ok, {} shed, {} deadline trips; \
+         replicated {} mutations ({} acked)",
+        rep.net.requests,
+        rep.net.responses_ok,
+        rep.net.shed,
+        rep.net.deadline_trips,
+        rep.repl.published,
+        rep.repl.acked
+    );
+    ExitCode::SUCCESS
+}
+
+/// `warper serve --standby-of ADDR`: a warm standby that replicates the
+/// primary's durable state and promotes itself when the link is lost.
+fn cmd_serve_standby(flags: &HashMap<String, String>) -> ExitCode {
+    use warper_repro::serve::net::{StandbyConfig, StandbyNode};
+
+    let Some(duration) = num(flags, "duration", 0u64) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(vfs) = vfs_of(flags) else {
+        return ExitCode::FAILURE;
+    };
+    let primary = flags.get("standby-of").cloned().unwrap_or_default();
+    let listen = flags
+        .get("listen")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".into());
+    let cfg = StandbyConfig {
+        auto_promote: !flags.contains_key("no-auto-promote"),
+        ..Default::default()
+    };
+    let node = match StandbyNode::start(vfs, &listen, primary.clone(), cfg) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("standby failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("standby of {primary} listening on {}", node.addr());
+    let t0 = std::time::Instant::now();
+    let mut was_promoted = false;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let st = node.state();
+        println!(
+            "standby: watermark={} validated_seq={} snapshots={} wal_frames={} rejected={}",
+            st.watermark,
+            st.validated_seq,
+            st.stats.snapshots_applied,
+            st.stats.wal_frames_applied,
+            st.stats.rejected_ops
+        );
+        if node.promoted() && !was_promoted {
+            was_promoted = true;
+            println!("PROMOTED: serving on {}", node.addr());
+        }
+        if duration > 0 && t0.elapsed().as_secs() >= duration {
+            break;
+        }
+    }
+    let rep = node.shutdown();
+    println!(
+        "standby done: applied {} snapshots + {} wal frames (rejected {}), promoted={}",
+        rep.state.stats.snapshots_applied,
+        rep.state.stats.wal_frames_applied,
+        rep.state.stats.rejected_ops,
+        rep.state.promoted_generation.is_some()
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     use std::sync::Arc;
 
@@ -391,6 +557,16 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         run_replay, AdaptConfig, AdaptMode, DriftEvent, DriftKind, DurableReplay, ReplaySpec,
     };
     use warper_repro::warper::supervisor::SupervisorConfig;
+
+    // Networked modes: `--standby-of` wins (a standby may also `--listen`),
+    // then `--listen` alone starts a primary; neither falls through to the
+    // in-process replay harness.
+    if flags.contains_key("standby-of") {
+        return cmd_serve_standby(flags);
+    }
+    if flags.contains_key("listen") {
+        return cmd_serve_primary(flags);
+    }
 
     let Some(kind) = dataset_of(flags) else {
         return ExitCode::FAILURE;
@@ -531,8 +707,85 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `warper loadgen --connect ADDR[,ADDR2]`: deterministic multi-client
+/// load against networked servers, with bounded retry and rotation.
+fn cmd_loadgen_net(flags: &HashMap<String, String>) -> ExitCode {
+    use warper_repro::serve::net::{run_net_loadgen, NetLoadSpec};
+
+    let Some(kind) = dataset_of(flags) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(rows) = num(flags, "rows", kind.default_rows().min(10_000)) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(seed) = num(flags, "seed", 7u64) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(queries) = num(flags, "queries", 2_000usize) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(clients) = num(flags, "clients", 4usize) else {
+        return ExitCode::FAILURE;
+    };
+    let endpoints: Vec<String> = flags
+        .get("connect")
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let mix = flags.get("mix").cloned().unwrap_or_else(|| "w1".into());
+
+    // The table must match the server's `--dataset/--rows/--seed` so the
+    // featurization (and therefore the checksum) lines up.
+    let table = generate(kind, rows, seed);
+    let spec = NetLoadSpec {
+        endpoints,
+        clients,
+        n_queries: queries,
+        mix,
+        seed,
+        ..Default::default()
+    };
+    println!(
+        "{} ({rows} rows), {queries} queries from {clients} networked clients → {:?}",
+        kind.name(),
+        spec.endpoints
+    );
+    let rep = match run_net_loadgen(&table, &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (p50, p95, p99, max) = rep.latency.summary_scaled(1_000.0);
+    println!(
+        "ok={} shed={} rejected={} unavailable={} disconnected={} ({:.1}s)",
+        rep.ok,
+        rep.shed,
+        rep.rejected,
+        rep.unavailable,
+        rep.disconnected,
+        rep.elapsed.as_secs_f64()
+    );
+    println!("latency µs: p50={p50:.0} p95={p95:.0} p99={p99:.0} max={max:.0}");
+    println!(
+        "transport: reconnects={} rotations={} net_errors={} backoff={:.2}s \
+         max_success_gap={:.3}s",
+        rep.client.reconnects,
+        rep.client.rotations,
+        rep.client.net_errors,
+        rep.client.backoff_secs,
+        rep.max_success_gap.as_secs_f64()
+    );
+    println!("estimates checksum: {:016x}", rep.checksum);
+    ExitCode::SUCCESS
+}
+
 fn cmd_loadgen(flags: &HashMap<String, String>) -> ExitCode {
     use warper_repro::serve::{run_replay, ReplaySpec, ServiceConfig};
+
+    if flags.contains_key("connect") {
+        return cmd_loadgen_net(flags);
+    }
 
     let Some(kind) = dataset_of(flags) else {
         return ExitCode::FAILURE;
